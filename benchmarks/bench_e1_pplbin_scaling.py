@@ -1,0 +1,58 @@
+"""E1 — Theorem 2: PPLbin matrix evaluation scales ~|t|^3 and ~|P| (linearly).
+
+Two series are produced:
+
+* ``test_tree_size_scaling``: a fixed composition-heavy PPLbin query on
+  random trees of growing size.  Theorem 2 predicts cubic growth in |t|
+  (each composition is one Boolean matrix product).
+* ``test_query_size_scaling``: growing chains of compositions on a fixed
+  tree.  Theorem 2 predicts linear growth in |P|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.generators import random_tree
+from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.parser import parse_pplbin
+
+from bench_utils import run_once
+
+#: A query exercising composition, union, complement and filters.
+QUERY = (
+    "descendant::a[child::b]/following-sibling::*"
+    " union except (child::c/descendant::b)"
+)
+
+TREE_SIZES = [50, 100, 200, 400]
+QUERY_LENGTHS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("size", TREE_SIZES)
+def test_tree_size_scaling(benchmark, size):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(QUERY)
+
+    def evaluate():
+        return evaluate_matrix(tree, expression, use_cache=False)
+
+    matrix = run_once(benchmark, evaluate)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["query_size"] = expression.size
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+
+
+@pytest.mark.parametrize("length", QUERY_LENGTHS)
+def test_query_size_scaling(benchmark, length):
+    tree = random_tree(200, seed=7)
+    text = "/".join(["(child::* union descendant::a)"] * length)
+    expression = parse_pplbin(text)
+
+    def evaluate():
+        return evaluate_matrix(tree, expression, use_cache=False)
+
+    matrix = run_once(benchmark, evaluate)
+    benchmark.extra_info["tree_size"] = tree.size
+    benchmark.extra_info["query_size"] = expression.size
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())

@@ -1,0 +1,52 @@
+"""E2 — Theorem 1: PPL n-ary answering is polynomial in |t| and output-sensitive.
+
+The paper's bound is O(|P| |t|^3 + n |P| |t|^2 |A|).  The series here grows
+the bibliography document (and with it, proportionally, the answer set of the
+author/title pair query) and measures end-to-end answering time with the
+polynomial engine — growth must stay polynomial, in contrast to the |t|^n
+behaviour of the naive engine measured in E3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PPLEngine
+from repro.workloads.bibliography import bibliography_pair_query, generate_bibliography
+
+from bench_utils import run_once
+
+BOOK_COUNTS = [5, 10, 20, 40, 80]
+
+
+@pytest.mark.parametrize("books", BOOK_COUNTS)
+def test_pair_query_scaling(benchmark, books):
+    document = generate_bibliography(
+        books, authors_per_book=2, titles_per_book=1, decoys_per_book=2, seed=books
+    )
+    query, variables = bibliography_pair_query()
+
+    def answer():
+        # A fresh engine per measurement: include translation and all matrix
+        # evaluations in the measured cost (the "combined complexity" view).
+        return PPLEngine(document).answer(query, variables)
+
+    answers = run_once(benchmark, answer)
+    benchmark.extra_info["tree_size"] = document.size
+    benchmark.extra_info["answer_size"] = len(answers)
+    benchmark.extra_info["tuple_width"] = len(variables)
+
+
+@pytest.mark.parametrize("books", [10, 40])
+def test_pair_query_scaling_warm_engine(benchmark, books):
+    """Same series with a warm engine: leaf matrices already cached."""
+    document = generate_bibliography(
+        books, authors_per_book=2, titles_per_book=1, decoys_per_book=2, seed=books
+    )
+    query, variables = bibliography_pair_query()
+    engine = PPLEngine(document)
+    engine.answer(query, variables)  # warm the caches
+
+    answers = run_once(benchmark, engine.answer, query, variables)
+    benchmark.extra_info["tree_size"] = document.size
+    benchmark.extra_info["answer_size"] = len(answers)

@@ -1,0 +1,65 @@
+"""E4 — output sensitivity: at fixed |t| and |P|, time grows with |A|, not |t|^n.
+
+All documents in this series have (almost) the same number of nodes; only the
+composition of the books changes, so the answer-set size |A| of the
+author/title pair query sweeps over two orders of magnitude.  Theorem 1
+predicts the answering time to track |A| (the ``n |P| |t|^2 |A|`` term), not
+the constant |t|^2 candidate space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PPLEngine
+from repro.workloads.bibliography import bibliography_pair_query, generate_bibliography
+
+from bench_utils import run_once
+
+#: (authors_per_book, titles_per_book, decoys_per_book) — chosen so that each
+#: book contributes the same number of nodes (6) but very different pair counts.
+PROFILES = {
+    "A=20 (1x1 pairs)": (1, 1, 4),
+    "A=80 (2x2 pairs)": (2, 2, 2),
+    "A=180 (3x3 pairs)": (3, 3, 0),
+}
+
+NUM_BOOKS = 20
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_answer_size_sweep(benchmark, profile):
+    authors, titles, decoys = PROFILES[profile]
+    document = generate_bibliography(
+        NUM_BOOKS,
+        authors_per_book=authors,
+        titles_per_book=titles,
+        decoys_per_book=decoys,
+        seed=1,
+    )
+    query, variables = bibliography_pair_query()
+    engine = PPLEngine(document)
+    engine.answer(query, variables)  # warm caches so only |A|-dependent work varies
+
+    answers = run_once(benchmark, engine.answer, query, variables)
+    benchmark.extra_info["tree_size"] = document.size
+    benchmark.extra_info["answer_size"] = len(answers)
+    benchmark.extra_info["candidate_space"] = document.size ** 2
+
+
+@pytest.mark.parametrize("selectivity", [0.0, 0.3, 0.6, 0.9])
+def test_selectivity_sweep(benchmark, selectivity):
+    """Same tree size, shrinking answer set (restaurants with missing attributes)."""
+    from repro.workloads.restaurants import generate_restaurants, restaurant_query
+
+    document = generate_restaurants(
+        20, num_attributes=4, missing_probability=selectivity, decoys_per_restaurant=0, seed=3
+    )
+    query, variables = restaurant_query(4)
+    engine = PPLEngine(document)
+    engine.answer(query, variables)
+
+    answers = run_once(benchmark, engine.answer, query, variables)
+    benchmark.extra_info["tree_size"] = document.size
+    benchmark.extra_info["missing_probability"] = selectivity
+    benchmark.extra_info["answer_size"] = len(answers)

@@ -1,0 +1,37 @@
+"""E5 — tuple width n: the restaurant query with up to 12 attributes.
+
+The paper's introduction motivates arities of 10 and more.  The answer set
+has one tuple per fully-described restaurant regardless of n, so Theorem 1
+predicts roughly linear growth in n (the ``n |P| |t|^2 |A|`` term, with |P|
+also growing linearly in n because the query has one filter per attribute) —
+not the |t|^n growth a candidate-enumeration engine would show.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PPLEngine
+from repro.workloads.restaurants import generate_restaurants, restaurant_query
+
+from bench_utils import run_once
+
+WIDTHS = [2, 4, 6, 8, 10, 12]
+NUM_RESTAURANTS = 15
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_tuple_width_scaling(benchmark, width):
+    document = generate_restaurants(
+        NUM_RESTAURANTS, num_attributes=width, decoys_per_restaurant=1, seed=width
+    )
+    query, variables = restaurant_query(width)
+
+    def answer():
+        return PPLEngine(document).answer(query, variables)
+
+    answers = run_once(benchmark, answer)
+    benchmark.extra_info["tuple_width"] = width
+    benchmark.extra_info["tree_size"] = document.size
+    benchmark.extra_info["answer_size"] = len(answers)
+    benchmark.extra_info["candidate_space"] = document.size ** width

@@ -1,0 +1,65 @@
+"""E6 — Proposition 3: variable sharing makes non-emptiness NP-hard.
+
+Three series on the same random 3-CNF instances:
+
+* ``test_naive_nonemptiness``: deciding non-emptiness of the reduction query
+  with the naive engine — exponential in the number of propositional
+  variables (the query's shared XPath variables).
+* ``test_dpll_baseline``: deciding satisfiability of the source CNF directly
+  with DPLL — fast, to show the blow-up is in the query evaluation, not in
+  the instances.
+* ``test_reduction_construction``: building the reduction itself — linear,
+  as Proposition 3's "reduction from SAT" requires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardness.dpll import dpll_satisfiable, random_3cnf
+from repro.hardness.sat_reduction import reduce_sat_to_xpath
+from repro.xpath.naive import naive_nonempty
+
+from bench_utils import run_once, run_single
+
+# Four propositional variables already take ~10 s with the naive engine
+# (the document has 13 nodes, so 13^4 assignments); five would take minutes —
+# the blow-up is unmistakable with the points below while keeping the harness
+# runtime bounded.
+VARIABLE_COUNTS = [3, 4]
+CLAUSE_FACTOR = 3  # clauses = 3 * variables, near the hard region but small
+
+
+def _instance(num_variables: int):
+    return random_3cnf(num_variables, CLAUSE_FACTOR * num_variables, seed=num_variables)
+
+
+@pytest.mark.parametrize("num_variables", VARIABLE_COUNTS)
+def test_naive_nonemptiness(benchmark, num_variables):
+    reduction = reduce_sat_to_xpath(_instance(num_variables))
+
+    result = run_single(benchmark, naive_nonempty, reduction.tree, reduction.query)
+    benchmark.extra_info["num_variables"] = num_variables
+    benchmark.extra_info["tree_size"] = reduction.tree.size
+    benchmark.extra_info["query_size"] = reduction.query.size
+    benchmark.extra_info["assignment_space"] = reduction.tree.size ** num_variables
+    benchmark.extra_info["satisfiable"] = bool(result)
+
+
+@pytest.mark.parametrize("num_variables", VARIABLE_COUNTS)
+def test_dpll_baseline(benchmark, num_variables):
+    formula = _instance(num_variables)
+
+    result = run_once(benchmark, dpll_satisfiable, formula)
+    benchmark.extra_info["num_variables"] = num_variables
+    benchmark.extra_info["satisfiable"] = result is not None
+
+
+@pytest.mark.parametrize("num_variables", VARIABLE_COUNTS)
+def test_reduction_construction(benchmark, num_variables):
+    formula = _instance(num_variables)
+
+    reduction = run_once(benchmark, reduce_sat_to_xpath, formula)
+    benchmark.extra_info["num_variables"] = num_variables
+    benchmark.extra_info["query_size"] = reduction.query.size
+    benchmark.extra_info["tree_size"] = reduction.tree.size

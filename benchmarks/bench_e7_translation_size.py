@@ -1,0 +1,82 @@
+"""E7 — all translations are linear-time and linear-size.
+
+For each translation claimed linear by the paper we measure the running time
+on growing inputs and record the size-expansion factor in ``extra_info``:
+
+* Lemma 1: FO → Core XPath 2.0,
+* Fig. 4 / Proposition 4: variable-free Core XPath 2.0 → PPLbin,
+* Fig. 7 / Proposition 5: PPL → HCL⁻(PPLbin),
+* Lemma 3: HCL → sharing formula + equation system.
+
+Expansion factors must stay (roughly) constant as the input grows — that is
+the experiment's headline shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fo.ast import And, ChStar, Exists, Lab, Or
+from repro.fo.translate import fo_to_core_xpath
+from repro.pplbin.translate import from_core_xpath
+from repro.core.translate import ppl_to_hcl
+from repro.hcl.sharing import normalize
+from repro.workloads.query_gen import (
+    random_hcl_formula,
+    random_ppl_expression,
+    random_pplbin_expression,
+)
+
+from bench_utils import run_once
+
+SIZES = [10, 20, 40, 80]
+
+
+def _fo_formula(size: int):
+    formula = Lab("a", "x0")
+    for index in range(size):
+        atom = ChStar(f"x{index}", f"x{index + 1}")
+        formula = And(formula, Or(atom, Lab("b", f"x{index + 1}")))
+        if index % 3 == 0:
+            formula = Exists(f"x{index + 1}", formula)
+    return formula
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_lemma1_fo_to_core_xpath(benchmark, size):
+    formula = _fo_formula(size)
+    translated = run_once(benchmark, fo_to_core_xpath, formula)
+    benchmark.extra_info["input_size"] = formula.size
+    benchmark.extra_info["output_size"] = translated.size
+    benchmark.extra_info["expansion"] = round(translated.size / formula.size, 2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig4_corexpath_to_pplbin(benchmark, size):
+    expression = random_pplbin_expression(size, seed=size)
+    from repro.pplbin.translate import to_core_xpath
+
+    core = to_core_xpath(expression)
+    translated = run_once(benchmark, from_core_xpath, core)
+    benchmark.extra_info["input_size"] = core.size
+    benchmark.extra_info["output_size"] = translated.size
+    benchmark.extra_info["expansion"] = round(translated.size / core.size, 2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig7_ppl_to_hcl(benchmark, size):
+    expression, _ = random_ppl_expression(size, num_variables=3, seed=size)
+    translated = run_once(benchmark, ppl_to_hcl, expression)
+    benchmark.extra_info["input_size"] = expression.size
+    benchmark.extra_info["output_size"] = translated.size
+    benchmark.extra_info["expansion"] = round(translated.size / expression.size, 2)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_lemma3_sharing_normalisation(benchmark, size):
+    formula, _ = random_hcl_formula(size, num_variables=3, seed=size)
+    shared, system = run_once(benchmark, normalize, formula)
+    output_size = shared.size + system.size
+    benchmark.extra_info["input_size"] = formula.size
+    benchmark.extra_info["output_size"] = output_size
+    benchmark.extra_info["expansion"] = round(output_size / formula.size, 2)

@@ -1,0 +1,67 @@
+"""E8 — Core XPath 1.0 set-based evaluation vs the PPLbin matrix algorithm.
+
+Section 4 recalls that monadic Core XPath 1.0 queries are answerable in
+linear time with the set-successor trick, and explains why the trick does not
+extend to the ``except`` operator — which forces the cubic matrix algorithm
+for PPLbin.  The series compares, on the same complement-free query:
+
+* monadic answering with the linear set-based evaluator,
+* monadic answering by taking a row of the cubic matrix evaluation,
+* full binary answering with the matrix evaluator (the price one pays for
+  the generality needed by ``except``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.generators import random_tree
+from repro.pplbin.corexpath1 import monadic_answer
+from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.parser import parse_pplbin
+
+from bench_utils import run_once
+
+QUERY = "descendant::a[child::b]/child::*[descendant::c]"
+TREE_SIZES = [100, 200, 400, 800]
+
+
+@pytest.mark.parametrize("size", TREE_SIZES)
+def test_corexpath1_monadic_linear(benchmark, size):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(QUERY)
+
+    result = run_once(benchmark, monadic_answer, tree, expression)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["selected_nodes"] = len(result)
+    benchmark.extra_info["evaluator"] = "set-based (Core XPath 1.0)"
+
+
+@pytest.mark.parametrize("size", TREE_SIZES)
+def test_matrix_monadic(benchmark, size):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(QUERY)
+
+    def answer():
+        matrix = evaluate_matrix(tree, expression, use_cache=False)
+        return matrix[tree.root()]
+
+    row = run_once(benchmark, answer)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["selected_nodes"] = int(row.sum())
+    benchmark.extra_info["evaluator"] = "matrix (Theorem 2)"
+
+
+@pytest.mark.parametrize("size", [100, 200, 400])
+def test_matrix_binary_with_complement(benchmark, size):
+    """The query only PPLbin can express: a complement under composition."""
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin("descendant::a/(except (child::b/descendant::c))")
+
+    def answer():
+        return evaluate_matrix(tree, expression, use_cache=False)
+
+    matrix = run_once(benchmark, answer)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    benchmark.extra_info["evaluator"] = "matrix with except"

@@ -1,0 +1,89 @@
+"""E9 — ablation: the Boolean matrix product dominates PPLbin evaluation.
+
+Section 4 notes that the cubic bound of Theorem 2 comes from Boolean matrix
+multiplication (and could in theory be lowered to O(n^2.376)).  This ablation
+compares, on the same composition-heavy query, three product implementations:
+
+* the vectorised numpy Boolean product used by default,
+* a sparse per-row successor-set product (fast while the relations stay
+  sparse, i.e. before any ``except`` densifies them),
+* the naive Python triple loop counted by the paper's complexity analysis.
+
+Two query families are used: a sparse one (axis compositions only) where the
+sparse product is competitive, and a dense one (complement under composition)
+where only the vectorised product remains practical — which is why it is the
+default.  The naive loop is capped at small trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.generators import random_tree
+from repro.pplbin import matrix as bm
+from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.parser import parse_pplbin
+
+from bench_utils import run_once, run_single
+
+SPARSE_QUERY = "child::*/descendant::a/child::*/ancestor::b"
+DENSE_QUERY = "(except child::a)/(except descendant::b)"
+
+PRODUCTS = {
+    "numpy": bm.bool_matmul,
+    "sparse-sets": bm.bool_matmul_sparse,
+}
+
+NUMPY_SIZES = [50, 100, 200, 400]
+SPARSE_SIZES = [50, 100, 200]
+TRIPLE_LOOP_SIZES = [30, 60]
+
+
+@pytest.mark.parametrize("size", NUMPY_SIZES)
+@pytest.mark.parametrize("query_kind", ["sparse", "dense"])
+def test_numpy_product(benchmark, size, query_kind):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(SPARSE_QUERY if query_kind == "sparse" else DENSE_QUERY)
+
+    def evaluate():
+        return evaluate_matrix(tree, expression, matmul=bm.bool_matmul, use_cache=False)
+
+    matrix = run_once(benchmark, evaluate)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["product"] = "numpy"
+    benchmark.extra_info["query_kind"] = query_kind
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+
+
+@pytest.mark.parametrize("size", SPARSE_SIZES)
+@pytest.mark.parametrize("query_kind", ["sparse", "dense"])
+def test_sparse_set_product(benchmark, size, query_kind):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(SPARSE_QUERY if query_kind == "sparse" else DENSE_QUERY)
+
+    def evaluate():
+        return evaluate_matrix(
+            tree, expression, matmul=bm.bool_matmul_sparse, use_cache=False
+        )
+
+    matrix = run_single(benchmark, evaluate)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["product"] = "sparse-sets"
+    benchmark.extra_info["query_kind"] = query_kind
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+
+
+@pytest.mark.parametrize("size", TRIPLE_LOOP_SIZES)
+def test_triple_loop_product(benchmark, size):
+    tree = random_tree(size, seed=size)
+    expression = parse_pplbin(SPARSE_QUERY)
+
+    def evaluate():
+        return evaluate_matrix(
+            tree, expression, matmul=bm.bool_matmul_python, use_cache=False
+        )
+
+    matrix = run_single(benchmark, evaluate)
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["product"] = "naive-triple-loop"
+    benchmark.extra_info["result_pairs"] = int(matrix.sum())

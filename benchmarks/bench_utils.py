@@ -1,0 +1,18 @@
+"""Timing helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with a fixed small number of rounds.
+
+    Several of the measured operations are too slow (or too allocation-heavy)
+    for pytest-benchmark's default calibration loop; three single-iteration
+    rounds keep total harness time bounded while still averaging a few runs.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+
+def run_single(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with exactly one round (for the slowest baselines)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

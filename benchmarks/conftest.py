@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md
+(E1–E9): the measured series is produced by pytest-benchmark's timing table,
+and headline quantities (tree size, answer-set size, expansion factors) are
+attached to every benchmark through ``benchmark.extra_info`` so they appear
+in ``--benchmark-verbose`` output and in saved JSON.
+
+The sizes used here are deliberately moderate so that the whole suite runs in
+a few minutes on a laptop; the *shape* of the curves (cubic vs linear vs
+exponential, output sensitivity) is what the experiments are about, not
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with one warmup-free round per measurement.
+
+    Several of the measured operations are too slow (or too allocation-heavy)
+    for pytest-benchmark's default calibration loop; a fixed small number of
+    rounds keeps total harness time bounded while still averaging a few runs.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+
+@pytest.fixture
+def fresh_tree_factory():
+    """Return a factory building trees with a cold matrix cache every call."""
+
+    def build(builder, *args, **kwargs):
+        return builder(*args, **kwargs)
+
+    return build

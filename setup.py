@@ -1,0 +1,10 @@
+"""Setuptools shim enabling legacy editable installs (`pip install -e .`).
+
+All project metadata lives in pyproject.toml; this file exists only because
+the execution environment has no `wheel` package, which PEP 517 editable
+installs would require.
+"""
+
+from setuptools import setup
+
+setup()

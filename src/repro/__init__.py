@@ -1,0 +1,66 @@
+"""repro — Polynomial time fragments of XPath with variables (PODS 2007).
+
+A complete implementation of the paper's languages and algorithms:
+
+* the tree data model and all XPath axes (:mod:`repro.trees`),
+* Core XPath 2.0 with its naive exponential engine (:mod:`repro.xpath`),
+* FO logic over trees and the Lemma 1 translation (:mod:`repro.fo`),
+* PPLbin and the cubic matrix evaluation of Theorem 2 (:mod:`repro.pplbin`),
+* the hybrid composition language, Lemma 3 sharing, the Fig. 8 answering
+  algorithm, ACQs and Yannakakis (:mod:`repro.hcl`),
+* PPL — Definition 1, the Fig. 7 translation and the polynomial engine of
+  Theorem 1 (:mod:`repro.core`),
+* hardness constructions (Proposition 3, Corollary 1) (:mod:`repro.hardness`),
+* synthetic workloads (:mod:`repro.workloads`).
+
+Typical usage::
+
+    from repro import Node, Tree, answer
+
+    doc = Tree(Node("bib", Node("book", Node("author"), Node("title"))))
+    pairs = answer(
+        doc,
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        ["y", "z"],
+    )
+"""
+
+from repro.errors import (
+    EvaluationError,
+    NotAcyclicError,
+    ParseError,
+    ReproError,
+    RestrictionViolation,
+    TranslationError,
+    TreeError,
+    UnboundVariableError,
+)
+from repro.trees import Node, Tree, tree_from_xml, tree_to_xml
+from repro.xpath import parse_path, NaiveEngine
+from repro.core import PPLEngine, answer, compile_query, CompiledQuery, is_ppl, check_ppl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Node",
+    "Tree",
+    "tree_from_xml",
+    "tree_to_xml",
+    "parse_path",
+    "NaiveEngine",
+    "PPLEngine",
+    "answer",
+    "compile_query",
+    "CompiledQuery",
+    "is_ppl",
+    "check_ppl",
+    "ReproError",
+    "ParseError",
+    "TreeError",
+    "EvaluationError",
+    "UnboundVariableError",
+    "RestrictionViolation",
+    "TranslationError",
+    "NotAcyclicError",
+]

@@ -1,0 +1,30 @@
+"""PPL — the polynomial-time path language (the paper's core contribution, S7).
+
+This package ties together the substrates:
+
+* :mod:`~repro.core.ppl` — the syntactic restriction checker of Definition 1
+  (what makes a Core XPath 2.0 expression a PPL expression).
+* :mod:`~repro.core.translate` — the Fig. 7 translation PPL → HCL⁻(PPLbin)
+  and its converse (Proposition 5).
+* :mod:`~repro.core.engine` — :class:`PPLEngine`, the end-to-end polynomial
+  n-ary query answering pipeline of Theorem 1.
+* :mod:`~repro.core.api` — the convenience functions most applications use.
+"""
+
+from repro.core.ppl import PPL_CONDITIONS, check_ppl, is_ppl, ppl_violations
+from repro.core.translate import hcl_to_ppl, ppl_to_hcl
+from repro.core.engine import PPLEngine
+from repro.core.api import CompiledQuery, answer, compile_query
+
+__all__ = [
+    "PPL_CONDITIONS",
+    "check_ppl",
+    "is_ppl",
+    "ppl_violations",
+    "ppl_to_hcl",
+    "hcl_to_ppl",
+    "PPLEngine",
+    "compile_query",
+    "CompiledQuery",
+    "answer",
+]

@@ -1,0 +1,80 @@
+"""High-level convenience API for answering PPL queries.
+
+Most applications only need two calls::
+
+    from repro import Tree, Node, answer
+
+    doc = Tree(Node("bib", Node("book", Node("author"), Node("title"))))
+    pairs = answer(doc, "descendant::book[child::author[. is $y] and "
+                        "child::title[. is $z]]", ["y", "z"])
+
+:func:`compile_query` performs parsing, the Definition 1 check and the
+Fig. 7 translation once, returning a :class:`CompiledQuery` that can be run
+against many documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.trees.tree import Tree
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_path
+from repro.hcl.answering import HclAnswerer
+from repro.hcl.ast import HclExpr
+from repro.hcl.binding import PPLbinOracle
+from repro.core.ppl import check_ppl
+from repro.core.translate import ppl_to_hcl
+from repro.core.engine import PPLEngine
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A PPL query compiled down to its HCL⁻(PPLbin) form.
+
+    Instances are produced by :func:`compile_query`; calling
+    :meth:`run` answers the query on a document with the polynomial engine.
+    """
+
+    source: PathExpr
+    formula: HclExpr
+    variables: tuple[str, ...]
+    _engines: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def run(self, tree: Tree) -> frozenset[tuple[int, ...]]:
+        """Answer the compiled query on ``tree``."""
+        key = id(tree)
+        answerer = self._engines.get(key)
+        if answerer is None:
+            answerer = HclAnswerer(tree, PPLbinOracle(tree))
+            self._engines[key] = answerer
+        return answerer.answer(self.formula, list(self.variables))
+
+    @property
+    def arity(self) -> int:
+        """The width ``n`` of the answer tuples."""
+        return len(self.variables)
+
+
+def compile_query(expression: PathExpr | str, variables: Sequence[str]) -> CompiledQuery:
+    """Parse, check and translate a PPL query once, for repeated execution.
+
+    Raises
+    ------
+    ParseError
+        If the concrete syntax is invalid.
+    RestrictionViolation
+        If the expression violates Definition 1 (it is not a PPL expression).
+    """
+    parsed = parse_path(expression) if isinstance(expression, str) else expression
+    check_ppl(parsed)
+    formula = ppl_to_hcl(parsed)
+    return CompiledQuery(parsed, formula, tuple(variables))
+
+
+def answer(
+    tree: Tree, expression: PathExpr | str, variables: Sequence[str]
+) -> frozenset[tuple[int, ...]]:
+    """Answer one n-ary PPL query on one document with the polynomial engine."""
+    return PPLEngine(tree).answer(expression, variables)

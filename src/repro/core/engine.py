@@ -1,0 +1,120 @@
+"""The end-to-end polynomial query engine of Theorem 1.
+
+:class:`PPLEngine` answers n-ary PPL queries on a fixed tree in time
+``O(|P| |t|^3  +  n |P| |t|^2 |A|)``:
+
+1. parse the Core XPath 2.0 expression (if given as text),
+2. check the Definition 1 restrictions,
+3. translate into HCL⁻(PPLbin) (Fig. 7, Proposition 5),
+4. normalise into a sharing formula with equation system (Lemma 3),
+5. evaluate every distinct PPLbin leaf once with the cubic matrix algorithm
+   of Theorem 2,
+6. run the MC-filtered, memoised answering algorithm of Fig. 8
+   (Propositions 10 and 11).
+
+Steps 5 and 6 share a single :class:`repro.hcl.binding.PPLbinOracle`, whose
+matrices are cached on the tree, so answering several queries against the
+same document reuses the per-axis and per-leaf work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.trees.tree import Tree
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_path
+from repro.hcl.answering import HclAnswerer
+from repro.hcl.ast import HclExpr, Leaf
+from repro.hcl.binding import PPLbinOracle
+from repro.core.ppl import check_ppl
+from repro.core.translate import ppl_to_hcl
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Diagnostic information about one answered query (used by the CLI/benches)."""
+
+    expression_size: int
+    hcl_size: int
+    distinct_leaves: int
+    variables: tuple[str, ...]
+    answer_count: int
+
+
+class PPLEngine:
+    """Answer n-ary PPL queries on a fixed tree in polynomial time."""
+
+    name = "ppl-polynomial"
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self.oracle = PPLbinOracle(tree)
+        self._answerer = HclAnswerer(tree, self.oracle)
+        self._translation_cache: dict[PathExpr, HclExpr] = {}
+
+    # ----------------------------------------------------------- public API
+    def answer(
+        self, expression: PathExpr | str, variables: Sequence[str]
+    ) -> frozenset[tuple[int, ...]]:
+        """Return the answer set ``q_{P,x}(t)`` of a PPL query.
+
+        Parameters
+        ----------
+        expression:
+            A PPL expression — Core XPath 2.0 concrete syntax or AST.
+        variables:
+            The output variable tuple ``x1 ... xn`` (without ``$`` sigils).
+
+        Raises
+        ------
+        ParseError
+            If the concrete syntax cannot be parsed.
+        RestrictionViolation
+            If the expression violates Definition 1.
+        """
+        formula = self._translate(expression)
+        return self._answerer.answer(formula, list(variables))
+
+    def nonempty(self, expression: PathExpr | str) -> bool:
+        """Decide non-emptiness of the query (Boolean query answering)."""
+        formula = self._translate(expression)
+        return self._answerer.nonempty(formula)
+
+    def pairs(self, expression: PathExpr | str) -> frozenset[tuple[int, int]]:
+        """Evaluate a *variable-free* PPL expression as a binary query.
+
+        Convenience wrapper used by examples: the expression is translated
+        and its start/end nodes are returned, matching the paper's
+        ``q^bin_P`` for PPLbin expressions.
+        """
+        parsed = parse_path(expression) if isinstance(expression, str) else expression
+        from repro.pplbin.translate import from_core_xpath  # local import: optional path
+
+        return self.oracle.pairs(from_core_xpath(parsed))
+
+    def report(self, expression: PathExpr | str, variables: Sequence[str]) -> QueryReport:
+        """Answer the query and return sizing diagnostics along with the count."""
+        parsed = parse_path(expression) if isinstance(expression, str) else expression
+        formula = self._translate(parsed)
+        answers = self._answerer.answer(formula, list(variables))
+        distinct_leaves = len({leaf.query for leaf in formula.leaves()})
+        return QueryReport(
+            expression_size=parsed.size,
+            hcl_size=formula.size,
+            distinct_leaves=distinct_leaves,
+            variables=tuple(variables),
+            answer_count=len(answers),
+        )
+
+    # ------------------------------------------------------------ internals
+    def _translate(self, expression: PathExpr | str) -> HclExpr:
+        parsed = parse_path(expression) if isinstance(expression, str) else expression
+        cached = self._translation_cache.get(parsed)
+        if cached is not None:
+            return cached
+        check_ppl(parsed)
+        formula = ppl_to_hcl(parsed)
+        self._translation_cache[parsed] = formula
+        return formula

@@ -1,0 +1,168 @@
+"""The PPL membership check — Definition 1 of the paper.
+
+A Core XPath 2.0 expression belongs to PPL when it satisfies the seven
+syntactic conditions:
+
+===============  ==============================================================
+``N(for)``       no for-loops (no explicit quantifiers)
+``NV(intersect)``no variables in either operand of an ``intersect``
+``NV(except)``   no variables in either operand of an ``except``
+``NV(not)``      no variables below a ``not`` test
+``NVS(/)``       no variable shared between the two sides of a composition
+``NVS([])``      no variable shared between a filtered path and its test
+``NVS(and)``     no variable shared between the two conjuncts of an ``and``
+===============  ==============================================================
+
+Two access paths are offered: :func:`ppl_violations` collects every violated
+condition with an explanatory message (useful for error reporting and the
+hardness demonstrations), :func:`check_ppl` raises
+:class:`repro.errors.RestrictionViolation` on the first violation.
+
+One point the paper leaves implicit: the comparison test ``$x is $y`` between
+two *distinct* variables is accepted here — it translates to the HCL formula
+``[x/y]`` which involves no variable sharing (two different variables) and is
+handled by the Fig. 8 algorithm; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RestrictionViolation
+from repro.xpath.ast import (
+    AndTest,
+    Filter,
+    ForLoop,
+    NotTest,
+    PathCompose,
+    PathExcept,
+    PathExpr,
+    PathIntersect,
+    TestExpr,
+)
+from repro.xpath.parser import parse_path
+
+#: The names of the seven conditions of Definition 1, in the paper's order.
+PPL_CONDITIONS: tuple[str, ...] = (
+    "N(for)",
+    "NV(intersect)",
+    "NV(except)",
+    "NV(not)",
+    "NVS(/)",
+    "NVS([])",
+    "NVS(and)",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated condition together with the offending sub-expression."""
+
+    condition: str
+    message: str
+    subexpression: object
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.condition}: {self.message}"
+
+
+def ppl_violations(expression: PathExpr | TestExpr | str) -> list[Violation]:
+    """Return every violation of Definition 1 found in ``expression``."""
+    parsed = parse_path(expression) if isinstance(expression, str) else expression
+    violations: list[Violation] = []
+
+    for sub in parsed.walk():
+        if isinstance(sub, ForLoop):
+            violations.append(
+                Violation(
+                    "N(for)",
+                    f"for-loop over ${sub.variable} is not allowed in PPL",
+                    sub,
+                )
+            )
+        elif isinstance(sub, PathIntersect):
+            offending = sub.left.free_variables | sub.right.free_variables
+            if offending:
+                violations.append(
+                    Violation(
+                        "NV(intersect)",
+                        "variables {"
+                        + ", ".join(sorted(offending))
+                        + "} occur inside an intersect",
+                        sub,
+                    )
+                )
+        elif isinstance(sub, PathExcept):
+            offending = sub.left.free_variables | sub.right.free_variables
+            if offending:
+                violations.append(
+                    Violation(
+                        "NV(except)",
+                        "variables {"
+                        + ", ".join(sorted(offending))
+                        + "} occur inside an except",
+                        sub,
+                    )
+                )
+        elif isinstance(sub, NotTest):
+            offending = sub.test.free_variables
+            if offending:
+                violations.append(
+                    Violation(
+                        "NV(not)",
+                        "variables {"
+                        + ", ".join(sorted(offending))
+                        + "} occur below a negation",
+                        sub,
+                    )
+                )
+        elif isinstance(sub, PathCompose):
+            shared = sub.left.free_variables & sub.right.free_variables
+            if shared:
+                violations.append(
+                    Violation(
+                        "NVS(/)",
+                        "variables {"
+                        + ", ".join(sorted(shared))
+                        + "} are shared across a composition",
+                        sub,
+                    )
+                )
+        elif isinstance(sub, Filter):
+            shared = sub.path.free_variables & sub.test.free_variables
+            if shared:
+                violations.append(
+                    Violation(
+                        "NVS([])",
+                        "variables {"
+                        + ", ".join(sorted(shared))
+                        + "} are shared between a path and its filter",
+                        sub,
+                    )
+                )
+        elif isinstance(sub, AndTest):
+            shared = sub.left.free_variables & sub.right.free_variables
+            if shared:
+                violations.append(
+                    Violation(
+                        "NVS(and)",
+                        "variables {"
+                        + ", ".join(sorted(shared))
+                        + "} are shared across a conjunction",
+                        sub,
+                    )
+                )
+    return violations
+
+
+def is_ppl(expression: PathExpr | TestExpr | str) -> bool:
+    """Return True when the expression satisfies all conditions of Definition 1."""
+    return not ppl_violations(expression)
+
+
+def check_ppl(expression: PathExpr | TestExpr | str) -> None:
+    """Raise :class:`RestrictionViolation` if the expression is not in PPL."""
+    violations = ppl_violations(expression)
+    if violations:
+        first = violations[0]
+        raise RestrictionViolation(first.condition, first.message)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming out of the engine with a single handler
+while still being able to distinguish parse errors from semantic restriction
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class TreeError(ReproError):
+    """Raised for malformed trees or invalid node identifiers."""
+
+
+class ParseError(ReproError):
+    """Raised when a concrete-syntax expression cannot be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which the error was detected, or
+        ``None`` when the offset is unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """Raised when an expression cannot be evaluated.
+
+    The most common cause is a free variable that has no binding in the
+    supplied variable assignment.
+    """
+
+
+class UnboundVariableError(EvaluationError):
+    """Raised when evaluation reaches a variable with no assigned node."""
+
+    def __init__(self, variable: str) -> None:
+        super().__init__(f"variable ${variable} is not bound by the assignment")
+        self.variable = variable
+
+
+class RestrictionViolation(ReproError):
+    """Raised when an expression violates one of the PPL restrictions.
+
+    The violated condition names follow Definition 1 of the paper, e.g.
+    ``"N(for)"`` or ``"NVS(/)"``.
+    """
+
+    def __init__(self, condition: str, message: str) -> None:
+        super().__init__(f"{condition}: {message}")
+        self.condition = condition
+
+
+class NotAcyclicError(ReproError):
+    """Raised when a conjunctive query is not acyclic (no join tree exists)."""
+
+
+class TranslationError(ReproError):
+    """Raised when a translation between languages is not defined."""

@@ -1,0 +1,60 @@
+"""First-order logic over unranked trees (substrates S3 and S10).
+
+The paper works with FO over the signature ``{ns*, ch*, lab_a}`` on unranked
+trees (Section 2) and, for the completeness proof of Section 8, with FO over
+the signature ``{ch1, ch2, ch*}`` on binary trees.  This package provides:
+
+* :mod:`~repro.fo.ast` — formulas, free variables, quantifier rank.
+* :mod:`~repro.fo.parser` — a small concrete syntax.
+* :mod:`~repro.fo.semantics` — Tarskian model checking and naive n-ary
+  query answering (by assignment enumeration).
+* :mod:`~repro.fo.translate` — the Lemma 1 translation of FO into
+  Core XPath 2.0 (and its quantifier-free restriction of Lemma 2).
+* :mod:`~repro.fo.ef` — Ehrenfeucht–Fraïssé games and rank-n equivalence
+  over binary trees, used to exercise the decomposition lemma (Lemma 4).
+"""
+
+from repro.fo.ast import (
+    And,
+    ChStar,
+    Child,
+    Exists,
+    FirstChild,
+    Formula,
+    Lab,
+    Forall,
+    Not,
+    NsStar,
+    NextSibling,
+    Or,
+    SecondChild,
+    Var,
+    equality,
+)
+from repro.fo.parser import parse_fo
+from repro.fo.semantics import fo_answer, fo_check, fo_nonempty
+from repro.fo.translate import fo_to_core_xpath, quantifier_free_to_core_xpath
+
+__all__ = [
+    "Formula",
+    "Var",
+    "Lab",
+    "ChStar",
+    "NsStar",
+    "Child",
+    "NextSibling",
+    "FirstChild",
+    "SecondChild",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "Forall",
+    "equality",
+    "parse_fo",
+    "fo_check",
+    "fo_answer",
+    "fo_nonempty",
+    "fo_to_core_xpath",
+    "quantifier_free_to_core_xpath",
+]

@@ -1,0 +1,282 @@
+"""Abstract syntax of first-order logic over trees (Section 2 of the paper).
+
+The core signature is ``{ns*(x, y), ch*(x, y), lab_a(x)}`` with negation,
+conjunction and existential quantification::
+
+    phi := ns*(x, y) | ch*(x, y) | lab_a(x) | not phi | phi and phi | exists x. phi
+
+Disjunction, universal quantification, one-step ``ch``/``ns`` and node
+equality are provided as additional constructors (all are FO-definable from
+the core, and the paper uses them freely).  For Section 8 the binary-tree
+signature adds ``ch1`` (first child) and ``ch2`` (second child).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+#: Type alias for variable names.
+Var = str
+
+
+class Formula:
+    """Base class of FO formulas."""
+
+    @cached_property
+    def size(self) -> int:
+        """Number of AST nodes (the paper's ``|phi|``)."""
+        return 1 + sum(child.size for child in self.children())
+
+    @cached_property
+    def free_variables(self) -> frozenset[str]:
+        """Free variables of the formula."""
+        names = set(self._own_variables())
+        for child in self.children():
+            names.update(child.free_variables)
+        names.difference_update(self._bound_variables())
+        return frozenset(names)
+
+    @cached_property
+    def quantifier_rank(self) -> int:
+        """Maximum nesting depth of quantifiers (``qr`` in Section 8)."""
+        inner = max((child.quantifier_rank for child in self.children()), default=0)
+        return inner + (1 if isinstance(self, (Exists, Forall)) else 0)
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return ()
+
+    def _bound_variables(self) -> tuple[str, ...]:
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        """Yield this formula and all sub-formulas (preorder)."""
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def is_quantifier_free(self) -> bool:
+        """Return True when the formula contains no quantifier."""
+        return self.quantifier_rank == 0
+
+    def unparse(self) -> str:
+        """Return concrete syntax accepted by :func:`repro.fo.parser.parse_fo`."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+# ------------------------------------------------------------------ atoms
+@dataclass(frozen=True)
+class Lab(Formula):
+    """``lab_a(x)`` — node ``x`` carries label ``a``."""
+
+    label: str
+    variable: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def unparse(self) -> str:
+        return f"lab[{self.label}]({self.variable})"
+
+
+@dataclass(frozen=True)
+class ChStar(Formula):
+    """``ch*(x, y)`` — ``y`` is a descendant of or equal to ``x``."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ch*({self.source},{self.target})"
+
+
+@dataclass(frozen=True)
+class NsStar(Formula):
+    """``ns*(x, y)`` — ``y`` equals ``x`` or is a later sibling of ``x``."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ns*({self.source},{self.target})"
+
+
+@dataclass(frozen=True)
+class Child(Formula):
+    """``ch(x, y)`` — ``y`` is a child of ``x`` (one step)."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ch({self.source},{self.target})"
+
+
+@dataclass(frozen=True)
+class NextSibling(Formula):
+    """``ns(x, y)`` — ``y`` is the immediate next sibling of ``x``."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ns({self.source},{self.target})"
+
+
+@dataclass(frozen=True)
+class FirstChild(Formula):
+    """``ch1(x, y)`` — binary-tree signature: ``y`` is the first child of ``x``."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ch1({self.source},{self.target})"
+
+
+@dataclass(frozen=True)
+class SecondChild(Formula):
+    """``ch2(x, y)`` — binary-tree signature: ``y`` is the second child of ``x``."""
+
+    source: str
+    target: str
+
+    def _own_variables(self) -> tuple[str, ...]:
+        return (self.source, self.target)
+
+    def unparse(self) -> str:
+        return f"ch2({self.source},{self.target})"
+
+
+# ------------------------------------------------------------ connectives
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``not phi``."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def unparse(self) -> str:
+        return f"not({self.operand.unparse()})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction ``phi1 and phi2``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} and {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction ``phi1 or phi2`` (derived connective, kept primitive here)."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} or {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification ``exists x. phi``."""
+
+    variable: str
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def _bound_variables(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def unparse(self) -> str:
+        return f"(exists {self.variable}. {self.body.unparse()})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification ``forall x. phi`` (derived, kept primitive)."""
+
+    variable: str
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def _bound_variables(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def unparse(self) -> str:
+        return f"(forall {self.variable}. {self.body.unparse()})"
+
+
+# -------------------------------------------------------------- derived forms
+def equality(left: str, right: str) -> Formula:
+    """Node equality ``x = y``, defined as ``ch*(x, y) and ch*(y, x)``."""
+    return And(ChStar(left, right), ChStar(right, left))
+
+
+def conjunction(*parts: Formula) -> Formula:
+    """Conjunction of one or more formulas."""
+    if not parts:
+        raise ValueError("conjunction() requires at least one formula")
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result
+
+
+def disjunction(*parts: Formula) -> Formula:
+    """Disjunction of one or more formulas."""
+    if not parts:
+        raise ValueError("disjunction() requires at least one formula")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Or(result, part)
+    return result
+
+
+def exists_many(variables, body: Formula) -> Formula:
+    """Prefix a block of existential quantifiers."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return result

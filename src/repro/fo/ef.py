@@ -1,0 +1,190 @@
+"""Ehrenfeucht–Fraïssé games and rank-n equivalence over binary trees.
+
+Section 8 of the paper proves ``HCL⁻(FObin) = FO`` with a decomposition
+lemma (Lemma 4) whose proof combines Duplicator strategies of EF games on
+the components of a tree decomposition.  This module supplies the game
+machinery so the lemma can be *checked empirically* on small trees:
+
+* :func:`atomic_equivalent` — partial-isomorphism test on distinguished
+  tuples (the rank-0 case).
+* :func:`ef_equivalent` — the standard back-and-forth recursion deciding
+  ``(t, v) ≡_n (t', u)`` for the binary-tree signature
+  ``{lab_a, ch1, ch2, ch*}``.  Exponential in ``n`` — only intended for the
+  small instances of the test-suite and the Lemma 4 checker.
+* :func:`check_decomposition_lemma` — given two trees and two node tuples
+  satisfying the three component hypotheses of Lemma 4, verify that the
+  conclusion ``(t, v) ≡_n (t', u)`` holds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trees.tree import Tree
+
+
+def _first_child(tree: Tree, node: int) -> int | None:
+    children = tree.children(node)
+    return children[0] if children else None
+
+
+def _second_child(tree: Tree, node: int) -> int | None:
+    children = tree.children(node)
+    return children[1] if len(children) >= 2 else None
+
+
+def atomic_equivalent(
+    tree_a: Tree, tuple_a: Sequence[int], tree_b: Tree, tuple_b: Sequence[int]
+) -> bool:
+    """Return True when the distinguished tuples define a partial isomorphism.
+
+    The atomic relations compared are equality, labels, ``ch1``, ``ch2`` and
+    ``ch*`` — the binary-tree signature of Section 8.
+    """
+    if len(tuple_a) != len(tuple_b):
+        return False
+    size = len(tuple_a)
+    for i in range(size):
+        if tree_a.labels[tuple_a[i]] != tree_b.labels[tuple_b[i]]:
+            return False
+        for j in range(size):
+            if (tuple_a[i] == tuple_a[j]) != (tuple_b[i] == tuple_b[j]):
+                return False
+            if (_first_child(tree_a, tuple_a[i]) == tuple_a[j]) != (
+                _first_child(tree_b, tuple_b[i]) == tuple_b[j]
+            ):
+                return False
+            if (_second_child(tree_a, tuple_a[i]) == tuple_a[j]) != (
+                _second_child(tree_b, tuple_b[i]) == tuple_b[j]
+            ):
+                return False
+            if tree_a.is_ancestor_or_self(tuple_a[i], tuple_a[j]) != tree_b.is_ancestor_or_self(
+                tuple_b[i], tuple_b[j]
+            ):
+                return False
+    return True
+
+
+def ef_equivalent(
+    tree_a: Tree,
+    tuple_a: Sequence[int],
+    tree_b: Tree,
+    tuple_b: Sequence[int],
+    rounds: int,
+) -> bool:
+    """Decide ``(tree_a, tuple_a) ≡_rounds (tree_b, tuple_b)``.
+
+    Implements the textbook characterisation: the structures are rank-n
+    equivalent iff the Duplicator wins the n-round EF game, i.e. the tuples
+    are atomically equivalent and, for ``rounds > 0``, every Spoiler move in
+    either structure can be answered so that the extended tuples are
+    (rounds-1)-equivalent.
+    """
+    if not atomic_equivalent(tree_a, tuple_a, tree_b, tuple_b):
+        return False
+    if rounds == 0:
+        return True
+    tuple_a = list(tuple_a)
+    tuple_b = list(tuple_b)
+    # Spoiler plays in tree_a.
+    for move_a in tree_a.nodes():
+        if not any(
+            ef_equivalent(tree_a, tuple_a + [move_a], tree_b, tuple_b + [move_b], rounds - 1)
+            for move_b in tree_b.nodes()
+        ):
+            return False
+    # Spoiler plays in tree_b.
+    for move_b in tree_b.nodes():
+        if not any(
+            ef_equivalent(tree_a, tuple_a + [move_a], tree_b, tuple_b + [move_b], rounds - 1)
+            for move_a in tree_a.nodes()
+        ):
+            return False
+    return True
+
+
+def check_decomposition_lemma(
+    tree_a: Tree,
+    tuple_a: Sequence[int],
+    tree_b: Tree,
+    tuple_b: Sequence[int],
+    rounds: int,
+) -> bool:
+    """Empirically verify Lemma 4 on one instance.
+
+    Checks: *if* the three component hypotheses hold (equivalence of the
+    upper parts extended with the least common ancestors, and of the two
+    subtrees below its children, each with the projected sub-tuples), *then*
+    the full structures are rank-``rounds`` equivalent.  Returns True when the
+    implication holds for this instance (vacuously true when a hypothesis
+    fails), False when a counterexample to the lemma is found — which the
+    test-suite asserts never happens.
+    """
+    if len(tuple_a) != len(tuple_b) or len(tuple_a) < 2:
+        return True
+    if len(set(tuple_a)) < 2 or len(set(tuple_b)) < 2:
+        return True
+
+    lca_a = _lca_of_tuple(tree_a, tuple_a)
+    lca_b = _lca_of_tuple(tree_b, tuple_b)
+    first_a, first_b = _first_child(tree_a, lca_a), _first_child(tree_b, lca_b)
+    second_a, second_b = _second_child(tree_a, lca_a), _second_child(tree_b, lca_b)
+    if None in (first_a, first_b, second_a, second_b):
+        return True
+
+    equal_positions = [i for i, node in enumerate(tuple_a) if node == lca_a]
+    left_positions = [
+        i for i, node in enumerate(tuple_a) if tree_a.is_ancestor_or_self(first_a, node)
+    ]
+    right_positions = [
+        i for i, node in enumerate(tuple_a) if tree_a.is_ancestor_or_self(second_a, node)
+    ]
+    # The same partition must describe tuple_b for the hypotheses to be
+    # meaningful; otherwise the instance does not match the lemma's setting.
+    for positions, anchor_b in (
+        (equal_positions, lca_b),
+        (left_positions, first_b),
+        (right_positions, second_b),
+    ):
+        for i in positions:
+            if positions is equal_positions:
+                if tuple_b[i] != anchor_b:
+                    return True
+            elif not tree_b.is_ancestor_or_self(anchor_b, tuple_b[i]):
+                return True
+
+    hypothesis_top = ef_equivalent(
+        tree_a,
+        [lca_a] + [tuple_a[i] for i in equal_positions],
+        tree_b,
+        [lca_b] + [tuple_b[i] for i in equal_positions],
+        rounds,
+    )
+    left_tree_a, left_map_a = tree_a.subtree(first_a), tree_a.subtree_node_map(first_a)
+    left_tree_b, left_map_b = tree_b.subtree(first_b), tree_b.subtree_node_map(first_b)
+    hypothesis_left = ef_equivalent(
+        left_tree_a,
+        [left_map_a[tuple_a[i]] for i in left_positions],
+        left_tree_b,
+        [left_map_b[tuple_b[i]] for i in left_positions],
+        rounds,
+    )
+    right_tree_a, right_map_a = tree_a.subtree(second_a), tree_a.subtree_node_map(second_a)
+    right_tree_b, right_map_b = tree_b.subtree(second_b), tree_b.subtree_node_map(second_b)
+    hypothesis_right = ef_equivalent(
+        right_tree_a,
+        [right_map_a[tuple_a[i]] for i in right_positions],
+        right_tree_b,
+        [right_map_b[tuple_b[i]] for i in right_positions],
+        rounds,
+    )
+    if not (hypothesis_top and hypothesis_left and hypothesis_right):
+        return True
+    return ef_equivalent(tree_a, list(tuple_a), tree_b, list(tuple_b), rounds)
+
+
+def _lca_of_tuple(tree: Tree, nodes: Sequence[int]) -> int:
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = tree.least_common_ancestor(result, node)
+    return result

@@ -1,0 +1,207 @@
+"""A small concrete syntax for FO formulas over trees.
+
+Grammar (lowest to highest precedence)::
+
+    formula  := quantified
+    quantified := ('exists' | 'forall') NAME '.' quantified | or_expr
+    or_expr  := and_expr ( 'or' and_expr )*
+    and_expr := not_expr ( 'and' not_expr )*
+    not_expr := 'not' not_expr | atom
+    atom     := 'lab' '[' NAME ']' '(' NAME ')'
+              | ('ch*' | 'ns*' | 'ch' | 'ns' | 'ch1' | 'ch2') '(' NAME ',' NAME ')'
+              | NAME '=' NAME
+              | '(' formula ')'
+
+The syntax matches what :meth:`repro.fo.ast.Formula.unparse` produces, so
+formulas round-trip through the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.fo.ast import (
+    And,
+    ChStar,
+    Child,
+    Exists,
+    FirstChild,
+    Forall,
+    Formula,
+    Lab,
+    NextSibling,
+    Not,
+    NsStar,
+    Or,
+    SecondChild,
+    equality,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<chstar>ch\*)
+  | (?P<nsstar>ns\*)
+  | (?P<name>[A-Za-z_][\w]*)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<dotsep>\.)
+  | (?P<equals>=)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"exists", "forall", "and", "or", "not", "lab", "ch", "ns", "ch1", "ch2"})
+
+_RELATIONS = {
+    "chstar": ChStar,
+    "nsstar": NsStar,
+    "ch": Child,
+    "ns": NextSibling,
+    "ch1": FirstChild,
+    "ch2": SecondChild,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                kind = value
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def at(self, kind: str, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token is not None and token.kind == kind
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"expected {kind!r} but reached end of input", len(self.text))
+        if token.kind != kind:
+            raise ParseError(f"expected {kind!r} but found {token.text!r}", token.position)
+        return self.advance()
+
+    def parse_formula(self) -> Formula:
+        if self.at("exists") or self.at("forall"):
+            keyword = self.advance().kind
+            variable = self.expect("name").text
+            self.expect("dotsep")
+            body = self.parse_formula()
+            return Exists(variable, body) if keyword == "exists" else Forall(variable, body)
+        return self.parse_or()
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.at("or"):
+            self.advance()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_not()
+        while self.at("and"):
+            self.advance()
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Formula:
+        if self.at("not"):
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected an atom", len(self.text))
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("rparen")
+            return inner
+        if token.kind == "lab":
+            self.advance()
+            self.expect("lbracket")
+            label = self.expect("name").text
+            self.expect("rbracket")
+            self.expect("lparen")
+            variable = self.expect("name").text
+            self.expect("rparen")
+            return Lab(label, variable)
+        if token.kind in _RELATIONS:
+            self.advance()
+            constructor = _RELATIONS[token.kind]
+            self.expect("lparen")
+            source = self.expect("name").text
+            self.expect("comma")
+            target = self.expect("name").text
+            self.expect("rparen")
+            return constructor(source, target)
+        if token.kind == "name" and self.at("equals", 1):
+            left = self.advance().text
+            self.advance()
+            right = self.expect("name").text
+            return equality(left, right)
+        raise ParseError(f"unexpected token {token.text!r} in FO formula", token.position)
+
+    def finish(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+
+
+def parse_fo(text: str) -> Formula:
+    """Parse an FO formula from concrete syntax.
+
+    Examples
+    --------
+    >>> phi = parse_fo("exists z. ch*(x,z) and lab[book](z)")
+    >>> sorted(phi.free_variables)
+    ['x']
+    """
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    parser.finish()
+    return formula

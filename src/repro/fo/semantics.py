@@ -1,0 +1,151 @@
+"""Tarskian semantics and naive query answering for FO over trees.
+
+``fo_check`` decides ``t, alpha |= phi``; ``fo_answer`` computes the n-ary
+query ``q_{phi,x}(t)`` by enumerating assignments of the free variables —
+the standard, exponential-in-arity baseline that Core XPath 2.0 inherits
+through Proposition 1.
+
+Binary-tree atoms ``ch1``/``ch2`` are interpreted over the first and second
+child of a node, so the same evaluator serves the Section 8 machinery (which
+works on binary encodings).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from repro.errors import EvaluationError, UnboundVariableError
+from repro.trees.tree import Tree
+from repro.fo.ast import (
+    And,
+    ChStar,
+    Child,
+    Exists,
+    FirstChild,
+    Forall,
+    Formula,
+    Lab,
+    NextSibling,
+    Not,
+    NsStar,
+    Or,
+    SecondChild,
+)
+
+Assignment = Mapping[str, int]
+
+
+def _lookup(assignment: Assignment, variable: str) -> int:
+    try:
+        return assignment[variable]
+    except KeyError:
+        raise UnboundVariableError(variable) from None
+
+
+def _ns_star(tree: Tree, source: int, target: int) -> bool:
+    if source == target:
+        return True
+    current = tree.next_sibling[source]
+    while current is not None:
+        if current == target:
+            return True
+        current = tree.next_sibling[current]
+    return False
+
+
+def fo_check(tree: Tree, formula: Formula, assignment: Assignment) -> bool:
+    """Decide the model-checking judgment ``t, alpha |= phi``."""
+    if isinstance(formula, Lab):
+        return tree.labels[_lookup(assignment, formula.variable)] == formula.label
+    if isinstance(formula, ChStar):
+        return tree.is_ancestor_or_self(
+            _lookup(assignment, formula.source), _lookup(assignment, formula.target)
+        )
+    if isinstance(formula, NsStar):
+        return _ns_star(
+            tree, _lookup(assignment, formula.source), _lookup(assignment, formula.target)
+        )
+    if isinstance(formula, Child):
+        return tree.parent[_lookup(assignment, formula.target)] == _lookup(
+            assignment, formula.source
+        )
+    if isinstance(formula, NextSibling):
+        return tree.next_sibling[_lookup(assignment, formula.source)] == _lookup(
+            assignment, formula.target
+        )
+    if isinstance(formula, FirstChild):
+        children = tree.children(_lookup(assignment, formula.source))
+        return bool(children) and children[0] == _lookup(assignment, formula.target)
+    if isinstance(formula, SecondChild):
+        children = tree.children(_lookup(assignment, formula.source))
+        return len(children) >= 2 and children[1] == _lookup(assignment, formula.target)
+    if isinstance(formula, Not):
+        return not fo_check(tree, formula.operand, assignment)
+    if isinstance(formula, And):
+        return fo_check(tree, formula.left, assignment) and fo_check(
+            tree, formula.right, assignment
+        )
+    if isinstance(formula, Or):
+        return fo_check(tree, formula.left, assignment) or fo_check(
+            tree, formula.right, assignment
+        )
+    if isinstance(formula, Exists):
+        extended = dict(assignment)
+        for node in tree.nodes():
+            extended[formula.variable] = node
+            if fo_check(tree, formula.body, extended):
+                return True
+        return False
+    if isinstance(formula, Forall):
+        extended = dict(assignment)
+        for node in tree.nodes():
+            extended[formula.variable] = node
+            if not fo_check(tree, formula.body, extended):
+                return False
+        return True
+    raise EvaluationError(f"unknown FO formula {formula!r}")
+
+
+def fo_answer(
+    tree: Tree, formula: Formula, variables: Sequence[str]
+) -> frozenset[tuple[int, ...]]:
+    """Compute ``q_{phi,x}(t)`` by enumerating assignments of the free variables.
+
+    Output variables not free in the formula range over all nodes.
+    """
+    inner = sorted(formula.free_variables | set(variables))
+    nodes = list(tree.nodes())
+    answers: set[tuple[int, ...]] = set()
+    for values in itertools.product(nodes, repeat=len(inner)):
+        assignment = dict(zip(inner, values))
+        if fo_check(tree, formula, assignment):
+            answers.add(tuple(assignment[name] for name in variables))
+    return frozenset(answers)
+
+
+def fo_nonempty(tree: Tree, formula: Formula) -> bool:
+    """Decide whether some assignment of the free variables satisfies the formula."""
+    inner = sorted(formula.free_variables)
+    nodes = list(tree.nodes())
+    for values in itertools.product(nodes, repeat=len(inner)):
+        if fo_check(tree, formula, dict(zip(inner, values))):
+            return True
+    return False
+
+
+def binary_fo_relation(
+    tree: Tree, formula: Formula, source: str, target: str
+) -> frozenset[tuple[int, int]]:
+    """Materialise the binary FO query ``{(alpha(source), alpha(target)) | t,alpha |= phi}``.
+
+    Used to instantiate HCL(FObin): each binary FO formula becomes an
+    explicit relation registered in an
+    :class:`repro.hcl.binding.ExplicitRelationOracle`.
+    """
+    pairs = set()
+    for source_node in tree.nodes():
+        for target_node in tree.nodes():
+            if fo_check(tree, formula, {source: source_node, target: target_node}):
+                pairs.add((source_node, target_node))
+    return frozenset(pairs)

@@ -1,0 +1,27 @@
+"""Hardness constructions (substrate S8).
+
+The paper motivates each PPL restriction with a hardness result:
+
+* Proposition 3 — without the no-variable-sharing conditions, query
+  non-emptiness for for-loop-free Core XPath 2.0 is NP-complete, by a
+  reduction from SAT (:mod:`~repro.hardness.sat_reduction`, with the DPLL
+  solver of :mod:`~repro.hardness.dpll` as the ground truth).
+* Corollary 1 — with for-loops (quantifier alternation), model checking is
+  PSPACE-complete; :mod:`~repro.hardness.alternation` generates the
+  quantifier-alternation families used to exhibit the blow-up empirically.
+"""
+
+from repro.hardness.dpll import CNF, Clause, dpll_satisfiable, random_3cnf
+from repro.hardness.sat_reduction import SatReduction, reduce_sat_to_xpath
+from repro.hardness.alternation import alternation_formula, alternation_query
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "dpll_satisfiable",
+    "random_3cnf",
+    "SatReduction",
+    "reduce_sat_to_xpath",
+    "alternation_formula",
+    "alternation_query",
+]

@@ -1,0 +1,58 @@
+"""Quantifier-alternation families (Corollary 1: PSPACE-hardness witnesses).
+
+Model checking full Core XPath 2.0 is PSPACE-complete because for-loops give
+arbitrary quantifier alternation (Proposition 1 + classical FO model-checking
+hardness).  This module generates a parametric family of FO sentences with
+``k`` alternating quantifiers and their Lemma 1 translations into Core XPath
+2.0, so the benchmark harness (experiment E6) can show the naive engine's
+cost growing with the alternation depth while the PPL checker rejects the
+expressions outright (they violate N(for)).
+
+The sentence family talks about label alternation along descendant chains::
+
+    Q1 x1. Q2 x2. ... ( ch*(x1, x2) and ch*(x2, x3) and ... and lab_a(x_k) )
+
+with quantifiers alternating between exists and forall (guarded so that the
+formulas are neither trivially true nor trivially false on the generated
+documents).
+"""
+
+from __future__ import annotations
+
+from repro.fo.ast import And, ChStar, Exists, Forall, Formula, Lab, Not, Or
+from repro.fo.translate import fo_to_core_xpath
+from repro.trees.generators import complete_tree
+from repro.trees.tree import Tree
+from repro.xpath.ast import PathExpr
+
+
+def alternation_formula(depth: int, label: str = "a") -> Formula:
+    """Return an FO sentence with ``depth`` alternating quantifiers.
+
+    The innermost matrix requires the chain ``x1 ch* x2 ch* ... ch* x_depth``
+    to end in a ``label``-labeled node; universally quantified levels are
+    guarded by ``not ch*(x_{i-1}, x_i) or ...`` so the sentence is non-trivial.
+    """
+    if depth < 1:
+        raise ValueError("alternation depth must be at least 1")
+    variables = [f"x{i}" for i in range(1, depth + 1)]
+    matrix: Formula = Lab(label, variables[-1])
+    formula = matrix
+    for index in range(depth - 1, 0, -1):
+        chain = ChStar(variables[index - 1], variables[index])
+        existential = index % 2 == 1
+        if existential:
+            formula = Exists(variables[index], And(chain, formula))
+        else:
+            formula = Forall(variables[index], Or(Not(chain), formula))
+    return Exists(variables[0], formula)
+
+
+def alternation_query(depth: int, label: str = "a") -> PathExpr:
+    """Return the Core XPath 2.0 translation (with for-loops) of the sentence."""
+    return fo_to_core_xpath(alternation_formula(depth, label))
+
+
+def alternation_document(levels: int) -> Tree:
+    """Return a small complete binary document suited to the sentence family."""
+    return complete_tree(2, levels)

@@ -1,0 +1,154 @@
+"""Propositional CNF formulas and a DPLL satisfiability solver.
+
+Used as the ground truth for the Proposition 3 reduction: the reduction maps
+a CNF formula to a Core XPath 2.0 query whose non-emptiness must coincide
+with satisfiability, and the test-suite checks that coincidence against this
+solver on random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: A literal is a non-zero integer: +i for variable i, -i for its negation.
+Literal = int
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if any(literal == 0 for literal in self.literals):
+            raise ValueError("0 is not a valid literal")
+
+    def variables(self) -> frozenset[int]:
+        """Return the variables (positive indices) mentioned by the clause."""
+        return frozenset(abs(literal) for literal in self.literals)
+
+    def is_satisfied(self, assignment: dict[int, bool]) -> bool:
+        """Return True when some literal is true under a total assignment."""
+        return any(
+            assignment.get(abs(literal), False) == (literal > 0)
+            for literal in self.literals
+        )
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A conjunction of clauses."""
+
+    clauses: tuple[Clause, ...]
+
+    @staticmethod
+    def from_lists(clauses: Iterable[Iterable[Literal]]) -> "CNF":
+        """Build a CNF from nested literal lists, e.g. ``[[1, -2], [2, 3]]``."""
+        return CNF(tuple(Clause(tuple(clause)) for clause in clauses))
+
+    def variables(self) -> frozenset[int]:
+        """Return all variables occurring in the formula."""
+        result: set[int] = set()
+        for clause in self.clauses:
+            result.update(clause.variables())
+        return frozenset(result)
+
+    def is_satisfied(self, assignment: dict[int, bool]) -> bool:
+        """Return True when every clause is satisfied by a total assignment."""
+        return all(clause.is_satisfied(assignment) for clause in self.clauses)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables())
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+
+def dpll_satisfiable(formula: CNF) -> Optional[dict[int, bool]]:
+    """Return a satisfying assignment, or ``None`` when the formula is unsatisfiable.
+
+    Classic DPLL: unit propagation, pure-literal elimination and splitting on
+    the first unassigned variable.
+    """
+    clauses = [list(clause.literals) for clause in formula.clauses]
+    assignment: dict[int, bool] = {}
+
+    def solve(active: list[list[Literal]], partial: dict[int, bool]) -> Optional[dict[int, bool]]:
+        active = [list(clause) for clause in active]
+        partial = dict(partial)
+        changed = True
+        while changed:
+            changed = False
+            simplified: list[list[Literal]] = []
+            for clause in active:
+                satisfied = False
+                remaining: list[Literal] = []
+                for literal in clause:
+                    variable, wanted = abs(literal), literal > 0
+                    if variable in partial:
+                        if partial[variable] == wanted:
+                            satisfied = True
+                            break
+                    else:
+                        remaining.append(literal)
+                if satisfied:
+                    continue
+                if not remaining:
+                    return None
+                simplified.append(remaining)
+            active = simplified
+            # Unit propagation.
+            for clause in active:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    partial[abs(literal)] = literal > 0
+                    changed = True
+                    break
+            if changed:
+                continue
+            # Pure literal elimination.
+            polarity: dict[int, set[bool]] = {}
+            for clause in active:
+                for literal in clause:
+                    polarity.setdefault(abs(literal), set()).add(literal > 0)
+            for variable, signs in polarity.items():
+                if len(signs) == 1:
+                    partial[variable] = next(iter(signs))
+                    changed = True
+                    break
+        if not active:
+            return partial
+        variable = abs(active[0][0])
+        for choice in (True, False):
+            extended = dict(partial)
+            extended[variable] = choice
+            result = solve(active, extended)
+            if result is not None:
+                return result
+        return None
+
+    solution = solve(clauses, assignment)
+    if solution is None:
+        return None
+    # Complete the assignment on variables eliminated along the way.
+    for variable in formula.variables():
+        solution.setdefault(variable, False)
+    return solution
+
+
+def random_3cnf(num_variables: int, num_clauses: int, seed: int = 0) -> CNF:
+    """Return a random 3-CNF with the given number of variables and clauses."""
+    if num_variables < 3:
+        raise ValueError("random_3cnf requires at least 3 variables")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_variables + 1), 3)
+        literals = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        clauses.append(Clause(literals))
+    return CNF(tuple(clauses))

@@ -1,0 +1,114 @@
+"""The Proposition 3 reduction: SAT ≤ query non-emptiness with variable sharing.
+
+Proposition 3 states that query non-emptiness for Core XPath 2.0 *without*
+for-loops and *without* variables below negation is already NP-complete, and
+that the proof "relies on using variable sharing between different branches
+of compositions".  This module makes that reduction concrete:
+
+* the **document** has one element per propositional variable, each with a
+  ``pos`` and a ``neg`` child::
+
+      formula( v1(pos, neg), v2(pos, neg), ... )
+
+* the **query** constrains one XPath variable ``$xi`` per propositional
+  variable and conjoins (by composing root filters, hence *sharing*
+  variables across compositions) one disjunctive test per clause: the clause
+  ``(l1 or l2 or l3)`` becomes the test ::
+
+      descendant::v_i/child::pos[. is $xi]   (for the positive literal on v_i)
+      descendant::v_j/child::neg[. is $xj]   (for a negative literal)
+
+  joined with ``or``.  The query is non-empty iff the CNF is satisfiable:
+  the only freedom lies in where the ``$xi`` point, and each clause requires
+  the witness of one of its literals.
+
+The resulting expression violates exactly the NVS(/) (and NVS(and)) clauses
+of Definition 1 — :func:`repro.core.ppl.ppl_violations` reports precisely
+those — which is the paper's justification for forbidding variable sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trees.axes import Axis
+from repro.trees.tree import Node, Tree
+from repro.xpath.ast import (
+    CONTEXT,
+    CompTest,
+    ContextItem,
+    Filter,
+    OrTest,
+    PathCompose,
+    PathExpr,
+    PathTest,
+    Step,
+    TestExpr,
+)
+from repro.xpath.naive import naive_nonempty
+from repro.hardness.dpll import CNF, dpll_satisfiable
+
+
+@dataclass(frozen=True)
+class SatReduction:
+    """The result of reducing a CNF formula: a document and a query."""
+
+    formula: CNF
+    tree: Tree
+    query: PathExpr
+    variables: tuple[str, ...]
+
+    def nonempty_naive(self) -> bool:
+        """Decide non-emptiness with the naive engine (exponential in #variables)."""
+        return naive_nonempty(self.tree, self.query)
+
+    def satisfiable_dpll(self) -> bool:
+        """Decide satisfiability of the source CNF directly with DPLL."""
+        return dpll_satisfiable(self.formula) is not None
+
+
+def _variable_label(index: int) -> str:
+    return f"v{index}"
+
+
+def build_sat_document(formula: CNF) -> Tree:
+    """Return the document encoding the propositional variables of ``formula``."""
+    root = Node("formula")
+    for variable in sorted(formula.variables()):
+        root.children.append(Node(_variable_label(variable), Node("pos"), Node("neg")))
+    return Tree(root)
+
+
+def _literal_test(literal: int) -> PathExpr:
+    """The path testing that ``$x|literal|`` witnesses the literal."""
+    variable = abs(literal)
+    polarity = "pos" if literal > 0 else "neg"
+    return PathCompose(
+        Step(Axis.DESCENDANT, _variable_label(variable)),
+        Filter(Step(Axis.CHILD, polarity), CompTest(CONTEXT, f"x{variable}")),
+    )
+
+
+def _clause_test(clause) -> TestExpr:
+    """The disjunctive test of one clause."""
+    tests: list[TestExpr] = [PathTest(_literal_test(literal)) for literal in clause.literals]
+    result = tests[0]
+    for test in tests[1:]:
+        result = OrTest(result, test)
+    return result
+
+
+def reduce_sat_to_xpath(formula: CNF) -> SatReduction:
+    """Reduce a CNF formula to a (document, query) non-emptiness instance.
+
+    The query is a composition of one root filter per clause; all clause
+    filters over the same propositional variable share the corresponding
+    XPath variable, which is what breaks the NVS conditions of Definition 1.
+    The reduction is linear-time: the document has ``3·#vars + 1`` nodes and
+    the query ``O(#literals)`` operators.
+    """
+    query: PathExpr = ContextItem()
+    for clause in formula.clauses:
+        query = PathCompose(query, Filter(ContextItem(), _clause_test(clause)))
+    variables = tuple(f"x{v}" for v in sorted(formula.variables()))
+    return SatReduction(formula, build_sat_document(formula), query, variables)

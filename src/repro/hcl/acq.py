@@ -1,0 +1,275 @@
+"""Acyclic conjunctive queries over binary relations (Section 6).
+
+A conjunctive query over a binary query language ``L`` is a set of atoms
+``b(x, y)`` (with ``b`` in ``L``) plus equality atoms ``x = y``, together
+with a tuple of output variables.  Section 6 of the paper relates the
+union-free fragment of HCL⁻(L) to *acyclic* conjunctive queries (ACQs):
+
+* Proposition 8 — when ``L`` is closed under intersection and inverse and
+  contains ``ch*``, ACQ(L) and HCL⁻(L) ∩ N(∪) capture the same queries;
+* Proposition 7 — ACQs are answerable in output-sensitive polynomial time
+  (Yannakakis' algorithm, :mod:`repro.hcl.yannakakis`).
+
+This module provides the ACQ representation, the acyclicity test (the query
+graph must be a forest), the translation into HCL⁻∩N(∪) following the proof
+of Proposition 8, and a naive evaluator used as a correctness oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import NotAcyclicError, ReproError
+from repro.trees.tree import Tree
+from repro.hcl.ast import HclExpr, HCompose, HFilter, HUnion, HVar, Leaf
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A binary atom ``relation(source, target)`` over variables."""
+
+    relation: Any
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query over binary atoms.
+
+    Parameters
+    ----------
+    atoms:
+        The binary atoms of the query body.
+    output:
+        The output (free) variables, in tuple order.
+    equalities:
+        Optional equality atoms ``x = y``.
+    """
+
+    atoms: tuple[Atom, ...]
+    output: tuple[str, ...]
+    equalities: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the query."""
+        names = set(self.output)
+        for atom in self.atoms:
+            names.add(atom.source)
+            names.add(atom.target)
+        for left, right in self.equalities:
+            names.add(left)
+            names.add(right)
+        return frozenset(names)
+
+    def edges(self) -> list[tuple[str, str, Any]]:
+        """Return the (source, target, relation) edges of the query graph."""
+        return [(atom.source, atom.target, atom.relation) for atom in self.atoms]
+
+
+@dataclass(frozen=True)
+class UnionOfACQs:
+    """A finite union of conjunctive queries with identical output tuples."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        outputs = {query.output for query in self.disjuncts}
+        if len(outputs) > 1:
+            raise ReproError("all disjuncts of a union must share the output tuple")
+
+    @property
+    def output(self) -> tuple[str, ...]:
+        return self.disjuncts[0].output if self.disjuncts else ()
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Return True when the query graph is a forest (no cycles, no multi-edges).
+
+    For binary-relation queries this coincides with hypergraph acyclicity.
+    Equality atoms count as edges too.  Self-loop atoms ``b(x, x)`` are not
+    considered acyclic here (they can be removed up-front by intersecting
+    with the identity when ``L`` permits).
+    """
+    edges: list[tuple[str, str]] = [(a.source, a.target) for a in query.atoms]
+    edges.extend(query.equalities)
+    seen_pairs: set[frozenset[str]] = set()
+    parent: dict[str, str] = {}
+
+    def find(item: str) -> str:
+        while parent.get(item, item) != item:
+            parent[item] = parent.get(parent[item], parent[item])
+            item = parent[item]
+        return item
+
+    for source, target in edges:
+        if source == target:
+            return False
+        pair = frozenset((source, target))
+        if pair in seen_pairs:
+            return False
+        seen_pairs.add(pair)
+        root_source, root_target = find(source), find(target)
+        if root_source == root_target:
+            return False
+        parent[root_source] = root_target
+    return True
+
+
+def naive_acq_answer(
+    query: ConjunctiveQuery,
+    relations: Mapping[Any, Iterable[tuple[int, int]]],
+    nodes: Sequence[int],
+) -> frozenset[tuple[int, ...]]:
+    """Answer a conjunctive query by brute-force enumeration (oracle for tests)."""
+    materialised = {name: frozenset(pairs) for name, pairs in relations.items()}
+    variables = sorted(query.variables)
+    answers: set[tuple[int, ...]] = set()
+    for values in itertools.product(nodes, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(
+            (assignment[a.source], assignment[a.target]) in materialised[a.relation]
+            for a in query.atoms
+        ) and all(assignment[x] == assignment[y] for x, y in query.equalities):
+            answers.add(tuple(assignment[name] for name in query.output))
+    return frozenset(answers)
+
+
+# --------------------------------------------------------------- to HCL⁻∩N(∪)
+def acq_to_hcl(
+    query: ConjunctiveQuery,
+    chstar: Any,
+    invert: Optional[Callable[[Any], Any]] = None,
+    intersect: Optional[Callable[[Any, Any], Any]] = None,
+) -> HclExpr:
+    """Translate an acyclic conjunctive query into a union-free HCL⁻ formula.
+
+    Follows the proof of Proposition 8: orient the query forest away from a
+    root, inverting relations when an edge points towards the root (which
+    requires ``L`` closed under inverse, supplied as ``invert``), merge
+    parallel edges with ``intersect`` when supplied, and emit, for each root
+    of the forest, a formula ``chstar / root_var / [subtree] / [subtree] ...``
+    where ``chstar`` is the universal reachability query used to jump to the
+    root variable's node from anywhere (as in the proof of Proposition 6).
+
+    Raises
+    ------
+    NotAcyclicError
+        If the query is not acyclic (and parallel edges cannot be merged).
+    """
+    adjacency: dict[str, list[tuple[str, Any, bool]]] = {v: [] for v in query.variables}
+    for atom in query.atoms:
+        adjacency[atom.source].append((atom.target, atom.relation, False))
+        adjacency[atom.target].append((atom.source, atom.relation, True))
+    for left, right in query.equalities:
+        # x = y is the atom (ch* ∩ (ch*)^-1)(x, y); with forests it is simpler
+        # to treat it as a relation that must be provided by the oracle.
+        raise NotAcyclicError(
+            "equality atoms are not supported by acq_to_hcl; replace them by "
+            "renaming variables before translation"
+        )
+
+    if not is_acyclic(query):
+        raise NotAcyclicError("the conjunctive query graph is not a forest")
+
+    visited: set[str] = set()
+    components: list[HclExpr] = []
+
+    def build(variable: str, parent_variable: Optional[str]) -> HclExpr:
+        """Return the formula for the subtree rooted at ``variable``."""
+        visited.add(variable)
+        parts: list[HclExpr] = [HVar(variable)]
+        for neighbour, relation, inverted in adjacency[variable]:
+            if neighbour == parent_variable or neighbour in visited:
+                continue
+            edge_relation = relation
+            if inverted:
+                if invert is None:
+                    raise NotAcyclicError(
+                        "edge orientation requires an inverse operation on L"
+                    )
+                edge_relation = invert(relation)
+            subtree = build(neighbour, variable)
+            parts.append(HFilter(HCompose(Leaf(edge_relation), subtree)))
+        result = parts[0]
+        for part in parts[1:]:
+            result = HCompose(result, part)
+        return result
+
+    for variable in sorted(query.variables):
+        if variable in visited:
+            continue
+        subtree = build(variable, None)
+        components.append(HCompose(Leaf(chstar), subtree))
+
+    if not components:
+        raise NotAcyclicError("the conjunctive query has no variables")
+
+    # Independent components are joined with filters at an arbitrary start
+    # node: [component1]/[component2]/... — they do not share variables, so
+    # NVS(/) is preserved.
+    result: HclExpr = HFilter(components[0])
+    for component in components[1:]:
+        result = HCompose(result, HFilter(component))
+    return result
+
+
+def union_to_hcl(
+    queries: UnionOfACQs,
+    chstar: Any,
+    invert: Optional[Callable[[Any], Any]] = None,
+    intersect: Optional[Callable[[Any, Any], Any]] = None,
+) -> HclExpr:
+    """Translate a union of ACQs into an HCL⁻ formula (Proposition 9, easy side)."""
+    if not queries.disjuncts:
+        raise NotAcyclicError("a union of ACQs must have at least one disjunct")
+    formulas = [
+        acq_to_hcl(query, chstar, invert=invert, intersect=intersect)
+        for query in queries.disjuncts
+    ]
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = HUnion(result, formula)
+    return result
+
+
+def hcl_to_acq(formula: HclExpr) -> ConjunctiveQuery:
+    """Translate a union-free HCL⁻ formula into a conjunctive query.
+
+    This is the easy direction of Proposition 8 (and of Proposition 6's
+    positive-FO translation): introduce a fresh variable for every position
+    and one atom per leaf.  Output variables are the formula's own variables.
+    """
+    counter = itertools.count()
+    atoms: list[Atom] = []
+    equalities: list[tuple[str, str]] = []
+
+    def fresh() -> str:
+        return f"_pos{next(counter)}"
+
+    def convert(expr: HclExpr, source: str, target: str) -> None:
+        if isinstance(expr, Leaf):
+            atoms.append(Atom(expr.query, source, target))
+        elif isinstance(expr, HVar):
+            equalities.append((source, expr.name))
+            equalities.append((expr.name, target))
+        elif isinstance(expr, HCompose):
+            middle = fresh()
+            convert(expr.left, source, middle)
+            convert(expr.right, middle, target)
+        elif isinstance(expr, HFilter):
+            middle = fresh()
+            convert(expr.inner, source, middle)
+            equalities.append((source, target))
+        elif isinstance(expr, HUnion):
+            raise NotAcyclicError("hcl_to_acq only handles union-free formulas")
+        else:  # pragma: no cover - exhaustive
+            raise NotAcyclicError(f"unknown formula {expr!r}")
+
+    start, end = fresh(), fresh()
+    convert(formula, start, end)
+    output = tuple(sorted(formula.free_variables))
+    return ConjunctiveQuery(tuple(atoms), output, tuple(equalities))

@@ -1,0 +1,214 @@
+"""The n-ary query answering algorithm for HCL⁻(L) (Fig. 8, Proposition 11).
+
+Given a tree ``t``, an HCL formula ``C`` without variable sharing in
+compositions, an output variable sequence ``x`` and a binary-query oracle for
+``L``, the algorithm computes the answer set ``q_{C,x}(t)`` in time
+
+    O( sum_b p(|b|, |t|)  +  n |C| |t|^2 |A| )
+
+where ``|A|`` is the cardinality of the answer set (Corollary 3).  The steps
+are exactly those of the paper:
+
+1. normalise ``C`` into a sharing formula ``D`` with equation system ``Δ``
+   (Lemma 3, :mod:`repro.hcl.sharing`);
+2. build the MC filtering table (Proposition 10, :mod:`repro.hcl.mc`);
+3. run the recursive, memoised ``vals`` procedure of Fig. 8, which produces
+   partial valuations only for satisfiable branches, eliminates duplicates
+   with set semantics, and finally extends/projects to the output tuple.
+
+Partial valuations are represented as ``frozenset`` of ``(variable, node)``
+pairs; all set unions therefore deduplicate automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.errors import RestrictionViolation
+from repro.trees.tree import Tree
+from repro.hcl.ast import HclExpr, HCompose
+from repro.hcl.binding import BinaryQueryOracle
+from repro.hcl.mc import MCTable
+from repro.hcl.sharing import (
+    EquationSystem,
+    HeadFilter,
+    HeadLeaf,
+    HeadVar,
+    SharedCompose,
+    SharedExpr,
+    SharedParam,
+    SharedSelf,
+    SharedUnion,
+    normalize,
+    shared_variables,
+)
+
+Valuation = frozenset  # of (variable, node) pairs
+EMPTY_VALUATION: Valuation = frozenset()
+
+
+def check_no_variable_sharing(formula: HclExpr) -> None:
+    """Enforce NVS(/): no variable occurs on both sides of a composition.
+
+    Raises
+    ------
+    RestrictionViolation
+        Naming the shared variables, when the condition fails.  Filters are
+        covered as well because ``[C]/C'`` is itself a composition.
+    """
+    for sub in formula.walk():
+        if isinstance(sub, HCompose):
+            shared = sub.left.free_variables & sub.right.free_variables
+            if shared:
+                names = ", ".join(sorted(shared))
+                raise RestrictionViolation(
+                    "NVS(/)",
+                    f"variables {{{names}}} occur on both sides of a composition",
+                )
+
+
+def _extend(
+    valuations: Iterable[Valuation], target_variables: frozenset[str], nodes: Sequence[int]
+) -> set[Valuation]:
+    """Extend each partial valuation to be total on ``target_variables``.
+
+    This is the paper's ``extend_{t,X}`` function: missing variables range
+    over all nodes of the tree.
+    """
+    result: set[Valuation] = set()
+    for valuation in valuations:
+        domain = {variable for variable, _ in valuation}
+        missing = sorted(target_variables - domain)
+        if not missing:
+            result.add(valuation)
+            continue
+        for values in itertools.product(nodes, repeat=len(missing)):
+            result.add(valuation | frozenset(zip(missing, values)))
+    return result
+
+
+class HclAnswerer:
+    """Answer n-ary HCL⁻(L) queries on a fixed tree with a fixed oracle."""
+
+    def __init__(self, tree: Tree, oracle: BinaryQueryOracle) -> None:
+        self.tree = tree
+        self.oracle = oracle
+
+    def answer(
+        self, formula: HclExpr, variables: Sequence[str]
+    ) -> frozenset[tuple[int, ...]]:
+        """Return the answer set ``q_{C,x}(t)`` of the query.
+
+        Raises
+        ------
+        RestrictionViolation
+            If the formula shares variables across a composition (it then
+            lies outside HCL⁻ and the algorithm would be incorrect).
+        """
+        check_no_variable_sharing(formula)
+        shared, system = normalize(formula)
+        return self._answer_shared(shared, system, variables)
+
+    def answer_shared(
+        self,
+        shared: SharedExpr,
+        system: EquationSystem,
+        variables: Sequence[str],
+    ) -> frozenset[tuple[int, ...]]:
+        """Answer a query already given in sharing-formula form."""
+        return self._answer_shared(shared, system, variables)
+
+    # ------------------------------------------------------------------ core
+    def _answer_shared(
+        self,
+        shared: SharedExpr,
+        system: EquationSystem,
+        variables: Sequence[str],
+    ) -> frozenset[tuple[int, ...]]:
+        output_variables = frozenset(variables)
+        mc_table = MCTable(self.tree, shared, system, self.oracle)
+        nodes = list(self.tree.nodes())
+        memo: dict[tuple[int, int], frozenset[Valuation]] = {}
+        union_variable_cache: dict[int, frozenset[str]] = {}
+
+        def union_variables(formula: SharedUnion) -> frozenset[str]:
+            key = id(formula)
+            if key not in union_variable_cache:
+                union_variable_cache[key] = (
+                    shared_variables(formula, system) & output_variables
+                )
+            return union_variable_cache[key]
+
+        def vals(formula: SharedExpr, node: int) -> frozenset[Valuation]:
+            key = (id(formula), node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if not mc_table.value(formula, node):
+                result: frozenset[Valuation] = frozenset()
+            elif isinstance(formula, SharedSelf):
+                result = frozenset({EMPTY_VALUATION})
+            elif isinstance(formula, SharedParam):
+                result = vals(system.resolve(formula), node)
+            elif isinstance(formula, SharedUnion):
+                target = union_variables(formula)
+                left = _extend(vals(formula.left, node), target, nodes)
+                right = _extend(vals(formula.right, node), target, nodes)
+                result = frozenset(left | right)
+            elif isinstance(formula, SharedCompose):
+                head = formula.head
+                if isinstance(head, HeadLeaf):
+                    collected: set[Valuation] = set()
+                    for successor in self.oracle.successors(head.query, node):
+                        collected.update(vals(formula.tail, successor))
+                    result = frozenset(collected)
+                elif isinstance(head, HeadVar):
+                    tail_vals = vals(formula.tail, node)
+                    if head.name in output_variables:
+                        binding = frozenset({(head.name, node)})
+                        result = frozenset(
+                            valuation | binding for valuation in tail_vals
+                        )
+                    else:
+                        result = tail_vals
+                elif isinstance(head, HeadFilter):
+                    filter_vals = vals(head.inner, node)
+                    tail_vals = vals(formula.tail, node)
+                    result = frozenset(
+                        left | right for left in filter_vals for right in tail_vals
+                    )
+                else:  # pragma: no cover - exhaustive
+                    raise RestrictionViolation("HCL", f"unknown head {head!r}")
+            else:  # pragma: no cover - exhaustive
+                raise RestrictionViolation("HCL", f"unknown formula {formula!r}")
+            memo[key] = result
+            return result
+
+        partial_valuations: set[Valuation] = set()
+        for node in nodes:
+            partial_valuations.update(vals(shared, node))
+
+        total_valuations = _extend(partial_valuations, output_variables, nodes)
+        answers = set()
+        for valuation in total_valuations:
+            binding = dict(valuation)
+            answers.add(tuple(binding[name] for name in variables))
+        return frozenset(answers)
+
+    def nonempty(self, formula: HclExpr) -> bool:
+        """Decide whether the query has any answer (Boolean query answering)."""
+        check_no_variable_sharing(formula)
+        shared, system = normalize(formula)
+        mc_table = MCTable(self.tree, shared, system, self.oracle)
+        return any(mc_table.value(shared, node) for node in self.tree.nodes())
+
+
+def answer_hcl(
+    tree: Tree,
+    formula: HclExpr,
+    variables: Sequence[str],
+    oracle: BinaryQueryOracle,
+) -> frozenset[tuple[int, ...]]:
+    """Convenience wrapper: answer one HCL⁻(L) query on ``tree``."""
+    return HclAnswerer(tree, oracle).answer(formula, variables)

@@ -1,0 +1,132 @@
+"""Binary-query oracles: the interface between HCL(L) and the language L.
+
+Proposition 10 assumes that every binary query ``b`` occurring in a formula
+is precompiled into a data structure returning the successor set ``S_{u,b}``
+of any node in time proportional to its size.  The classes here provide that
+interface for the three instantiations of ``L`` used in the library:
+
+* :class:`PPLbinOracle` — ``L = PPLbin`` (the paper's instantiation for PPL),
+  backed by the Theorem 2 matrix evaluator.
+* :class:`AxisOracle` — ``L`` = the raw axes of Core XPath, used by the
+  encodings of Section 6 and by unit tests.
+* :class:`ExplicitRelationOracle` — ``L`` = explicitly given node-pair
+  relations, used to plug arbitrary binary FO queries (computed elsewhere)
+  into HCL, and by hypothesis-generated relations in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Protocol
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.trees.axes import Axis, axis_matrix, label_vector
+from repro.trees.tree import Tree
+from repro.pplbin.ast import BinExpr
+from repro.pplbin.evaluator import evaluate_matrix
+
+
+class BinaryQueryOracle(Protocol):
+    """Protocol required of the parameter language ``L``.
+
+    ``pairs(b)`` returns the full binary query ``q_b(t)`` as node pairs;
+    ``successors(b, u)`` returns all ``v`` with ``(u, v) in q_b(t)``.  Both
+    are expected to be cheap after a one-time precompilation per distinct
+    ``b`` (this is the ``sum_b p(|b|, |t|)`` term of Propositions 10/11).
+    """
+
+    def pairs(self, query: Any) -> Iterable[tuple[int, int]]:  # pragma: no cover
+        ...
+
+    def successors(self, query: Any, node: int) -> Iterable[int]:  # pragma: no cover
+        ...
+
+
+class PPLbinOracle:
+    """Oracle for ``L = PPLbin`` backed by the matrix evaluator of Theorem 2."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+
+    def matrix(self, query: BinExpr | str) -> np.ndarray:
+        """Return (and cache) the Boolean matrix of ``query``."""
+        return evaluate_matrix(self.tree, query)
+
+    def pairs(self, query: BinExpr | str) -> frozenset[tuple[int, int]]:
+        """Return ``q_b(t)`` as an explicit set of pairs."""
+        matrix = self.matrix(query)
+        rows, cols = np.nonzero(matrix)
+        return frozenset(zip(rows.tolist(), cols.tolist()))
+
+    def successors(self, query: BinExpr | str, node: int) -> list[int]:
+        """Return all successors of ``node`` under ``query``."""
+        return np.flatnonzero(self.matrix(query)[node]).tolist()
+
+
+class AxisOracle:
+    """Oracle whose binary queries are ``(axis, nametest)`` pairs or bare axes."""
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+
+    def _matrix(self, query) -> np.ndarray:
+        axis, nametest = query if isinstance(query, tuple) else (query, None)
+        if not isinstance(axis, Axis):
+            raise EvaluationError(f"AxisOracle queries are Axis values, got {axis!r}")
+        matrix = axis_matrix(self.tree, axis)
+        if nametest is None:
+            return matrix
+        return matrix & label_vector(self.tree, nametest)[np.newaxis, :]
+
+    def pairs(self, query) -> frozenset[tuple[int, int]]:
+        """Return the axis relation (optionally label-filtered) as pairs."""
+        rows, cols = np.nonzero(self._matrix(query))
+        return frozenset(zip(rows.tolist(), cols.tolist()))
+
+    def successors(self, query, node: int) -> list[int]:
+        """Return the axis successors of ``node`` (optionally label-filtered)."""
+        return np.flatnonzero(self._matrix(query)[node]).tolist()
+
+
+class ExplicitRelationOracle:
+    """Oracle over explicitly materialised relations.
+
+    ``relations`` maps a query name (any hashable) to an iterable of node
+    pairs.  This is how arbitrary binary FO queries — computed once by the
+    FO model checker — are plugged into HCL(FObin) in Section 8 experiments.
+    """
+
+    def __init__(self, relations: Mapping[Any, Iterable[tuple[int, int]]]) -> None:
+        self._pairs: dict[Any, frozenset[tuple[int, int]]] = {}
+        self._successors: dict[Any, dict[int, list[int]]] = {}
+        for name, pairs in relations.items():
+            frozen = frozenset(tuple(pair) for pair in pairs)
+            self._pairs[name] = frozen
+            by_source: dict[int, list[int]] = {}
+            for source, target in sorted(frozen):
+                by_source.setdefault(source, []).append(target)
+            self._successors[name] = by_source
+
+    def pairs(self, query: Any) -> frozenset[tuple[int, int]]:
+        """Return the stored relation for ``query``."""
+        try:
+            return self._pairs[query]
+        except KeyError:
+            raise EvaluationError(f"unknown binary query {query!r}") from None
+
+    def successors(self, query: Any, node: int) -> list[int]:
+        """Return the stored successors of ``node`` under ``query``."""
+        try:
+            return self._successors[query].get(node, [])
+        except KeyError:
+            raise EvaluationError(f"unknown binary query {query!r}") from None
+
+    def add(self, query: Any, pairs: Iterable[tuple[int, int]]) -> None:
+        """Register one more named relation."""
+        frozen = frozenset(tuple(pair) for pair in pairs)
+        self._pairs[query] = frozen
+        by_source: dict[int, list[int]] = {}
+        for source, target in sorted(frozen):
+            by_source.setdefault(source, []).append(target)
+        self._successors[query] = by_source

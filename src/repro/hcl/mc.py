@@ -1,0 +1,109 @@
+"""The MC filtering table of Proposition 10.
+
+For a sharing formula ``D`` with equation system ``Δ`` over a tree ``t``, the
+table holds for every sub-formula ``D0`` and node ``u`` the Boolean value
+
+    MC(D0, u) = 1  iff  exists alpha, u' such that (u, u') in [[D0_Δ]]^{t,alpha}
+
+i.e. whether some navigation along ``D0`` can start at ``u`` for *some*
+choice of the variables.  The table is computed lazily with memoisation; with
+the precompiled binary-query oracle it costs O(|t|^2 (|D| + |Δ|)) in total,
+as stated in Proposition 10.  The Fig. 8 answering algorithm consults it to
+prune unsatisfiable branches in constant time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.trees.tree import Tree
+from repro.hcl.binding import BinaryQueryOracle
+from repro.hcl.sharing import (
+    EquationSystem,
+    HeadFilter,
+    HeadLeaf,
+    HeadVar,
+    SharedCompose,
+    SharedExpr,
+    SharedParam,
+    SharedSelf,
+    SharedUnion,
+)
+
+
+class MCTable:
+    """Lazily memoised satisfiability table for one (D, Δ, t) triple."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        formula: SharedExpr,
+        system: EquationSystem,
+        oracle: BinaryQueryOracle,
+    ) -> None:
+        self.tree = tree
+        self.formula = formula
+        self.system = system
+        self.oracle = oracle
+        self._memo: dict[tuple[int, int], bool] = {}
+        # Keep every reachable sub-formula alive so id()-keyed memoisation is
+        # stable, and count them (|D| + |Δ|, reported by `table_size`).
+        self._subformulas: list[SharedExpr] = list(formula.walk())
+        for _, equation in system.items():
+            self._subformulas.extend(equation.walk())
+
+    def table_size(self) -> int:
+        """Return the number of sub-formulas tracked (the |D| + |Δ| factor)."""
+        return len(self._subformulas)
+
+    def entries_computed(self) -> int:
+        """Return how many (sub-formula, node) entries have been memoised."""
+        return len(self._memo)
+
+    def value(self, formula: SharedExpr, node: int) -> bool:
+        """Return MC(formula, node), computing and memoising it on demand."""
+        key = (id(formula), node)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Seed the entry to guard against accidental cycles in Δ (which the
+        # EquationSystem construction rules out, but a hand-built system
+        # might violate); a cyclic reference then evaluates to False rather
+        # than recursing forever.
+        self._memo[key] = False
+        result = self._compute(formula, node)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, formula: SharedExpr, node: int) -> bool:
+        if isinstance(formula, SharedSelf):
+            return True
+        if isinstance(formula, SharedParam):
+            return self.value(self.system.resolve(formula), node)
+        if isinstance(formula, SharedUnion):
+            return self.value(formula.left, node) or self.value(formula.right, node)
+        if isinstance(formula, SharedCompose):
+            head = formula.head
+            if isinstance(head, HeadLeaf):
+                return any(
+                    self.value(formula.tail, successor)
+                    for successor in self.oracle.successors(head.query, node)
+                )
+            if isinstance(head, HeadVar):
+                # Correct because of NVS(/): the variable does not occur in the
+                # tail, so its value can be chosen independently (here: u).
+                return self.value(formula.tail, node)
+            if isinstance(head, HeadFilter):
+                return self.value(head.inner, node) and self.value(formula.tail, node)
+            raise EvaluationError(f"unknown head expression {head!r}")
+        raise EvaluationError(f"unknown sharing formula {formula!r}")
+
+    def precompute(self) -> None:
+        """Eagerly fill the table for every sub-formula and node.
+
+        Mirrors the presentation of Proposition 10 (which computes the whole
+        table up front); the answering algorithm itself only needs the lazy
+        :meth:`value` access path.
+        """
+        for subformula in self._subformulas:
+            for node in self.tree.nodes():
+                self.value(subformula, node)

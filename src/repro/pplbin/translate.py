@@ -1,0 +1,155 @@
+"""Translations between variable-free Core XPath 2.0 and PPLbin.
+
+Two directions are provided:
+
+* :func:`from_core_xpath` — the linear-time translation of Fig. 4, mapping
+  ``Core XPath 2.0 ∩ N($x)`` (no variables, no for-loops, no node
+  comparisons other than ``. is .``) into PPLbin.  This is one half of
+  Proposition 4.
+* :func:`to_core_xpath` — the converse syntactic embedding of PPLbin back
+  into Core XPath 2.0 (the other, "obvious" half of Proposition 4).  It is
+  used as the correctness oracle for the matrix evaluator: the matrix of a
+  PPLbin expression must equal the Fig. 2 semantics of its embedding.
+
+Deviation from the paper (documented in DESIGN.md): Fig. 4 writes the
+negative test case as ``[not P]_test = [except P]``.  Under the Fig. 2
+semantics of the ``[.]`` operator that expression selects nodes having *some
+non*-successor, not nodes having *no* successor.  We implement the intended
+semantics ``self except [P]`` (expressed with the unary complement), and the
+test-suite contains a regression test demonstrating the difference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.trees.axes import Axis
+from repro.xpath import ast as x
+from repro.pplbin.ast import (
+    BCompose,
+    BExcept,
+    BFilter,
+    BinExpr,
+    BStep,
+    BUnion,
+    SelfStep,
+    binary_except,
+    binary_intersect,
+    complement_filter,
+    nodes_query,
+)
+
+
+def from_core_xpath(expression: x.PathExpr) -> BinExpr:
+    """Translate a variable-free Core XPath 2.0 path expression into PPLbin.
+
+    Implements Fig. 4 of the paper.  The input must satisfy N($x): no
+    variables, no for-loops and no comparisons other than ``. is .``.
+
+    Raises
+    ------
+    TranslationError
+        If the expression uses variables, for-loops or node comparisons
+        involving variables.
+    """
+    if isinstance(expression, x.Step):
+        return BStep(expression.axis, expression.nametest)
+    if isinstance(expression, x.ContextItem):
+        return SelfStep()
+    if isinstance(expression, x.VarRef):
+        raise TranslationError(
+            f"variable ${expression.name} is not allowed in PPLbin (condition N($x))"
+        )
+    if isinstance(expression, x.ForLoop):
+        raise TranslationError("for-loops are not allowed in PPLbin (condition N($x))")
+    if isinstance(expression, x.PathCompose):
+        return BCompose(from_core_xpath(expression.left), from_core_xpath(expression.right))
+    if isinstance(expression, x.PathUnion):
+        return BUnion(from_core_xpath(expression.left), from_core_xpath(expression.right))
+    if isinstance(expression, x.PathIntersect):
+        return binary_intersect(
+            from_core_xpath(expression.left), from_core_xpath(expression.right)
+        )
+    if isinstance(expression, x.PathExcept):
+        return binary_except(
+            from_core_xpath(expression.left), from_core_xpath(expression.right)
+        )
+    if isinstance(expression, x.Filter):
+        return BCompose(
+            from_core_xpath(expression.path), test_to_pplbin(expression.test)
+        )
+    raise TranslationError(f"cannot translate {expression!r} into PPLbin")
+
+
+def test_to_pplbin(test: x.TestExpr) -> BinExpr:
+    """Translate a variable-free test expression into a PPLbin partial identity.
+
+    The result relates ``(v, v)`` exactly for the nodes ``v`` satisfying the
+    test, so composing it on the right of a path implements the filter
+    ``P[T]`` (Fig. 4's ``[T]_test`` translation).
+    """
+    if isinstance(test, x.PathTest):
+        return BFilter(from_core_xpath(test.path))
+    if isinstance(test, x.CompTest):
+        if test.left == x.CONTEXT and test.right == x.CONTEXT:
+            return SelfStep()
+        raise TranslationError(
+            "node comparisons involving variables are not allowed in PPLbin"
+        )
+    if isinstance(test, x.AndTest):
+        return BCompose(test_to_pplbin(test.left), test_to_pplbin(test.right))
+    if isinstance(test, x.OrTest):
+        return BUnion(test_to_pplbin(test.left), test_to_pplbin(test.right))
+    if isinstance(test, x.NotTest):
+        return _negate_test(test.test)
+    raise TranslationError(f"cannot translate test {test!r} into PPLbin")
+
+
+def _negate_test(test: x.TestExpr) -> BinExpr:
+    """Translate ``not T`` by pushing the negation through the test structure."""
+    if isinstance(test, x.PathTest):
+        return complement_filter(from_core_xpath(test.path))
+    if isinstance(test, x.CompTest):
+        if test.left == x.CONTEXT and test.right == x.CONTEXT:
+            # not(. is .) holds nowhere.
+            return binary_except(SelfStep(), SelfStep())
+        raise TranslationError(
+            "node comparisons involving variables are not allowed in PPLbin"
+        )
+    if isinstance(test, x.AndTest):
+        # de Morgan: not(T1 and T2) = not T1 or not T2.
+        return BUnion(_negate_test(test.left), _negate_test(test.right))
+    if isinstance(test, x.OrTest):
+        # de Morgan: not(T1 or T2) = not T1 and not T2.
+        return BCompose(_negate_test(test.left), _negate_test(test.right))
+    if isinstance(test, x.NotTest):
+        return test_to_pplbin(test.test)
+    raise TranslationError(f"cannot translate negated test {test!r} into PPLbin")
+
+
+def to_core_xpath(expression: BinExpr) -> x.PathExpr:
+    """Embed a PPLbin expression back into Core XPath 2.0.
+
+    The embedding interprets the unary complement ``except P`` as
+    ``nodes except P`` where ``nodes`` is the universal relation expression
+    of Section 2, and the filter ``[P]`` as ``.[P]``.
+    """
+    if isinstance(expression, BStep):
+        return x.Step(expression.axis, expression.nametest)
+    if isinstance(expression, SelfStep):
+        return x.ContextItem()
+    if isinstance(expression, BCompose):
+        return x.PathCompose(to_core_xpath(expression.left), to_core_xpath(expression.right))
+    if isinstance(expression, BUnion):
+        return x.PathUnion(to_core_xpath(expression.left), to_core_xpath(expression.right))
+    if isinstance(expression, BExcept):
+        return x.PathExcept(x.nodes_expression(), to_core_xpath(expression.operand))
+    if isinstance(expression, BFilter):
+        return x.Filter(x.ContextItem(), x.PathTest(to_core_xpath(expression.operand)))
+    raise TranslationError(f"cannot embed {expression!r} into Core XPath 2.0")
+
+
+#: Re-export of the universal PPLbin query, named as in the paper.
+NODES: BinExpr = nodes_query()
+
+#: The root test as a PPLbin partial identity: nodes with no parent.
+ROOT: BinExpr = binary_except(SelfStep(), BFilter(BStep(Axis.PARENT, None)))

@@ -1,0 +1,42 @@
+"""Unranked sibling-ordered trees: the data model of Core XPath (substrate S1).
+
+This package provides:
+
+* :class:`~repro.trees.tree.Node` / :class:`~repro.trees.tree.Tree` — the
+  immutable indexed tree structure used by every evaluator in the library.
+* :mod:`~repro.trees.axes` — all XPath axes as iterators, node sets and
+  Boolean matrices.
+* :mod:`~repro.trees.xml_io` — import/export between XML text and trees.
+* :mod:`~repro.trees.binary` — the firstchild/nextsibling binary encoding used
+  in Section 8 of the paper.
+* :mod:`~repro.trees.generators` — deterministic synthetic document
+  generators (random trees, bibliographies, restaurant listings are in
+  :mod:`repro.workloads`).
+"""
+
+from repro.trees.tree import Node, Tree, tree_from_tuple
+from repro.trees.axes import (
+    AXES,
+    Axis,
+    axis_matrix,
+    axis_pairs,
+    iter_axis,
+)
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+from repro.trees.binary import BinaryNode, binary_decode, binary_encode
+
+__all__ = [
+    "Node",
+    "Tree",
+    "tree_from_tuple",
+    "Axis",
+    "AXES",
+    "iter_axis",
+    "axis_pairs",
+    "axis_matrix",
+    "tree_from_xml",
+    "tree_to_xml",
+    "BinaryNode",
+    "binary_encode",
+    "binary_decode",
+]

@@ -1,0 +1,241 @@
+"""XPath axes over unranked trees.
+
+The paper (Fig. 1) uses the axes ``self``, ``child``, ``parent``,
+``descendant``, ``ancestor``, ``following_sibling`` and ``preceding_sibling``.
+We additionally provide the standard derived axes (``descendant-or-self``,
+``ancestor-or-self``, ``following``, ``preceding``) and the primitive steps
+``firstchild``, ``nextsibling`` and ``previoussibling`` used by the binary
+encoding and by the FO signature of Section 2 (``ch`` and ``ns``).
+
+Three access paths are offered, each backing one of the evaluators:
+
+* :func:`iter_axis` — lazily iterate the nodes reachable from one node.
+* :func:`axis_pairs` — the full binary relation as a set of pairs.
+* :func:`axis_matrix` — the relation as a ``|t| x |t|`` Boolean numpy matrix
+  (used by the PPLbin matrix evaluator of Theorem 2).  Matrices are cached on
+  the tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.trees.tree import Tree
+
+
+class Axis(str, enum.Enum):
+    """Enumeration of the supported navigation axes."""
+
+    SELF = "self"
+    CHILD = "child"
+    PARENT = "parent"
+    DESCENDANT = "descendant"
+    ANCESTOR = "ancestor"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+    FIRST_CHILD = "firstchild"
+    NEXT_SIBLING = "nextsibling"
+    PREVIOUS_SIBLING = "previoussibling"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: All axes, in a stable order (useful for generators and tests).
+AXES: tuple[Axis, ...] = tuple(Axis)
+
+#: Axes that appear in the paper's Core XPath 2.0 grammar (Fig. 1).
+CORE_AXES: tuple[Axis, ...] = (
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.PARENT,
+    Axis.DESCENDANT,
+    Axis.ANCESTOR,
+    Axis.FOLLOWING_SIBLING,
+    Axis.PRECEDING_SIBLING,
+)
+
+_ALIASES = {
+    "self": Axis.SELF,
+    "child": Axis.CHILD,
+    "parent": Axis.PARENT,
+    "descendant": Axis.DESCENDANT,
+    "ancestor": Axis.ANCESTOR,
+    "descendant-or-self": Axis.DESCENDANT_OR_SELF,
+    "descendant_or_self": Axis.DESCENDANT_OR_SELF,
+    "ancestor-or-self": Axis.ANCESTOR_OR_SELF,
+    "ancestor_or_self": Axis.ANCESTOR_OR_SELF,
+    "following-sibling": Axis.FOLLOWING_SIBLING,
+    "following_sibling": Axis.FOLLOWING_SIBLING,
+    "preceding-sibling": Axis.PRECEDING_SIBLING,
+    "preceding_sibling": Axis.PRECEDING_SIBLING,
+    "following": Axis.FOLLOWING,
+    "preceding": Axis.PRECEDING,
+    "firstchild": Axis.FIRST_CHILD,
+    "first-child": Axis.FIRST_CHILD,
+    "first_child": Axis.FIRST_CHILD,
+    "nextsibling": Axis.NEXT_SIBLING,
+    "next-sibling": Axis.NEXT_SIBLING,
+    "next_sibling": Axis.NEXT_SIBLING,
+    "previoussibling": Axis.PREVIOUS_SIBLING,
+    "previous-sibling": Axis.PREVIOUS_SIBLING,
+    "previous_sibling": Axis.PREVIOUS_SIBLING,
+}
+
+#: The inverse of every axis, used by Proposition 8 (closure under inverse).
+INVERSE_AXIS: dict[Axis, Axis] = {
+    Axis.SELF: Axis.SELF,
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF: Axis.ANCESTOR_OR_SELF,
+    Axis.ANCESTOR_OR_SELF: Axis.DESCENDANT_OR_SELF,
+    Axis.FOLLOWING_SIBLING: Axis.PRECEDING_SIBLING,
+    Axis.PRECEDING_SIBLING: Axis.FOLLOWING_SIBLING,
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+    Axis.FIRST_CHILD: Axis.PARENT,  # not a true inverse; parent of a first child
+    Axis.NEXT_SIBLING: Axis.PREVIOUS_SIBLING,
+    Axis.PREVIOUS_SIBLING: Axis.NEXT_SIBLING,
+}
+
+
+def parse_axis(name: str) -> Axis:
+    """Return the :class:`Axis` named ``name``.
+
+    Both hyphenated (``following-sibling``) and underscore (``following_sibling``)
+    spellings are accepted, matching the paper's typography and XPath syntax.
+    """
+    try:
+        return _ALIASES[name.strip().lower()]
+    except KeyError:
+        raise TreeError(f"unknown axis {name!r}") from None
+
+
+def iter_axis(tree: Tree, axis: Axis, node: int) -> Iterator[int]:
+    """Yield the nodes reachable from ``node`` along ``axis``.
+
+    Nodes are produced in the natural order of the axis (document order for
+    forward axes, reverse document order for backward axes).
+    """
+    if axis is Axis.SELF:
+        yield node
+    elif axis is Axis.CHILD:
+        yield from tree.children(node)
+    elif axis is Axis.PARENT:
+        parent = tree.parent[node]
+        if parent is not None:
+            yield parent
+    elif axis is Axis.DESCENDANT:
+        yield from tree.descendants(node)
+    elif axis is Axis.ANCESTOR:
+        yield from tree.ancestors(node)
+    elif axis is Axis.DESCENDANT_OR_SELF:
+        yield node
+        yield from tree.descendants(node)
+    elif axis is Axis.ANCESTOR_OR_SELF:
+        yield node
+        yield from tree.ancestors(node)
+    elif axis is Axis.FOLLOWING_SIBLING:
+        yield from tree.following_siblings(node)
+    elif axis is Axis.PRECEDING_SIBLING:
+        yield from tree.preceding_siblings(node)
+    elif axis is Axis.FOLLOWING:
+        end = tree.subtree_end[node]
+        for candidate in range(end + 1, tree.size):
+            if not tree.is_ancestor(candidate, node):
+                yield candidate
+    elif axis is Axis.PRECEDING:
+        for candidate in range(node - 1, -1, -1):
+            if not tree.is_ancestor(candidate, node):
+                yield candidate
+    elif axis is Axis.FIRST_CHILD:
+        kids = tree.children(node)
+        if kids:
+            yield kids[0]
+    elif axis is Axis.NEXT_SIBLING:
+        sibling = tree.next_sibling[node]
+        if sibling is not None:
+            yield sibling
+    elif axis is Axis.PREVIOUS_SIBLING:
+        sibling = tree.prev_sibling[node]
+        if sibling is not None:
+            yield sibling
+    else:  # pragma: no cover - exhaustive enum
+        raise TreeError(f"unsupported axis {axis!r}")
+
+
+def axis_nodes(tree: Tree, axis: Axis, node: int) -> frozenset[int]:
+    """Return the set of nodes reachable from ``node`` along ``axis``."""
+    return frozenset(iter_axis(tree, axis, node))
+
+
+def axis_pairs(tree: Tree, axis: Axis) -> frozenset[tuple[int, int]]:
+    """Return the full binary relation of ``axis`` on ``tree`` as node pairs."""
+    pairs = set()
+    for node in tree.nodes():
+        for target in iter_axis(tree, axis, node):
+            pairs.add((node, target))
+    return frozenset(pairs)
+
+
+def axis_matrix(tree: Tree, axis: Axis) -> np.ndarray:
+    """Return the axis relation as a Boolean matrix ``M[u, v]``.
+
+    ``M[u, v]`` is True iff ``v`` is reachable from ``u`` along ``axis``.
+    Matrices are cached on the tree, so repeated calls are cheap.  The array
+    is returned read-only; callers must copy before mutating.
+    """
+    cache = tree.matrix_cache()
+    key = ("axis", axis)
+    if key in cache:
+        return cache[key]
+    size = tree.size
+    matrix = np.zeros((size, size), dtype=bool)
+    for node in tree.nodes():
+        for target in iter_axis(tree, axis, node):
+            matrix[node, target] = True
+    matrix.setflags(write=False)
+    cache[key] = matrix
+    return matrix
+
+
+def label_vector(tree: Tree, label: str | None) -> np.ndarray:
+    """Return a Boolean vector selecting nodes with ``label``.
+
+    ``label`` of ``None`` (the ``*`` name test) selects every node.  The
+    vector is cached on the tree and returned read-only.
+    """
+    cache = tree.matrix_cache()
+    key = ("label", label)
+    if key in cache:
+        return cache[key]
+    if label is None:
+        vector = np.ones(tree.size, dtype=bool)
+    else:
+        vector = np.zeros(tree.size, dtype=bool)
+        for node in tree.nodes_with_label(label):
+            vector[node] = True
+    vector.setflags(write=False)
+    cache[key] = vector
+    return vector
+
+
+def successors(tree: Tree, axis: Axis, node: int, label: str | None = None) -> list[int]:
+    """Return the ``axis::label`` successors of ``node`` as a list.
+
+    This is the ``S_a(N)`` primitive of Core XPath 1.0 evaluation restricted
+    to a single source node, with an optional name test applied to targets.
+    """
+    if label is None:
+        return list(iter_axis(tree, axis, node))
+    return [target for target in iter_axis(tree, axis, node) if tree.labels[target] == label]

@@ -1,0 +1,185 @@
+"""Firstchild/nextsibling binary encoding of unranked trees.
+
+Section 8 of the paper lifts its FO-completeness proof from binary trees to
+unranked trees through the classic firstchild-nextsibling encoding: the left
+child of an encoded node is the first child of the original node, the right
+child is its next sibling.  This module provides the encoding, the decoding,
+and helpers mapping nodes back and forth, so translations can be tested for
+semantics preservation.
+
+The encoding adds a distinguished leaf label (``#`` by default) for missing
+children so that the result is a *full* binary tree, which is what the
+decomposition lemma of Section 8 manipulates (every inner node has exactly two
+children).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+
+#: Label used for padding leaves in the full binary encoding.
+NIL_LABEL = "#"
+
+
+class BinaryNode:
+    """A node of a binary tree: a label and optional left/right children."""
+
+    __slots__ = ("label", "left", "right")
+
+    def __init__(
+        self,
+        label: str,
+        left: Optional["BinaryNode"] = None,
+        right: Optional["BinaryNode"] = None,
+    ) -> None:
+        self.label = label
+        self.left = left
+        self.right = right
+
+    def size(self) -> int:
+        """Return the number of nodes in this binary tree."""
+        total = 0
+        stack: list[Optional[BinaryNode]] = [self]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            total += 1
+            stack.append(node.left)
+            stack.append(node.right)
+        return total
+
+    def to_tuple(self):
+        """Return a nested ``(label, left, right)`` tuple (``None`` for absent)."""
+        memo: dict[int, tuple] = {}
+        order: list[BinaryNode] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        for node in reversed(order):
+            left = memo[id(node.left)] if node.left is not None else None
+            right = memo[id(node.right)] if node.right is not None else None
+            memo[id(node)] = (node.label, left, right)
+        return memo[id(self)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryNode({self.label!r})"
+
+
+def binary_encode(tree: Tree, pad: bool = False) -> BinaryNode:
+    """Encode an unranked :class:`Tree` as a firstchild/nextsibling binary tree.
+
+    Parameters
+    ----------
+    tree:
+        The unranked tree to encode.
+    pad:
+        When True, missing children are materialised as leaves labeled
+        :data:`NIL_LABEL`, producing a full binary tree.
+
+    Notes
+    -----
+    The root of the encoding corresponds to the root of ``tree``; the root has
+    no right child (the root has no siblings).
+    """
+    nodes: dict[int, BinaryNode] = {
+        uid: BinaryNode(tree.labels[uid]) for uid in tree.nodes()
+    }
+    for uid in tree.nodes():
+        kids = tree.children(uid)
+        if kids:
+            nodes[uid].left = nodes[kids[0]]
+        sibling = tree.next_sibling[uid]
+        if sibling is not None:
+            nodes[uid].right = nodes[sibling]
+    root = nodes[tree.root()]
+    if pad:
+        _pad_full(root)
+    return root
+
+
+def _pad_full(root: BinaryNode) -> None:
+    """Replace absent children of inner nodes (and leaves) with NIL leaves."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.label == NIL_LABEL:
+            continue
+        if node.left is None:
+            node.left = BinaryNode(NIL_LABEL)
+        else:
+            stack.append(node.left)
+        if node.right is None:
+            node.right = BinaryNode(NIL_LABEL)
+        else:
+            stack.append(node.right)
+
+
+def binary_decode(root: BinaryNode) -> Tree:
+    """Decode a firstchild/nextsibling binary tree back to an unranked tree.
+
+    Padding leaves labeled :data:`NIL_LABEL` are ignored, so
+    ``binary_decode(binary_encode(t, pad=True)) == t`` holds for every tree.
+
+    Raises
+    ------
+    TreeError
+        If the binary root has a right child (an unranked root cannot have a
+        sibling).
+    """
+    if root.right is not None and root.right.label != NIL_LABEL:
+        raise TreeError("binary root must not have a right child (root has no siblings)")
+
+    def is_real(node: Optional[BinaryNode]) -> bool:
+        return node is not None and node.label != NIL_LABEL
+
+    result = Node(root.label)
+    # Each stack entry maps a binary node to the unranked parent that should
+    # receive it and whether it is the head of a sibling chain.
+    stack: list[tuple[BinaryNode, Node]] = []
+    if is_real(root.left):
+        stack.append((root.left, result))  # type: ignore[arg-type]
+    while stack:
+        binary, parent = stack.pop()
+        # Walk the right-spine: these are all children of ``parent``.
+        chain: list[BinaryNode] = []
+        current: Optional[BinaryNode] = binary
+        while is_real(current):
+            chain.append(current)  # type: ignore[arg-type]
+            current = current.right  # type: ignore[union-attr]
+        for element in chain:
+            unranked = Node(element.label)
+            parent.children.append(unranked)
+            if is_real(element.left):
+                stack.append((element.left, unranked))  # type: ignore[arg-type]
+    return Tree(result)
+
+
+def binary_to_unranked_tree(root: BinaryNode) -> Tree:
+    """Index a binary tree *as is* (left/right children become children 1/2).
+
+    This treats the binary tree as a plain unranked tree with at most two
+    children per node, which is how Section 8's FO formulas over the signature
+    ``{ch1, ch2, ch*}`` are interpreted by :mod:`repro.fo`.
+    """
+    def convert(node: BinaryNode) -> Node:
+        result = Node(node.label)
+        stack = [(node, result)]
+        while stack:
+            source, target = stack.pop()
+            children = [child for child in (source.left, source.right) if child is not None]
+            for child in children:
+                converted = Node(child.label)
+                target.children.append(converted)
+                stack.append((child, converted))
+        return result
+
+    return Tree(convert(root))

@@ -1,0 +1,142 @@
+"""Deterministic synthetic tree generators.
+
+These are the structural generators used by the test-suite and the benchmark
+harness: random trees of controlled size and shape, and simple parametric
+shapes (chains, stars, complete k-ary trees).  Domain-specific document
+generators (bibliographies, restaurant listings) live in
+:mod:`repro.workloads`.
+
+All generators take an explicit ``seed`` (or a :class:`random.Random`
+instance) so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+
+#: Default label alphabet for random trees.
+DEFAULT_ALPHABET: tuple[str, ...] = ("a", "b", "c", "d")
+
+
+def chain_tree(length: int, label: str = "a") -> Tree:
+    """Return a unary chain of ``length`` nodes (maximum depth shape)."""
+    if length < 1:
+        raise TreeError("chain_tree requires length >= 1")
+    root = Node(label)
+    current = root
+    for _ in range(length - 1):
+        current = current.add(Node(label))
+    return Tree(root)
+
+
+def star_tree(fanout: int, root_label: str = "r", leaf_label: str = "a") -> Tree:
+    """Return a root with ``fanout`` leaf children (maximum width shape)."""
+    if fanout < 0:
+        raise TreeError("star_tree requires fanout >= 0")
+    return Tree(Node(root_label, *(Node(leaf_label) for _ in range(fanout))))
+
+
+def complete_tree(arity: int, depth: int, labels: Sequence[str] = DEFAULT_ALPHABET) -> Tree:
+    """Return the complete ``arity``-ary tree of the given ``depth``.
+
+    Node labels cycle through ``labels`` by depth, so label tests select
+    whole levels.  Depth 0 is a single root node.
+    """
+    if arity < 1:
+        raise TreeError("complete_tree requires arity >= 1")
+    if depth < 0:
+        raise TreeError("complete_tree requires depth >= 0")
+    root = Node(labels[0])
+    frontier = [root]
+    for level in range(1, depth + 1):
+        label = labels[level % len(labels)]
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(arity):
+                next_frontier.append(parent.add(Node(label)))
+        frontier = next_frontier
+    return Tree(root)
+
+
+def random_tree(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int | random.Random = 0,
+    max_fanout: int | None = None,
+) -> Tree:
+    """Return a uniformly grown random tree with exactly ``size`` nodes.
+
+    Each new node picks its parent uniformly among existing nodes (a random
+    recursive tree), optionally capped at ``max_fanout`` children per node,
+    and a label uniformly from ``alphabet``.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes (must be >= 1).
+    alphabet:
+        Labels to draw from.
+    seed:
+        Integer seed or a :class:`random.Random` instance.
+    max_fanout:
+        When given, parents that already have this many children are not
+        eligible; the tree becomes deeper as a result.
+    """
+    if size < 1:
+        raise TreeError("random_tree requires size >= 1")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    nodes = [Node(rng.choice(list(alphabet)))]
+    fanouts = [0]
+    for _ in range(size - 1):
+        candidates = range(len(nodes))
+        if max_fanout is not None:
+            candidates = [i for i in candidates if fanouts[i] < max_fanout]
+            if not candidates:
+                raise TreeError("max_fanout too small to place all nodes")
+        parent_index = rng.choice(list(candidates))
+        child = Node(rng.choice(list(alphabet)))
+        nodes[parent_index].children.append(child)
+        fanouts[parent_index] += 1
+        nodes.append(child)
+        fanouts.append(0)
+    return Tree(nodes[0])
+
+
+def random_shallow_tree(
+    size: int,
+    depth_limit: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int | random.Random = 0,
+) -> Tree:
+    """Return a random tree whose depth never exceeds ``depth_limit``.
+
+    Shallow, bushy documents are typical of data-centric XML (bibliographies,
+    product catalogs) and are the shape the paper's motivating examples have.
+    """
+    if size < 1:
+        raise TreeError("random_shallow_tree requires size >= 1")
+    if depth_limit < 0:
+        raise TreeError("depth_limit must be >= 0")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    root = Node(rng.choice(list(alphabet)))
+    nodes = [(root, 0)]
+    for _ in range(size - 1):
+        eligible = [entry for entry in nodes if entry[1] < depth_limit]
+        parent, depth = rng.choice(eligible) if eligible else nodes[0]
+        child = Node(rng.choice(list(alphabet)))
+        parent.children.append(child)
+        nodes.append((child, depth + 1))
+    return Tree(root)
+
+
+def binary_random_tree(size: int, alphabet: Sequence[str] = DEFAULT_ALPHABET,
+                       seed: int | random.Random = 0) -> Tree:
+    """Return a random tree in which every node has at most two children.
+
+    Used by the Section 8 machinery which works over binary trees.
+    """
+    return random_tree(size, alphabet=alphabet, seed=seed, max_fanout=2)

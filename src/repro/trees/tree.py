@@ -1,0 +1,408 @@
+"""Unranked sibling-ordered labeled trees.
+
+The paper's data model (Section 2) is the standard XPath abstraction: an
+unranked tree ``t = a(t1 ... tn)`` with node labels drawn from a finite
+alphabet.  Attributes, data values and namespaces are deliberately ignored.
+
+Two classes are provided:
+
+* :class:`Node` — a lightweight mutable builder: a label and a list of child
+  nodes.  Convenient for writing documents by hand and for generators.
+* :class:`Tree` — the indexed, immutable runtime representation.  Nodes are
+  identified by integers ``0 .. size-1`` in *document order* (preorder), which
+  is what every evaluator in the library works with.  The constructor
+  precomputes parents, child lists, sibling links, depths and preorder /
+  postorder intervals so that ancestor/descendant tests are O(1).
+
+All traversals are iterative, so arbitrarily deep documents do not hit
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import TreeError
+
+
+class Node:
+    """A tree node used while *building* documents.
+
+    Parameters
+    ----------
+    label:
+        The node label (an element name in XML terms).
+    children:
+        Child nodes in sibling order.  They may be passed positionally
+        (``Node("book", Node("author"), Node("title"))``) or as a single
+        iterable.
+
+    Examples
+    --------
+    >>> doc = Node("bib", Node("book", Node("author"), Node("title")))
+    >>> doc.label
+    'bib'
+    >>> [child.label for child in doc.children]
+    ['book']
+    """
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, *children: "Node | Iterable[Node]") -> None:
+        self.label = label
+        flat: list[Node] = []
+        for child in children:
+            if isinstance(child, Node):
+                flat.append(child)
+            else:
+                flat.extend(child)
+        self.children = flat
+
+    def add(self, child: "Node") -> "Node":
+        """Append ``child`` and return it (useful for fluent construction)."""
+        self.children.append(child)
+        return child
+
+    def count(self) -> int:
+        """Return the number of nodes in the subtree rooted here."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children)
+        return total
+
+    def to_tuple(self):
+        """Return a nested ``(label, (child_tuples...))`` representation."""
+        # Iterative post-order construction to avoid recursion limits.
+        result: dict[int, tuple] = {}
+        order: list[Node] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children)
+        for node in reversed(order):
+            result[id(node)] = (node.label, tuple(result[id(c)] for c in node.children))
+        return result[id(self)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.label!r}, {len(self.children)} children)"
+
+
+def tree_from_tuple(data) -> "Tree":
+    """Build a :class:`Tree` from a nested ``(label, children)`` tuple.
+
+    ``data`` may also be a bare string, which denotes a leaf.
+
+    Examples
+    --------
+    >>> t = tree_from_tuple(("a", (("b", ()), "c")))
+    >>> t.size
+    3
+    """
+
+    def build(item) -> Node:
+        if isinstance(item, str):
+            return Node(item)
+        label, children = item
+        root = Node(label)
+        stack = [(root, list(children))]
+        while stack:
+            parent, kids = stack.pop()
+            for kid in kids:
+                if isinstance(kid, str):
+                    parent.children.append(Node(kid))
+                else:
+                    child_label, grand = kid
+                    child = Node(child_label)
+                    parent.children.append(child)
+                    stack.append((child, list(grand)))
+        return root
+
+    return Tree(build(data))
+
+
+class Tree:
+    """An indexed unranked tree.
+
+    Node identifiers are integers assigned in preorder (document order); the
+    root is always node ``0``.  The structure is immutable after construction.
+
+    Parameters
+    ----------
+    root:
+        The :class:`Node` to index.
+
+    Notes
+    -----
+    The following arrays (Python lists) are exposed read-only:
+
+    ``labels[u]``
+        label of node ``u``.
+    ``parent[u]``
+        parent of ``u`` or ``None`` for the root.
+    ``children_of[u]``
+        tuple of children of ``u`` in sibling order.
+    ``next_sibling[u]`` / ``prev_sibling[u]``
+        the adjacent sibling or ``None``.
+    ``depth[u]``
+        number of edges from the root.
+    ``pre[u]`` / ``post[u]``
+        preorder and postorder numbers, used for O(1) ancestor tests and
+        document-order comparisons (``pre[u] == u`` by construction).
+    """
+
+    __slots__ = (
+        "size",
+        "labels",
+        "parent",
+        "children_of",
+        "next_sibling",
+        "prev_sibling",
+        "depth",
+        "post",
+        "subtree_end",
+        "_label_index",
+        "_matrix_cache",
+    )
+
+    def __init__(self, root: Node) -> None:
+        if not isinstance(root, Node):
+            raise TreeError(f"Tree root must be a Node, got {type(root).__name__}")
+        labels: list[str] = []
+        parent: list[Optional[int]] = []
+        children_of: list[list[int]] = []
+        depth: list[int] = []
+
+        # Iterative preorder numbering.
+        stack: list[tuple[Node, Optional[int], int]] = [(root, None, 0)]
+        while stack:
+            node, par, dep = stack.pop()
+            uid = len(labels)
+            labels.append(node.label)
+            parent.append(par)
+            children_of.append([])
+            depth.append(dep)
+            if par is not None:
+                children_of[par].append(uid)
+            # Push children in reverse so they are popped left-to-right.
+            for child in reversed(node.children):
+                stack.append((child, uid, dep + 1))
+
+        size = len(labels)
+        next_sibling: list[Optional[int]] = [None] * size
+        prev_sibling: list[Optional[int]] = [None] * size
+        for kids in children_of:
+            for left, right in zip(kids, kids[1:]):
+                next_sibling[left] = right
+                prev_sibling[right] = left
+
+        # Postorder numbers and subtree extents.  A node's descendants are
+        # exactly the preorder ids in (u, subtree_end[u]].
+        post: list[int] = [0] * size
+        subtree_end: list[int] = [0] * size
+        counter = 0
+        walk: list[tuple[int, bool]] = [(0, False)]
+        while walk:
+            node_id, processed = walk.pop()
+            if processed:
+                post[node_id] = counter
+                counter += 1
+                if children_of[node_id]:
+                    subtree_end[node_id] = subtree_end[children_of[node_id][-1]]
+                else:
+                    subtree_end[node_id] = node_id
+            else:
+                walk.append((node_id, True))
+                for child in reversed(children_of[node_id]):
+                    walk.append((child, False))
+
+        self.size = size
+        self.labels = labels
+        self.parent = parent
+        self.children_of = [tuple(kids) for kids in children_of]
+        self.next_sibling = next_sibling
+        self.prev_sibling = prev_sibling
+        self.depth = depth
+        self.post = post
+        self.subtree_end = subtree_end
+        label_index: dict[str, list[int]] = {}
+        for uid, label in enumerate(labels):
+            label_index.setdefault(label, []).append(uid)
+        self._label_index = {lab: tuple(ids) for lab, ids in label_index.items()}
+        self._matrix_cache: dict = {}
+
+    # ------------------------------------------------------------------ basic
+    def nodes(self) -> range:
+        """Return all node identifiers in document order."""
+        return range(self.size)
+
+    def label(self, node: int) -> str:
+        """Return the label of ``node``."""
+        self._check(node)
+        return self.labels[node]
+
+    def nodes_with_label(self, label: str) -> tuple[int, ...]:
+        """Return all nodes carrying ``label`` in document order."""
+        return self._label_index.get(label, ())
+
+    def alphabet(self) -> frozenset[str]:
+        """Return the set of labels occurring in the tree."""
+        return frozenset(self._label_index)
+
+    def root(self) -> int:
+        """Return the root node identifier (always ``0``)."""
+        return 0
+
+    def children(self, node: int) -> tuple[int, ...]:
+        """Return the children of ``node`` in sibling order."""
+        self._check(node)
+        return self.children_of[node]
+
+    def is_leaf(self, node: int) -> bool:
+        """Return True when ``node`` has no children."""
+        self._check(node)
+        return not self.children_of[node]
+
+    # ----------------------------------------------------------- order tests
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Return True when ``ancestor`` is a *strict* ancestor of ``descendant``."""
+        self._check(ancestor)
+        self._check(descendant)
+        return ancestor < descendant <= self.subtree_end[ancestor]
+
+    def is_ancestor_or_self(self, ancestor: int, descendant: int) -> bool:
+        """Return True when ``ancestor`` equals or is an ancestor of ``descendant``."""
+        self._check(ancestor)
+        self._check(descendant)
+        return ancestor <= descendant <= self.subtree_end[ancestor]
+
+    def document_order(self, left: int, right: int) -> int:
+        """Compare two nodes in document order (-1, 0 or 1)."""
+        self._check(left)
+        self._check(right)
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def least_common_ancestor(self, first: int, second: int) -> int:
+        """Return the least common ancestor of two nodes."""
+        self._check(first)
+        self._check(second)
+        u, v = first, second
+        while not self.is_ancestor_or_self(u, v):
+            parent = self.parent[u]
+            assert parent is not None, "root is an ancestor of every node"
+            u = parent
+        return u
+
+    # ------------------------------------------------------------- traversal
+    def descendants(self, node: int) -> range:
+        """Return the strict descendants of ``node`` (document order)."""
+        self._check(node)
+        return range(node + 1, self.subtree_end[node] + 1)
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """Yield the strict ancestors of ``node``, nearest first."""
+        self._check(node)
+        current = self.parent[node]
+        while current is not None:
+            yield current
+            current = self.parent[current]
+
+    def following_siblings(self, node: int) -> Iterator[int]:
+        """Yield the following siblings of ``node``, nearest first."""
+        self._check(node)
+        current = self.next_sibling[node]
+        while current is not None:
+            yield current
+            current = self.next_sibling[current]
+
+    def preceding_siblings(self, node: int) -> Iterator[int]:
+        """Yield the preceding siblings of ``node``, nearest first."""
+        self._check(node)
+        current = self.prev_sibling[node]
+        while current is not None:
+            yield current
+            current = self.prev_sibling[current]
+
+    def subtree(self, node: int) -> "Tree":
+        """Return a fresh :class:`Tree` for the subtree rooted at ``node``.
+
+        Node identifiers are renumbered; use :meth:`subtree_node_map` when the
+        correspondence to the original identifiers is needed.
+        """
+        root, _ = self._rebuild(node)
+        return Tree(root)
+
+    def subtree_node_map(self, node: int) -> dict[int, int]:
+        """Return the map from original ids to ids in :meth:`subtree`."""
+        _, mapping = self._rebuild(node)
+        return mapping
+
+    def _rebuild(self, node: int) -> tuple[Node, dict[int, int]]:
+        self._check(node)
+        mapping: dict[int, int] = {}
+        builders: dict[int, Node] = {}
+        for offset, original in enumerate(range(node, self.subtree_end[node] + 1)):
+            mapping[original] = offset
+            builders[original] = Node(self.labels[original])
+        for original in range(node + 1, self.subtree_end[node] + 1):
+            parent = self.parent[original]
+            assert parent is not None
+            builders[parent].children.append(builders[original])
+        return builders[node], mapping
+
+    def to_node(self) -> Node:
+        """Return a mutable :class:`Node` copy of the whole tree."""
+        root, _ = self._rebuild(0)
+        return root
+
+    def to_tuple(self):
+        """Return the nested tuple representation of the tree."""
+        return self.to_node().to_tuple()
+
+    # --------------------------------------------------------------- helpers
+    def matrix_cache(self) -> dict:
+        """Return the per-tree cache used for axis/expression matrices."""
+        return self._matrix_cache
+
+    def _check(self, node: int) -> None:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise TreeError(f"node identifiers are integers, got {node!r}")
+        if not 0 <= node < self.size:
+            raise TreeError(f"node {node} out of range for tree of size {self.size}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and self.labels == other.labels
+            and self.parent == other.parent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, tuple(self.labels), tuple(self.parent)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(size={self.size}, root_label={self.labels[0]!r})"
+
+
+def validate_parent_child_consistency(tree: Tree) -> None:
+    """Raise :class:`TreeError` if the internal arrays are inconsistent.
+
+    This is an internal sanity check used by tests; a correctly constructed
+    :class:`Tree` always passes.
+    """
+    for node in tree.nodes():
+        for child in tree.children(node):
+            if tree.parent[child] != node:
+                raise TreeError(f"child {child} does not point back to parent {node}")
+        if tree.parent[node] is not None and node not in tree.children(tree.parent[node]):
+            raise TreeError(f"node {node} missing from its parent's child list")

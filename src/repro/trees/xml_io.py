@@ -1,0 +1,99 @@
+"""XML import/export for the tree data model.
+
+The paper abstracts away attributes, namespaces and text content; this module
+keeps only element structure and element names when reading XML, which is
+exactly the Core XPath data model.  Export produces well-formed XML with one
+element per node.
+
+``xml.etree.ElementTree`` from the standard library is used purely as a
+tokenizer for XML text — every query evaluator in this repository operates on
+:class:`repro.trees.Tree` only.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.sax.saxutils import escape
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+
+
+def _strip_namespace(tag: str) -> str:
+    """Drop a ``{namespace}`` prefix from an ElementTree tag."""
+    if tag.startswith("{"):
+        return tag.split("}", 1)[1]
+    return tag
+
+
+def tree_from_xml(text: str) -> Tree:
+    """Parse an XML document string into a :class:`Tree`.
+
+    Only element structure is kept; attributes, text and comments are
+    discarded, matching the paper's data model.
+
+    Raises
+    ------
+    TreeError
+        If the input is not well-formed XML.
+    """
+    try:
+        root_element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise TreeError(f"invalid XML document: {exc}") from exc
+    return Tree(_convert(root_element))
+
+
+def tree_from_xml_file(path: str) -> Tree:
+    """Parse the XML document stored at ``path`` into a :class:`Tree`."""
+    try:
+        root_element = ET.parse(path).getroot()
+    except (ET.ParseError, OSError) as exc:
+        raise TreeError(f"cannot read XML file {path!r}: {exc}") from exc
+    return Tree(_convert(root_element))
+
+
+def _convert(element: ET.Element) -> Node:
+    """Convert an ElementTree element into a builder :class:`Node` iteratively."""
+    root = Node(_strip_namespace(element.tag))
+    stack = [(element, root)]
+    while stack:
+        source, target = stack.pop()
+        for child in source:
+            node = Node(_strip_namespace(child.tag))
+            target.children.append(node)
+            stack.append((child, node))
+    return root
+
+
+def tree_to_xml(tree: Tree, indent: bool = False) -> str:
+    """Serialize ``tree`` back to XML text.
+
+    Parameters
+    ----------
+    tree:
+        The tree to serialize.
+    indent:
+        When True, pretty-print with two-space indentation (one element per
+        line); otherwise produce a compact single-line document.
+    """
+    parts: list[str] = []
+
+    # Iterative rendering with explicit open/close events.
+    stack: list[tuple[int, bool]] = [(tree.root(), False)]
+    while stack:
+        node, closing = stack.pop()
+        label = escape(tree.labels[node])
+        pad = "  " * tree.depth[node] if indent else ""
+        newline = "\n" if indent else ""
+        if closing:
+            parts.append(f"{pad}</{label}>{newline}")
+            continue
+        if tree.is_leaf(node):
+            parts.append(f"{pad}<{label}/>{newline}")
+            continue
+        parts.append(f"{pad}<{label}>{newline}")
+        stack.append((node, True))
+        for child in reversed(tree.children(node)):
+            stack.append((child, False))
+    return "".join(parts).rstrip("\n") if indent else "".join(parts)

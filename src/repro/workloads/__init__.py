@@ -1,0 +1,32 @@
+"""Synthetic workloads: documents and queries for examples, tests and benches (S9).
+
+* :mod:`~repro.workloads.bibliography` — bib.xml-style documents and the
+  paper's introductory author/title pair query.
+* :mod:`~repro.workloads.restaurants` — restaurant listings with ``n``
+  attributes, the paper's motivating wide-tuple scenario.
+* :mod:`~repro.workloads.query_gen` — random expression generators for
+  PPLbin, PPL and HCL⁻, used by property-based tests and scaling benches.
+"""
+
+from repro.workloads.bibliography import (
+    bibliography_pair_query,
+    bibliography_query_xquery_style,
+    generate_bibliography,
+)
+from repro.workloads.restaurants import generate_restaurants, restaurant_query
+from repro.workloads.query_gen import (
+    random_hcl_formula,
+    random_ppl_expression,
+    random_pplbin_expression,
+)
+
+__all__ = [
+    "generate_bibliography",
+    "bibliography_pair_query",
+    "bibliography_query_xquery_style",
+    "generate_restaurants",
+    "restaurant_query",
+    "random_pplbin_expression",
+    "random_ppl_expression",
+    "random_hcl_formula",
+]

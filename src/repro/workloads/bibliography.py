@@ -1,0 +1,87 @@
+"""Bibliography documents — the paper's introductory example workload.
+
+The paper's motivating XQuery/XPath 2.0 example extracts author/title pairs
+from the books of a bibliography::
+
+    doc("bib.xml")/descendant::book[ child::author[. is $y]
+                                 and child::title[. is $z] ]
+
+:func:`generate_bibliography` produces documents of that shape with a
+controllable number of books, authors per book and decoy elements, so the
+answer-set size ``|A|`` can be dialled independently of the tree size — which
+is exactly what the output-sensitivity experiment E4 needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trees.tree import Node, Tree
+
+
+def generate_bibliography(
+    num_books: int,
+    authors_per_book: int = 1,
+    titles_per_book: int = 1,
+    decoys_per_book: int = 2,
+    seed: int = 0,
+) -> Tree:
+    """Return a bibliography document.
+
+    The root ``bib`` has ``num_books`` children labeled ``book``; each book
+    carries ``authors_per_book`` ``author`` children, ``titles_per_book``
+    ``title`` children and ``decoys_per_book`` filler children (``year``,
+    ``publisher`` or ``price``), shuffled deterministically by ``seed``.
+    Answer size of the author/title pair query is
+    ``num_books * authors_per_book * titles_per_book``.
+    """
+    rng = random.Random(seed)
+    decoy_labels = ("year", "publisher", "price")
+    bib = Node("bib")
+    for _ in range(num_books):
+        children = (
+            [Node("author") for _ in range(authors_per_book)]
+            + [Node("title") for _ in range(titles_per_book)]
+            + [Node(rng.choice(decoy_labels)) for _ in range(decoys_per_book)]
+        )
+        rng.shuffle(children)
+        bib.children.append(Node("book", children))
+    return Tree(bib)
+
+
+def bibliography_pair_query() -> tuple[str, list[str]]:
+    """Return the paper's author/title pair query and its output variables.
+
+    The expression is the XPath 2.0 style query from the introduction
+    (anchored at the document root implicitly, since the answer only depends
+    on the variable bindings).
+    """
+    query = (
+        "descendant::book[ child::author[. is $y] and child::title[. is $z] ]"
+    )
+    return query, ["y", "z"]
+
+
+def bibliography_query_xquery_style() -> str:
+    """Return an equivalent for-loop formulation, mirroring the XQuery program.
+
+    The paper's introduction first shows the XQuery program iterating over
+    books with ``for``; the expression returned here selects the same
+    ``(y, z)`` pairs but does so with an explicit for-loop over the book
+    element.  It is therefore *not* a PPL expression (it violates N(for));
+    examples and tests use it to demonstrate the restriction and to compare
+    against the naive engine, which can still answer it.
+    """
+    return (
+        "for $b in descendant::book return "
+        ".[ $b/child::author[. is $y] and $b/child::title[. is $z] ]"
+    )
+
+
+def book_author_title_triples_query() -> tuple[str, list[str]]:
+    """A ternary variant also binding the book element itself."""
+    query = (
+        "descendant::book[. is $b]"
+        "[ child::author[. is $y] and child::title[. is $z] ]"
+    )
+    return query, ["b", "y", "z"]

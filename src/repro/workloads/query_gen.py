@@ -1,0 +1,188 @@
+"""Random query generators for PPLbin, PPL and HCL⁻.
+
+Property-based tests and the scaling benchmarks need streams of syntactically
+valid expressions with controllable size and variable count.  The generators
+here are deterministic given a seed and guarantee by construction that:
+
+* :func:`random_pplbin_expression` produces Fig. 3 expressions,
+* :func:`random_ppl_expression` produces expressions satisfying Definition 1
+  (verified in tests against :func:`repro.core.ppl.is_ppl`),
+* :func:`random_hcl_formula` produces HCL⁻ formulas over PPLbin leaves with
+  no variable sharing across compositions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.trees.axes import Axis
+from repro.pplbin.ast import BCompose, BExcept, BFilter, BinExpr, BStep, BUnion, SelfStep
+from repro.xpath import ast as x
+from repro.hcl.ast import HclExpr, HCompose, HFilter, HUnion, HVar, Leaf
+
+#: Axes used by the generators (the paper's Fig. 1 axes).
+_GEN_AXES: tuple[Axis, ...] = (
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.PARENT,
+    Axis.DESCENDANT,
+    Axis.ANCESTOR,
+    Axis.FOLLOWING_SIBLING,
+    Axis.PRECEDING_SIBLING,
+)
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def _random_step(rng: random.Random, alphabet: Sequence[str]) -> BStep:
+    axis = rng.choice(_GEN_AXES)
+    nametest = rng.choice(list(alphabet) + [None])
+    return BStep(axis, nametest)
+
+
+def random_pplbin_expression(
+    size: int, alphabet: Sequence[str] = ("a", "b", "c"), seed: int | random.Random = 0,
+    allow_except: bool = True,
+) -> BinExpr:
+    """Return a random PPLbin expression with roughly ``size`` operators."""
+    rng = _rng(seed)
+
+    def build(budget: int) -> BinExpr:
+        if budget <= 1:
+            return _random_step(rng, alphabet) if rng.random() < 0.85 else SelfStep()
+        choices = ["compose", "union", "filter"]
+        if allow_except:
+            choices.append("except")
+        operator = rng.choice(choices)
+        if operator == "compose":
+            split = rng.randint(1, budget - 1)
+            return BCompose(build(split), build(budget - split))
+        if operator == "union":
+            split = rng.randint(1, budget - 1)
+            return BUnion(build(split), build(budget - split))
+        if operator == "filter":
+            return BFilter(build(budget - 1))
+        return BExcept(build(budget - 1))
+
+    return build(max(size, 1))
+
+
+def random_ppl_expression(
+    size: int,
+    num_variables: int,
+    alphabet: Sequence[str] = ("a", "b", "c"),
+    seed: int | random.Random = 0,
+) -> tuple[x.PathExpr, list[str]]:
+    """Return a random PPL expression together with its variable list.
+
+    The expression satisfies Definition 1 by construction: each variable is
+    attached exactly once, as an ``[. is $xi]`` comparison on a fresh branch,
+    so no operator ever shares variables, and negations / intersections /
+    exceptions are only generated over variable-free sub-expressions.
+    """
+    rng = _rng(seed)
+    variables = [f"x{i}" for i in range(1, num_variables + 1)]
+
+    def variable_free(budget: int) -> x.PathExpr:
+        if budget <= 1:
+            step = _random_step(rng, alphabet)
+            return x.Step(step.axis, step.nametest)
+        operator = rng.choice(["compose", "union", "filter", "except"])
+        if operator == "compose":
+            split = rng.randint(1, budget - 1)
+            return x.PathCompose(variable_free(split), variable_free(budget - split))
+        if operator == "union":
+            split = rng.randint(1, budget - 1)
+            return x.PathUnion(variable_free(split), variable_free(budget - split))
+        if operator == "filter":
+            return x.Filter(variable_free(budget - 1), x.PathTest(variable_free(1)))
+        return x.PathExcept(variable_free(budget - 1), variable_free(1))
+
+    def with_variables(budget: int, names: list[str]) -> x.PathExpr:
+        if not names:
+            return variable_free(max(budget, 1))
+        if len(names) == 1 and budget <= 2:
+            # Anchor the single variable on a filtered step.
+            return x.Filter(
+                variable_free(1), x.CompTest(x.CONTEXT, names[0])
+            )
+        operator = rng.choice(["compose", "union", "filter"])
+        if operator == "compose":
+            split_names = rng.randint(0, len(names))
+            left_names, right_names = names[:split_names], names[split_names:]
+            split = max(budget // 2, 1)
+            return x.PathCompose(
+                with_variables(split, left_names),
+                with_variables(budget - split, right_names),
+            )
+        if operator == "union":
+            # Unions may share variables freely; give both sides every name.
+            split = max(budget // 2, 1)
+            return x.PathUnion(
+                with_variables(split, names), with_variables(budget - split, names)
+            )
+        # Filter: variables go into the test, the path stays variable free.
+        test = _variable_test(names)
+        return x.Filter(variable_free(max(budget - len(names), 1)), test)
+
+    def _variable_test(names: list[str]) -> x.TestExpr:
+        tests: list[x.TestExpr] = [x.CompTest(x.CONTEXT, name) for name in names[:1]]
+        for name in names[1:]:
+            tests.append(
+                x.PathTest(
+                    x.PathCompose(
+                        x.Step(rng.choice(_GEN_AXES), None),
+                        x.Filter(x.ContextItem(), x.CompTest(x.CONTEXT, name)),
+                    )
+                )
+            )
+        result = tests[0]
+        for test in tests[1:]:
+            result = x.AndTest(result, test)
+        return result
+
+    return with_variables(max(size, 1), variables), variables
+
+
+def random_hcl_formula(
+    size: int,
+    num_variables: int,
+    alphabet: Sequence[str] = ("a", "b", "c"),
+    seed: int | random.Random = 0,
+) -> tuple[HclExpr, list[str]]:
+    """Return a random HCL⁻(PPLbin) formula and its variable list.
+
+    Variables are distributed over disjoint composition branches so NVS(/)
+    holds by construction; unions may duplicate variables on both sides.
+    """
+    rng = _rng(seed)
+    variables = [f"x{i}" for i in range(1, num_variables + 1)]
+
+    def leaf() -> HclExpr:
+        return Leaf(random_pplbin_expression(rng.randint(1, 3), alphabet, rng))
+
+    def build(budget: int, names: list[str]) -> HclExpr:
+        if not names and budget <= 1:
+            return leaf()
+        if names and budget <= 1:
+            formula: HclExpr = HVar(names[0])
+            for name in names[1:]:
+                formula = HCompose(formula, HCompose(leaf(), HVar(name)))
+            return formula
+        operator = rng.choice(["compose", "union", "filter"])
+        if operator == "compose":
+            split_names = rng.randint(0, len(names))
+            split = max(budget // 2, 1)
+            return HCompose(
+                build(split, names[:split_names]),
+                build(budget - split, names[split_names:]),
+            )
+        if operator == "union":
+            split = max(budget // 2, 1)
+            return HUnion(build(split, names), build(budget - split, names))
+        return HCompose(HFilter(build(max(budget - 1, 1), names)), leaf())
+
+    return build(max(size, 1), variables), variables

@@ -1,0 +1,96 @@
+"""Restaurant listings — the paper's wide-tuple motivating scenario.
+
+The introduction argues that in practice the tuple width ``n`` easily reaches
+10 or more, "for instance, when querying for attributes of restaurants such
+as name, address, phone number, fax number, street, ... food style".  This
+module generates such documents and the corresponding n-ary PPL query, used
+by the tuple-width scaling experiment E5 and by the engine-comparison
+experiment E3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.trees.tree import Node, Tree
+
+#: The attribute names quoted in the paper's introduction, in order.
+ATTRIBUTE_LABELS: tuple[str, ...] = (
+    "name",
+    "address",
+    "phone",
+    "fax",
+    "street",
+    "streetnumber",
+    "district",
+    "city",
+    "country",
+    "avgprice",
+    "foodstyle",
+    "rating",
+)
+
+
+def generate_restaurants(
+    num_restaurants: int,
+    num_attributes: int = 10,
+    missing_probability: float = 0.0,
+    decoys_per_restaurant: int = 0,
+    seed: int = 0,
+) -> Tree:
+    """Return a ``guide`` document with ``num_restaurants`` restaurant elements.
+
+    Each restaurant has one child per attribute (the first
+    ``num_attributes`` entries of :data:`ATTRIBUTE_LABELS`); with probability
+    ``missing_probability`` an attribute is dropped, which makes the
+    restaurant not contribute to the n-ary answer — this is how experiment E4
+    controls selectivity.  ``decoys_per_restaurant`` extra ``review`` children
+    pad the tree without affecting answers.
+    """
+    if not 1 <= num_attributes <= len(ATTRIBUTE_LABELS):
+        raise ValueError(
+            f"num_attributes must be between 1 and {len(ATTRIBUTE_LABELS)}"
+        )
+    rng = random.Random(seed)
+    guide = Node("guide")
+    for _ in range(num_restaurants):
+        restaurant = Node("restaurant")
+        for label in ATTRIBUTE_LABELS[:num_attributes]:
+            if rng.random() >= missing_probability:
+                restaurant.children.append(Node(label))
+        for _ in range(decoys_per_restaurant):
+            restaurant.children.append(Node("review"))
+        guide.children.append(restaurant)
+    return Tree(guide)
+
+
+def restaurant_query(num_attributes: int = 10) -> tuple[str, list[str]]:
+    """Return the n-ary PPL query selecting one tuple per fully-described restaurant.
+
+    The query binds one variable per attribute — tuple width ``n`` equals
+    ``num_attributes`` — and mirrors the author/title pattern of the paper's
+    introduction, scaled up::
+
+        descendant::restaurant[ child::name[. is $x1] and ... ]
+    """
+    if not 1 <= num_attributes <= len(ATTRIBUTE_LABELS):
+        raise ValueError(
+            f"num_attributes must be between 1 and {len(ATTRIBUTE_LABELS)}"
+        )
+    variables = [f"x{i}" for i in range(1, num_attributes + 1)]
+    tests = [
+        f"child::{label}[. is ${variable}]"
+        for label, variable in zip(ATTRIBUTE_LABELS, variables)
+    ]
+    query = "descendant::restaurant[ " + " and ".join(tests) + " ]"
+    return query, variables
+
+
+def restaurant_query_with_restaurant(num_attributes: int = 10) -> tuple[str, list[str]]:
+    """Variant that also returns the restaurant element itself (arity n+1)."""
+    query, variables = restaurant_query(num_attributes)
+    query = query.replace(
+        "descendant::restaurant[", "descendant::restaurant[. is $r][", 1
+    )
+    return query, ["r"] + variables

@@ -1,0 +1,60 @@
+"""Core XPath 2.0 (substrate S2): syntax, semantics and the naive engine.
+
+This package implements the language of Fig. 1 and the denotational semantics
+of Fig. 2 of the paper, plus:
+
+* a concrete-syntax parser (:mod:`repro.xpath.parser`),
+* the naive n-ary query answering engine used as correctness oracle and as
+  the exponential baseline (:mod:`repro.xpath.naive`),
+* structural analysis helpers (:mod:`repro.xpath.analysis`).
+"""
+
+from repro.xpath.ast import (
+    AndTest,
+    CompTest,
+    ContextItem,
+    Filter,
+    ForLoop,
+    NotTest,
+    OrTest,
+    PathCompose,
+    PathExcept,
+    PathExpr,
+    PathIntersect,
+    PathTest,
+    PathUnion,
+    Step,
+    TestExpr,
+    VarRef,
+    nodes_expression,
+)
+from repro.xpath.parser import parse_path, parse_test
+from repro.xpath.semantics import evaluate_path, evaluate_test
+from repro.xpath.naive import NaiveEngine, naive_answer, naive_nonempty
+
+__all__ = [
+    "PathExpr",
+    "TestExpr",
+    "Step",
+    "ContextItem",
+    "VarRef",
+    "PathCompose",
+    "PathUnion",
+    "PathIntersect",
+    "PathExcept",
+    "Filter",
+    "ForLoop",
+    "PathTest",
+    "CompTest",
+    "NotTest",
+    "AndTest",
+    "OrTest",
+    "nodes_expression",
+    "parse_path",
+    "parse_test",
+    "evaluate_path",
+    "evaluate_test",
+    "naive_answer",
+    "naive_nonempty",
+    "NaiveEngine",
+]

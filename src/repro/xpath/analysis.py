@@ -1,0 +1,111 @@
+"""Structural analysis of Core XPath 2.0 expressions.
+
+Small reusable helpers over the AST: sub-expression enumeration, feature
+detection (for-loops, variables below negation, variable sharing), and the
+expression-size measure used by the translation-size experiment E7.  The
+actual PPL restriction checker (Definition 1) lives in
+:mod:`repro.core.ppl` and is built on these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xpath.ast import (
+    AndTest,
+    CompTest,
+    Filter,
+    ForLoop,
+    NotTest,
+    PathCompose,
+    PathExcept,
+    PathExpr,
+    PathIntersect,
+    TestExpr,
+    VarRef,
+    _Expr,
+)
+
+Expression = _Expr
+
+
+def subexpressions(expression: Expression) -> Iterator[Expression]:
+    """Yield every sub-expression (including the expression itself), preorder."""
+    yield from expression.walk()
+
+
+def expression_size(expression: Expression) -> int:
+    """Return the paper's size measure ``|P|`` (number of AST nodes)."""
+    return expression.size
+
+
+def contains_for_loop(expression: Expression) -> bool:
+    """Return True when a ``for $x in ... return ...`` occurs anywhere."""
+    return any(isinstance(sub, ForLoop) for sub in expression.walk())
+
+
+def contains_variables(expression: Expression) -> bool:
+    """Return True when any variable occurs (free or bound) in the expression."""
+    return any(
+        isinstance(sub, (VarRef, ForLoop))
+        or (isinstance(sub, CompTest) and sub.free_variables)
+        for sub in expression.walk()
+    )
+
+
+def variables_below_negation(expression: Expression) -> frozenset[str]:
+    """Return all variables occurring below a ``not`` test or an ``except``.
+
+    The paper's conditions NV(not) and NV(except) require this set to be
+    empty for PPL membership.
+    """
+    found: set[str] = set()
+    for sub in expression.walk():
+        if isinstance(sub, NotTest):
+            found.update(sub.test.free_variables)
+        elif isinstance(sub, PathExcept):
+            found.update(sub.left.free_variables)
+            found.update(sub.right.free_variables)
+    return frozenset(found)
+
+
+def variables_below_intersection(expression: Expression) -> frozenset[str]:
+    """Return all variables occurring inside an ``intersect`` operand (NV(intersect))."""
+    found: set[str] = set()
+    for sub in expression.walk():
+        if isinstance(sub, PathIntersect):
+            found.update(sub.left.free_variables)
+            found.update(sub.right.free_variables)
+    return frozenset(found)
+
+
+def shared_variables_in_compositions(expression: Expression) -> frozenset[str]:
+    """Return variables shared across ``/``, filters or ``and`` (NVS conditions).
+
+    A variable is reported when it occurs free on both sides of a path
+    composition ``P1/P2``, both sides of a conjunction ``T1 and T2``, or in
+    both the path and the test of a filter ``P[T]``.
+    """
+    shared: set[str] = set()
+    for sub in expression.walk():
+        if isinstance(sub, PathCompose):
+            shared.update(sub.left.free_variables & sub.right.free_variables)
+        elif isinstance(sub, AndTest):
+            shared.update(sub.left.free_variables & sub.right.free_variables)
+        elif isinstance(sub, Filter):
+            shared.update(sub.path.free_variables & sub.test.free_variables)
+    return frozenset(shared)
+
+
+def count_operators(expression: Expression) -> dict[str, int]:
+    """Return a histogram of AST node class names (used by query generators)."""
+    histogram: dict[str, int] = {}
+    for sub in expression.walk():
+        name = type(sub).__name__
+        histogram[name] = histogram.get(name, 0) + 1
+    return histogram
+
+
+def is_variable_free(expression: Expression) -> bool:
+    """Return True for the paper's condition N($x): no variables at all."""
+    return not contains_variables(expression)

@@ -1,0 +1,119 @@
+"""Naive n-ary query answering for full Core XPath 2.0.
+
+The paper defines the n-ary query of a path expression ``P`` and a variable
+sequence ``x = x1 ... xn`` as
+
+    q_{P,x}(t) = { (alpha(x1), ..., alpha(xn)) | [[P]]^{t,alpha} != {} }.
+
+The naive engine enumerates all assignments of the free variables of ``P`` to
+tree nodes — ``|t|^{|Var(P)|}`` candidates — evaluating the Fig. 2 semantics
+for each.  This is exponential in the number of variables: it is exactly the
+baseline the paper's polynomial fragment is designed to beat (experiment E3)
+and the correctness oracle for every other engine in the library.
+
+Output variables that do not occur in ``P`` may bind to arbitrary nodes, as in
+the paper's definition; they are extended over all nodes at the end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.trees.tree import Tree
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_path
+from repro.xpath.semantics import evaluate_path
+
+
+def naive_nonempty(tree: Tree, expression: PathExpr | str) -> bool:
+    """Decide query non-emptiness: does some assignment make ``P`` non-empty?
+
+    This is the Boolean-query (model-checking) problem of the paper; for the
+    unrestricted language it is PSPACE-complete, and NP-complete already
+    without for-loops (Proposition 3) — the enumeration below is accordingly
+    exponential in ``|Var(P)|``.
+    """
+    path = parse_path(expression) if isinstance(expression, str) else expression
+    variables = sorted(path.free_variables)
+    nodes = list(tree.nodes())
+    for values in itertools.product(nodes, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if evaluate_path(tree, path, assignment):
+            return True
+    return False
+
+
+def naive_answer(
+    tree: Tree, expression: PathExpr | str, variables: Sequence[str]
+) -> frozenset[tuple[int, ...]]:
+    """Compute the full answer set ``q_{P,x}(t)`` by assignment enumeration.
+
+    Parameters
+    ----------
+    tree:
+        The document.
+    expression:
+        A Core XPath 2.0 path expression (AST or concrete syntax).
+    variables:
+        The output tuple ``x1 ... xn``.  Variables not occurring in the
+        expression range over all nodes.
+    """
+    path = parse_path(expression) if isinstance(expression, str) else expression
+    inner_variables = sorted(path.free_variables)
+    nodes = list(tree.nodes())
+
+    witnesses: set[tuple[int, ...]] = set()
+    for values in itertools.product(nodes, repeat=len(inner_variables)):
+        assignment = dict(zip(inner_variables, values))
+        if evaluate_path(tree, path, assignment):
+            witnesses.add(tuple(assignment.get(name, -1) for name in variables))
+
+    if not witnesses:
+        return frozenset()
+
+    # Positions holding -1 correspond to output variables absent from the
+    # expression: they may take any node value.
+    free_positions = [
+        index for index, name in enumerate(variables) if name not in path.free_variables
+    ]
+    if not free_positions:
+        return frozenset(witnesses)
+
+    answers: set[tuple[int, ...]] = set()
+    for witness in witnesses:
+        for values in itertools.product(nodes, repeat=len(free_positions)):
+            completed = list(witness)
+            for position, value in zip(free_positions, values):
+                completed[position] = value
+            answers.add(tuple(completed))
+    return frozenset(answers)
+
+
+class NaiveEngine:
+    """Object-style facade over the naive evaluation functions.
+
+    Mirrors the interface of :class:`repro.core.engine.PPLEngine` so that the
+    two engines can be swapped in benchmarks and tests.
+    """
+
+    name = "naive-core-xpath-2.0"
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+
+    def answer(
+        self, expression: PathExpr | str, variables: Sequence[str]
+    ) -> frozenset[tuple[int, ...]]:
+        """Answer the n-ary query ``q_{P,x}`` on the engine's tree."""
+        return naive_answer(self.tree, expression, variables)
+
+    def nonempty(self, expression: PathExpr | str) -> bool:
+        """Decide non-emptiness of the query on the engine's tree."""
+        return naive_nonempty(self.tree, expression)
+
+    def answer_many(
+        self, queries: Iterable[tuple[PathExpr | str, Sequence[str]]]
+    ) -> list[frozenset[tuple[int, ...]]]:
+        """Answer a batch of queries (convenience for benchmark loops)."""
+        return [self.answer(expression, variables) for expression, variables in queries]

@@ -1,0 +1,333 @@
+"""Concrete-syntax parser for Core XPath 2.0 (Fig. 1).
+
+The grammar follows the paper's Fig. 1 with the usual XPath precedences:
+
+* ``for $x in P return P`` binds weakest,
+* then ``union``,
+* then ``intersect`` / ``except``,
+* then path composition ``/``,
+* then postfix filters ``[T]``,
+* primaries are steps ``axis::nametest``, the context item ``.``, variables
+  ``$x`` and parenthesised expressions.
+
+Test expressions use ``or`` < ``and`` < ``not`` < atoms, where an atom is a
+node comparison ``NodeRef is NodeRef``, a parenthesised test, or a path
+expression.  Both ``not T`` and ``not(T)`` spellings are accepted.
+
+Abbreviated XPath syntax (``//``, leading ``/``, bare name tests) is *not*
+part of Core XPath and is not accepted; the paper's explicit axis syntax must
+be used.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.trees.axes import parse_axis
+from repro.trees.tree import Tree  # noqa: F401  (re-exported for convenience in docs)
+from repro.xpath.ast import (
+    CONTEXT,
+    AndTest,
+    CompTest,
+    ContextItem,
+    Filter,
+    ForLoop,
+    NotTest,
+    OrTest,
+    PathCompose,
+    PathExcept,
+    PathExpr,
+    PathIntersect,
+    PathTest,
+    PathUnion,
+    Step,
+    TestExpr,
+    VarRef,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<axis_sep>::)
+  | (?P<variable>\$[A-Za-z_][\w\-.]*)
+  | (?P<name>[A-Za-z_][\w\-.]*)
+  | (?P<star>\*)
+  | (?P<dot>\.)
+  | (?P<slash>/)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"union", "intersect", "except", "for", "in", "return", "and", "or", "not", "is"}
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                kind = value
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------- utilities
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.index + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def at(self, kind: str, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token is not None and token.kind == kind
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"expected {kind!r} but reached end of input", len(self.text))
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r}", token.position
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        position = token.position if token is not None else len(self.text)
+        return ParseError(message, position)
+
+    # ------------------------------------------------------------------ path
+    def parse_path(self) -> PathExpr:
+        return self.parse_for()
+
+    def parse_for(self) -> PathExpr:
+        if self.at("for"):
+            self.advance()
+            variable_token = self.expect("variable")
+            self.expect("in")
+            source = self.parse_for()
+            self.expect("return")
+            body = self.parse_for()
+            return ForLoop(variable_token.text[1:], source, body)
+        return self.parse_union()
+
+    def parse_union(self) -> PathExpr:
+        left = self.parse_intersect_except()
+        while self.at("union"):
+            self.advance()
+            right = self.parse_intersect_except()
+            left = PathUnion(left, right)
+        return left
+
+    def parse_intersect_except(self) -> PathExpr:
+        left = self.parse_composition()
+        while self.at("intersect") or self.at("except"):
+            operator = self.advance().kind
+            right = self.parse_composition()
+            if operator == "intersect":
+                left = PathIntersect(left, right)
+            else:
+                left = PathExcept(left, right)
+        return left
+
+    def parse_composition(self) -> PathExpr:
+        left = self.parse_filtered()
+        while self.at("slash"):
+            self.advance()
+            right = self.parse_filtered()
+            left = PathCompose(left, right)
+        return left
+
+    def parse_filtered(self) -> PathExpr:
+        expression = self.parse_primary()
+        while self.at("lbracket"):
+            self.advance()
+            test = self.parse_test()
+            self.expect("rbracket")
+            expression = Filter(expression, test)
+        return expression
+
+    def parse_primary(self) -> PathExpr:
+        token = self.peek()
+        if token is None:
+            raise self.error("expected a path expression")
+        if token.kind == "dot":
+            self.advance()
+            return ContextItem()
+        if token.kind == "variable":
+            self.advance()
+            return VarRef(token.text[1:])
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_path()
+            self.expect("rparen")
+            return inner
+        if token.kind in ("name", "self"):
+            return self.parse_step()
+        raise self.error(f"unexpected token {token.text!r} in path expression")
+
+    def parse_step(self) -> PathExpr:
+        axis_token = self.advance()
+        if not self.at("axis_sep"):
+            raise ParseError(
+                f"expected '::' after axis name {axis_token.text!r} "
+                "(Core XPath requires explicit axes)",
+                axis_token.position,
+            )
+        self.advance()
+        try:
+            axis = parse_axis(axis_token.text)
+        except Exception as exc:  # noqa: BLE001 - re-raise as ParseError
+            raise ParseError(str(exc), axis_token.position) from exc
+        if self.at("star"):
+            self.advance()
+            return Step(axis, None)
+        name_token = self.expect("name")
+        return Step(axis, name_token.text)
+
+    # ----------------------------------------------------------------- tests
+    def parse_test(self) -> TestExpr:
+        return self.parse_or_test()
+
+    def parse_or_test(self) -> TestExpr:
+        left = self.parse_and_test()
+        while self.at("or"):
+            self.advance()
+            right = self.parse_and_test()
+            left = OrTest(left, right)
+        return left
+
+    def parse_and_test(self) -> TestExpr:
+        left = self.parse_not_test()
+        while self.at("and"):
+            self.advance()
+            right = self.parse_not_test()
+            left = AndTest(left, right)
+        return left
+
+    def parse_not_test(self) -> TestExpr:
+        if self.at("not"):
+            self.advance()
+            if self.at("lparen"):
+                # Accept both `not(T)` and `not T`; the parenthesised form is
+                # parsed as a test atom, which handles either a pure test or a
+                # path expression inside the parentheses.
+                inner = self.parse_test_atom()
+                return NotTest(inner)
+            return NotTest(self.parse_not_test())
+        return self.parse_test_atom()
+
+    def parse_test_atom(self) -> TestExpr:
+        # Node comparison: NodeRef is NodeRef.
+        if self._at_noderef() and self.at("is", self._noderef_length()):
+            left = self._parse_noderef()
+            self.expect("is")
+            right = self._parse_noderef()
+            return CompTest(left, right)
+        if self.at("lparen"):
+            # Could be a parenthesised test (containing and/or/not/is) or a
+            # parenthesised path expression; try the path route first because
+            # it may continue with '/' after the closing parenthesis, and
+            # fall back to a test on failure.
+            saved = self.index
+            try:
+                return PathTest(self.parse_path_no_boolean())
+            except ParseError:
+                self.index = saved
+            self.advance()  # consume '('
+            inner = self.parse_or_test()
+            self.expect("rparen")
+            return inner
+        return PathTest(self.parse_path_no_boolean())
+
+    def parse_path_no_boolean(self) -> PathExpr:
+        """Parse a path expression for use inside a test.
+
+        Inside a test, ``and`` / ``or`` belong to the test grammar, so path
+        parsing must stop before them; this is exactly what the normal path
+        parser does because those keywords cannot continue a path.
+        """
+        return self.parse_path()
+
+    def _at_noderef(self) -> bool:
+        return self.at("dot") or self.at("variable")
+
+    def _noderef_length(self) -> int:
+        return 1
+
+    def _parse_noderef(self) -> str:
+        token = self.advance()
+        if token.kind == "dot":
+            return CONTEXT
+        if token.kind == "variable":
+            return token.text[1:]
+        raise ParseError(f"expected '.' or a variable, found {token.text!r}", token.position)
+
+    # ------------------------------------------------------------- finishers
+    def finish(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+
+
+def parse_path(text: str) -> PathExpr:
+    """Parse a Core XPath 2.0 path expression from concrete syntax.
+
+    Examples
+    --------
+    >>> expr = parse_path("descendant::book[child::author[. is $y]]")
+    >>> sorted(expr.free_variables)
+    ['y']
+    """
+    parser = _Parser(text)
+    expression = parser.parse_path()
+    parser.finish()
+    return expression
+
+
+def parse_test(text: str) -> TestExpr:
+    """Parse a Core XPath 2.0 test expression from concrete syntax."""
+    parser = _Parser(text)
+    expression = parser.parse_test()
+    parser.finish()
+    return expression

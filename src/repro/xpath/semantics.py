@@ -1,0 +1,170 @@
+"""Denotational semantics of Core XPath 2.0 (Fig. 2 of the paper).
+
+Path expressions denote sets of node pairs ``[[P]]^{t,alpha}``; test
+expressions denote node sets ``[[T]]^{t,alpha}_test``.  The implementation is
+a direct transcription of Fig. 2: it is *not* meant to be fast (the naive
+engine built on top of it is the exponential baseline) but to be obviously
+correct, since every polynomial algorithm in the library is tested against it.
+
+Variable assignments are plain dictionaries mapping variable names (without
+the ``$`` sigil) to node identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import EvaluationError, UnboundVariableError
+from repro.trees.axes import iter_axis
+from repro.trees.tree import Tree
+from repro.xpath.ast import (
+    CONTEXT,
+    AndTest,
+    CompTest,
+    ContextItem,
+    Filter,
+    ForLoop,
+    NotTest,
+    OrTest,
+    PathCompose,
+    PathExcept,
+    PathExpr,
+    PathIntersect,
+    PathTest,
+    PathUnion,
+    Step,
+    TestExpr,
+    VarRef,
+)
+
+Assignment = Mapping[str, int]
+
+#: An empty assignment, for closed expressions.
+EMPTY_ASSIGNMENT: dict[str, int] = {}
+
+
+def _lookup(assignment: Assignment, variable: str) -> int:
+    try:
+        return assignment[variable]
+    except KeyError:
+        raise UnboundVariableError(variable) from None
+
+
+def evaluate_path(
+    tree: Tree, expression: PathExpr, assignment: Assignment = EMPTY_ASSIGNMENT
+) -> frozenset[tuple[int, int]]:
+    """Return ``[[P]]^{t,alpha}`` — the set of node pairs denoted by ``expression``.
+
+    Raises
+    ------
+    UnboundVariableError
+        If the expression contains a free variable missing from ``assignment``.
+    """
+    if isinstance(expression, Step):
+        pairs = set()
+        for node in tree.nodes():
+            for target in iter_axis(tree, expression.axis, node):
+                if expression.nametest is None or tree.labels[target] == expression.nametest:
+                    pairs.add((node, target))
+        return frozenset(pairs)
+
+    if isinstance(expression, ContextItem):
+        return frozenset((node, node) for node in tree.nodes())
+
+    if isinstance(expression, VarRef):
+        target = _lookup(assignment, expression.name)
+        return frozenset((node, target) for node in tree.nodes())
+
+    if isinstance(expression, PathCompose):
+        left = evaluate_path(tree, expression.left, assignment)
+        right = evaluate_path(tree, expression.right, assignment)
+        by_source: dict[int, set[int]] = {}
+        for source, target in right:
+            by_source.setdefault(source, set()).add(target)
+        pairs = set()
+        for source, middle in left:
+            for target in by_source.get(middle, ()):
+                pairs.add((source, target))
+        return frozenset(pairs)
+
+    if isinstance(expression, PathUnion):
+        return evaluate_path(tree, expression.left, assignment) | evaluate_path(
+            tree, expression.right, assignment
+        )
+
+    if isinstance(expression, PathIntersect):
+        return evaluate_path(tree, expression.left, assignment) & evaluate_path(
+            tree, expression.right, assignment
+        )
+
+    if isinstance(expression, PathExcept):
+        return evaluate_path(tree, expression.left, assignment) - evaluate_path(
+            tree, expression.right, assignment
+        )
+
+    if isinstance(expression, Filter):
+        pairs = evaluate_path(tree, expression.path, assignment)
+        satisfying = evaluate_test(tree, expression.test, assignment)
+        return frozenset(pair for pair in pairs if pair[1] in satisfying)
+
+    if isinstance(expression, ForLoop):
+        source_pairs = evaluate_path(tree, expression.source, assignment)
+        starts_by_witness: dict[int, set[int]] = {}
+        for start, witness in source_pairs:
+            starts_by_witness.setdefault(witness, set()).add(start)
+        result: set[tuple[int, int]] = set()
+        for witness, starts in starts_by_witness.items():
+            extended = dict(assignment)
+            extended[expression.variable] = witness
+            for start, target in evaluate_path(tree, expression.body, extended):
+                if start in starts:
+                    result.add((start, target))
+        return frozenset(result)
+
+    raise EvaluationError(f"unknown path expression {expression!r}")
+
+
+def evaluate_test(
+    tree: Tree, test: TestExpr, assignment: Assignment = EMPTY_ASSIGNMENT
+) -> frozenset[int]:
+    """Return ``[[T]]^{t,alpha}_test`` — the node set denoted by the test."""
+    if isinstance(test, PathTest):
+        return frozenset(
+            source for source, _ in evaluate_path(tree, test.path, assignment)
+        )
+
+    if isinstance(test, CompTest):
+        left, right = test.left, test.right
+        if left == CONTEXT and right == CONTEXT:
+            return frozenset(tree.nodes())
+        if left == CONTEXT:
+            return frozenset({_lookup(assignment, right)})
+        if right == CONTEXT:
+            return frozenset({_lookup(assignment, left)})
+        left_node = _lookup(assignment, left)
+        right_node = _lookup(assignment, right)
+        if left_node == right_node:
+            return frozenset({left_node})
+        return frozenset()
+
+    if isinstance(test, NotTest):
+        return frozenset(tree.nodes()) - evaluate_test(tree, test.test, assignment)
+
+    if isinstance(test, AndTest):
+        return evaluate_test(tree, test.left, assignment) & evaluate_test(
+            tree, test.right, assignment
+        )
+
+    if isinstance(test, OrTest):
+        return evaluate_test(tree, test.left, assignment) | evaluate_test(
+            tree, test.right, assignment
+        )
+
+    raise EvaluationError(f"unknown test expression {test!r}")
+
+
+def path_nonempty(
+    tree: Tree, expression: PathExpr, assignment: Assignment = EMPTY_ASSIGNMENT
+) -> bool:
+    """Return True when ``[[P]]^{t,alpha}`` is non-empty."""
+    return bool(evaluate_path(tree, expression, assignment))

@@ -1,0 +1,233 @@
+"""Tests for acyclic conjunctive queries and Yannakakis' algorithm (Section 6)."""
+
+import pytest
+
+from repro.errors import NotAcyclicError
+from repro.trees.generators import random_tree
+from repro.pplbin.corexpath1 import invert
+from repro.pplbin.parser import parse_pplbin
+from repro.pplbin.ast import binary_intersect
+from repro.hcl.acq import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfACQs,
+    acq_to_hcl,
+    hcl_to_acq,
+    is_acyclic,
+    naive_acq_answer,
+    union_to_hcl,
+)
+from repro.hcl.answering import answer_hcl
+from repro.hcl.ast import HCompose, HUnion, HVar, Leaf
+from repro.hcl.binding import PPLbinOracle
+from repro.hcl.yannakakis import yannakakis_answer
+
+
+CHILD = parse_pplbin("child::*")
+CHILD_A = parse_pplbin("child::a")
+CHILD_B = parse_pplbin("child::b")
+DESC = parse_pplbin("descendant::*")
+REACH_ALL = parse_pplbin("(ancestor::* union self)/(descendant::* union self)")
+
+
+def _relations(tree, *queries):
+    oracle = PPLbinOracle(tree)
+    return {query: oracle.pairs(query) for query in queries}
+
+
+# --------------------------------------------------------------- acyclicity
+def test_path_query_is_acyclic():
+    query = ConjunctiveQuery(
+        (Atom("r", "x", "y"), Atom("r", "y", "z")), ("x", "z")
+    )
+    assert is_acyclic(query)
+
+
+def test_cycle_is_detected():
+    query = ConjunctiveQuery(
+        (Atom("r", "x", "y"), Atom("r", "y", "z"), Atom("r", "z", "x")), ("x",)
+    )
+    assert not is_acyclic(query)
+
+
+def test_parallel_edges_and_self_loops_are_cyclic():
+    assert not is_acyclic(
+        ConjunctiveQuery((Atom("r", "x", "y"), Atom("s", "x", "y")), ("x",))
+    )
+    assert not is_acyclic(ConjunctiveQuery((Atom("r", "x", "x"),), ("x",)))
+
+
+def test_star_query_is_acyclic():
+    query = ConjunctiveQuery(
+        (Atom("r", "b", "y"), Atom("s", "b", "z"), Atom("t", "b", "w")),
+        ("y", "z", "w"),
+    )
+    assert is_acyclic(query)
+
+
+def test_variables_property():
+    query = ConjunctiveQuery((Atom("r", "x", "y"),), ("x", "q"))
+    assert query.variables == frozenset({"x", "y", "q"})
+    assert query.edges() == [("x", "y", "r")]
+
+
+# -------------------------------------------------------------- Yannakakis
+def test_yannakakis_matches_naive_on_path_query(tiny_tree):
+    query = ConjunctiveQuery(
+        (Atom(CHILD, "x", "y"), Atom(CHILD, "y", "z")), ("x", "z")
+    )
+    relations = _relations(tiny_tree, CHILD)
+    nodes = list(tiny_tree.nodes())
+    assert yannakakis_answer(query, relations, nodes) == naive_acq_answer(
+        query, relations, nodes
+    )
+
+
+def test_yannakakis_matches_naive_on_star_query(paper_bib):
+    author = parse_pplbin("child::author")
+    title = parse_pplbin("child::title")
+    query = ConjunctiveQuery(
+        (Atom(author, "b", "y"), Atom(title, "b", "z")), ("y", "z")
+    )
+    relations = _relations(paper_bib, author, title)
+    nodes = list(paper_bib.nodes())
+    fast = yannakakis_answer(query, relations, nodes)
+    assert fast == naive_acq_answer(query, relations, nodes)
+    assert len(fast) == 3
+
+
+def test_yannakakis_projection_drops_join_variable(paper_bib):
+    author = parse_pplbin("child::author")
+    query = ConjunctiveQuery((Atom(author, "b", "y"),), ("y",))
+    relations = _relations(paper_bib, author)
+    answers = yannakakis_answer(query, relations, list(paper_bib.nodes()))
+    assert answers == frozenset(
+        (node,) for node in paper_bib.nodes() if paper_bib.labels[node] == "author"
+    )
+
+
+def test_yannakakis_empty_result(tiny_tree):
+    missing = parse_pplbin("child::zzz")
+    query = ConjunctiveQuery((Atom(missing, "x", "y"),), ("x", "y"))
+    relations = _relations(tiny_tree, missing)
+    assert yannakakis_answer(query, relations, list(tiny_tree.nodes())) == frozenset()
+
+
+def test_yannakakis_unconstrained_output_variable(tiny_tree):
+    query = ConjunctiveQuery((Atom(CHILD, "x", "y"),), ("x", "free"))
+    relations = _relations(tiny_tree, CHILD)
+    nodes = list(tiny_tree.nodes())
+    assert yannakakis_answer(query, relations, nodes) == naive_acq_answer(
+        query, relations, nodes
+    )
+
+
+def test_yannakakis_disconnected_components(tiny_tree):
+    query = ConjunctiveQuery(
+        (Atom(CHILD_A, "x", "y"), Atom(CHILD_B, "u", "v")), ("y", "v")
+    )
+    relations = _relations(tiny_tree, CHILD_A, CHILD_B)
+    nodes = list(tiny_tree.nodes())
+    assert yannakakis_answer(query, relations, nodes) == naive_acq_answer(
+        query, relations, nodes
+    )
+
+
+def test_yannakakis_rejects_cycles_and_equalities(tiny_tree):
+    relations = _relations(tiny_tree, CHILD)
+    cyclic = ConjunctiveQuery(
+        (Atom(CHILD, "x", "y"), Atom(CHILD, "y", "x")), ("x",)
+    )
+    with pytest.raises(NotAcyclicError):
+        yannakakis_answer(cyclic, relations, list(tiny_tree.nodes()))
+    with_equality = ConjunctiveQuery(
+        (Atom(CHILD, "x", "y"),), ("x",), equalities=(("x", "y"),)
+    )
+    with pytest.raises(NotAcyclicError):
+        yannakakis_answer(with_equality, relations, list(tiny_tree.nodes()))
+
+
+def test_yannakakis_on_random_trees_matches_naive():
+    for seed in (3, 4):
+        tree = random_tree(10, seed=seed)
+        query = ConjunctiveQuery(
+            (Atom(DESC, "x", "y"), Atom(CHILD_A, "y", "z")), ("x", "z")
+        )
+        relations = _relations(tree, DESC, CHILD_A)
+        nodes = list(tree.nodes())
+        assert yannakakis_answer(query, relations, nodes) == naive_acq_answer(
+            query, relations, nodes
+        )
+
+
+# ----------------------------------------------------- ACQ <-> HCL translations
+def test_acq_to_hcl_matches_yannakakis(paper_bib):
+    author = parse_pplbin("[self::book]/child::author")
+    title = parse_pplbin("[self::book]/child::title")
+    query = ConjunctiveQuery(
+        (Atom(author, "b", "y"), Atom(title, "b", "z")), ("y", "z")
+    )
+    oracle = PPLbinOracle(paper_bib)
+    relations = {author: oracle.pairs(author), title: oracle.pairs(title)}
+    nodes = list(paper_bib.nodes())
+    expected = yannakakis_answer(query, relations, nodes)
+
+    formula = acq_to_hcl(query, chstar=REACH_ALL, invert=invert, intersect=binary_intersect)
+    assert answer_hcl(paper_bib, formula, ["y", "z"], oracle) == expected
+
+
+def test_acq_to_hcl_handles_inverted_edges(tiny_tree):
+    # Atom pointing "towards the root" of the chosen orientation requires the
+    # inverse operation on L.
+    query = ConjunctiveQuery(
+        (Atom(CHILD_A, "x", "y"), Atom(CHILD_B, "z", "x")), ("y", "z")
+    )
+    oracle = PPLbinOracle(tiny_tree)
+    relations = _relations(tiny_tree, CHILD_A, CHILD_B)
+    nodes = list(tiny_tree.nodes())
+    expected = naive_acq_answer(query, relations, nodes)
+    formula = acq_to_hcl(query, chstar=REACH_ALL, invert=invert)
+    assert answer_hcl(tiny_tree, formula, ["y", "z"], oracle) == expected
+
+
+def test_acq_to_hcl_rejects_cyclic_queries():
+    cyclic = ConjunctiveQuery(
+        (Atom(CHILD, "x", "y"), Atom(CHILD, "y", "x")), ("x",)
+    )
+    with pytest.raises(NotAcyclicError):
+        acq_to_hcl(cyclic, chstar=REACH_ALL, invert=invert)
+
+
+def test_union_of_acqs_requires_same_output():
+    first = ConjunctiveQuery((Atom(CHILD_A, "x", "y"),), ("y",))
+    second = ConjunctiveQuery((Atom(CHILD_B, "x", "y"),), ("y",))
+    union = UnionOfACQs((first, second))
+    assert union.output == ("y",)
+    with pytest.raises(Exception):
+        UnionOfACQs((first, ConjunctiveQuery((Atom(CHILD_A, "x", "y"),), ("x",))))
+
+
+def test_union_to_hcl_answers_union(tiny_tree):
+    first = ConjunctiveQuery((Atom(CHILD_A, "x", "y"),), ("y",))
+    second = ConjunctiveQuery((Atom(CHILD_B, "x", "y"),), ("y",))
+    oracle = PPLbinOracle(tiny_tree)
+    formula = union_to_hcl(UnionOfACQs((first, second)), chstar=REACH_ALL, invert=invert)
+    answers = answer_hcl(tiny_tree, formula, ["y"], oracle)
+    relations = _relations(tiny_tree, CHILD_A, CHILD_B)
+    nodes = list(tiny_tree.nodes())
+    expected = naive_acq_answer(first, relations, nodes) | naive_acq_answer(
+        second, relations, nodes
+    )
+    assert answers == expected
+
+
+def test_hcl_to_acq_produces_atoms():
+    formula = HCompose(Leaf(CHILD_A), HCompose(HVar("x"), Leaf(CHILD_B)))
+    query = hcl_to_acq(formula)
+    assert len(query.atoms) == 2
+    assert query.output == ("x",)
+
+
+def test_hcl_to_acq_rejects_unions():
+    with pytest.raises(NotAcyclicError):
+        hcl_to_acq(HUnion(Leaf(CHILD_A), Leaf(CHILD_B)))

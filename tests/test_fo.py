@@ -1,0 +1,219 @@
+"""Tests for FO logic: AST, parser, semantics, Lemma 1 translation, EF games."""
+
+import pytest
+
+from repro.errors import ParseError, TranslationError, UnboundVariableError
+from repro.fo.ast import (
+    And,
+    ChStar,
+    Child,
+    Exists,
+    Forall,
+    Lab,
+    Not,
+    NsStar,
+    Or,
+    conjunction,
+    disjunction,
+    equality,
+    exists_many,
+)
+from repro.fo.ef import atomic_equivalent, check_decomposition_lemma, ef_equivalent
+from repro.fo.parser import parse_fo
+from repro.fo.semantics import binary_fo_relation, fo_answer, fo_check, fo_nonempty
+from repro.fo.translate import fo_to_core_xpath, quantifier_free_to_core_xpath
+from repro.trees.binary import binary_encode, binary_to_unranked_tree
+from repro.trees.tree import Node, Tree
+from repro.xpath.naive import naive_answer, naive_nonempty
+from repro.core.ppl import is_ppl
+
+
+# --------------------------------------------------------------------- AST
+def test_free_variables_and_quantifier_rank():
+    phi = Exists("z", And(ChStar("x", "z"), Lab("a", "z")))
+    assert phi.free_variables == frozenset({"x"})
+    assert phi.quantifier_rank == 1
+    assert not phi.is_quantifier_free()
+    assert And(Lab("a", "x"), Lab("b", "y")).is_quantifier_free()
+
+
+def test_nested_quantifier_rank():
+    phi = Exists("x", Forall("y", Exists("z", Lab("a", "z"))))
+    assert phi.quantifier_rank == 3
+
+
+def test_builders():
+    assert conjunction(Lab("a", "x")).unparse() == "lab[a](x)"
+    assert isinstance(disjunction(Lab("a", "x"), Lab("b", "x")), Or)
+    phi = exists_many(["x", "y"], Lab("a", "y"))
+    assert phi == Exists("x", Exists("y", Lab("a", "y")))
+    with pytest.raises(ValueError):
+        conjunction()
+
+
+def test_size():
+    assert And(Lab("a", "x"), Not(Lab("b", "y"))).size == 4
+
+
+# ------------------------------------------------------------------- parser
+def test_parse_fo_roundtrip():
+    texts = [
+        "lab[book](x) and ch*(x,y)",
+        "exists z. ch(x,z) and lab[price](z)",
+        "forall y. not ch*(x,y) or lab[a](y)",
+        "ns*(x,y) and ns(y,z)",
+        "ch1(x,y) and ch2(x,z)",
+    ]
+    for text in texts:
+        parsed = parse_fo(text)
+        assert parse_fo(parsed.unparse()) == parsed
+
+
+def test_parse_equality_sugar():
+    assert parse_fo("x = y") == equality("x", "y")
+
+
+def test_parse_fo_errors():
+    with pytest.raises(ParseError):
+        parse_fo("lab[](x)")
+    with pytest.raises(ParseError):
+        parse_fo("ch*(x,y) extra")
+
+
+# ---------------------------------------------------------------- semantics
+def test_fo_atoms(tiny_tree):
+    assert fo_check(tiny_tree, parse_fo("lab[d](x)"), {"x": 3})
+    assert not fo_check(tiny_tree, parse_fo("lab[d](x)"), {"x": 1})
+    assert fo_check(tiny_tree, parse_fo("ch*(x,y)"), {"x": 0, "y": 4})
+    assert fo_check(tiny_tree, parse_fo("ch*(x,y)"), {"x": 2, "y": 2})
+    assert not fo_check(tiny_tree, parse_fo("ch*(x,y)"), {"x": 1, "y": 3})
+    assert fo_check(tiny_tree, parse_fo("ns*(x,y)"), {"x": 1, "y": 2})
+    assert not fo_check(tiny_tree, parse_fo("ns*(x,y)"), {"x": 2, "y": 1})
+    assert fo_check(tiny_tree, parse_fo("ch(x,y)"), {"x": 2, "y": 4})
+    assert fo_check(tiny_tree, parse_fo("ns(x,y)"), {"x": 3, "y": 4})
+    assert fo_check(tiny_tree, parse_fo("ch1(x,y)"), {"x": 2, "y": 3})
+    assert fo_check(tiny_tree, parse_fo("ch2(x,y)"), {"x": 2, "y": 4})
+
+
+def test_fo_connectives_and_quantifiers(tiny_tree):
+    assert fo_check(tiny_tree, parse_fo("exists z. lab[d](z)"), {})
+    assert not fo_check(tiny_tree, parse_fo("exists z. lab[zzz](z)"), {})
+    assert fo_check(tiny_tree, parse_fo("forall z. ch*(x,z)"), {"x": 0})
+    assert not fo_check(tiny_tree, parse_fo("forall z. ch*(x,z)"), {"x": 2})
+    assert fo_check(tiny_tree, parse_fo("not lab[a](x)"), {"x": 1})
+
+
+def test_fo_unbound_variable(tiny_tree):
+    with pytest.raises(UnboundVariableError):
+        fo_check(tiny_tree, parse_fo("lab[a](x)"), {})
+
+
+def test_fo_answer_and_nonempty(tiny_tree):
+    labels_b = fo_answer(tiny_tree, parse_fo("lab[b](x)"), ["x"])
+    assert labels_b == frozenset({(1,), (4,)})
+    assert fo_nonempty(tiny_tree, parse_fo("lab[d](x)"))
+    assert not fo_nonempty(tiny_tree, parse_fo("lab[zzz](x)"))
+
+
+def test_fo_equality(tiny_tree):
+    assert fo_check(tiny_tree, equality("x", "y"), {"x": 3, "y": 3})
+    assert not fo_check(tiny_tree, equality("x", "y"), {"x": 3, "y": 4})
+
+
+def test_binary_fo_relation(tiny_tree):
+    relation = binary_fo_relation(tiny_tree, parse_fo("ch(x,y)"), "x", "y")
+    assert relation == frozenset({(0, 1), (0, 2), (2, 3), (2, 4)})
+
+
+# --------------------------------------------------- Lemma 1 translation
+@pytest.mark.parametrize(
+    "text,variables",
+    [
+        ("lab[b](x)", ["x"]),
+        ("ch*(x,y)", ["x", "y"]),
+        ("ns*(x,y)", ["x", "y"]),
+        ("ch(x,y) and lab[d](y)", ["x", "y"]),
+        ("lab[b](x) or lab[d](x)", ["x"]),
+        ("not lab[b](x)", ["x"]),
+        ("exists z. ch(x,z) and lab[d](z)", ["x"]),
+        ("forall z. not ch(x,z) or lab[d](z)", ["x"]),
+        ("ch1(x,y)", ["x", "y"]),
+        ("ch2(x,y)", ["x", "y"]),
+        ("ns(x,y)", ["x", "y"]),
+    ],
+)
+def test_lemma1_translation_preserves_queries(tiny_tree, text, variables):
+    phi = parse_fo(text)
+    translated = fo_to_core_xpath(phi)
+    assert naive_answer(tiny_tree, translated, variables) == fo_answer(
+        tiny_tree, phi, variables
+    )
+
+
+def test_lemma1_translation_is_linear_size():
+    phi = parse_fo("exists z. ch*(x,z) and (lab[a](z) or lab[b](z))")
+    translated = fo_to_core_xpath(phi)
+    assert translated.size <= 12 * phi.size
+
+
+def test_lemma1_sentence_nonemptiness(tiny_tree):
+    sentence = parse_fo("exists x. exists y. ch(x,y) and lab[d](y)")
+    assert naive_nonempty(tiny_tree, fo_to_core_xpath(sentence)) == fo_nonempty(
+        tiny_tree, sentence
+    )
+    false_sentence = parse_fo("exists x. lab[zzz](x)")
+    assert not naive_nonempty(tiny_tree, fo_to_core_xpath(false_sentence))
+
+
+def test_quantifier_free_translation_has_no_for_loop():
+    phi = parse_fo("ch*(x,y) and not lab[a](y)")
+    translated = quantifier_free_to_core_xpath(phi)
+    from repro.xpath.analysis import contains_for_loop
+
+    assert not contains_for_loop(translated)
+    with pytest.raises(TranslationError):
+        quantifier_free_to_core_xpath(parse_fo("exists z. lab[a](z)"))
+
+
+def test_quantified_translation_is_not_ppl():
+    translated = fo_to_core_xpath(parse_fo("exists z. ch*(x,z) and lab[a](z)"))
+    assert not is_ppl(translated)
+
+
+# ------------------------------------------------------------------ EF games
+def _binary(tree: Tree) -> Tree:
+    return binary_to_unranked_tree(binary_encode(tree))
+
+
+def test_atomic_equivalence_on_identical_trees(tiny_tree):
+    binary = _binary(tiny_tree)
+    assert atomic_equivalent(binary, [0, 1], binary, [0, 1])
+    assert not atomic_equivalent(binary, [0, 1], binary, [1, 0])
+
+
+def test_ef_equivalence_distinguishes_labels():
+    tree_a = _binary(Tree(Node("a", Node("b"))))
+    tree_b = _binary(Tree(Node("a", Node("c"))))
+    assert not ef_equivalent(tree_a, [], tree_b, [], 1)
+
+
+def test_ef_equivalence_identical_structures():
+    tree = _binary(Tree(Node("a", Node("b"), Node("b"))))
+    assert ef_equivalent(tree, [], tree, [], 2)
+
+
+def test_ef_rank_separation_chain_length():
+    # Chains of length 2 and 3 are distinguishable with enough rounds but not
+    # with rank 0 when no constants are distinguished.
+    chain2 = _binary(Tree(Node("a", Node("a"))))
+    chain3 = _binary(Tree(Node("a", Node("a", Node("a")))))
+    assert ef_equivalent(chain2, [], chain3, [], 0)
+    assert not ef_equivalent(chain2, [], chain3, [], 2)
+
+
+def test_decomposition_lemma_holds_on_small_instances():
+    tree = _binary(Tree(Node("a", Node("b", Node("c")), Node("b", Node("d")))))
+    other = _binary(Tree(Node("a", Node("b", Node("c")), Node("b", Node("d")))))
+    for tuple_a in [(1, 2), (2, 4), (1, 4)]:
+        nodes_a = [min(n, tree.size - 1) for n in tuple_a]
+        assert check_decomposition_lemma(tree, nodes_a, other, nodes_a, 1)

@@ -1,0 +1,149 @@
+"""Tests for the hardness substrate: DPLL, the Prop. 3 reduction, alternation."""
+
+import pytest
+
+from repro.hardness.alternation import (
+    alternation_document,
+    alternation_formula,
+    alternation_query,
+)
+from repro.hardness.dpll import CNF, Clause, dpll_satisfiable, random_3cnf
+from repro.hardness.sat_reduction import build_sat_document, reduce_sat_to_xpath
+from repro.core.ppl import is_ppl, ppl_violations
+from repro.fo.semantics import fo_nonempty
+from repro.xpath.naive import naive_nonempty
+from repro.xpath.analysis import contains_for_loop, variables_below_negation
+
+
+# --------------------------------------------------------------------- DPLL
+def test_clause_and_cnf_basics():
+    clause = Clause((1, -2))
+    assert clause.variables() == frozenset({1, 2})
+    assert clause.is_satisfied({1: True, 2: True})
+    assert not clause.is_satisfied({1: False, 2: True})
+    formula = CNF.from_lists([[1, -2], [2]])
+    assert formula.num_variables == 2
+    assert formula.num_clauses == 2
+    assert formula.is_satisfied({1: True, 2: True})
+    with pytest.raises(ValueError):
+        Clause((0,))
+
+
+def test_dpll_satisfiable_instances():
+    formula = CNF.from_lists([[1, 2], [-1, 2], [1, -2]])
+    model = dpll_satisfiable(formula)
+    assert model is not None
+    assert formula.is_satisfied(model)
+
+
+def test_dpll_unsatisfiable_instances():
+    formula = CNF.from_lists([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+    assert dpll_satisfiable(formula) is None
+    single = CNF.from_lists([[1], [-1]])
+    assert dpll_satisfiable(single) is None
+
+
+def test_dpll_unit_propagation_and_pure_literals():
+    formula = CNF.from_lists([[1], [-1, 2], [-2, 3], [3, 4]])
+    model = dpll_satisfiable(formula)
+    assert model is not None and model[1] and model[2] and model[3]
+
+
+def test_dpll_agrees_with_brute_force_on_random_instances():
+    import itertools
+
+    for seed in range(6):
+        formula = random_3cnf(4, 8, seed=seed)
+        variables = sorted(formula.variables())
+        brute = any(
+            formula.is_satisfied(dict(zip(variables, values)))
+            for values in itertools.product([False, True], repeat=len(variables))
+        )
+        assert (dpll_satisfiable(formula) is not None) == brute
+
+
+def test_random_3cnf_shape():
+    formula = random_3cnf(5, 7, seed=1)
+    assert formula.num_clauses == 7
+    assert all(len(clause.literals) == 3 for clause in formula.clauses)
+    with pytest.raises(ValueError):
+        random_3cnf(2, 3)
+
+
+# ------------------------------------------------------ Proposition 3 reduction
+def test_reduction_document_shape():
+    formula = CNF.from_lists([[1, -2], [2, 3]])
+    tree = build_sat_document(formula)
+    assert tree.labels[0] == "formula"
+    assert tree.size == 1 + 3 * formula.num_variables
+
+
+def test_reduction_query_violates_only_sharing_conditions():
+    formula = CNF.from_lists([[1, 2], [-1, 2]])
+    reduction = reduce_sat_to_xpath(formula)
+    conditions = {violation.condition for violation in ppl_violations(reduction.query)}
+    assert conditions  # not PPL
+    assert conditions <= {"NVS(/)", "NVS(and)", "NVS([])"}
+    assert not is_ppl(reduction.query)
+    # Prop. 3 also requires: no for-loops and no variables below negation.
+    assert not contains_for_loop(reduction.query)
+    assert variables_below_negation(reduction.query) == frozenset()
+
+
+def test_reduction_linear_size():
+    formula = random_3cnf(5, 10, seed=2)
+    reduction = reduce_sat_to_xpath(formula)
+    literal_count = sum(len(clause.literals) for clause in formula.clauses)
+    assert reduction.query.size <= 12 * literal_count + 10
+    assert reduction.tree.size == 1 + 3 * formula.num_variables
+
+
+@pytest.mark.parametrize(
+    "clauses,expected",
+    [
+        ([[1, 2], [-1, 2]], True),
+        ([[1], [-1]], False),
+        ([[1, 2], [1, -2], [-1, 2], [-1, -2]], False),
+        ([[1, 2, 3]], True),
+        ([[1], [2], [-1, -2]], False),
+    ],
+)
+def test_reduction_preserves_satisfiability(clauses, expected):
+    formula = CNF.from_lists(clauses)
+    reduction = reduce_sat_to_xpath(formula)
+    assert reduction.satisfiable_dpll() == expected
+    assert reduction.nonempty_naive() == expected
+
+
+def test_reduction_on_random_instances_matches_dpll():
+    for seed in (0, 1):
+        formula = random_3cnf(3, 5, seed=seed)
+        reduction = reduce_sat_to_xpath(formula)
+        assert reduction.nonempty_naive() == reduction.satisfiable_dpll()
+
+
+# ------------------------------------------------------------ alternation
+def test_alternation_formula_shape():
+    formula = alternation_formula(3)
+    assert formula.quantifier_rank == 3
+    assert formula.free_variables == frozenset()
+    with pytest.raises(ValueError):
+        alternation_formula(0)
+
+
+def test_alternation_query_uses_for_loops_and_is_rejected_by_ppl():
+    query = alternation_query(2)
+    assert contains_for_loop(query)
+    assert not is_ppl(query)
+
+
+def test_alternation_semantics_on_small_documents():
+    document = alternation_document(2)
+    # depth-1 sentence: exists x1. lab_a(x1) — true because levels alternate
+    # through the default alphabet starting at 'a'.
+    assert fo_nonempty(document, alternation_formula(1))
+    translated = alternation_query(1)
+    assert naive_nonempty(document, translated)
+    # A label that does not occur makes the sentence false.
+    assert not fo_nonempty(document, alternation_formula(1, label="zzz"))
+    assert not naive_nonempty(document, alternation_query(1, label="zzz"))

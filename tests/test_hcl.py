@@ -1,0 +1,281 @@
+"""Tests for HCL(L): AST/semantics, oracles, sharing, MC table, Fig. 8 algorithm."""
+
+import pytest
+
+from repro.errors import EvaluationError, RestrictionViolation
+from repro.trees.axes import Axis
+from repro.trees.generators import random_tree
+from repro.pplbin.ast import BStep, SelfStep, nodes_query
+from repro.pplbin.parser import parse_pplbin
+from repro.hcl.answering import HclAnswerer, answer_hcl, check_no_variable_sharing
+from repro.hcl.ast import (
+    HCompose,
+    HFilter,
+    HUnion,
+    HVar,
+    Leaf,
+    compose,
+    evaluate_hcl,
+    hcl_naive_answer,
+    union,
+)
+from repro.hcl.binding import AxisOracle, ExplicitRelationOracle, PPLbinOracle
+from repro.hcl.mc import MCTable
+from repro.hcl.sharing import (
+    SELF_QUERY,
+    SharedCompose,
+    SharedSelf,
+    SharedUnion,
+    expand,
+    normalize,
+    shared_variables,
+)
+
+
+# ---------------------------------------------------------------- AST basics
+def test_hcl_free_variables_and_size():
+    formula = HCompose(Leaf(BStep(Axis.CHILD, "a")), HVar("x"))
+    assert formula.free_variables == frozenset({"x"})
+    assert formula.size == 3
+    assert len(list(formula.leaves())) == 1
+
+
+def test_compose_and_union_builders():
+    parts = [Leaf(SelfStep()), HVar("x"), Leaf(SelfStep())]
+    assert compose(*parts).size == 5
+    assert union(Leaf(SelfStep()), HVar("y")).free_variables == frozenset({"y"})
+    with pytest.raises(ValueError):
+        compose()
+
+
+# ------------------------------------------------------------------ oracles
+def test_pplbin_oracle(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    assert oracle.successors(BStep(Axis.CHILD, None), 2) == [3, 4]
+    assert (0, 1) in oracle.pairs(BStep(Axis.CHILD, "b"))
+
+
+def test_axis_oracle(tiny_tree):
+    oracle = AxisOracle(tiny_tree)
+    assert oracle.successors(Axis.CHILD, 0) == [1, 2]
+    assert oracle.successors((Axis.CHILD, "b"), 0) == [1]
+    with pytest.raises(EvaluationError):
+        oracle.successors("child", 0)
+
+
+def test_explicit_relation_oracle():
+    oracle = ExplicitRelationOracle({"r": [(0, 1), (0, 2)]})
+    assert oracle.successors("r", 0) == [1, 2]
+    assert oracle.pairs("r") == frozenset({(0, 1), (0, 2)})
+    oracle.add("s", [(1, 1)])
+    assert oracle.successors("s", 1) == [1]
+    with pytest.raises(EvaluationError):
+        oracle.pairs("missing")
+
+
+# ----------------------------------------------------------- naive semantics
+def test_evaluate_hcl_matches_manual(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    formula = HCompose(Leaf(parse_pplbin("child::*")), HVar("x"))
+    pairs = evaluate_hcl(tiny_tree, formula, {"x": 2}, oracle)
+    assert pairs == frozenset({(0, 2)})
+    filtered = HFilter(formula)
+    assert evaluate_hcl(tiny_tree, filtered, {"x": 2}, oracle) == frozenset({(0, 0)})
+
+
+def test_evaluate_hcl_union(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    formula = HUnion(HVar("x"), HVar("y"))
+    pairs = evaluate_hcl(tiny_tree, formula, {"x": 1, "y": 3}, oracle)
+    assert pairs == frozenset({(1, 1), (3, 3)})
+
+
+# ------------------------------------------------------------------- sharing
+def test_normalize_simple_composition():
+    formula = HCompose(Leaf("b1"), HVar("x"))
+    shared, system = normalize(formula)
+    assert isinstance(shared, SharedCompose)
+    assert len(system) == 0
+
+
+def test_normalize_union_left_of_composition_introduces_parameter():
+    big_tail = HCompose(Leaf("tail1"), Leaf("tail2"))
+    formula = HCompose(HUnion(Leaf("l"), Leaf("r")), big_tail)
+    shared, system = normalize(formula)
+    assert isinstance(shared, SharedUnion)
+    assert len(system) == 1
+
+
+def test_normalize_is_linear_not_exponential():
+    # ((a ∪ b)/(a ∪ b)/... k times) would explode under naive distribution.
+    formula = HUnion(Leaf("a"), Leaf("b"))
+    for _ in range(12):
+        formula = HCompose(HUnion(Leaf("a"), Leaf("b")), formula)
+    shared, system = normalize(formula)
+    total = shared.size + system.size
+    assert total < 10 * formula.size
+
+
+def test_expand_inverts_normalize_semantically(tiny_tree):
+    oracle = ExplicitRelationOracle(
+        {
+            "child": [(0, 1), (0, 2), (2, 3), (2, 4)],
+            SELF_QUERY: [(u, u) for u in tiny_tree.nodes()],
+        }
+    )
+    formula = HCompose(HUnion(Leaf("child"), HVar("x")), HFilter(Leaf("child")))
+    shared, system = normalize(formula)
+    expanded = expand(shared, system)
+    for x_value in tiny_tree.nodes():
+        original = evaluate_hcl(tiny_tree, formula, {"x": x_value}, oracle)
+        roundtrip = evaluate_hcl(tiny_tree, expanded, {"x": x_value}, oracle)
+        assert original == roundtrip
+
+
+def test_shared_variables_follow_parameters():
+    formula = HCompose(HUnion(HVar("x"), Leaf("b")), HCompose(Leaf("b"), HVar("y")))
+    shared, system = normalize(formula)
+    assert shared_variables(shared, system) == frozenset({"x", "y"})
+
+
+# ------------------------------------------------------------------ MC table
+def test_mc_table_matches_satisfiability(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    # child::d / self  — navigable exactly from node 2.
+    formula = HCompose(Leaf(parse_pplbin("child::d")), Leaf(SelfStep()))
+    shared, system = normalize(formula)
+    table = MCTable(tiny_tree, shared, system, oracle)
+    values = {node: table.value(shared, node) for node in tiny_tree.nodes()}
+    assert values == {0: False, 1: False, 2: True, 3: False, 4: False}
+    assert table.entries_computed() > 0
+    assert table.table_size() >= 2
+
+
+def test_mc_table_variable_heads_are_always_navigable(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    shared, system = normalize(HVar("x"))
+    table = MCTable(tiny_tree, shared, system, oracle)
+    assert all(table.value(shared, node) for node in tiny_tree.nodes())
+
+
+def test_mc_table_precompute(tiny_tree):
+    oracle = PPLbinOracle(tiny_tree)
+    shared, system = normalize(HUnion(Leaf(parse_pplbin("child::d")), HVar("x")))
+    table = MCTable(tiny_tree, shared, system, oracle)
+    table.precompute()
+    assert table.entries_computed() >= tiny_tree.size
+
+
+# --------------------------------------------------------- Fig. 8 answering
+def _oracle(tree):
+    return PPLbinOracle(tree)
+
+
+def test_answering_single_variable(tiny_tree):
+    # child::* / x : x ranges over nodes that are children of something.
+    formula = HCompose(Leaf(parse_pplbin("child::*")), HVar("x"))
+    answers = answer_hcl(tiny_tree, formula, ["x"], _oracle(tiny_tree))
+    assert answers == hcl_naive_answer(tiny_tree, formula, ["x"], _oracle(tiny_tree))
+    assert answers == frozenset({(1,), (2,), (3,), (4,)})
+
+
+def test_answering_two_variables_author_title_pattern(paper_bib):
+    oracle = _oracle(paper_bib)
+    book = Leaf(parse_pplbin("descendant::book"))
+    author = HCompose(Leaf(parse_pplbin("child::author")), HVar("y"))
+    title = HCompose(Leaf(parse_pplbin("child::title")), HVar("z"))
+    formula = HCompose(book, HCompose(HFilter(author), HFilter(title)))
+    fast = answer_hcl(paper_bib, formula, ["y", "z"], oracle)
+    slow = hcl_naive_answer(paper_bib, formula, ["y", "z"], oracle)
+    assert fast == slow
+    assert len(fast) == 3
+
+
+def test_answering_union_extends_missing_variables(tiny_tree):
+    oracle = _oracle(tiny_tree)
+    formula = HUnion(HVar("x"), HVar("y"))
+    fast = answer_hcl(tiny_tree, formula, ["x", "y"], oracle)
+    slow = hcl_naive_answer(tiny_tree, formula, ["x", "y"], oracle)
+    assert fast == slow
+    # Either x is witnessed (y arbitrary) or y is witnessed (x arbitrary):
+    # the answer is the full cross product.
+    assert len(fast) == tiny_tree.size ** 2
+
+
+def test_answering_output_variable_not_in_formula(tiny_tree):
+    oracle = _oracle(tiny_tree)
+    formula = HCompose(Leaf(parse_pplbin("child::d")), HVar("x"))
+    fast = answer_hcl(tiny_tree, formula, ["x", "unused"], oracle)
+    slow = hcl_naive_answer(tiny_tree, formula, ["x", "unused"], oracle)
+    assert fast == slow
+    assert len(fast) == tiny_tree.size  # one witness for x, free choice for unused
+
+
+def test_answering_unsatisfiable_formula(tiny_tree):
+    oracle = _oracle(tiny_tree)
+    formula = HCompose(Leaf(parse_pplbin("child::zzz")), HVar("x"))
+    assert answer_hcl(tiny_tree, formula, ["x"], oracle) == frozenset()
+
+
+def test_answering_existential_variable_not_in_output(tiny_tree):
+    oracle = _oracle(tiny_tree)
+    # [child::* / y] / child::d / x : y is existential, x must be the d node
+    # reachable from a node that also has some child.
+    formula = HCompose(
+        HFilter(HCompose(Leaf(parse_pplbin("child::*")), HVar("y"))),
+        HCompose(Leaf(parse_pplbin("child::d")), HVar("x")),
+    )
+    fast = answer_hcl(tiny_tree, formula, ["x"], oracle)
+    slow = hcl_naive_answer(tiny_tree, formula, ["x"], oracle)
+    assert fast == slow == frozenset({(3,)})
+
+
+def test_answering_rejects_variable_sharing(tiny_tree):
+    formula = HCompose(HVar("x"), HVar("x"))
+    with pytest.raises(RestrictionViolation):
+        answer_hcl(tiny_tree, formula, ["x"], _oracle(tiny_tree))
+    with pytest.raises(RestrictionViolation):
+        check_no_variable_sharing(HCompose(HFilter(HVar("x")), HVar("x")))
+
+
+def test_check_no_variable_sharing_accepts_unions(tiny_tree):
+    check_no_variable_sharing(HUnion(HVar("x"), HVar("x")))
+
+
+def test_answerer_nonempty(paper_bib):
+    answerer = HclAnswerer(paper_bib, _oracle(paper_bib))
+    assert answerer.nonempty(HCompose(Leaf(parse_pplbin("descendant::price")), HVar("x")))
+    assert not answerer.nonempty(HCompose(Leaf(parse_pplbin("descendant::zzz")), HVar("x")))
+
+
+def test_answering_against_naive_on_random_trees():
+    oracle_queries = [
+        HCompose(Leaf(parse_pplbin("descendant::a")), HVar("x")),
+        HCompose(
+            Leaf(parse_pplbin("descendant::*")),
+            HCompose(
+                HFilter(HCompose(Leaf(parse_pplbin("child::a")), HVar("x"))),
+                HCompose(Leaf(parse_pplbin("child::b")), HVar("y")),
+            ),
+        ),
+        HUnion(
+            HCompose(Leaf(parse_pplbin("child::a")), HVar("x")),
+            HCompose(Leaf(parse_pplbin("descendant::b")), HVar("x")),
+        ),
+    ]
+    for seed in (1, 2):
+        tree = random_tree(9, seed=seed)
+        oracle = PPLbinOracle(tree)
+        for formula in oracle_queries:
+            variables = sorted(formula.free_variables)
+            assert answer_hcl(tree, formula, variables, oracle) == hcl_naive_answer(
+                tree, formula, variables, oracle
+            )
+
+
+def test_answer_shared_direct_entry(tiny_tree):
+    oracle = _oracle(tiny_tree)
+    formula = HCompose(Leaf(parse_pplbin("child::*")), HVar("x"))
+    shared, system = normalize(formula)
+    answerer = HclAnswerer(tiny_tree, oracle)
+    assert answerer.answer_shared(shared, system, ["x"]) == answerer.answer(formula, ["x"])

@@ -1,0 +1,134 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These exercise the full pipelines the paper describes:
+
+* FO  →  Core XPath 2.0  →  naive answers  vs  FO semantics (Prop. 1),
+* PPL →  HCL⁻(PPLbin)  →  sharing  →  MC  →  Fig. 8 answers  vs  naive
+  Core XPath 2.0 answers (Theorem 1),
+* ACQ → HCL⁻ → Fig. 8 vs Yannakakis (Section 6),
+* the SAT reduction evaluated by the naive engine vs DPLL (Prop. 3),
+* documents travelling through XML serialisation and the binary encoding.
+"""
+
+import pytest
+
+from repro import NaiveEngine, PPLEngine, answer, compile_query
+from repro.fo import fo_answer, fo_to_core_xpath, parse_fo
+from repro.hardness import random_3cnf, reduce_sat_to_xpath
+from repro.hcl import Atom, ConjunctiveQuery, yannakakis_answer
+from repro.hcl.acq import acq_to_hcl
+from repro.hcl.answering import answer_hcl
+from repro.hcl.binding import PPLbinOracle
+from repro.pplbin import parse_pplbin
+from repro.pplbin.corexpath1 import invert
+from repro.trees.binary import binary_decode, binary_encode
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+from repro.workloads import (
+    bibliography_pair_query,
+    generate_bibliography,
+    generate_restaurants,
+    restaurant_query,
+)
+
+
+def test_paper_introduction_pipeline():
+    """The paper's author/title example, end to end on a generated document."""
+    document = generate_bibliography(5, authors_per_book=2, titles_per_book=2, seed=0)
+    query, variables = bibliography_pair_query()
+
+    polynomial = PPLEngine(document).answer(query, variables)
+    exponential = NaiveEngine(document).answer(query, variables)
+    assert polynomial == exponential
+    assert len(polynomial) == 5 * 2 * 2
+
+    # The answers survive an XML round trip (node identifiers are stable
+    # because serialisation preserves document order).
+    reloaded = tree_from_xml(tree_to_xml(document))
+    assert PPLEngine(reloaded).answer(query, variables) == polynomial
+
+
+def test_restaurant_pipeline_medium_width():
+    document = generate_restaurants(5, num_attributes=4, missing_probability=0.3, seed=3)
+    query, variables = restaurant_query(4)
+    polynomial = PPLEngine(document).answer(query, variables)
+    # The naive engine would enumerate |t|^4 assignments here (~20k): still
+    # feasible, and it must agree.
+    exponential = NaiveEngine(document).answer(query, variables)
+    assert polynomial == exponential
+
+
+def test_fo_to_xpath_to_answers_round_trip():
+    document = generate_bibliography(3, authors_per_book=1, seed=1)
+    phi = parse_fo("lab[book](b) and ch(b,y) and lab[author](y)")
+    via_fo = fo_answer(document, phi, ["b", "y"])
+    via_xpath = NaiveEngine(document).answer(fo_to_core_xpath(phi), ["b", "y"])
+    via_ppl = PPLEngine(document).answer(
+        "descendant::book[. is $b]/child::author[. is $y]", ["b", "y"]
+    )
+    assert via_fo == via_xpath == via_ppl
+
+
+def test_acq_three_way_agreement():
+    document = generate_bibliography(4, authors_per_book=2, seed=6)
+    oracle = PPLbinOracle(document)
+    author = parse_pplbin("[self::book]/child::author")
+    title = parse_pplbin("[self::book]/child::title")
+    reach = parse_pplbin("(ancestor::* union self)/(descendant::* union self)")
+    acq = ConjunctiveQuery((Atom(author, "b", "y"), Atom(title, "b", "z")), ("y", "z"))
+
+    yann = yannakakis_answer(
+        acq, {author: oracle.pairs(author), title: oracle.pairs(title)}, list(document.nodes())
+    )
+    fig8 = answer_hcl(document, acq_to_hcl(acq, chstar=reach, invert=invert), ["y", "z"], oracle)
+    ppl = PPLEngine(document).answer(
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]", ["y", "z"]
+    )
+    assert yann == fig8 == ppl
+
+
+def test_sat_reduction_agrees_with_dpll_end_to_end():
+    for seed in (2, 3):
+        formula = random_3cnf(3, 6, seed=seed)
+        reduction = reduce_sat_to_xpath(formula)
+        assert reduction.nonempty_naive() == reduction.satisfiable_dpll()
+
+
+def test_binary_encoding_preserves_query_answers():
+    document = generate_bibliography(2, authors_per_book=1, seed=8)
+    roundtripped = binary_decode(binary_encode(document, pad=True))
+    query, variables = bibliography_pair_query()
+    assert PPLEngine(roundtripped).answer(query, variables) == PPLEngine(document).answer(
+        query, variables
+    )
+
+
+def test_compiled_query_across_documents_matches_per_document_engines():
+    compiled = compile_query(*bibliography_pair_query())
+    for books in (1, 3, 6):
+        document = generate_bibliography(books, authors_per_book=1, seed=books)
+        assert compiled.run(document) == answer(document, *bibliography_pair_query())
+
+
+def test_answer_sets_scale_with_answer_size_not_candidate_space():
+    # Same tree size, very different |A|: the engine must return exactly the
+    # expected cardinalities (paper's output-sensitivity motivation).
+    narrow = generate_bibliography(8, authors_per_book=1, titles_per_book=1, decoys_per_book=3, seed=1)
+    wide = generate_bibliography(8, authors_per_book=3, titles_per_book=2, decoys_per_book=0, seed=1)
+    query, variables = bibliography_pair_query()
+    assert len(PPLEngine(narrow).answer(query, variables)) == 8
+    assert len(PPLEngine(wide).answer(query, variables)) == 8 * 6
+
+
+def test_engine_reuse_across_many_queries():
+    document = generate_bibliography(3, authors_per_book=2, seed=12)
+    engine = PPLEngine(document)
+    naive = NaiveEngine(document)
+    queries = [
+        ("descendant::author[. is $x]", ["x"]),
+        ("descendant::book[child::price][. is $x]", ["x"]),
+        ("descendant::book[. is $b]/child::author[. is $x]", ["b", "x"]),
+        ("child::book[not(child::price)][. is $b]", ["b"]),
+        ("descendant::*[$x is $y]", ["x", "y"]),
+    ]
+    for text, variables in queries:
+        assert engine.answer(text, variables) == naive.answer(text, variables), text

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+Each property cross-checks a polynomial algorithm against a naive oracle on
+randomly generated trees and expressions, or asserts a structural invariant
+of the data model.  Sizes are kept small so the exponential oracles remain
+fast; hypothesis' shrinking then produces minimal counterexamples on failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trees.axes import AXES, Axis, axis_matrix, axis_pairs, iter_axis
+from repro.trees.binary import binary_decode, binary_encode
+from repro.trees.generators import random_tree
+from repro.trees.tree import Tree
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+from repro.pplbin.evaluator import evaluate_pairs
+from repro.pplbin.translate import to_core_xpath
+from repro.xpath.semantics import evaluate_path
+from repro.xpath.naive import NaiveEngine
+from repro.hcl.answering import answer_hcl
+from repro.hcl.ast import hcl_naive_answer
+from repro.hcl.binding import PPLbinOracle
+from repro.hcl.sharing import normalize, shared_variables
+from repro.core.engine import PPLEngine
+from repro.core.ppl import is_ppl
+from repro.core.translate import hcl_to_ppl, ppl_to_hcl
+from repro.workloads.query_gen import (
+    random_hcl_formula,
+    random_ppl_expression,
+    random_pplbin_expression,
+)
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Strategy producing small random trees through the deterministic generator.
+tree_sizes = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _make_tree(size: int, seed: int) -> Tree:
+    return random_tree(size, alphabet=("a", "b", "c"), seed=seed)
+
+
+# ----------------------------------------------------------------- data model
+@_SETTINGS
+@given(tree_sizes, seeds)
+def test_preorder_intervals_characterise_descendants(size, seed):
+    tree = _make_tree(size, seed)
+    for node in tree.nodes():
+        descendants = set(tree.descendants(node))
+        by_parent_walk = {
+            other
+            for other in tree.nodes()
+            if other != node and _has_ancestor(tree, other, node)
+        }
+        assert descendants == by_parent_walk
+
+
+def _has_ancestor(tree: Tree, node: int, candidate: int) -> bool:
+    current = tree.parent[node]
+    while current is not None:
+        if current == candidate:
+            return True
+        current = tree.parent[current]
+    return False
+
+
+@_SETTINGS
+@given(tree_sizes, seeds)
+def test_axis_matrix_agrees_with_iterators(size, seed):
+    tree = _make_tree(size, seed)
+    for axis in (Axis.CHILD, Axis.DESCENDANT, Axis.FOLLOWING, Axis.PRECEDING_SIBLING):
+        matrix = axis_matrix(tree, axis)
+        for node in tree.nodes():
+            assert set(iter_axis(tree, axis, node)) == set(
+                target for target in tree.nodes() if matrix[node, target]
+            )
+
+
+@_SETTINGS
+@given(tree_sizes, seeds)
+def test_axis_inverse_pairs(size, seed):
+    tree = _make_tree(size, seed)
+    assert axis_pairs(tree, Axis.ANCESTOR) == frozenset(
+        (v, u) for (u, v) in axis_pairs(tree, Axis.DESCENDANT)
+    )
+    assert axis_pairs(tree, Axis.PRECEDING) == frozenset(
+        (v, u) for (u, v) in axis_pairs(tree, Axis.FOLLOWING)
+    )
+
+
+@_SETTINGS
+@given(tree_sizes, seeds)
+def test_xml_roundtrip_property(size, seed):
+    tree = _make_tree(size, seed)
+    assert tree_from_xml(tree_to_xml(tree)) == tree
+    assert tree_from_xml(tree_to_xml(tree, indent=True)) == tree
+
+
+@_SETTINGS
+@given(tree_sizes, seeds, st.booleans())
+def test_binary_encoding_roundtrip_property(size, seed, pad):
+    tree = _make_tree(size, seed)
+    assert binary_decode(binary_encode(tree, pad=pad)) == tree
+
+
+# -------------------------------------------------------------------- PPLbin
+@_SETTINGS
+@given(tree_sizes, seeds, st.integers(min_value=1, max_value=7), seeds)
+def test_pplbin_matrix_evaluator_matches_fig2_semantics(size, tree_seed, expr_size, expr_seed):
+    tree = _make_tree(size, tree_seed)
+    expression = random_pplbin_expression(expr_size, alphabet=("a", "b", "c"), seed=expr_seed)
+    assert evaluate_pairs(tree, expression) == evaluate_path(
+        tree, to_core_xpath(expression)
+    )
+
+
+# --------------------------------------------------------------------- HCL⁻
+@_SETTINGS
+@given(
+    st.integers(min_value=2, max_value=7),
+    seeds,
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2),
+    seeds,
+)
+def test_fig8_matches_naive_hcl_answering(size, tree_seed, formula_size, num_vars, formula_seed):
+    tree = _make_tree(size, tree_seed)
+    formula, variables = random_hcl_formula(
+        formula_size, num_variables=num_vars, seed=formula_seed
+    )
+    oracle = PPLbinOracle(tree)
+    assert answer_hcl(tree, formula, variables, oracle) == hcl_naive_answer(
+        tree, formula, variables, oracle
+    )
+
+
+@_SETTINGS
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=3), seeds)
+def test_sharing_normalisation_preserves_variables_and_stays_linear(
+    formula_size, num_vars, formula_seed
+):
+    formula, _ = random_hcl_formula(formula_size, num_variables=num_vars, seed=formula_seed)
+    shared, system = normalize(formula)
+    assert shared_variables(shared, system) == formula.free_variables
+    assert shared.size + system.size <= 4 * formula.size + 4
+
+
+# ----------------------------------------------------------------------- PPL
+@_SETTINGS
+@given(
+    st.integers(min_value=2, max_value=8),
+    seeds,
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2),
+    seeds,
+)
+def test_generated_ppl_expressions_answer_like_naive(
+    size, tree_seed, expr_size, num_vars, expr_seed
+):
+    tree = _make_tree(size, tree_seed)
+    expression, variables = random_ppl_expression(
+        expr_size, num_variables=num_vars, seed=expr_seed
+    )
+    assert is_ppl(expression)
+    fast = PPLEngine(tree).answer(expression, variables)
+    slow = NaiveEngine(tree).answer(expression, variables)
+    assert fast == slow
+
+
+@_SETTINGS
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2), seeds)
+def test_fig7_roundtrip_stays_in_ppl(expr_size, num_vars, expr_seed):
+    expression, _ = random_ppl_expression(expr_size, num_variables=num_vars, seed=expr_seed)
+    formula = ppl_to_hcl(expression)
+    back = hcl_to_ppl(formula)
+    assert is_ppl(back)
+
+
+@_SETTINGS
+@given(
+    st.integers(min_value=2, max_value=7),
+    seeds,
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=2),
+    seeds,
+)
+def test_fig7_roundtrip_preserves_answers(size, tree_seed, expr_size, num_vars, expr_seed):
+    tree = _make_tree(size, tree_seed)
+    expression, variables = random_ppl_expression(
+        expr_size, num_variables=num_vars, seed=expr_seed
+    )
+    back = hcl_to_ppl(ppl_to_hcl(expression))
+    naive = NaiveEngine(tree)
+    assert naive.answer(back, variables) == naive.answer(expression, variables)

@@ -1,0 +1,159 @@
+"""Unit tests for the tree data model (repro.trees.tree)."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree, tree_from_tuple, validate_parent_child_consistency
+
+
+def test_node_counts_subtree():
+    node = Node("a", Node("b", Node("c")), Node("d"))
+    assert node.count() == 4
+
+
+def test_node_children_from_iterable():
+    node = Node("a", [Node("b"), Node("c")])
+    assert [child.label for child in node.children] == ["b", "c"]
+
+
+def test_node_add_returns_child():
+    root = Node("a")
+    child = root.add(Node("b"))
+    assert child.label == "b"
+    assert root.children == [child]
+
+
+def test_tree_preorder_ids_are_document_order(tiny_tree):
+    # a(b, c(d, b)) -> preorder: a=0, b=1, c=2, d=3, b=4
+    assert tiny_tree.labels == ["a", "b", "c", "d", "b"]
+
+
+def test_tree_parent_and_children(tiny_tree):
+    assert tiny_tree.parent[0] is None
+    assert tiny_tree.children(0) == (1, 2)
+    assert tiny_tree.children(2) == (3, 4)
+    assert tiny_tree.parent[4] == 2
+
+
+def test_tree_sibling_links(tiny_tree):
+    assert tiny_tree.next_sibling[1] == 2
+    assert tiny_tree.prev_sibling[2] == 1
+    assert tiny_tree.next_sibling[4] is None
+    assert tiny_tree.prev_sibling[3] is None
+
+
+def test_tree_depths(tiny_tree):
+    assert tiny_tree.depth == [0, 1, 1, 2, 2]
+
+
+def test_tree_size_and_len(tiny_tree):
+    assert tiny_tree.size == 5
+    assert len(tiny_tree) == 5
+
+
+def test_is_ancestor(tiny_tree):
+    assert tiny_tree.is_ancestor(0, 3)
+    assert tiny_tree.is_ancestor(2, 4)
+    assert not tiny_tree.is_ancestor(1, 3)
+    assert not tiny_tree.is_ancestor(3, 3)
+    assert tiny_tree.is_ancestor_or_self(3, 3)
+
+
+def test_descendants_and_ancestors(tiny_tree):
+    assert list(tiny_tree.descendants(2)) == [3, 4]
+    assert list(tiny_tree.ancestors(4)) == [2, 0]
+    assert list(tiny_tree.descendants(1)) == []
+
+
+def test_least_common_ancestor(tiny_tree):
+    assert tiny_tree.least_common_ancestor(3, 4) == 2
+    assert tiny_tree.least_common_ancestor(1, 4) == 0
+    assert tiny_tree.least_common_ancestor(3, 3) == 3
+    assert tiny_tree.least_common_ancestor(0, 4) == 0
+
+
+def test_nodes_with_label(tiny_tree):
+    assert tiny_tree.nodes_with_label("b") == (1, 4)
+    assert tiny_tree.nodes_with_label("missing") == ()
+    assert tiny_tree.alphabet() == frozenset({"a", "b", "c", "d"})
+
+
+def test_document_order(tiny_tree):
+    assert tiny_tree.document_order(1, 3) == -1
+    assert tiny_tree.document_order(3, 1) == 1
+    assert tiny_tree.document_order(2, 2) == 0
+
+
+def test_subtree_extraction(tiny_tree):
+    sub = tiny_tree.subtree(2)
+    assert sub.labels == ["c", "d", "b"]
+    mapping = tiny_tree.subtree_node_map(2)
+    assert mapping == {2: 0, 3: 1, 4: 2}
+
+
+def test_to_node_roundtrip(tiny_tree):
+    rebuilt = Tree(tiny_tree.to_node())
+    assert rebuilt == tiny_tree
+
+
+def test_to_tuple(tiny_tree):
+    assert tiny_tree.to_tuple() == ("a", (("b", ()), ("c", (("d", ()), ("b", ())))))
+
+
+def test_tree_from_tuple_roundtrip(tiny_tree):
+    assert tree_from_tuple(tiny_tree.to_tuple()) == tiny_tree
+
+
+def test_tree_from_tuple_accepts_bare_strings():
+    tree = tree_from_tuple(("a", ("b", "c")))
+    assert tree.labels == ["a", "b", "c"]
+
+
+def test_tree_equality_and_hash(tiny_tree):
+    other = Tree(Node("a", Node("b"), Node("c", Node("d"), Node("b"))))
+    assert other == tiny_tree
+    assert hash(other) == hash(tiny_tree)
+    different = Tree(Node("a", Node("b")))
+    assert different != tiny_tree
+
+
+def test_invalid_node_ids_raise(tiny_tree):
+    with pytest.raises(TreeError):
+        tiny_tree.label(99)
+    with pytest.raises(TreeError):
+        tiny_tree.children(-1)
+    with pytest.raises(TreeError):
+        tiny_tree.label(True)  # booleans are not node identifiers
+
+
+def test_tree_requires_node_root():
+    with pytest.raises(TreeError):
+        Tree("not a node")
+
+
+def test_root_and_leaves(tiny_tree):
+    assert tiny_tree.root() == 0
+    assert tiny_tree.is_leaf(1)
+    assert not tiny_tree.is_leaf(2)
+
+
+def test_internal_consistency(tiny_tree, deep_tree, wide_tree):
+    for tree in (tiny_tree, deep_tree, wide_tree):
+        validate_parent_child_consistency(tree)
+
+
+def test_deep_tree_construction_is_iterative():
+    # Depth far beyond Python's default recursion limit must still work.
+    current = Node("a")
+    for _ in range(5000):
+        current = Node("a", current)
+    tree = Tree(current)
+    assert tree.size == 5001
+    assert tree.depth[tree.size - 1] == 5000
+    assert tree.to_tuple()[0] == "a"
+
+
+def test_subtree_end_intervals(tiny_tree):
+    assert tiny_tree.subtree_end[0] == 4
+    assert tiny_tree.subtree_end[1] == 1
+    assert tiny_tree.subtree_end[2] == 4

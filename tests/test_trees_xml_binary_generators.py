@@ -1,0 +1,164 @@
+"""Tests for XML I/O, the binary encoding and the tree generators."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.binary import (
+    NIL_LABEL,
+    BinaryNode,
+    binary_decode,
+    binary_encode,
+    binary_to_unranked_tree,
+)
+from repro.trees.generators import (
+    binary_random_tree,
+    chain_tree,
+    complete_tree,
+    random_shallow_tree,
+    random_tree,
+    star_tree,
+)
+from repro.trees.tree import Node, Tree
+from repro.trees.xml_io import tree_from_xml, tree_to_xml
+
+
+# ----------------------------------------------------------------- XML I/O
+def test_xml_roundtrip(paper_bib):
+    assert tree_from_xml(tree_to_xml(paper_bib)) == paper_bib
+
+
+def test_xml_roundtrip_indented(paper_bib):
+    assert tree_from_xml(tree_to_xml(paper_bib, indent=True)) == paper_bib
+
+
+def test_xml_import_ignores_text_and_attributes():
+    tree = tree_from_xml('<a x="1">hello<b/>world<c><d/></c></a>')
+    assert tree.labels == ["a", "b", "c", "d"]
+
+
+def test_xml_import_strips_namespaces():
+    tree = tree_from_xml('<a xmlns="http://example.org/ns"><b/></a>')
+    assert tree.labels == ["a", "b"]
+
+
+def test_xml_invalid_document_raises():
+    with pytest.raises(TreeError):
+        tree_from_xml("<a><b></a>")
+
+
+def test_xml_leaf_document():
+    tree = tree_from_xml("<single/>")
+    assert tree.size == 1
+    assert tree_to_xml(tree) == "<single/>"
+
+
+# ---------------------------------------------------------- binary encoding
+def test_binary_encode_structure(tiny_tree):
+    encoded = binary_encode(tiny_tree)
+    # root a: left = first child b, no right (root has no sibling)
+    assert encoded.label == "a"
+    assert encoded.right is None
+    assert encoded.left.label == "b"
+    assert encoded.left.right.label == "c"
+    assert encoded.left.right.left.label == "d"
+    assert encoded.left.right.left.right.label == "b"
+
+
+def test_binary_roundtrip(tiny_tree, paper_bib, wide_tree, deep_tree):
+    for tree in (tiny_tree, paper_bib, wide_tree, deep_tree):
+        assert binary_decode(binary_encode(tree)) == tree
+        assert binary_decode(binary_encode(tree, pad=True)) == tree
+
+
+def test_binary_encode_padded_is_full(tiny_tree):
+    encoded = binary_encode(tiny_tree, pad=True)
+    stack = [encoded]
+    while stack:
+        node = stack.pop()
+        if node.label == NIL_LABEL:
+            assert node.left is None and node.right is None
+            continue
+        assert node.left is not None and node.right is not None
+        stack.extend([node.left, node.right])
+
+
+def test_binary_decode_rejects_root_with_sibling():
+    bad = BinaryNode("a", right=BinaryNode("b"))
+    with pytest.raises(TreeError):
+        binary_decode(bad)
+
+
+def test_binary_node_size_and_tuple():
+    node = BinaryNode("a", BinaryNode("b"), BinaryNode("c", BinaryNode("d")))
+    assert node.size() == 4
+    assert node.to_tuple() == ("a", ("b", None, None), ("c", ("d", None, None), None))
+
+
+def test_binary_to_unranked_tree():
+    node = BinaryNode("a", BinaryNode("b"), BinaryNode("c"))
+    tree = binary_to_unranked_tree(node)
+    assert tree.labels == ["a", "b", "c"]
+    assert tree.children(0) == (1, 2)
+
+
+def test_binary_encode_preserves_size(paper_bib):
+    assert binary_encode(paper_bib).size() == paper_bib.size
+
+
+# --------------------------------------------------------------- generators
+def test_chain_tree_shape():
+    tree = chain_tree(5)
+    assert tree.size == 5
+    assert tree.depth[4] == 4
+    with pytest.raises(TreeError):
+        chain_tree(0)
+
+
+def test_star_tree_shape():
+    tree = star_tree(4)
+    assert tree.size == 5
+    assert all(tree.parent[i] == 0 for i in range(1, 5))
+
+
+def test_complete_tree_size():
+    tree = complete_tree(2, 3)
+    assert tree.size == 15  # 1 + 2 + 4 + 8
+    assert complete_tree(3, 0).size == 1
+    with pytest.raises(TreeError):
+        complete_tree(0, 2)
+
+
+def test_random_tree_is_deterministic():
+    assert random_tree(40, seed=7) == random_tree(40, seed=7)
+    assert random_tree(40, seed=7) != random_tree(40, seed=8)
+
+
+def test_random_tree_size_and_alphabet():
+    tree = random_tree(25, alphabet=("x", "y"), seed=3)
+    assert tree.size == 25
+    assert tree.alphabet() <= {"x", "y"}
+
+
+def test_random_tree_respects_max_fanout():
+    tree = random_tree(30, seed=5, max_fanout=2)
+    assert all(len(tree.children(node)) <= 2 for node in tree.nodes())
+
+
+def test_random_shallow_tree_respects_depth():
+    tree = random_shallow_tree(40, depth_limit=3, seed=1)
+    assert tree.size == 40
+    assert max(tree.depth) <= 3
+
+
+def test_binary_random_tree_has_fanout_two():
+    tree = binary_random_tree(20, seed=9)
+    assert all(len(tree.children(node)) <= 2 for node in tree.nodes())
+
+
+def test_generators_reject_bad_arguments():
+    with pytest.raises(TreeError):
+        random_tree(0)
+    with pytest.raises(TreeError):
+        star_tree(-1)
+    with pytest.raises(TreeError):
+        random_shallow_tree(5, depth_limit=-1)

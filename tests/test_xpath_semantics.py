@@ -1,0 +1,171 @@
+"""Tests for the Fig. 2 semantics and the naive engine (repro.xpath)."""
+
+import pytest
+
+from repro.errors import UnboundVariableError
+from repro.xpath.analysis import (
+    contains_for_loop,
+    contains_variables,
+    count_operators,
+    expression_size,
+    is_variable_free,
+    shared_variables_in_compositions,
+    variables_below_intersection,
+    variables_below_negation,
+)
+from repro.xpath.naive import NaiveEngine, naive_answer, naive_nonempty
+from repro.xpath.parser import parse_path, parse_test
+from repro.xpath.semantics import evaluate_path, evaluate_test, path_nonempty
+
+
+# ----------------------------------------------------------- path semantics
+def test_step_semantics(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("child::b"))
+    assert pairs == frozenset({(0, 1), (2, 4)})
+
+
+def test_context_item_is_identity(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("."))
+    assert pairs == frozenset((u, u) for u in tiny_tree.nodes())
+
+
+def test_variable_reference(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("$x"), {"x": 3})
+    assert pairs == frozenset((u, 3) for u in tiny_tree.nodes())
+
+
+def test_variable_reference_requires_binding(tiny_tree):
+    with pytest.raises(UnboundVariableError):
+        evaluate_path(tiny_tree, parse_path("$x"))
+
+
+def test_composition_semantics(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("child::c/child::d"))
+    assert pairs == frozenset({(0, 3)})
+
+
+def test_union_intersect_except(tiny_tree):
+    union = evaluate_path(tiny_tree, parse_path("child::b union child::c"))
+    assert union == frozenset({(0, 1), (2, 4), (0, 2)})
+    intersect = evaluate_path(tiny_tree, parse_path("descendant::* intersect child::*"))
+    assert intersect == evaluate_path(tiny_tree, parse_path("child::*"))
+    diff = evaluate_path(tiny_tree, parse_path("descendant::* except child::*"))
+    assert diff == frozenset({(0, 3), (0, 4)})
+
+
+def test_filter_semantics(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("descendant::*[child::d]"))
+    assert pairs == frozenset({(0, 2)})
+
+
+def test_filter_with_variable_comparison(tiny_tree):
+    pairs = evaluate_path(tiny_tree, parse_path("child::*[. is $v]"), {"v": 2})
+    assert pairs == frozenset({(0, 2)})
+    # node 3 is a child of node 2, so binding v to it yields exactly (2, 3)
+    assert evaluate_path(tiny_tree, parse_path("child::*[. is $v]"), {"v": 3}) == frozenset(
+        {(2, 3)}
+    )
+
+
+def test_for_loop_semantics(tiny_tree):
+    # for $x in child::* return $x/child::d — non-empty exactly when some
+    # child of the start node has a d child.
+    pairs = evaluate_path(tiny_tree, parse_path("for $x in child::* return $x/child::d"))
+    assert (0, 3) in pairs
+    assert all(source == 0 for source, _ in pairs)
+
+
+def test_for_loop_respects_outer_assignment(tiny_tree):
+    expr = parse_path("for $x in child::* return .[$x/child::*[. is $y]]")
+    assert evaluate_path(tiny_tree, expr, {"y": 3})
+    assert not evaluate_path(tiny_tree, expr, {"y": 1})
+
+
+def test_path_nonempty(tiny_tree):
+    assert path_nonempty(tiny_tree, parse_path("descendant::d"))
+    assert not path_nonempty(tiny_tree, parse_path("descendant::zzz"))
+
+
+# ----------------------------------------------------------- test semantics
+def test_path_test(tiny_tree):
+    satisfied = evaluate_test(tiny_tree, parse_test("child::d"))
+    assert satisfied == frozenset({2})
+
+
+def test_comparison_tests(tiny_tree):
+    assert evaluate_test(tiny_tree, parse_test(". is ."), {}) == frozenset(tiny_tree.nodes())
+    assert evaluate_test(tiny_tree, parse_test(". is $x"), {"x": 4}) == frozenset({4})
+    assert evaluate_test(tiny_tree, parse_test("$x is $y"), {"x": 4, "y": 4}) == frozenset({4})
+    assert evaluate_test(tiny_tree, parse_test("$x is $y"), {"x": 4, "y": 3}) == frozenset()
+
+
+def test_boolean_tests(tiny_tree):
+    assert evaluate_test(tiny_tree, parse_test("not child::*")) == frozenset({1, 3, 4})
+    assert evaluate_test(
+        tiny_tree, parse_test("child::* and parent::*")
+    ) == frozenset({2})
+    assert evaluate_test(
+        tiny_tree, parse_test("child::d or not parent::*")
+    ) == frozenset({0, 2})
+
+
+# --------------------------------------------------------------- naive engine
+def test_naive_answer_binds_free_variables(paper_bib):
+    query = "descendant::book[child::author[. is $y] and child::title[. is $z]]"
+    answers = naive_answer(paper_bib, query, ["y", "z"])
+    # Books: (author,title,year), (author,author,title), (title,price)
+    # -> 1*1 + 2*1 + 0 = 3 pairs.
+    assert len(answers) == 3
+    for author, title in answers:
+        assert paper_bib.labels[author] == "author"
+        assert paper_bib.labels[title] == "title"
+        assert paper_bib.parent[author] == paper_bib.parent[title]
+
+
+def test_naive_answer_unconstrained_variable_ranges_over_all_nodes(tiny_tree):
+    answers = naive_answer(tiny_tree, "child::b", ["free"])
+    assert answers == frozenset((node,) for node in tiny_tree.nodes())
+
+
+def test_naive_answer_empty_when_query_unsatisfiable(tiny_tree):
+    assert naive_answer(tiny_tree, "child::zzz[. is $x]", ["x"]) == frozenset()
+
+
+def test_naive_nonempty(tiny_tree):
+    assert naive_nonempty(tiny_tree, "descendant::*[. is $x]")
+    assert not naive_nonempty(tiny_tree, "child::zzz[. is $x]")
+
+
+def test_naive_engine_facade(paper_bib):
+    engine = NaiveEngine(paper_bib)
+    query = "descendant::book[child::author[. is $y] and child::title[. is $z]]"
+    assert engine.answer(query, ["y", "z"]) == naive_answer(paper_bib, query, ["y", "z"])
+    assert engine.nonempty(query)
+    batch = engine.answer_many([(query, ["y", "z"]), ("child::book", ["w"])])
+    assert len(batch) == 2
+
+
+# ------------------------------------------------------------------ analysis
+def test_analysis_helpers():
+    expr = parse_path("for $x in child::a return $x[. is $y]")
+    assert contains_for_loop(expr)
+    assert contains_variables(expr)
+    assert not is_variable_free(expr)
+    assert expression_size(expr) == expr.size
+
+    shared = parse_path(".[. is $x]/.[. is $x]")
+    assert shared_variables_in_compositions(shared) == frozenset({"x"})
+
+    negated = parse_path(".[not(child::*[. is $x])]")
+    assert variables_below_negation(negated) == frozenset({"x"})
+
+    inter = parse_path("$x intersect child::a")
+    assert variables_below_intersection(inter) == frozenset({"x"})
+
+    histogram = count_operators(parse_path("child::a/child::b"))
+    assert histogram["Step"] == 2
+    assert histogram["PathCompose"] == 1
+
+
+def test_is_variable_free_on_pure_path():
+    assert is_variable_free(parse_path("descendant::a[child::b]/parent::*"))

@@ -5,46 +5,46 @@ output-sensitive.  On a fixed small restaurant document the naive engine's
 cost explodes with the tuple width n while the polynomial engine barely
 moves — the crossover is already at n = 2.  (The naive series stops at n = 3
 to keep the harness runtime bounded; the trend is unambiguous.)
+
+Both series now run through the :mod:`repro.api` facade: one shared
+:class:`Document` per engine, the backend resolved through the registry, so
+the benchmark exercises exactly the dispatch path applications use.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import PPLEngine
-from repro.xpath.naive import NaiveEngine
+from repro.api import Document
 from repro.workloads.restaurants import generate_restaurants, restaurant_query
 
-from bench_utils import run_once
+from bench_utils import attach_report, run_once
 
 #: One shared small document so the two engines face identical inputs.
-DOCUMENT = generate_restaurants(2, num_attributes=3, decoys_per_restaurant=0, seed=0)
+DOCUMENT = Document(
+    generate_restaurants(2, num_attributes=3, decoys_per_restaurant=0, seed=0)
+)
 
 POLY_WIDTHS = [1, 2, 3]
 NAIVE_WIDTHS = [1, 2, 3]
 
 
-@pytest.mark.parametrize("width", POLY_WIDTHS)
-def test_ppl_engine(benchmark, width):
-    query, variables = restaurant_query(width)
-    engine = PPLEngine(DOCUMENT)
+def _bench_engine(benchmark, width: int, engine: str) -> None:
+    expression, variables = restaurant_query(width)
+    query = DOCUMENT.compile(expression, variables)
 
-    answers = run_once(benchmark, engine.answer, query, variables)
-    benchmark.extra_info["engine"] = "ppl"
+    answers = run_once(benchmark, DOCUMENT.answer, query, engine=engine)
+    attach_report(benchmark, DOCUMENT.report(query, engine=engine))
     benchmark.extra_info["tuple_width"] = width
-    benchmark.extra_info["tree_size"] = DOCUMENT.size
     benchmark.extra_info["answer_size"] = len(answers)
     benchmark.extra_info["candidate_space"] = DOCUMENT.size ** width
+
+
+@pytest.mark.parametrize("width", POLY_WIDTHS)
+def test_ppl_engine(benchmark, width):
+    _bench_engine(benchmark, width, "polynomial")
 
 
 @pytest.mark.parametrize("width", NAIVE_WIDTHS)
 def test_naive_engine(benchmark, width):
-    query, variables = restaurant_query(width)
-    engine = NaiveEngine(DOCUMENT)
-
-    answers = run_once(benchmark, engine.answer, query, variables)
-    benchmark.extra_info["engine"] = "naive"
-    benchmark.extra_info["tuple_width"] = width
-    benchmark.extra_info["tree_size"] = DOCUMENT.size
-    benchmark.extra_info["answer_size"] = len(answers)
-    benchmark.extra_info["candidate_space"] = DOCUMENT.size ** width
+    _bench_engine(benchmark, width, "naive")

@@ -16,3 +16,13 @@ def run_once(benchmark, function, *args, **kwargs):
 def run_single(benchmark, function, *args, **kwargs):
     """Benchmark ``function`` with exactly one round (for the slowest baselines)."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_report(benchmark, report) -> None:
+    """Merge a :class:`repro.api.QueryReport` into the benchmark's extra_info.
+
+    pytest-benchmark serialises ``extra_info`` into its saved JSON, so every
+    field of the report (expression/HCL sizes, arity, answer count, engine,
+    tree size) becomes machine-readable bench output.
+    """
+    benchmark.extra_info.update(report.to_dict())

@@ -1,4 +1,4 @@
-"""Acyclic conjunctive queries over XPath axes, answered three ways.
+"""Acyclic conjunctive queries over XPath axes, answered four ways.
 
 Section 6 of the paper identifies the union-free fragment of HCL⁻ with
 acyclic conjunctive queries over binary relations, answerable with
@@ -12,30 +12,31 @@ as atoms over PPLbin binary queries, and answers the (y, z) projection with:
 
 1. Yannakakis' semi-join algorithm on the materialised relations;
 2. the Fig. 8 HCL⁻ answering algorithm on the Proposition 8 translation;
-3. the end-to-end PPL engine on the equivalent XPath expression.
+3. the end-to-end ``"polynomial"`` engine on the equivalent XPath
+   expression, via the :mod:`repro.api` facade;
+4. the registered ``"yannakakis"`` backend on the *same* XPath expression —
+   the registry derives the conjunctive form automatically.
 
-All three produce the same answer set.
+All four produce the same answer set.
 
 Run with::
 
     python examples/acq_yannakakis.py
 """
 
-from repro import PPLEngine
+from repro.api import Document
 from repro.hcl import Atom, ConjunctiveQuery, yannakakis_answer
 from repro.hcl.acq import acq_to_hcl
-from repro.hcl.answering import HclAnswerer
-from repro.hcl.binding import PPLbinOracle
 from repro.pplbin import parse_pplbin, binary_intersect
 from repro.pplbin.corexpath1 import invert
 from repro.workloads import generate_bibliography
 
 
 def main() -> None:
-    document = generate_bibliography(
-        num_books=5, authors_per_book=2, titles_per_book=1, seed=5
+    document = Document(
+        generate_bibliography(num_books=5, authors_per_book=2, titles_per_book=1, seed=5)
     )
-    oracle = PPLbinOracle(document)
+    oracle = document.oracle  # the shared per-document PPLbin oracle
 
     # Binary queries of L = PPLbin used as ACQ relations.
     author_child = parse_pplbin("[self::book]/child::author")
@@ -54,21 +55,25 @@ def main() -> None:
         author_child: oracle.pairs(author_child),
         title_child: oracle.pairs(title_child),
     }
-    yannakakis = yannakakis_answer(query, relations, list(document.nodes()))
+    yannakakis = yannakakis_answer(query, relations, list(document.tree.nodes()))
     print("Yannakakis:", len(yannakakis), "answers")
 
     hcl_formula = acq_to_hcl(
         query, chstar=reach_all, invert=invert, intersect=binary_intersect
     )
-    fig8 = HclAnswerer(document, oracle).answer(hcl_formula, ["y", "z"])
+    fig8 = document.answerer.answer(hcl_formula, ["y", "z"])
     print("Fig. 8 on the Proposition 8 translation:", len(fig8), "answers")
 
     xpath = "descendant::book[ child::author[. is $y] and child::title[. is $z] ]"
-    ppl = PPLEngine(document).answer(xpath, ["y", "z"])
-    print("PPL engine on the XPath formulation:", len(ppl), "answers")
+    compiled = document.compile(xpath, ["y", "z"])
+    ppl = document.answer(compiled)
+    print("polynomial engine on the XPath formulation:", len(ppl), "answers")
 
-    assert yannakakis == fig8 == ppl
-    print("\nall three answering paths agree:", sorted(ppl)[:5], "...")
+    via_registry = document.answer(compiled, engine="yannakakis")
+    print("registered 'yannakakis' backend on the same query:", len(via_registry), "answers")
+
+    assert yannakakis == fig8 == ppl == via_registry
+    print("\nall four answering paths agree:", sorted(ppl)[:5], "...")
 
 
 if __name__ == "__main__":

@@ -14,19 +14,20 @@ Run with::
 
 import time
 
-from repro import PPLEngine
+from repro import Document
 from repro.workloads import generate_restaurants, restaurant_query
 
 
 def main() -> None:
     num_attributes = 10
-    document = generate_restaurants(
+    tree = generate_restaurants(
         num_restaurants=12,
         num_attributes=num_attributes,
         missing_probability=0.25,
         decoys_per_restaurant=2,
         seed=7,
     )
+    document = Document(tree)
     query, variables = restaurant_query(num_attributes)
 
     print(f"document: {document.size} nodes, tuple width n = {len(variables)}")
@@ -36,9 +37,8 @@ def main() -> None:
         "tuples (infeasible to enumerate)",
     )
 
-    engine = PPLEngine(document)
     start = time.perf_counter()
-    answers = engine.answer(query, variables)
+    answers = document.answer(query, variables)
     elapsed = time.perf_counter() - start
 
     print(f"polynomial engine: {len(answers)} answer tuples in {elapsed * 1000:.1f} ms")
@@ -49,7 +49,7 @@ def main() -> None:
         print(f"  ... and {len(answers) - 3} more")
 
     # Only restaurants with all attributes present contribute a tuple.
-    report = engine.report(query, variables)
+    report = document.report(query, variables)
     print(
         f"\nquery size |P| = {report.expression_size}, translated HCL size = "
         f"{report.hcl_size}, distinct PPLbin leaves = {report.distinct_leaves}"

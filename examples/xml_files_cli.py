@@ -1,8 +1,9 @@
 """Querying real XML files: library usage mirroring the `repro-xpath` CLI.
 
-Shows the end-to-end workflow a downstream user would follow: serialise a
-document to XML, load it back with the XML importer, compile a query once
-with `compile_query`, and run it against several documents.
+Shows the end-to-end workflow a downstream user would follow: serialise
+documents to XML, load them back as :class:`repro.api.Document` objects,
+compile a query once with :func:`repro.api.compile_query`, and run it
+against all of them with :func:`repro.api.answer_batch`.
 
 Run with::
 
@@ -12,8 +13,8 @@ Run with::
 import os
 import tempfile
 
-from repro import compile_query, tree_from_xml, tree_to_xml
-from repro.trees.xml_io import tree_from_xml_file
+from repro import tree_from_xml, tree_to_xml
+from repro.api import Document, answer_batch, compile_query
 from repro.workloads import generate_bibliography
 
 
@@ -31,15 +32,14 @@ def main() -> None:
 
     # Compile the pair query once; the Definition 1 check and the Fig. 7
     # translation happen here, not at every execution.
-    compiled = compile_query(
+    query = compile_query(
         "descendant::book[ child::author[. is $y] and child::title[. is $z] ]",
         ["y", "z"],
     )
-    print(f"\ncompiled query of arity {compiled.arity}")
+    print(f"\ncompiled query of arity {query.arity}")
 
-    for path in paths:
-        document = tree_from_xml_file(path)
-        answers = compiled.run(document)
+    documents = [Document.from_file(path) for path in paths]
+    for path, document, answers in zip(paths, documents, answer_batch(documents, query)):
         print(f"{os.path.basename(path)}: {document.size} nodes, {len(answers)} pairs")
 
     # Round-trip sanity check: serialise + reparse preserves the document.
@@ -48,7 +48,7 @@ def main() -> None:
     print("\nXML round-trip preserves the document structure")
     print("equivalent CLI invocation:")
     print(
-        f"  repro-xpath --xml {paths[0]} --vars y,z --labels \\\n"
+        f"  repro-xpath answer --xml {paths[0]} --vars y,z --labels \\\n"
         "      --query \"descendant::book[child::author[. is $y] and "
         "child::title[. is $z]]\""
     )

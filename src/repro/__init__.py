@@ -13,19 +13,28 @@ A complete implementation of the paper's languages and algorithms:
 * hardness constructions (Proposition 3, Corollary 1) (:mod:`repro.hardness`),
 * synthetic workloads (:mod:`repro.workloads`).
 
-Typical usage::
+Typical usage — the :mod:`repro.api` facade::
 
-    from repro import Node, Tree, answer
+    from repro import Document
 
-    doc = Tree(Node("bib", Node("book", Node("author"), Node("title"))))
-    pairs = answer(
-        doc,
+    doc = Document.from_xml("<bib><book><author/><title/></book></bib>")
+    pairs = doc.answer(
         "descendant::book[child::author[. is $y] and child::title[. is $z]]",
         ["y", "z"],
     )
+    same = doc.answer(
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        ["y", "z"],
+        engine="naive",
+    )
+
+The seed-era entry points (``answer``, ``compile_query``, ``PPLEngine``)
+remain available as thin shims over the facade.
 """
 
 from repro.errors import (
+    EngineCapabilityError,
+    EngineError,
     EvaluationError,
     NotAcyclicError,
     ParseError,
@@ -34,12 +43,22 @@ from repro.errors import (
     TranslationError,
     TreeError,
     UnboundVariableError,
+    UnknownEngineError,
 )
 from repro.trees import Node, Tree, tree_from_xml, tree_to_xml
 from repro.xpath import parse_path, NaiveEngine
 from repro.core import PPLEngine, answer, compile_query, CompiledQuery, is_ppl, check_ppl
+from repro.api import (
+    Document,
+    Query,
+    QueryReport,
+    answer_batch,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -55,6 +74,13 @@ __all__ = [
     "CompiledQuery",
     "is_ppl",
     "check_ppl",
+    "Document",
+    "Query",
+    "QueryReport",
+    "answer_batch",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "ReproError",
     "ParseError",
     "TreeError",
@@ -63,4 +89,7 @@ __all__ = [
     "RestrictionViolation",
     "TranslationError",
     "NotAcyclicError",
+    "EngineError",
+    "UnknownEngineError",
+    "EngineCapabilityError",
 ]

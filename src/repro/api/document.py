@@ -1,0 +1,334 @@
+"""The per-document facade: one object owning all per-document state.
+
+A :class:`Document` wraps a :class:`repro.trees.tree.Tree` together with the
+shared :class:`repro.hcl.binding.PPLbinOracle` (whose matrices are cached on
+the tree), the Fig. 8 answerer and the query/translation caches.  It replaces
+the seed's scattered entry points (``answer()``, ``PPLEngine``,
+``CompiledQuery._engines``): every engine answers through the same document,
+so per-axis and per-leaf work is paid once per tree, not once per engine
+instance.
+
+Batch execution:
+
+* :meth:`Document.answer_many` — many queries against one document, reusing
+  the shared oracle;
+* :func:`answer_batch` — one compiled query against many documents.
+
+:func:`as_document` adopts a bare tree into a document through a
+``weakref.WeakValueDictionary`` registry: repeated calls with the same live
+tree return the same document, dead trees do not pin documents in memory, and
+a recycled ``id()`` can never alias a different tree (the registry re-checks
+identity).  This is the fix for the seed's ``CompiledQuery._engines`` dict,
+which was keyed by ``id(tree)`` and grew without bound.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.trees.tree import Node, Tree
+from repro.trees.xml_io import tree_from_xml, tree_from_xml_file
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_path
+from repro.hcl.answering import HclAnswerer
+from repro.hcl.ast import HclExpr
+from repro.hcl.binding import PPLbinOracle
+from repro.core.ppl import Violation, ppl_violations
+from repro.core.engine import QueryReport
+from repro.api.query import Query, _build_query
+from repro.api.registry import DEFAULT_ENGINE, check_capabilities, get_engine
+
+#: Anything `Document.answer`/`answer_many` accept as a query.
+QueryLike = Union[Query, PathExpr, str]
+#: One batch item: a bare expression (arity taken from the query) or an
+#: ``(expression, variables)`` pair.
+BatchItem = Union[QueryLike, tuple[Union[PathExpr, str], Sequence[str]]]
+
+
+class Document:
+    """A queryable document: a tree plus all shared per-document state.
+
+    Parameters
+    ----------
+    tree:
+        The document, as an indexed :class:`Tree` or a :class:`Node` builder
+        (which is indexed on the spot).
+
+    Attributes
+    ----------
+    tree:
+        The underlying indexed tree.
+    oracle:
+        The shared PPLbin oracle (Theorem 2 matrices, cached on the tree).
+    answerer:
+        The shared Fig. 8 answerer used by the polynomial backend.
+    """
+
+    def __init__(self, tree: Tree | Node) -> None:
+        self.tree = tree if isinstance(tree, Tree) else Tree(tree)
+        self.oracle = PPLbinOracle(self.tree)
+        self.answerer = HclAnswerer(self.tree, self.oracle)
+        # Compiled queries keyed by (source AST, output variables); the HCL
+        # translations are cached separately so that the same expression
+        # compiled with different variable tuples translates once.
+        self._queries: dict[tuple[PathExpr, tuple[str, ...]], Query] = {}
+        self._translations: dict[PathExpr, HclExpr] = {}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_xml(cls, text: str) -> "Document":
+        """Parse an XML string into a document."""
+        return cls(tree_from_xml(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "Document":
+        """Load an XML file into a document."""
+        return cls(tree_from_xml_file(path))
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def size(self) -> int:
+        """Number of nodes in the document."""
+        return self.tree.size
+
+    @property
+    def labels(self) -> list[str]:
+        """Node labels, indexed by node identifier."""
+        return self.tree.labels
+
+    def __len__(self) -> int:
+        return self.tree.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(size={self.tree.size}, root_label={self.tree.labels[0]!r})"
+
+    # ------------------------------------------------------------- compilation
+    def compile(
+        self,
+        expression: PathExpr | str,
+        variables: Sequence[str] = (),
+        *,
+        require_ppl: bool = True,
+    ) -> Query:
+        """Compile an expression once, caching the result on the document.
+
+        Equivalent to :func:`repro.api.compile_query` but the parsed AST,
+        violation list and translations are cached here, so repeated
+        compilation of the same expression is free.
+        """
+        parsed = parse_path(expression) if isinstance(expression, str) else expression
+        key = (parsed, tuple(variables))
+        query = self._queries.get(key)
+        if query is None:
+            text = expression if isinstance(expression, str) else None
+            query = _build_query(
+                parsed, tuple(variables), text=text, translations=self._translations
+            )
+            self._queries[key] = query
+        if require_ppl:
+            query.require_ppl()
+        return query
+
+    def check(self, expression: PathExpr | str) -> tuple[Violation, ...]:
+        """Return the Definition 1 violations of ``expression`` (empty = PPL)."""
+        return tuple(ppl_violations(expression))
+
+    # --------------------------------------------------------------- answering
+    def answer(
+        self,
+        query: QueryLike,
+        variables: Optional[Sequence[str]] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+    ) -> frozenset[tuple[int, ...]]:
+        """Answer an n-ary query with the named backend.
+
+        Parameters
+        ----------
+        query:
+            A compiled :class:`Query`, or an expression (text or AST) that is
+            compiled on the fly with ``variables``.
+        variables:
+            Output variables when ``query`` is an expression; must be omitted
+            when a compiled query is passed.
+        engine:
+            Registry key of the backend (default ``"polynomial"``).
+
+        Raises
+        ------
+        UnknownEngineError
+            If ``engine`` is not registered.
+        EngineCapabilityError
+            If the query exceeds the backend's capabilities (raised before
+            any evaluation).
+        RestrictionViolation
+            If the backend requires PPL and the expression is not PPL.
+        """
+        backend = get_engine(engine)
+        compiled = self._as_query(query, variables)
+        check_capabilities(backend, compiled)
+        return backend.answer(self, compiled)
+
+    def nonempty(self, query: QueryLike, *, engine: str = DEFAULT_ENGINE) -> bool:
+        """Decide non-emptiness of the query (Boolean query answering)."""
+        backend = get_engine(engine)
+        compiled = self._as_query(query, None if isinstance(query, Query) else ())
+        check_capabilities(backend, compiled)
+        nonempty = getattr(backend, "nonempty", None)
+        if nonempty is not None:
+            return bool(nonempty(self, compiled))
+        return bool(backend.answer(self, compiled))
+
+    def pairs(
+        self, query: QueryLike, *, engine: str = DEFAULT_ENGINE
+    ) -> frozenset[tuple[int, int]]:
+        """Evaluate a *variable-free* expression as the binary query ``q^bin_P``.
+
+        Dispatches to the backend's ``pairs`` method; every built-in backend
+        provides one for variable-free queries (what counts as variable free
+        is the backend's own call — e.g. ``"naive"`` evaluates for-loops that
+        have no Fig. 4 PPLbin form).
+
+        Raises
+        ------
+        EngineCapabilityError
+            If the backend rejects the expression or exposes no binary
+            evaluation.
+        """
+        from repro.errors import EngineCapabilityError
+
+        backend = get_engine(engine)
+        compiled = self._as_query(query, None if isinstance(query, Query) else ())
+        check_capabilities(backend, compiled)
+        pairs = getattr(backend, "pairs", None)
+        if pairs is None:
+            raise EngineCapabilityError(
+                backend.name, "pairs", "the backend has no binary evaluation path"
+            )
+        return pairs(self, compiled)
+
+    def report(
+        self,
+        query: QueryLike,
+        variables: Optional[Sequence[str]] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        answers: Optional[frozenset[tuple[int, ...]]] = None,
+    ) -> QueryReport:
+        """Answer the query and return sizing diagnostics along with the count.
+
+        Pass ``answers`` to report on an already-computed answer set without
+        re-evaluating (used by the CLI ``bench`` subcommand, whose timing
+        loop has the answers in hand).
+        """
+        compiled = self._as_query(query, variables)
+        if answers is None:
+            answers = self.answer(compiled, engine=engine)
+        if compiled.hcl is not None:
+            hcl_size = compiled.hcl.size
+            distinct_leaves = len({leaf.query for leaf in compiled.hcl.leaves()})
+        else:
+            hcl_size = 0
+            distinct_leaves = 0
+        return QueryReport(
+            expression_size=compiled.source.size,
+            hcl_size=hcl_size,
+            distinct_leaves=distinct_leaves,
+            variables=compiled.variables,
+            answer_count=len(answers),
+            tree_size=self.tree.size,
+            engine=engine,
+        )
+
+    # -------------------------------------------------------------------- batch
+    def answer_many(
+        self, queries: Iterable[BatchItem], *, engine: str = DEFAULT_ENGINE
+    ) -> list[frozenset[tuple[int, ...]]]:
+        """Answer a batch of queries, reusing the shared oracle across calls.
+
+        Each item is a compiled :class:`Query`, a bare expression, or an
+        ``(expression, variables)`` pair.
+        """
+        results = []
+        for item in queries:
+            if isinstance(item, tuple) and not isinstance(item, Query):
+                expression, variables = item
+                results.append(self.answer(expression, variables, engine=engine))
+            else:
+                results.append(self.answer(item, engine=engine))
+        return results
+
+    # ---------------------------------------------------------------- internals
+    def _as_query(
+        self, query: QueryLike, variables: Optional[Sequence[str]]
+    ) -> Query:
+        if isinstance(query, Query):
+            if variables is not None and tuple(variables) != query.variables:
+                raise ValueError(
+                    "variables cannot be overridden on a compiled Query; "
+                    "compile with the desired output tuple instead"
+                )
+            return query
+        return self.compile(query, tuple(variables or ()), require_ppl=False)
+
+
+# --------------------------------------------------------------- tree adoption
+_documents: "weakref.WeakValueDictionary[int, Document]" = weakref.WeakValueDictionary()
+
+
+def as_document(source: Document | Tree | Node) -> Document:
+    """Return a :class:`Document` for ``source``, adopting trees via a weak registry.
+
+    Passing a :class:`Document` returns it unchanged.  A :class:`Tree` is
+    looked up in a ``WeakValueDictionary`` keyed by ``id(tree)`` with an
+    identity re-check, so the same live tree maps to the same document while
+    neither dead trees nor documents are kept alive, and a recycled ``id``
+    cannot alias a different tree.  (The expensive per-tree state — the
+    Theorem 2 matrices — lives in the tree's own cache, so even a re-adopted
+    tree keeps its precomputed work.)
+    """
+    if isinstance(source, Document):
+        return source
+    tree = source if isinstance(source, Tree) else Tree(source)
+    document = _documents.get(id(tree))
+    if document is None or document.tree is not tree:
+        document = Document(tree)
+        _documents[id(tree)] = document
+    return document
+
+
+# ------------------------------------------------------------- module helpers
+def answer(
+    tree: Document | Tree | Node,
+    expression: PathExpr | str,
+    variables: Sequence[str] = (),
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> frozenset[tuple[int, ...]]:
+    """Answer one n-ary query on one document (convenience one-liner)."""
+    return as_document(tree).answer(expression, variables, engine=engine)
+
+
+def answer_batch(
+    documents: Iterable[Document | Tree | Node],
+    query: QueryLike,
+    variables: Optional[Sequence[str]] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> list[frozenset[tuple[int, ...]]]:
+    """Answer one query against many documents.
+
+    The query is compiled once (queries are document-independent) and run
+    against each document's shared oracle.
+    """
+    if not isinstance(query, Query):
+        from repro.api.query import compile_query
+
+        query = compile_query(query, tuple(variables or ()), require_ppl=False)
+    elif variables is not None and tuple(variables) != query.variables:
+        raise ValueError(
+            "variables cannot be overridden on a compiled Query; "
+            "compile with the desired output tuple instead"
+        )
+    return [as_document(document).answer(query, engine=engine) for document in documents]

@@ -1,0 +1,210 @@
+"""The built-in query backends, registered under their string keys.
+
+Each backend wraps one answering path of the library behind the
+:class:`repro.api.registry.Engine` protocol:
+
+* :class:`PolynomialEngine` (``"polynomial"``, alias ``"ppl"``) — the
+  Theorem 1 pipeline: Fig. 7 translation, Theorem 2 matrix oracle, Fig. 8
+  answering.  The default for everything.
+* :class:`NaiveBackend` (``"naive"``) — assignment enumeration over full
+  Core XPath 2.0; exponential, but the only backend accepting non-PPL
+  expressions (for-loops included).  The correctness oracle.
+* :class:`CoreXPath1Backend` (``"corexpath1"``) — the linear set-based
+  evaluator of Section 4 for variable-free, complement-free expressions
+  (experiment E8's baseline).
+* :class:`YannakakisBackend` (``"yannakakis"``) — translates the union-free
+  HCL⁻ form into an acyclic conjunctive query (Proposition 8 direction) and
+  answers it with semi-joins (Proposition 7).
+
+Backends are stateless: all per-document state (oracle, caches) lives on the
+:class:`repro.api.document.Document` they receive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import EngineCapabilityError
+from repro.xpath.naive import naive_answer, naive_nonempty
+from repro.xpath.semantics import evaluate_path
+from repro.pplbin.corexpath1 import binary_answer, monadic_answer, successor_set
+from repro.hcl.acq import Atom, ConjunctiveQuery, hcl_to_acq, is_acyclic
+from repro.hcl.yannakakis import yannakakis_answer
+from repro.api.registry import EngineCapabilities, register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.document import Document
+    from repro.api.query import Query
+
+
+class PolynomialEngine:
+    """The end-to-end polynomial pipeline of Theorem 1 (the default backend)."""
+
+    name = "polynomial"
+    capabilities = EngineCapabilities(requires_ppl=True)
+
+    def answer(self, document: "Document", query: "Query") -> frozenset[tuple[int, ...]]:
+        assert query.hcl is not None  # guaranteed by requires_ppl
+        return document.answerer.answer(query.hcl, list(query.variables))
+
+    def nonempty(self, document: "Document", query: "Query") -> bool:
+        assert query.hcl is not None
+        return document.answerer.nonempty(query.hcl)
+
+    def pairs(self, document: "Document", query: "Query") -> frozenset[tuple[int, int]]:
+        """Binary query of a variable-free expression via the matrix oracle."""
+        if query.pplbin is None:
+            raise EngineCapabilityError(
+                self.name,
+                "requires_variable_free",
+                "binary evaluation needs a variable-free expression",
+            )
+        return document.oracle.pairs(query.pplbin)
+
+
+class NaiveBackend:
+    """Assignment enumeration over full Core XPath 2.0 (|t|^|Var(P)|)."""
+
+    name = "naive"
+    capabilities = EngineCapabilities()
+
+    def answer(self, document: "Document", query: "Query") -> frozenset[tuple[int, ...]]:
+        return naive_answer(document.tree, query.source, list(query.variables))
+
+    def nonempty(self, document: "Document", query: "Query") -> bool:
+        return naive_nonempty(document.tree, query.source)
+
+    def pairs(self, document: "Document", query: "Query") -> frozenset[tuple[int, int]]:
+        """Binary query of a variable-free expression via the Fig. 2 semantics."""
+        if query.free_variables:
+            raise EngineCapabilityError(
+                self.name,
+                "requires_variable_free",
+                "binary evaluation needs a variable-free expression",
+            )
+        return evaluate_path(document.tree, query.source, {})
+
+
+class CoreXPath1Backend:
+    """The linear set-based evaluator for Core XPath 1.0 (Section 4, E8).
+
+    Variable free and complement free only; ``answer`` decides the Boolean
+    query, ``pairs``/``monadic`` expose the binary and monadic queries.
+    """
+
+    name = "corexpath1"
+    capabilities = EngineCapabilities(
+        max_arity=0,
+        supports_variables=False,
+        supports_complement=False,
+        requires_variable_free=True,
+    )
+
+    def answer(self, document: "Document", query: "Query") -> frozenset[tuple[int, ...]]:
+        assert query.pplbin is not None  # guaranteed by requires_variable_free
+        targets = successor_set(document.tree, query.pplbin, document.tree.nodes())
+        return frozenset({()}) if targets else frozenset()
+
+    def nonempty(self, document: "Document", query: "Query") -> bool:
+        assert query.pplbin is not None
+        return bool(successor_set(document.tree, query.pplbin, document.tree.nodes()))
+
+    def pairs(self, document: "Document", query: "Query") -> frozenset[tuple[int, int]]:
+        """Binary query by running the monadic evaluator from every node."""
+        assert query.pplbin is not None
+        return binary_answer(document.tree, query.pplbin)
+
+    def monadic(
+        self, document: "Document", query: "Query", start: Optional[int] = None
+    ) -> frozenset[int]:
+        """Nodes reachable from ``start`` (default: root), in linear time."""
+        assert query.pplbin is not None
+        return monadic_answer(document.tree, query.pplbin, start)
+
+
+class YannakakisBackend:
+    """Semi-join answering of the acyclic conjunctive form (Propositions 7/8).
+
+    The union-free HCL⁻ translation is converted into a conjunctive query
+    over PPLbin atoms (:func:`repro.hcl.acq.hcl_to_acq`), equalities are
+    eliminated by merging variables, the atom relations are materialised
+    through the document's shared oracle, and Yannakakis' output-sensitive
+    algorithm enumerates the answers.
+    """
+
+    name = "yannakakis"
+    capabilities = EngineCapabilities(requires_ppl=True, supports_union=False)
+
+    def answer(self, document: "Document", query: "Query") -> frozenset[tuple[int, ...]]:
+        assert query.hcl is not None  # guaranteed by requires_ppl
+        conjunctive = hcl_to_acq(query.hcl)
+        atoms, representative = _merge_equalities(conjunctive)
+        output = tuple(representative.get(name, name) for name in query.variables)
+        merged = ConjunctiveQuery(atoms, output)
+        if not is_acyclic(merged):
+            raise EngineCapabilityError(
+                self.name,
+                "requires_acyclic",
+                "the query's conjunctive form is not acyclic",
+            )
+        relations = {
+            atom.relation: document.oracle.pairs(atom.relation) for atom in atoms
+        }
+        return yannakakis_answer(merged, relations, list(document.tree.nodes()))
+
+
+def _merge_equalities(
+    query: ConjunctiveQuery,
+) -> tuple[tuple[Atom, ...], dict[str, str]]:
+    """Eliminate equality atoms by merging variables (union-find).
+
+    Returns the deduplicated atoms over merged variables and the map from
+    original variable names to their class representative.  Representatives
+    prefer user variables over the fresh ``_pos*`` positions introduced by
+    :func:`repro.hcl.acq.hcl_to_acq`, so output tuples keep their names.
+    """
+    parent: dict[str, str] = {}
+
+    def find(item: str) -> str:
+        root = item
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(item, item) != item:
+            parent[item], item = root, parent[item]
+        return root
+
+    for left, right in query.equalities:
+        parent[find(left)] = find(right)
+
+    def preference(name: str) -> tuple[bool, str]:
+        # User variables beat fresh positions; ties break lexicographically.
+        return (name.startswith("_pos"), name)
+
+    members: dict[str, list[str]] = {}
+    for name in query.variables:
+        members.setdefault(find(name), []).append(name)
+    representative = {
+        name: min(group, key=preference)
+        for group in members.values()
+        for name in group
+    }
+
+    atoms: dict[Atom, None] = {}
+    for atom in query.atoms:
+        atoms.setdefault(
+            Atom(atom.relation, representative[atom.source], representative[atom.target])
+        )
+    return tuple(atoms), representative
+
+
+#: The backend instances, in registration order.
+BUILTIN_ENGINES: tuple = (
+    PolynomialEngine(),
+    NaiveBackend(),
+    CoreXPath1Backend(),
+    YannakakisBackend(),
+)
+
+register_engine(BUILTIN_ENGINES[0], aliases=("ppl",), replace=True)
+for _engine in BUILTIN_ENGINES[1:]:
+    register_engine(_engine, replace=True)

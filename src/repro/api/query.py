@@ -1,0 +1,160 @@
+"""Backend-agnostic compiled queries.
+
+A :class:`Query` is the result of compiling a Core XPath 2.0 expression once:
+it carries the parsed AST, the Definition 1 check result (the violation list,
+empty for PPL expressions), the Fig. 7 HCL⁻(PPLbin) translation (when the
+expression is PPL) and the Fig. 4 PPLbin translation (when it is variable
+free).  Queries are document-independent values: compile once, answer on many
+documents, with any registered engine whose capabilities cover the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import RestrictionViolation, TranslationError
+from repro.xpath.ast import OrTest, PathExpr, PathUnion
+from repro.xpath.analysis import is_variable_free
+from repro.xpath.parser import parse_path
+from repro.core.ppl import Violation, ppl_violations
+from repro.core.translate import ppl_to_hcl
+from repro.pplbin.ast import BinExpr
+from repro.pplbin.translate import from_core_xpath
+from repro.hcl.ast import HclExpr
+
+
+@dataclass(frozen=True)
+class Query:
+    """A compiled, backend-agnostic n-ary query.
+
+    Instances are produced by :func:`compile_query` or
+    :meth:`repro.api.document.Document.compile`; construct directly only in
+    tests.
+
+    Attributes
+    ----------
+    source:
+        The parsed Core XPath 2.0 expression.
+    variables:
+        The output variable tuple ``x1 ... xn`` (without ``$`` sigils).
+    violations:
+        Definition 1 violations; empty exactly when the expression is PPL.
+    hcl:
+        The Fig. 7 HCL⁻(PPLbin) translation, or ``None`` when not PPL.
+    pplbin:
+        The Fig. 4 PPLbin translation, or ``None`` when the expression is
+        not variable free.
+    text:
+        The concrete syntax the query was compiled from, when available.
+    """
+
+    source: PathExpr
+    variables: tuple[str, ...]
+    violations: tuple[Violation, ...] = ()
+    hcl: Optional[HclExpr] = None
+    pplbin: Optional[BinExpr] = None
+    text: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def arity(self) -> int:
+        """The width ``n`` of the answer tuples."""
+        return len(self.variables)
+
+    @property
+    def is_ppl(self) -> bool:
+        """True when the expression satisfies Definition 1."""
+        return not self.violations
+
+    @property
+    def is_variable_free(self) -> bool:
+        """True when the expression satisfies N($x) (has a PPLbin form)."""
+        return self.pplbin is not None
+
+    @property
+    def free_variables(self) -> frozenset[str]:
+        """The free variables of the source expression."""
+        return self.source.free_variables
+
+    @property
+    def has_union(self) -> bool:
+        """True when a ``union`` or ``or`` occurs anywhere in the expression."""
+        return any(isinstance(sub, (PathUnion, OrTest)) for sub in self.source.walk())
+
+    def require_ppl(self) -> None:
+        """Raise :class:`RestrictionViolation` unless the query is PPL."""
+        if self.violations:
+            first = self.violations[0]
+            raise RestrictionViolation(first.condition, first.message)
+
+    def unparse(self) -> str:
+        """Return concrete syntax for the source expression."""
+        return self.text if self.text is not None else self.source.unparse()
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+def compile_query(
+    expression: PathExpr | str,
+    variables: Sequence[str] = (),
+    *,
+    require_ppl: bool = True,
+) -> Query:
+    """Parse, check and translate a query once, for repeated execution.
+
+    With ``require_ppl`` (the default) a non-PPL expression raises
+    immediately, like the seed's ``compile_query``; with
+    ``require_ppl=False`` the violations are recorded on the query instead,
+    so it can still be dispatched to backends that do not need Definition 1
+    (e.g. ``"naive"``).
+
+    Raises
+    ------
+    ParseError
+        If the concrete syntax is invalid.
+    RestrictionViolation
+        If ``require_ppl`` is true and the expression violates Definition 1.
+    """
+    text = expression if isinstance(expression, str) else None
+    parsed = parse_path(expression) if isinstance(expression, str) else expression
+    query = _build_query(parsed, tuple(variables), text=text)
+    if require_ppl:
+        query.require_ppl()
+    return query
+
+
+def _build_query(
+    parsed: PathExpr,
+    variables: tuple[str, ...],
+    *,
+    text: Optional[str] = None,
+    translations: Optional[dict[PathExpr, HclExpr]] = None,
+) -> Query:
+    """Build a :class:`Query`, reusing ``translations`` as an HCL cache."""
+    violations = tuple(ppl_violations(parsed))
+
+    hcl: Optional[HclExpr] = None
+    if not violations:
+        if translations is not None and parsed in translations:
+            hcl = translations[parsed]
+        else:
+            hcl = ppl_to_hcl(parsed)
+            if translations is not None:
+                translations[parsed] = hcl
+
+    pplbin: Optional[BinExpr] = None
+    if is_variable_free(parsed):
+        try:
+            pplbin = from_core_xpath(parsed)
+        except TranslationError:  # pragma: no cover - N($x) already excludes this
+            pplbin = None
+
+    return Query(
+        source=parsed,
+        variables=variables,
+        violations=violations,
+        hcl=hcl,
+        pplbin=pplbin,
+        text=text,
+    )

@@ -1,0 +1,203 @@
+"""The pluggable engine registry: capability flags, protocol, dispatch checks.
+
+Every query backend of the library is an :class:`Engine` — an object with a
+``name``, a set of :class:`EngineCapabilities` and an ``answer(document,
+query)`` method.  Engines are registered under string keys with
+:func:`register_engine` and resolved with :func:`get_engine`; dispatch goes
+through :func:`check_capabilities`, which raises a *typed* error
+(:class:`repro.errors.UnknownEngineError`,
+:class:`repro.errors.EngineCapabilityError` or
+:class:`repro.errors.RestrictionViolation`) before any evaluation starts.
+
+The four built-in backends (registered by :mod:`repro.api.engines`):
+
+==============  ==============================================================
+``polynomial``  the Theorem 1 pipeline (HCL⁻ + matrix oracle + Fig. 8)
+``naive``       assignment enumeration over full Core XPath 2.0
+``corexpath1``  the linear set-based evaluator (variable- and complement-free)
+``yannakakis``  semi-joins over the acyclic conjunctive form (union-free)
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from repro.errors import EngineCapabilityError, UnknownEngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.document import Document
+    from repro.api.query import Query
+
+#: The registry key used when no engine is named explicitly.
+DEFAULT_ENGINE = "polynomial"
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What a backend can evaluate; checked *before* evaluation by dispatch.
+
+    Parameters
+    ----------
+    max_arity:
+        Largest output-tuple width the backend supports (``None`` = any).
+    supports_variables:
+        Whether free variables may occur in the expression at all.
+    supports_union:
+        Whether ``union`` / ``or`` may occur (the Yannakakis path is
+        union-free, Proposition 8).
+    supports_complement:
+        Whether the compiled PPLbin form may contain ``except`` (the
+        set-based Core XPath 1.0 evaluator cannot, Section 4).
+    requires_ppl:
+        Whether the expression must satisfy Definition 1 (so that the HCL⁻
+        translation exists).
+    requires_variable_free:
+        Whether a Fig. 4 PPLbin translation of the whole expression must
+        exist (condition N($x)).
+    """
+
+    max_arity: Optional[int] = None
+    supports_variables: bool = True
+    supports_union: bool = True
+    supports_complement: bool = True
+    requires_ppl: bool = False
+    requires_variable_free: bool = False
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Protocol every registered backend implements.
+
+    ``answer`` returns the n-ary answer set ``q_{P,x}(t)`` as a frozenset of
+    node tuples; for arity 0 the set is ``{()}`` when the query is non-empty
+    and empty otherwise.  Backends may expose extra methods (``pairs``,
+    ``monadic``, ``nonempty``) beyond the protocol.
+    """
+
+    name: str
+    capabilities: EngineCapabilities
+
+    def answer(
+        self, document: "Document", query: "Query"
+    ) -> frozenset[tuple[int, ...]]:  # pragma: no cover - protocol
+        ...
+
+
+_REGISTRY: dict[str, Engine] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_engine(
+    engine: Engine,
+    *,
+    name: Optional[str] = None,
+    aliases: tuple[str, ...] = (),
+    replace: bool = False,
+) -> Engine:
+    """Register ``engine`` under ``name`` (default: ``engine.name``).
+
+    Raises
+    ------
+    TypeError
+        If ``engine`` does not implement the :class:`Engine` protocol.
+    ValueError
+        If the name is already taken and ``replace`` is false.
+    """
+    if not isinstance(engine, Engine):
+        raise TypeError(
+            f"{engine!r} does not implement the Engine protocol "
+            "(name, capabilities, answer)"
+        )
+    key = name if name is not None else engine.name
+    if not replace and key in _REGISTRY:
+        raise ValueError(f"an engine named {key!r} is already registered")
+    if key in _ALIASES:
+        # Aliases take precedence in get_engine, so an engine registered
+        # under an alias name would be unreachable; refuse (or, when
+        # replacing, drop the alias so the new engine wins the name).
+        if not replace:
+            raise ValueError(
+                f"{key!r} is already an alias for engine {_ALIASES[key]!r}"
+            )
+        del _ALIASES[key]
+    _REGISTRY[key] = engine
+    for alias in aliases:
+        if not replace and alias in _ALIASES and _ALIASES[alias] != key:
+            raise ValueError(f"engine alias {alias!r} is already registered")
+        _ALIASES[alias] = key
+    return engine
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve an engine name (or alias) to the registered backend.
+
+    Raises
+    ------
+    UnknownEngineError
+        If no engine is registered under ``name``.
+    """
+    key = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownEngineError(name, available_engines()) from None
+
+
+def available_engines() -> tuple[str, ...]:
+    """Return the registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def check_capabilities(engine: Engine, query: "Query") -> None:
+    """Validate ``query`` against ``engine.capabilities``; raise before evaluation.
+
+    Raises
+    ------
+    RestrictionViolation
+        When the engine requires PPL membership and the query violates
+        Definition 1 (same error the seed engines raised).
+    EngineCapabilityError
+        For every other capability violation, naming the engine and the
+        violated capability.
+    """
+    caps = engine.capabilities
+    if caps.requires_ppl and not query.is_ppl:
+        query.require_ppl()
+    if not caps.supports_variables and query.free_variables:
+        names = ", ".join(sorted(query.free_variables))
+        raise EngineCapabilityError(
+            engine.name,
+            "supports_variables",
+            f"the expression uses variables {{{names}}}",
+        )
+    if caps.max_arity is not None and query.arity > caps.max_arity:
+        raise EngineCapabilityError(
+            engine.name,
+            "max_arity",
+            f"output arity {query.arity} exceeds the backend maximum {caps.max_arity}",
+        )
+    if not caps.supports_union and query.has_union:
+        raise EngineCapabilityError(
+            engine.name,
+            "supports_union",
+            "the expression contains a union/or (the backend is union-free)",
+        )
+    if caps.requires_variable_free and query.pplbin is None:
+        raise EngineCapabilityError(
+            engine.name,
+            "requires_variable_free",
+            "the expression has no Fig. 4 PPLbin form (condition N($x))",
+        )
+    if (
+        not caps.supports_complement
+        and query.pplbin is not None
+        and query.pplbin.uses_complement()
+    ):
+        raise EngineCapabilityError(
+            engine.name,
+            "supports_complement",
+            "the compiled PPLbin form contains 'except' "
+            "(the set-based evaluator is complement-free)",
+        )

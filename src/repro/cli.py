@@ -1,36 +1,132 @@
-r"""Command-line front end: answer PPL queries against XML documents.
+r"""Command-line front end, driven entirely by the :mod:`repro.api` facade.
 
-Examples
---------
-Answer the paper's author/title query against a file::
+Subcommands
+-----------
+``answer``
+    Answer an n-ary query against an XML document, with any registered
+    engine::
 
-    repro-xpath --xml bib.xml \
-        --query "descendant::book[child::author[. is \$y] and child::title[. is \$z]]" \
-        --vars y,z
+        repro-xpath answer --xml bib.xml \
+            --query "descendant::book[child::author[. is \$y] and child::title[. is \$z]]" \
+            --vars y,z --engine polynomial
 
-Check whether an expression belongs to PPL without evaluating it::
+``check``
+    Report whether an expression belongs to PPL (Definition 1) without
+    evaluating it::
 
-    repro-xpath --check-only --query "for \$x in child::a return \$x"
+        repro-xpath check --query "for \$x in child::a return \$x"
 
-Use ``--engine naive`` to answer with the exponential Core XPath 2.0 baseline
-(small documents only) and ``--stats`` to print sizing diagnostics.
+``translate``
+    Print the Fig. 7 HCL⁻(PPLbin) translation (and, for variable-free
+    expressions, the Fig. 4 PPLbin form)::
+
+        repro-xpath translate --query "descendant::a[. is \$x]"
+
+``bench``
+    Time one query on one document across engines and emit machine-readable
+    JSON (a :class:`repro.api.QueryReport` per engine plus timings)::
+
+        repro-xpath bench --xml bib.xml --query "..." --vars y,z \
+            --engines polynomial,naive --repeat 3
+
+``engines``
+    List the registered backends and their capability flags.
+
+The seed's flat invocation (``repro-xpath --xml ... --query ...``) keeps
+working and is routed through the same facade; ``--engine ppl`` is accepted
+as an alias of ``polynomial``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+import time
+from typing import Optional, Sequence
 
 from repro.errors import ReproError
-from repro.trees.xml_io import tree_from_xml_file
-from repro.xpath.naive import NaiveEngine
-from repro.core.engine import PPLEngine
-from repro.core.ppl import ppl_violations
+from repro.api import (
+    DEFAULT_ENGINE,
+    Document,
+    available_engines,
+    check_capabilities,
+    get_engine,
+)
+
+SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines")
 
 
+# ---------------------------------------------------------------- new parser
 def build_parser() -> argparse.ArgumentParser:
-    """Return the argument parser for the ``repro-xpath`` entry point."""
+    """Return the subcommand argument parser for the ``repro-xpath`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath",
+        description="Answer n-ary PPL (Core XPath 2.0) queries on XML documents "
+        "through the pluggable engine registry of Filiot et al., PODS 2007.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    answer = subparsers.add_parser(
+        "answer", help="answer a query on an XML document with a registered engine"
+    )
+    answer.add_argument("--xml", required=True, help="path to the XML document to query")
+    answer.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    answer.add_argument(
+        "--vars",
+        default="",
+        help="comma-separated output variables (without $), e.g. 'y,z'",
+    )
+    answer.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        help="registry name of the engine (see `repro-xpath engines`); "
+        f"default: {DEFAULT_ENGINE}",
+    )
+    answer.add_argument(
+        "--labels",
+        action="store_true",
+        help="print node labels next to node identifiers in the answer tuples",
+    )
+    answer.add_argument(
+        "--stats",
+        action="store_true",
+        help="print expression/translation statistics (human line + JSON) to stderr",
+    )
+
+    check = subparsers.add_parser(
+        "check", help="report whether the expression satisfies Definition 1 (PPL)"
+    )
+    check.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+
+    translate = subparsers.add_parser(
+        "translate", help="print the HCL⁻(PPLbin) (and PPLbin) translations"
+    )
+    translate.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+
+    bench = subparsers.add_parser(
+        "bench", help="time one query across engines, emitting JSON reports"
+    )
+    bench.add_argument("--xml", required=True, help="path to the XML document to query")
+    bench.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    bench.add_argument("--vars", default="", help="comma-separated output variables")
+    bench.add_argument(
+        "--engines",
+        default=DEFAULT_ENGINE,
+        help="comma-separated registry names to time (default: polynomial)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3, help="timing rounds per engine (best is kept)"
+    )
+
+    subparsers.add_parser("engines", help="list registered engines and capabilities")
+
+    return parser
+
+
+# ------------------------------------------------------------- legacy parser
+def build_legacy_parser() -> argparse.ArgumentParser:
+    """The seed's flat parser, kept so existing invocations stay valid."""
     parser = argparse.ArgumentParser(
         prog="repro-xpath",
         description="Answer n-ary PPL (Core XPath 2.0) queries on XML documents "
@@ -45,9 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("ppl", "naive"),
         default="ppl",
-        help="query engine: the polynomial PPL engine (default) or the naive baseline",
+        help="query engine: a registry name, or the legacy aliases ppl/naive",
     )
     parser.add_argument(
         "--check-only",
@@ -65,43 +160,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _split_vars(text: str) -> list[str]:
+    return [name.strip() for name in text.split(",") if name.strip()]
 
-    if args.check_only:
-        violations = ppl_violations(args.query)
-        if not violations:
-            print("PPL: the expression satisfies all conditions of Definition 1")
-            return 0
-        print("NOT PPL: the expression violates Definition 1:")
-        for violation in violations:
-            print(f"  - {violation.condition}: {violation.message}")
-        return 1
 
-    if not args.xml:
-        parser.error("--xml is required unless --check-only is given")
+# ------------------------------------------------------------------ handlers
+def _run_check(query_text: str) -> int:
+    from repro.core.ppl import ppl_violations
 
-    variables = [name.strip() for name in args.vars.split(",") if name.strip()]
-    try:
-        tree = tree_from_xml_file(args.xml)
-        if args.engine == "ppl":
-            engine = PPLEngine(tree)
-            answers = engine.answer(args.query, variables)
-            if args.stats:
-                report = engine.report(args.query, variables)
-                print(
-                    f"# |P|={report.expression_size} |C|={report.hcl_size} "
-                    f"leaves={report.distinct_leaves} |t|={tree.size} "
-                    f"n={len(variables)} |A|={report.answer_count}",
-                    file=sys.stderr,
-                )
-        else:
-            answers = NaiveEngine(tree).answer(args.query, variables)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    violations = ppl_violations(query_text)
+    if not violations:
+        print("PPL: the expression satisfies all conditions of Definition 1")
+        return 0
+    print("NOT PPL: the expression violates Definition 1:")
+    for violation in violations:
+        print(f"  - {violation.condition}: {violation.message}")
+    return 1
+
+
+def _run_answer(
+    xml: str,
+    query_text: str,
+    variables: Sequence[str],
+    engine: str,
+    labels: bool,
+    stats: bool,
+) -> int:
+    document = Document.from_file(xml)
+    answers = document.answer(query_text, variables, engine=engine)
+    if stats:
+        report = document.report(query_text, variables, engine=engine)
+        print(
+            f"# |P|={report.expression_size} |C|={report.hcl_size} "
+            f"leaves={report.distinct_leaves} |t|={document.size} "
+            f"n={len(variables)} |A|={report.answer_count}",
+            file=sys.stderr,
+        )
+        print(report.to_json(), file=sys.stderr)
 
     header = "\t".join(f"${name}" for name in variables) if variables else "(boolean)"
     print(header)
@@ -109,12 +204,138 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("non-empty" if answers else "empty")
         return 0
     for answer_tuple in sorted(answers):
-        if args.labels:
-            rendered = [f"{node}:{tree.labels[node]}" for node in answer_tuple]
+        if labels:
+            rendered = [f"{node}:{document.labels[node]}" for node in answer_tuple]
         else:
             rendered = [str(node) for node in answer_tuple]
         print("\t".join(rendered))
     return 0
+
+
+def _run_translate(query_text: str) -> int:
+    from repro.api import compile_query
+
+    query = compile_query(query_text, require_ppl=False)
+    if not query.is_ppl:
+        print("NOT PPL: no HCL⁻ translation exists; violations:")
+        for violation in query.violations:
+            print(f"  - {violation.condition}: {violation.message}")
+        return 1
+    print("expression:", query.source.unparse())
+    print("hcl:", query.hcl.unparse())
+    if query.pplbin is not None:
+        print("pplbin:", query.pplbin.unparse())
+    return 0
+
+
+def _run_bench(
+    xml: str,
+    query_text: str,
+    variables: Sequence[str],
+    engine_names: Sequence[str],
+    repeat: int,
+) -> int:
+    document = Document.from_file(xml)
+    results = []
+    for name in engine_names:
+        entry: dict = {"engine": name}
+        try:
+            backend = get_engine(name)
+            compiled = document.compile(query_text, variables, require_ppl=False)
+            check_capabilities(backend, compiled)
+            best = None
+            for _ in range(max(1, repeat)):
+                started = time.perf_counter()
+                answers = backend.answer(document, compiled)
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            report = document.report(compiled, engine=name, answers=answers)
+            entry.update(report.to_dict())
+            entry["seconds"] = best
+        except ReproError as error:
+            entry["error"] = str(error)
+        results.append(entry)
+    print(json.dumps(results, indent=2))
+    return 0 if all("error" not in entry for entry in results) else 1
+
+
+def _run_engines() -> int:
+    from dataclasses import asdict
+
+    for name in available_engines():
+        backend = get_engine(name)
+        flags = ", ".join(
+            f"{key}={value}" for key, value in asdict(backend.capabilities).items()
+        )
+        print(f"{name}: {flags}")
+    return 0
+
+
+# ---------------------------------------------------------------- entry point
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # The subcommand interface is the primary one: bare invocations and
+    # top-level --help must surface it.  Only invocations that *start* with a
+    # legacy flag (and are not help requests) take the compatibility path.
+    if not arguments or arguments[0] in SUBCOMMANDS or arguments[0] in ("-h", "--help"):
+        return _main_subcommands(arguments)
+    return _main_legacy(arguments)
+
+
+def _main_subcommands(arguments: list[str]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(arguments)
+    try:
+        if args.command == "check":
+            return _run_check(args.query)
+        if args.command == "translate":
+            return _run_translate(args.query)
+        if args.command == "engines":
+            return _run_engines()
+        if args.command == "bench":
+            return _run_bench(
+                args.xml,
+                args.query,
+                _split_vars(args.vars),
+                _split_vars(args.engines),
+                args.repeat,
+            )
+        return _run_answer(
+            args.xml,
+            args.query,
+            _split_vars(args.vars),
+            args.engine,
+            args.labels,
+            args.stats,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _main_legacy(arguments: list[str]) -> int:
+    parser = build_legacy_parser()
+    args = parser.parse_args(arguments)
+
+    if args.check_only:
+        return _run_check(args.query)
+
+    if not args.xml:
+        parser.error("--xml is required unless --check-only is given")
+
+    try:
+        return _run_answer(
+            args.xml,
+            args.query,
+            _split_vars(args.vars),
+            args.engine,  # "ppl" resolves through the registry alias
+            args.labels,
+            args.stats,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,8 +7,10 @@ This package ties together the substrates:
 * :mod:`~repro.core.translate` — the Fig. 7 translation PPL → HCL⁻(PPLbin)
   and its converse (Proposition 5).
 * :mod:`~repro.core.engine` — :class:`PPLEngine`, the end-to-end polynomial
-  n-ary query answering pipeline of Theorem 1.
-* :mod:`~repro.core.api` — the convenience functions most applications use.
+  n-ary query answering pipeline of Theorem 1 (now a thin shim over the
+  ``"polynomial"`` backend of :mod:`repro.api`).
+* :mod:`~repro.core.api` — deprecation shims for the seed's convenience
+  functions; new code should use :mod:`repro.api` directly.
 """
 
 from repro.core.ppl import PPL_CONDITIONS, check_ppl, is_ppl, ppl_violations

@@ -1,4 +1,9 @@
-"""High-level convenience API for answering PPL queries.
+"""High-level convenience API for answering PPL queries (deprecation shims).
+
+.. deprecated::
+    New code should use :mod:`repro.api` — :class:`repro.api.Document`,
+    :func:`repro.api.compile_query` and the engine registry.  The functions
+    here are thin wrappers kept so existing callers keep working.
 
 Most applications only need two calls::
 
@@ -16,40 +21,50 @@ against many documents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from functools import cached_property
+from typing import Optional, Sequence
 
 from repro.trees.tree import Tree
 from repro.xpath.ast import PathExpr
-from repro.xpath.parser import parse_path
-from repro.hcl.answering import HclAnswerer
 from repro.hcl.ast import HclExpr
-from repro.hcl.binding import PPLbinOracle
-from repro.core.ppl import check_ppl
-from repro.core.translate import ppl_to_hcl
-from repro.core.engine import PPLEngine
 
 
 @dataclass(frozen=True)
 class CompiledQuery:
     """A PPL query compiled down to its HCL⁻(PPLbin) form.
 
-    Instances are produced by :func:`compile_query`; calling
-    :meth:`run` answers the query on a document with the polynomial engine.
+    .. deprecated:: use :class:`repro.api.Query` (returned by
+        :func:`repro.api.compile_query`), which additionally carries the
+        Definition 1 check result and the PPLbin form and dispatches to any
+        registered backend.
+
+    Instances are produced by :func:`compile_query`; calling :meth:`run`
+    answers the query on a document with the polynomial engine.  Documents
+    are adopted through the weak registry of
+    :func:`repro.api.document.as_document`, which replaces the seed's
+    ``id(tree)``-keyed engine dict (ids are recycled after garbage
+    collection, and that dict grew without bound).
     """
 
     source: PathExpr
     formula: HclExpr
     variables: tuple[str, ...]
-    _engines: dict = field(default_factory=dict, compare=False, repr=False)
+    _query: Optional[object] = field(default=None, compare=False, repr=False)
+
+    @cached_property
+    def query(self):
+        """The equivalent :class:`repro.api.Query` (built lazily if needed)."""
+        if self._query is not None:
+            return self._query
+        from repro.api.query import compile_query as api_compile_query
+
+        return api_compile_query(self.source, self.variables)
 
     def run(self, tree: Tree) -> frozenset[tuple[int, ...]]:
         """Answer the compiled query on ``tree``."""
-        key = id(tree)
-        answerer = self._engines.get(key)
-        if answerer is None:
-            answerer = HclAnswerer(tree, PPLbinOracle(tree))
-            self._engines[key] = answerer
-        return answerer.answer(self.formula, list(self.variables))
+        from repro.api.document import as_document
+
+        return as_document(tree).answer(self.query)
 
     @property
     def arity(self) -> int:
@@ -67,14 +82,16 @@ def compile_query(expression: PathExpr | str, variables: Sequence[str]) -> Compi
     RestrictionViolation
         If the expression violates Definition 1 (it is not a PPL expression).
     """
-    parsed = parse_path(expression) if isinstance(expression, str) else expression
-    check_ppl(parsed)
-    formula = ppl_to_hcl(parsed)
-    return CompiledQuery(parsed, formula, tuple(variables))
+    from repro.api.query import compile_query as api_compile_query
+
+    query = api_compile_query(expression, variables)
+    return CompiledQuery(query.source, query.hcl, query.variables, query)
 
 
 def answer(
     tree: Tree, expression: PathExpr | str, variables: Sequence[str]
 ) -> frozenset[tuple[int, ...]]:
     """Answer one n-ary PPL query on one document with the polynomial engine."""
-    return PPLEngine(tree).answer(expression, variables)
+    from repro.api.document import answer as api_answer
+
+    return api_answer(tree, expression, variables)

@@ -1,6 +1,13 @@
-"""The end-to-end polynomial query engine of Theorem 1.
+"""The end-to-end polynomial query engine of Theorem 1 (deprecation shim).
 
-:class:`PPLEngine` answers n-ary PPL queries on a fixed tree in time
+.. deprecated::
+    :class:`PPLEngine` is kept for backwards compatibility; new code should
+    use :class:`repro.api.Document`, which owns the same shared state and
+    additionally dispatches to every registered backend.  See the migration
+    table in :mod:`repro.api`.
+
+The pipeline (now driven by the ``"polynomial"`` engine of the registry)
+answers n-ary PPL queries on a fixed tree in time
 ``O(|P| |t|^3  +  n |P| |t|^2 |A|)``:
 
 1. parse the Core XPath 2.0 expression (if given as text),
@@ -19,17 +26,13 @@ same document reuses the per-axis and per-leaf work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
 
 from repro.trees.tree import Tree
 from repro.xpath.ast import PathExpr
-from repro.xpath.parser import parse_path
-from repro.hcl.answering import HclAnswerer
-from repro.hcl.ast import HclExpr, Leaf
-from repro.hcl.binding import PPLbinOracle
-from repro.core.ppl import check_ppl
-from repro.core.translate import ppl_to_hcl
+from repro.hcl.ast import HclExpr
 
 
 @dataclass(frozen=True)
@@ -41,18 +44,43 @@ class QueryReport:
     distinct_leaves: int
     variables: tuple[str, ...]
     answer_count: int
+    tree_size: Optional[int] = None
+    engine: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """Return a plain-dict form (JSON-ready; tuples become lists)."""
+        data = asdict(self)
+        data["variables"] = list(self.variables)
+        data["arity"] = len(self.variables)
+        return data
+
+    def to_json(self, **kwargs) -> str:
+        """Return the report as a JSON object string."""
+        return json.dumps(self.to_dict(), **kwargs)
 
 
 class PPLEngine:
-    """Answer n-ary PPL queries on a fixed tree in polynomial time."""
+    """Answer n-ary PPL queries on a fixed tree in polynomial time.
+
+    .. deprecated:: use :class:`repro.api.Document` — this class is now a
+        thin wrapper delegating every call to a private document and the
+        ``"polynomial"`` registry backend.
+    """
 
     name = "ppl-polynomial"
 
     def __init__(self, tree: Tree) -> None:
+        from repro.api.document import Document
+
         self.tree = tree
-        self.oracle = PPLbinOracle(tree)
-        self._answerer = HclAnswerer(tree, self.oracle)
-        self._translation_cache: dict[PathExpr, HclExpr] = {}
+        self._document = Document(tree)
+        self.oracle = self._document.oracle
+        self._answerer = self._document.answerer
+
+    @property
+    def _translation_cache(self) -> dict[PathExpr, HclExpr]:
+        """The document's HCL translation cache (kept for compatibility)."""
+        return self._document._translations
 
     # ----------------------------------------------------------- public API
     def answer(
@@ -74,47 +102,21 @@ class PPLEngine:
         RestrictionViolation
             If the expression violates Definition 1.
         """
-        formula = self._translate(expression)
-        return self._answerer.answer(formula, list(variables))
+        return self._document.answer(expression, variables)
 
     def nonempty(self, expression: PathExpr | str) -> bool:
         """Decide non-emptiness of the query (Boolean query answering)."""
-        formula = self._translate(expression)
-        return self._answerer.nonempty(formula)
+        return self._document.nonempty(expression)
 
     def pairs(self, expression: PathExpr | str) -> frozenset[tuple[int, int]]:
         """Evaluate a *variable-free* PPL expression as a binary query.
 
-        Convenience wrapper used by examples: the expression is translated
-        and its start/end nodes are returned, matching the paper's
-        ``q^bin_P`` for PPLbin expressions.
+        Dispatches through the engine registry (the ``"polynomial"``
+        backend's binary path), matching the paper's ``q^bin_P`` for PPLbin
+        expressions.
         """
-        parsed = parse_path(expression) if isinstance(expression, str) else expression
-        from repro.pplbin.translate import from_core_xpath  # local import: optional path
-
-        return self.oracle.pairs(from_core_xpath(parsed))
+        return self._document.pairs(expression)
 
     def report(self, expression: PathExpr | str, variables: Sequence[str]) -> QueryReport:
         """Answer the query and return sizing diagnostics along with the count."""
-        parsed = parse_path(expression) if isinstance(expression, str) else expression
-        formula = self._translate(parsed)
-        answers = self._answerer.answer(formula, list(variables))
-        distinct_leaves = len({leaf.query for leaf in formula.leaves()})
-        return QueryReport(
-            expression_size=parsed.size,
-            hcl_size=formula.size,
-            distinct_leaves=distinct_leaves,
-            variables=tuple(variables),
-            answer_count=len(answers),
-        )
-
-    # ------------------------------------------------------------ internals
-    def _translate(self, expression: PathExpr | str) -> HclExpr:
-        parsed = parse_path(expression) if isinstance(expression, str) else expression
-        cached = self._translation_cache.get(parsed)
-        if cached is not None:
-            return cached
-        check_ppl(parsed)
-        formula = ppl_to_hcl(parsed)
-        self._translation_cache[parsed] = formula
-        return formula
+        return self._document.report(expression, variables)

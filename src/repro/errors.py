@@ -68,3 +68,46 @@ class NotAcyclicError(ReproError):
 
 class TranslationError(ReproError):
     """Raised when a translation between languages is not defined."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the engine registry and dispatch."""
+
+
+class UnknownEngineError(EngineError):
+    """Raised when an engine name is not present in the registry.
+
+    Attributes
+    ----------
+    engine:
+        The requested name.
+    available:
+        The registered engine names at lookup time.
+    """
+
+    def __init__(self, engine: str, available: tuple[str, ...] = ()) -> None:
+        hint = f"; available engines: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown engine {engine!r}{hint}")
+        self.engine = engine
+        self.available = available
+
+
+class EngineCapabilityError(EngineError):
+    """Raised *before evaluation* when a query exceeds an engine's capabilities.
+
+    Examples: an n-ary query dispatched to a binary-only backend, a union to
+    a union-free backend, or a complement to the set-based Core XPath 1.0
+    evaluator.
+
+    Attributes
+    ----------
+    engine:
+        The engine that refused the query.
+    capability:
+        Short name of the violated capability (e.g. ``"max_arity"``).
+    """
+
+    def __init__(self, engine: str, capability: str, message: str) -> None:
+        super().__init__(f"engine {engine!r} cannot run this query ({capability}): {message}")
+        self.engine = engine
+        self.capability = capability

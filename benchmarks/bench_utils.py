@@ -1,6 +1,85 @@
-"""Timing helpers shared by the benchmark modules."""
+"""Timing helpers shared by the benchmark modules, plus JSON result emission.
+
+Every ``bench_e*.py`` routes its measurements through :func:`run_once` /
+:func:`run_single`; both register the pytest-benchmark fixture with this
+module, and the session-finish hook in ``benchmarks/conftest.py`` calls
+:func:`write_session_results` to dump one ``BENCH_<name>.json`` per bench
+module (timing stats plus everything the module attached via
+``benchmark.extra_info``).  That makes the bench trajectory machine-readable
+without any per-module boilerplate: ``pytest benchmarks/bench_e3_vs_naive.py``
+leaves a ``BENCH_e3_vs_naive.json`` behind.
+
+Standalone scenario benchmarks (e.g. the corpus scaling experiment E10)
+write their own payloads through :func:`write_bench_json` under a chosen
+name — that is where ``BENCH_corpus.json`` comes from.
+
+Output lands in the repository root by default; set ``REPRO_BENCH_DIR`` to
+redirect it.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Stats fields copied from pytest-benchmark into the JSON records.
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+#: Registered fixtures, keyed by bench name (module stem without ``bench_``).
+_SESSION_RESULTS: dict[str, list] = {}
+
+
+def bench_output_dir() -> Path:
+    """Directory receiving ``BENCH_*.json`` (env ``REPRO_BENCH_DIR`` or repo root)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload) -> Path:
+    """Write ``payload`` to ``BENCH_<name>.json`` and return the path."""
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return path
+
+
+def _bench_name(fullname: str) -> str:
+    """Derive the bench name from a pytest node id (module stem, no prefix)."""
+    module = fullname.split("::", 1)[0]
+    stem = Path(module).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def _register(benchmark) -> None:
+    _SESSION_RESULTS.setdefault(_bench_name(benchmark.fullname), []).append(benchmark)
+
+
+def write_session_results() -> list[Path]:
+    """Dump one ``BENCH_<name>.json`` per bench module measured this session."""
+    paths = []
+    for name, fixtures in sorted(_SESSION_RESULTS.items()):
+        records = []
+        for fixture in fixtures:
+            record = {
+                "test": fixture.name,
+                "group": fixture.group,
+                "param": fixture.param,
+                "extra_info": dict(fixture.extra_info),
+            }
+            metadata = fixture.stats  # pytest-benchmark Metadata, set after the run
+            if metadata is not None:
+                stats = metadata.stats
+                record["stats"] = {
+                    field: getattr(stats, field)
+                    for field in _STAT_FIELDS
+                    if hasattr(stats, field)
+                }
+            records.append(record)
+        paths.append(write_bench_json(name, {"bench": name, "results": records}))
+    _SESSION_RESULTS.clear()
+    return paths
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -10,12 +89,16 @@ def run_once(benchmark, function, *args, **kwargs):
     for pytest-benchmark's default calibration loop; three single-iteration
     rounds keep total harness time bounded while still averaging a few runs.
     """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+    _register(benchmark)
+    return result
 
 
 def run_single(benchmark, function, *args, **kwargs):
     """Benchmark ``function`` with exactly one round (for the slowest baselines)."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _register(benchmark)
+    return result
 
 
 def attach_report(benchmark, report) -> None:
@@ -23,6 +106,7 @@ def attach_report(benchmark, report) -> None:
 
     pytest-benchmark serialises ``extra_info`` into its saved JSON, so every
     field of the report (expression/HCL sizes, arity, answer count, engine,
-    tree size) becomes machine-readable bench output.
+    tree size) becomes machine-readable bench output — and through
+    :func:`write_session_results` it also lands in ``BENCH_<name>.json``.
     """
     benchmark.extra_info.update(report.to_dict())

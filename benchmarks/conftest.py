@@ -1,10 +1,15 @@
 """Shared helpers for the benchmark harness.
 
 Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md
-(E1–E9): the measured series is produced by pytest-benchmark's timing table,
-and headline quantities (tree size, answer-set size, expansion factors) are
-attached to every benchmark through ``benchmark.extra_info`` so they appear
-in ``--benchmark-verbose`` output and in saved JSON.
+(E1–E10): the measured series is produced by pytest-benchmark's timing
+table, and headline quantities (tree size, answer-set size, expansion
+factors) are attached to every benchmark through ``benchmark.extra_info`` so
+they appear in ``--benchmark-verbose`` output and in saved JSON.
+
+On session finish every module's measurements are additionally dumped to
+``BENCH_<name>.json`` through :func:`bench_utils.write_session_results`, so
+the bench trajectory is machine-readable without passing pytest-benchmark
+storage flags.
 
 The sizes used here are deliberately moderate so that the whole suite runs in
 a few minutes on a laptop; the *shape* of the curves (cubic vs linear vs
@@ -14,17 +19,19 @@ absolute numbers.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
+sys.path.insert(0, os.path.dirname(__file__))
 
-def run_once(benchmark, function, *args, **kwargs):
-    """Benchmark ``function`` with one warmup-free round per measurement.
+import bench_utils  # noqa: E402  (needs the path tweak above)
 
-    Several of the measured operations are too slow (or too allocation-heavy)
-    for pytest-benchmark's default calibration loop; a fixed small number of
-    rounds keeps total harness time bounded while still averaging a few runs.
-    """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump one BENCH_<name>.json per measured bench module."""
+    bench_utils.write_session_results()
 
 
 @pytest.fixture

@@ -24,8 +24,9 @@ which was keyed by ``id(tree)`` and grew without bound.
 
 from __future__ import annotations
 
+import os
 import weakref
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from repro.trees.tree import Node, Tree
 from repro.trees.xml_io import tree_from_xml, tree_from_xml_file
@@ -38,6 +39,9 @@ from repro.core.ppl import Violation, ppl_violations
 from repro.core.engine import QueryReport
 from repro.api.query import Query, _build_query
 from repro.api.registry import DEFAULT_ENGINE, check_capabilities, get_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import DocumentStore
 
 #: Anything `Document.answer`/`answer_many` accept as a query.
 QueryLike = Union[Query, PathExpr, str]
@@ -54,6 +58,15 @@ class Document:
     tree:
         The document, as an indexed :class:`Tree` or a :class:`Node` builder
         (which is indexed on the spot).
+    cache_answers:
+        Memoise complete answer sets per ``(query, engine)``.  Sound because
+        documents are immutable and compiled queries compare by value; the
+        cache lives and dies with the document, so eviction from a
+        :class:`repro.corpus.DocumentStore` reclaims it.  Off by default for
+        ad-hoc documents (answer sets can dwarf the tree); the corpus store
+        and the executor's shard workers turn it on, where the LRU residency
+        bound caps the total footprint — repeated query batches over a
+        resident corpus then cost one dictionary lookup per document.
 
     Attributes
     ----------
@@ -65,7 +78,7 @@ class Document:
         The shared Fig. 8 answerer used by the polynomial backend.
     """
 
-    def __init__(self, tree: Tree | Node) -> None:
+    def __init__(self, tree: Tree | Node, *, cache_answers: bool = False) -> None:
         self.tree = tree if isinstance(tree, Tree) else Tree(tree)
         self.oracle = PPLbinOracle(self.tree)
         self.answerer = HclAnswerer(self.tree, self.oracle)
@@ -74,17 +87,20 @@ class Document:
         # compiled with different variable tuples translates once.
         self._queries: dict[tuple[PathExpr, tuple[str, ...]], Query] = {}
         self._translations: dict[PathExpr, HclExpr] = {}
+        self._answers: Optional[
+            dict[tuple[PathExpr, tuple[str, ...], str], frozenset[tuple[int, ...]]]
+        ] = {} if cache_answers else None
 
     # ------------------------------------------------------------ constructors
     @classmethod
-    def from_xml(cls, text: str) -> "Document":
+    def from_xml(cls, text: str, *, cache_answers: bool = False) -> "Document":
         """Parse an XML string into a document."""
-        return cls(tree_from_xml(text))
+        return cls(tree_from_xml(text), cache_answers=cache_answers)
 
     @classmethod
-    def from_file(cls, path: str) -> "Document":
+    def from_file(cls, path: str, *, cache_answers: bool = False) -> "Document":
         """Load an XML file into a document."""
-        return cls(tree_from_xml_file(path))
+        return cls(tree_from_xml_file(path), cache_answers=cache_answers)
 
     # ----------------------------------------------------------------- basics
     @property
@@ -168,7 +184,17 @@ class Document:
         backend = get_engine(engine)
         compiled = self._as_query(query, variables)
         check_capabilities(backend, compiled)
-        return backend.answer(self, compiled)
+        if self._answers is None:
+            return backend.answer(self, compiled)
+        # Keyed by backend.name (not the requested alias) so "ppl" and
+        # "polynomial" share one entry; capability checks stay above the
+        # cache so a miss and a hit raise identically.
+        key = (compiled.source, compiled.variables, backend.name)
+        answers = self._answers.get(key)
+        if answers is None:
+            answers = backend.answer(self, compiled)
+            self._answers[key] = answers
+        return answers
 
     def nonempty(self, query: QueryLike, *, engine: str = DEFAULT_ENGINE) -> bool:
         """Decide non-emptiness of the query (Boolean query answering)."""
@@ -311,16 +337,35 @@ def answer(
 
 
 def answer_batch(
-    documents: Iterable[Document | Tree | Node],
+    documents: Iterable[Union[Document, Tree, Node, str, "os.PathLike[str]"]],
     query: QueryLike,
     variables: Optional[Sequence[str]] = None,
     *,
     engine: str = DEFAULT_ENGINE,
+    store: Optional["DocumentStore"] = None,
 ) -> list[frozenset[tuple[int, ...]]]:
     """Answer one query against many documents.
 
     The query is compiled once (queries are document-independent) and run
     against each document's shared oracle.
+
+    Each item may be a :class:`Document`, a bare tree, or a *string/path*:
+    strings resolve through ``store`` (a
+    :class:`repro.corpus.DocumentStore`) — registered names win, unknown
+    strings naming an XML file on disk are adopted into the store so
+    repeated batches reuse the parse.  Without ``store`` an ephemeral
+    unbounded store backs the call, so path items still share parses within
+    one batch.
+
+    .. deprecated::
+        Passing bare in-memory trees keeps working (they are adopted through
+        the weak document registry) but is a legacy path: trees bypass the
+        store, so they get no LRU residency bound, no reuse across batches
+        and no access to the parallel strategies of
+        :class:`repro.corpus.CorpusExecutor` (whose workers rebuild from
+        *sources*, which a bare tree does not have).  New code should
+        register documents in a ``DocumentStore`` and pass names; a later
+        release will route all batch scheduling through the store.
     """
     if not isinstance(query, Query):
         from repro.api.query import compile_query
@@ -331,4 +376,20 @@ def answer_batch(
             "variables cannot be overridden on a compiled Query; "
             "compile with the desired output tuple instead"
         )
-    return [as_document(document).answer(query, engine=engine) for document in documents]
+
+    def resolve(item) -> Document:
+        nonlocal store
+        if isinstance(item, (Document, Tree, Node)):
+            return as_document(item)
+        if isinstance(item, (str, os.PathLike)):
+            if store is None:
+                from repro.corpus.store import DocumentStore
+
+                store = DocumentStore()
+            return store.resolve(os.fspath(item))
+        raise TypeError(
+            f"cannot answer on {item!r}: expected a Document, Tree, Node, "
+            "store name or XML file path"
+        )
+
+    return [resolve(document).answer(query, engine=engine) for document in documents]

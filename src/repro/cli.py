@@ -32,6 +32,34 @@ Subcommands
 ``engines``
     List the registered backends and their capability flags.
 
+``corpus``
+    Multi-document commands backed by :mod:`repro.corpus` — a subcommand
+    group of its own:
+
+    ``corpus load``
+        Register every XML file of a directory in a
+        :class:`repro.corpus.DocumentStore` and print a JSON inventory
+        (names, sizes, store stats)::
+
+            repro-xpath corpus load --dir corpus/ --max-resident 32
+
+    ``corpus answer``
+        Answer one query on every document (or ``--docs`` a subset), with
+        any strategy of the :class:`repro.corpus.CorpusExecutor`; prints one
+        ``name<TAB>count`` line per document as results stream in, or the
+        full :class:`repro.corpus.CorpusReport` with ``--json``::
+
+            repro-xpath corpus answer --dir corpus/ \
+                --query "descendant::book[child::author[. is \$y] and child::title[. is \$z]]" \
+                --vars y,z --strategy processes --workers 4
+
+    ``corpus bench``
+        Time the same corpus run under several strategies, check that they
+        all return identical answers, and write a JSON comparison::
+
+            repro-xpath corpus bench --dir corpus/ --query "..." --vars y,z \
+                --strategies serial,threads,processes --out BENCH_corpus.json
+
 The seed's flat invocation (``repro-xpath --xml ... --query ...``) keeps
 working and is routed through the same facade; ``--engine ppl`` is accepted
 as an alias of ``polynomial``.
@@ -54,7 +82,7 @@ from repro.api import (
     get_engine,
 )
 
-SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines")
+SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines", "corpus")
 
 
 # ---------------------------------------------------------------- new parser
@@ -120,6 +148,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("engines", help="list registered engines and capabilities")
+
+    corpus = subparsers.add_parser(
+        "corpus", help="multi-document commands (load / answer / bench)"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def add_store_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--dir", required=True, help="directory holding the corpus XML files"
+        )
+        subparser.add_argument(
+            "--pattern", default="*.xml", help="glob selecting corpus files (default *.xml)"
+        )
+        subparser.add_argument(
+            "--max-resident",
+            type=int,
+            default=None,
+            help="LRU bound on concurrently materialised documents (default unbounded)",
+        )
+
+    corpus_load = corpus_sub.add_parser(
+        "load", help="register a directory and print a JSON inventory"
+    )
+    add_store_options(corpus_load)
+
+    corpus_answer = corpus_sub.add_parser(
+        "answer", help="answer one query on every document of a corpus"
+    )
+    add_store_options(corpus_answer)
+    corpus_answer.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    corpus_answer.add_argument("--vars", default="", help="comma-separated output variables")
+    corpus_answer.add_argument(
+        "--engine", default=DEFAULT_ENGINE, help=f"registry engine (default {DEFAULT_ENGINE})"
+    )
+    corpus_answer.add_argument(
+        "--strategy",
+        default="serial",
+        choices=("serial", "threads", "processes"),
+        help="execution strategy (default serial)",
+    )
+    corpus_answer.add_argument(
+        "--workers", type=int, default=None, help="thread-pool width / process shard count"
+    )
+    corpus_answer.add_argument(
+        "--docs", default="", help="comma-separated document names (default: all)"
+    )
+    corpus_answer.add_argument(
+        "--unordered",
+        action="store_true",
+        help="stream results in completion order instead of store order",
+    )
+    corpus_answer.add_argument(
+        "--json", action="store_true", help="print the aggregate CorpusReport as JSON"
+    )
+
+    corpus_bench = corpus_sub.add_parser(
+        "bench", help="compare strategies on one corpus, verifying agreement"
+    )
+    add_store_options(corpus_bench)
+    corpus_bench.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    corpus_bench.add_argument("--vars", default="", help="comma-separated output variables")
+    corpus_bench.add_argument(
+        "--engine", default=DEFAULT_ENGINE, help=f"registry engine (default {DEFAULT_ENGINE})"
+    )
+    corpus_bench.add_argument(
+        "--strategies",
+        default="serial,threads,processes",
+        help="comma-separated strategies to time (default all three)",
+    )
+    corpus_bench.add_argument(
+        "--rounds", type=int, default=1, help="query batches per strategy (default 1)"
+    )
+    corpus_bench.add_argument(
+        "--workers", type=int, default=None, help="thread-pool width / process shard count"
+    )
+    corpus_bench.add_argument(
+        "--out", default=None, help="write the JSON comparison to this path as well"
+    )
 
     return parser
 
@@ -259,6 +365,134 @@ def _run_bench(
     return 0 if all("error" not in entry for entry in results) else 1
 
 
+def _corpus_store(args) -> "object":
+    from repro.corpus import DocumentStore
+
+    store = DocumentStore.from_directory(
+        args.dir, pattern=args.pattern, max_resident=args.max_resident
+    )
+    if not len(store):
+        raise ReproError(f"no files matching {args.pattern!r} under {args.dir!r}")
+    return store
+
+
+def _run_corpus_load(args) -> int:
+    store = _corpus_store(args)
+    documents = []
+    for name in store.names():
+        document = store.get(name)
+        documents.append({"name": name, "nodes": document.size})
+    stats = store.stats
+    print(
+        json.dumps(
+            {
+                "directory": args.dir,
+                "documents": documents,
+                "count": len(documents),
+                "total_nodes": sum(entry["nodes"] for entry in documents),
+                "max_resident": store.max_resident,
+                "stats": {
+                    "loads": stats.loads,
+                    "hits": stats.hits,
+                    "evictions": stats.evictions,
+                },
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _run_corpus_answer(args) -> int:
+    from repro.corpus import CorpusExecutor
+
+    store = _corpus_store(args)
+    names = _split_vars(args.docs) or None
+    variables = _split_vars(args.vars)
+    with CorpusExecutor(
+        store, strategy=args.strategy, max_workers=args.workers, engine=args.engine
+    ) as executor:
+        if args.json:
+            report = executor.run_report(
+                (args.query, variables), names, ordered=not args.unordered
+            )
+            print(report.to_json(indent=2))
+            return 0
+        collected = []
+        for result in executor.run(
+            (args.query, variables), names, ordered=not args.unordered
+        ):
+            print(f"{result.doc_name}\t{result.report.answer_count}")
+            collected.append(result)
+    total = sum(result.report.answer_count for result in collected)
+    print(f"# documents={len(collected)} total_answers={total}", file=sys.stderr)
+    return 0
+
+
+def _run_corpus_bench(args) -> int:
+    from repro.corpus import CorpusExecutor
+
+    variables = _split_vars(args.vars)
+    strategies = _split_vars(args.strategies)
+    rounds = max(1, args.rounds)
+    runs = []
+    answer_maps = []
+    for strategy in strategies:
+        # A fresh store per strategy: every strategy starts cold and pays its
+        # own parse/oracle work, so the wall-clocks are comparable.
+        store = _corpus_store(args)
+        answers: dict[str, frozenset] = {}
+        started = time.perf_counter()
+        with CorpusExecutor(
+            store, strategy=strategy, max_workers=args.workers, engine=args.engine
+        ) as executor:
+            round_seconds = []
+            for _ in range(rounds):
+                round_started = time.perf_counter()
+                for result in executor.run((args.query, variables)):
+                    answers[result.doc_name] = result.answers
+                round_seconds.append(time.perf_counter() - round_started)
+            # The process strategy loads documents inside the shard workers;
+            # fold their counters in so the strategies stay comparable.
+            worker_stats = executor.worker_stats()
+        wall = time.perf_counter() - started
+        stats = store.stats
+        runs.append(
+            {
+                "strategy": strategy,
+                "wall_seconds": wall,
+                "round_seconds": round_seconds,
+                "loads": stats.loads + worker_stats.loads,
+                "evictions": stats.evictions + worker_stats.evictions,
+            }
+        )
+        answer_maps.append(answers)
+    agreement = all(candidate == answer_maps[0] for candidate in answer_maps[1:])
+    serial_wall = next(
+        (run["wall_seconds"] for run in runs if run["strategy"] == "serial"), None
+    )
+    payload = {
+        "directory": args.dir,
+        "query": args.query,
+        "variables": variables,
+        "engine": args.engine,
+        "rounds": rounds,
+        "strategies": runs,
+        "agreement": agreement,
+        "speedups_vs_serial": {
+            run["strategy"]: serial_wall / run["wall_seconds"]
+            for run in runs
+            if serial_wall is not None and run["wall_seconds"] > 0
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0 if agreement else 1
+
+
 def _run_engines() -> int:
     from dataclasses import asdict
 
@@ -293,6 +527,12 @@ def _main_subcommands(arguments: list[str]) -> int:
             return _run_translate(args.query)
         if args.command == "engines":
             return _run_engines()
+        if args.command == "corpus":
+            if args.corpus_command == "load":
+                return _run_corpus_load(args)
+            if args.corpus_command == "bench":
+                return _run_corpus_bench(args)
+            return _run_corpus_answer(args)
         if args.command == "bench":
             return _run_bench(
                 args.xml,

@@ -28,7 +28,7 @@ from repro.errors import TranslationError
 from repro.xpath import ast as x
 from repro.pplbin import translate as pb_translate
 from repro.pplbin.ast import BinExpr, BStep, SelfStep, nodes_query
-from repro.pplbin.translate import from_core_xpath, test_to_pplbin
+from repro.pplbin.translate import from_core_xpath
 from repro.hcl.ast import HclExpr, HCompose, HFilter, HUnion, HVar, Leaf
 from repro.core.ppl import check_ppl
 

@@ -1,0 +1,50 @@
+"""repro.corpus — the sharded multi-document store and parallel executor.
+
+Layered on top of :mod:`repro.api`, this package answers compiled queries
+over *collections* of documents instead of one tree at a time:
+
+* :class:`DocumentStore` — named documents from XML strings, files,
+  directories or trees; lazy parse; LRU-bounded resident set; per-document
+  oracle reuse through :class:`repro.api.Document`;
+* :class:`CorpusExecutor` — serial / thread / sharded-process execution of
+  one or many queries, streaming ``(doc_name, QueryReport)`` results with a
+  deterministic-ordering option;
+* :class:`CorpusReport` — per-document timings, hit counts and engine used,
+  serialisable with ``to_json()``.
+
+Typical usage::
+
+    from repro.api import compile_query
+    from repro.corpus import CorpusExecutor, DocumentStore
+
+    store = DocumentStore.from_directory("corpus/", max_resident=32)
+    query = compile_query(
+        "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        ["y", "z"],
+    )
+    with CorpusExecutor(store, strategy="processes", max_workers=4) as executor:
+        for doc_name, report in executor.run(query):
+            print(doc_name, report.answer_count)
+"""
+
+from repro.corpus.store import CorpusError, DocumentSource, DocumentStore, StoreStats
+from repro.corpus.executor import (
+    STRATEGIES,
+    CorpusExecutor,
+    CorpusResult,
+    answer_corpus,
+)
+from repro.corpus.report import CorpusEntry, CorpusReport
+
+__all__ = [
+    "CorpusError",
+    "DocumentSource",
+    "DocumentStore",
+    "StoreStats",
+    "STRATEGIES",
+    "CorpusExecutor",
+    "CorpusResult",
+    "answer_corpus",
+    "CorpusEntry",
+    "CorpusReport",
+]

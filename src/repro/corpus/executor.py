@@ -1,0 +1,492 @@
+"""Parallel corpus query execution with streaming results.
+
+The :class:`CorpusExecutor` runs one or many compiled queries across the
+documents of a :class:`repro.corpus.store.DocumentStore` under one of three
+strategies:
+
+``"serial"``
+    One pass over the documents in the calling thread.  Fully lazy: a
+    document is materialised only when the consumer pulls its results, so a
+    bounded store never holds more than its cap plus one.
+
+``"threads"``
+    A ``ThreadPoolExecutor`` sharing the store (which is thread-safe).  Most
+    useful when query evaluation spends its time in numpy — the boolean
+    matrix products release the GIL.
+
+``"processes"``
+    Documents are sharded across *dedicated* single-worker process pools —
+    one ``ProcessPoolExecutor(max_workers=1)`` per shard — rather than one
+    shared pool.  The pinning is the point: each worker owns a fixed
+    partition of the corpus and keeps its own LRU document cache, so across
+    repeated batches a shard's oracle matrices are built exactly once in
+    exactly one process.  (A shared pool routes tasks to arbitrary workers,
+    which turns every per-worker cache into an accidental thrash.)  Sources
+    ship as picklable ``(kind, payload)`` specs and answers ship back as
+    plain frozensets; the dense oracle matrices never cross a process
+    boundary because they are far cheaper to rebuild than to pickle.
+
+Results stream back as :class:`CorpusResult` values — an iterator, not a
+list, so aggregation, early exit and pipelining all work without holding a
+corpus worth of answer sets.  With ``ordered=True`` (the default) results
+arrive in deterministic store order regardless of completion order; with
+``ordered=False`` they arrive as soon as any worker finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from repro.core.engine import QueryReport
+from repro.api.document import BatchItem, Document
+from repro.api.query import Query, compile_query
+from repro.api.registry import DEFAULT_ENGINE
+from repro.corpus.store import CorpusError, DocumentStore, StoreStats
+
+STRATEGIES = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class CorpusResult:
+    """One document's answer to one query.
+
+    Iterating the result yields ``(doc_name, report)``, so the streaming
+    iterator can be consumed as advertised::
+
+        for doc_name, report in executor.run(query):
+            ...
+
+    while the full answer set, timing and query text stay available as
+    attributes.
+    """
+
+    doc_name: str
+    report: QueryReport
+    query: str
+    variables: tuple[str, ...]
+    answers: frozenset[tuple[int, ...]]
+    seconds: float
+
+    def __iter__(self):
+        yield self.doc_name
+        yield self.report
+
+
+# --------------------------------------------------------------- worker side
+#
+# Module-level state and functions for the process strategy.  Each shard
+# worker process initialises `_WORKER` once with its partition's source
+# specs, rebuilt into a local :class:`DocumentStore` — the same tested LRU
+# residency code that runs in the parent — plus a compiled-query cache.
+_WORKER: dict = {}
+
+
+def _worker_initialise(specs: dict[str, tuple[str, str]], max_resident: Optional[int]) -> None:
+    store = DocumentStore(max_resident=max_resident)
+    for name, (kind, payload) in specs.items():
+        if kind == "xml":
+            store.add_xml(name, payload)
+        else:
+            store.add_file(payload, name=name)
+    _WORKER["store"] = store
+    _WORKER["queries"] = {}
+
+
+def _worker_query(text: str, variables: tuple[str, ...]) -> Query:
+    key = (text, variables)
+    query = _WORKER["queries"].get(key)
+    if query is None:
+        query = compile_query(text, variables, require_ppl=False)
+        _WORKER["queries"][key] = query
+    return query
+
+
+def _worker_answer(
+    name: str, query_specs: Sequence[tuple[str, tuple[str, ...]]], engine: str
+) -> list[tuple[str, tuple[str, ...], frozenset, QueryReport, float]]:
+    """Answer every query on one document inside the shard worker."""
+    document = _WORKER["store"].get(name)
+    results = []
+    for text, variables in query_specs:
+        query = _worker_query(text, variables)
+        started = time.perf_counter()
+        answers = document.answer(query, engine=engine)
+        elapsed = time.perf_counter() - started
+        report = document.report(query, engine=engine, answers=answers)
+        results.append((text, variables, answers, report, elapsed))
+    return results
+
+
+def _worker_stats() -> tuple[int, int, int]:
+    """The shard worker's (loads, hits, evictions) counters."""
+    stats = _WORKER["store"].stats
+    return (stats.loads, stats.hits, stats.evictions)
+
+
+# --------------------------------------------------------------- shard pools
+class _ShardPool:
+    """A single-worker process pool owning a fixed document partition."""
+
+    def __init__(self, doc_names: Sequence[str], specs: dict[str, tuple[str, str]],
+                 max_resident: Optional[int]) -> None:
+        self.doc_names = tuple(doc_names)
+        self.pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_initialise,
+            initargs=(specs, max_resident),
+        )
+
+    def submit(self, name: str, query_specs, engine: str) -> Future:
+        return self.pool.submit(_worker_answer, name, query_specs, engine)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------- executor
+class CorpusExecutor:
+    """Run compiled queries across a document store, streaming the results.
+
+    Parameters
+    ----------
+    store:
+        The corpus.  For ``"processes"`` every registered document must have
+        a picklable source spec (always true: trees are serialised to XML).
+    strategy:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"``.
+    max_workers:
+        Thread-pool width, or the number of shards for ``"processes"``.
+        An explicit value is honoured exactly (capped at the corpus size);
+        the default is ``os.cpu_count()``, raised to at least 2 shards so
+        sharding is observable even on one-core machines.
+    engine:
+        Default registry engine for :meth:`run` (overridable per call).
+
+    The executor is a context manager; ``"processes"`` keeps its shard pools
+    (and therefore the per-worker document caches) alive across :meth:`run`
+    calls until :meth:`close` or context exit.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        *,
+        strategy: str = "serial",
+        max_workers: Optional[int] = None,
+        engine: str = DEFAULT_ENGINE,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise CorpusError(
+                f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}"
+            )
+        self.store = store
+        self.strategy = strategy
+        self.max_workers = max_workers
+        self.engine = engine
+        #: Shard pools, created lazily per shard on first submit (None =
+        #: partition slot whose pool has not been needed yet).
+        self._pools: Optional[list[Optional[_ShardPool]]] = None
+        self._shard_names: list[tuple[str, ...]] = []
+        self._shard_of: dict[str, int] = {}
+        self._partition_version: Optional[int] = None
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down any worker pools (dropping per-worker caches)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                if pool is not None:
+                    pool.shutdown()
+            self._pools = None
+            self._shard_names = []
+            self._shard_of = {}
+            self._partition_version = None
+
+    def __enter__(self) -> "CorpusExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- public
+    def run(
+        self,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        documents: Optional[Sequence[str]] = None,
+        *,
+        engine: Optional[str] = None,
+        ordered: bool = True,
+    ) -> Iterator[CorpusResult]:
+        """Stream ``CorpusResult``s for every (document, query) pair.
+
+        Parameters
+        ----------
+        queries:
+            One query or an iterable of queries; each is a compiled
+            :class:`Query`, an expression (text or AST), or an
+            ``(expression, variables)`` pair.
+        documents:
+            Names to run on (default: every document, in store order).
+        engine:
+            Registry engine override for this call.
+        ordered:
+            With ``True`` results arrive in deterministic (document, query)
+            order; with ``False`` in completion order.
+        """
+        engine_name = engine if engine is not None else self.engine
+        compiled = self._normalise_queries(queries)
+        names = list(documents) if documents is not None else list(self.store.names())
+        for name in names:
+            if name not in self.store:
+                raise CorpusError(f"unknown document {name!r}")
+        if self.strategy == "serial":
+            return self._run_serial(names, compiled, engine_name)
+        if self.strategy == "threads":
+            return self._run_threads(names, compiled, engine_name, ordered)
+        return self._run_processes(names, compiled, engine_name, ordered)
+
+    def run_report(
+        self,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        documents: Optional[Sequence[str]] = None,
+        *,
+        engine: Optional[str] = None,
+        ordered: bool = True,
+    ):
+        """Run and aggregate into a :class:`repro.corpus.report.CorpusReport`."""
+        from repro.corpus.report import CorpusReport
+
+        started = time.perf_counter()
+        results = list(self.run(queries, documents, engine=engine, ordered=ordered))
+        wall = time.perf_counter() - started
+        return CorpusReport.from_results(
+            results,
+            strategy=self.strategy,
+            engine=engine if engine is not None else self.engine,
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------ serial
+    def _run_serial(
+        self, names: Sequence[str], queries: Sequence[Query], engine: str
+    ) -> Iterator[CorpusResult]:
+        for name in names:
+            document = self.store.get(name)
+            yield from self._answer_document(name, document, queries, engine)
+
+    def _answer_document(
+        self, name: str, document: Document, queries: Sequence[Query], engine: str
+    ) -> Iterator[CorpusResult]:
+        for query in queries:
+            started = time.perf_counter()
+            answers = document.answer(query, engine=engine)
+            elapsed = time.perf_counter() - started
+            report = document.report(query, engine=engine, answers=answers)
+            yield CorpusResult(
+                doc_name=name,
+                report=report,
+                query=query.unparse(),
+                variables=query.variables,
+                answers=answers,
+                seconds=elapsed,
+            )
+
+    # ----------------------------------------------------------------- threads
+    def _run_threads(
+        self, names: Sequence[str], queries: Sequence[Query], engine: str, ordered: bool
+    ) -> Iterator[CorpusResult]:
+        width = self.max_workers or min(8, (os.cpu_count() or 1) + 2)
+
+        def answer_one(name: str) -> list[CorpusResult]:
+            document = self.store.get(name)
+            return list(self._answer_document(name, document, queries, engine))
+
+        def generate() -> Iterator[CorpusResult]:
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                futures = {index: pool.submit(answer_one, name)
+                           for index, name in enumerate(names)}
+                yield from _stream(futures, ordered)
+
+        return generate()
+
+    # --------------------------------------------------------------- processes
+    def _ensure_partition(self) -> None:
+        """(Re)compute the document → shard assignment when needed.
+
+        Sharding is by store order, contiguously, so the partition is stable
+        across runs: a document always lands in the same worker, which is
+        what makes the per-worker caches effective.  The partition covers
+        the whole store, but pools are only spawned for shards that actually
+        receive work (:meth:`_shard_pool`).  Any source change — additions,
+        discards, and same-name replacement — bumps the store version and
+        invalidates the partition together with every worker cache.
+        """
+        if (
+            self._pools is not None
+            and self._partition_version == self.store.version
+        ):
+            return
+        self.close()
+        all_names = list(self.store.names())
+        if self.max_workers is not None:
+            count = max(1, min(self.max_workers, len(all_names) or 1))
+        else:
+            count = os.cpu_count() or 1
+            count = max(2, min(count, len(all_names))) if len(all_names) > 1 else 1
+        shards: list[list[str]] = [[] for _ in range(count)]
+        for index, name in enumerate(all_names):
+            shards[index * count // len(all_names)].append(name)
+        self._shard_names = [tuple(shard) for shard in shards]
+        self._shard_of = {
+            name: shard_index
+            for shard_index, shard in enumerate(self._shard_names)
+            for name in shard
+        }
+        self._pools = [None] * count
+        self._partition_version = self.store.version
+
+    def _shard_pool(self, shard_index: int) -> _ShardPool:
+        """The shard's pool, spawned (with its source specs) on first use."""
+        assert self._pools is not None
+        pool = self._pools[shard_index]
+        if pool is None:
+            shard_names = self._shard_names[shard_index]
+            specs = {name: self.store.source_spec(name) for name in shard_names}
+            pool = _ShardPool(shard_names, specs, self.store.max_resident)
+            self._pools[shard_index] = pool
+        return pool
+
+    def worker_stats(self) -> StoreStats:
+        """Aggregate (loads, hits, evictions) over the live shard workers.
+
+        The process strategy materialises documents inside the workers, so
+        the parent store's counters stay at zero; this is the counterpart
+        snapshot.  Returns zeros when no shard pool has been spawned (other
+        strategies, or before the first run).
+        """
+        loads = hits = evictions = 0
+        for pool in self._pools or ():
+            if pool is not None:
+                worker_loads, worker_hits, worker_evictions = pool.pool.submit(
+                    _worker_stats
+                ).result()
+                loads += worker_loads
+                hits += worker_hits
+                evictions += worker_evictions
+        return StoreStats(loads=loads, hits=hits, evictions=evictions)
+
+    def _run_processes(
+        self, names: Sequence[str], queries: Sequence[Query], engine: str, ordered: bool
+    ) -> Iterator[CorpusResult]:
+        self._ensure_partition()
+        query_specs = [(query.unparse(), query.variables) for query in queries]
+
+        def generate() -> Iterator[CorpusResult]:
+            futures: dict[int, Future] = {}
+            for index, name in enumerate(names):
+                shard = self._shard_pool(self._shard_of[name])
+                futures[index] = shard.submit(name, query_specs, engine)
+
+            def unpack(index: int, payload) -> list[CorpusResult]:
+                name = names[index]
+                return [
+                    CorpusResult(
+                        doc_name=name,
+                        report=report,
+                        query=text,
+                        variables=variables,
+                        answers=answers,
+                        seconds=elapsed,
+                    )
+                    for text, variables, answers, report, elapsed in payload
+                ]
+
+            yield from _stream(futures, ordered, unpack)
+
+        return generate()
+
+    # --------------------------------------------------------------- internals
+    def _normalise_queries(
+        self, queries: Union[BatchItem, Iterable[BatchItem]]
+    ) -> list[Query]:
+        items: Iterable[BatchItem]
+        if isinstance(queries, (str, Query)) or not isinstance(queries, Iterable):
+            items = [queries]
+        elif isinstance(queries, tuple) and len(queries) == 2 and isinstance(
+            queries[1], (list, tuple)
+        ) and all(isinstance(v, str) for v in queries[1]):
+            # A single (expression, variables) pair, not a list of two queries.
+            items = [queries]
+        else:
+            items = list(queries)
+        compiled: list[Query] = []
+        for item in items:
+            if isinstance(item, Query):
+                compiled.append(item)
+            elif isinstance(item, tuple):
+                expression, variables = item
+                compiled.append(compile_query(expression, tuple(variables), require_ppl=False))
+            else:
+                compiled.append(compile_query(item, (), require_ppl=False))
+        return compiled
+
+
+def _stream(
+    futures: dict[int, Future], ordered: bool, unpack=None
+) -> Iterator[CorpusResult]:
+    """Yield per-document result lists from indexed futures, streaming.
+
+    With ``ordered`` the next document in index order is yielded as soon as
+    it (and everything before it) is done; otherwise documents are yielded in
+    completion order.  Worker exceptions propagate to the consumer.
+    """
+    if ordered:
+        for index in sorted(futures):
+            payload = futures[index].result()
+            yield from unpack(index, payload) if unpack else payload
+    else:
+        remaining = {future: index for index, future in futures.items()}
+        while remaining:
+            done, _ = wait(list(remaining), return_when=FIRST_COMPLETED)
+            for future in done:
+                index = remaining.pop(future)
+                payload = future.result()
+                yield from unpack(index, payload) if unpack else payload
+
+
+def answer_corpus(
+    store: DocumentStore,
+    queries: Union[BatchItem, Iterable[BatchItem]],
+    *,
+    strategy: str = "serial",
+    engine: str = DEFAULT_ENGINE,
+    max_workers: Optional[int] = None,
+    ordered: bool = True,
+) -> Iterator[CorpusResult]:
+    """One-shot convenience: run queries over a store and stream the results.
+
+    For the process strategy prefer a long-lived :class:`CorpusExecutor` —
+    this helper tears its worker pools (and their caches) down when the
+    iterator is exhausted.
+    """
+    executor = CorpusExecutor(
+        store, strategy=strategy, max_workers=max_workers, engine=engine
+    )
+
+    def generate() -> Iterator[CorpusResult]:
+        try:
+            yield from executor.run(queries, ordered=ordered)
+        finally:
+            executor.close()
+
+    return generate()

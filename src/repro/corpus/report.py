@@ -1,0 +1,145 @@
+"""Aggregate reporting for corpus runs.
+
+A :class:`CorpusReport` summarises one :meth:`CorpusExecutor.run` (or any
+collected stream of :class:`repro.corpus.executor.CorpusResult`): per-result
+entries (document, query, engine, timing, answer count) plus corpus-level
+totals.  ``to_dict``/``to_json`` mirror :class:`repro.api.QueryReport`, so
+the CLI and the benchmarks emit the same machine-readable shape at both
+granularities.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.executor import CorpusResult
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One (document, query) outcome inside a corpus report."""
+
+    doc_name: str
+    query: str
+    variables: tuple[str, ...]
+    engine: Optional[str]
+    answer_count: int
+    tree_size: Optional[int]
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_name": self.doc_name,
+            "query": self.query,
+            "variables": list(self.variables),
+            "engine": self.engine,
+            "answer_count": self.answer_count,
+            "tree_size": self.tree_size,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class CorpusReport:
+    """Aggregate outcome of running queries across a corpus.
+
+    Attributes
+    ----------
+    strategy:
+        Execution strategy that produced the results.
+    engine:
+        Engine the run was dispatched to.
+    entries:
+        Per-(document, query) outcomes, in result order.
+    wall_seconds:
+        End-to-end wall-clock of the run (``None`` when the results were
+        collected outside :meth:`CorpusExecutor.run_report`).
+    """
+
+    strategy: str
+    engine: Optional[str]
+    entries: tuple[CorpusEntry, ...] = field(default_factory=tuple)
+    wall_seconds: Optional[float] = None
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Iterable["CorpusResult"],
+        *,
+        strategy: str,
+        engine: Optional[str] = None,
+        wall_seconds: Optional[float] = None,
+    ) -> "CorpusReport":
+        """Aggregate a (collected or streaming) result sequence."""
+        entries = tuple(
+            CorpusEntry(
+                doc_name=result.doc_name,
+                query=result.query,
+                variables=result.variables,
+                engine=result.report.engine,
+                answer_count=result.report.answer_count,
+                tree_size=result.report.tree_size,
+                seconds=result.seconds,
+            )
+            for result in results
+        )
+        return cls(
+            strategy=strategy, engine=engine, entries=entries, wall_seconds=wall_seconds
+        )
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def document_count(self) -> int:
+        """Distinct documents that produced at least one result."""
+        return len({entry.doc_name for entry in self.entries})
+
+    @property
+    def query_count(self) -> int:
+        """Distinct queries answered."""
+        return len({(entry.query, entry.variables) for entry in self.entries})
+
+    @property
+    def total_answers(self) -> int:
+        """Sum of answer-set sizes over every (document, query) pair."""
+        return sum(entry.answer_count for entry in self.entries)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of per-result evaluation times (excludes load/dispatch)."""
+        return sum(entry.seconds for entry in self.entries)
+
+    def per_document(self) -> dict[str, dict]:
+        """Per-document rollup: results, answers, seconds, tree size."""
+        rollup: dict[str, dict] = {}
+        for entry in self.entries:
+            record = rollup.setdefault(
+                entry.doc_name,
+                {"results": 0, "answers": 0, "seconds": 0.0, "tree_size": entry.tree_size},
+            )
+            record["results"] += 1
+            record["answers"] += entry.answer_count
+            record["seconds"] += entry.seconds
+        return rollup
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> dict:
+        """Return a JSON-ready dict (entries included)."""
+        return {
+            "strategy": self.strategy,
+            "engine": self.engine,
+            "documents": self.document_count,
+            "queries": self.query_count,
+            "results": len(self.entries),
+            "total_answers": self.total_answers,
+            "total_seconds": self.total_seconds,
+            "wall_seconds": self.wall_seconds,
+            "per_document": self.per_document(),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """Return the report as a JSON object string."""
+        return json.dumps(self.to_dict(), **kwargs)

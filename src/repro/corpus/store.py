@@ -1,0 +1,331 @@
+"""The sharded multi-document store: named sources, lazy parse, LRU residency.
+
+A :class:`DocumentStore` maps *names* to document *sources* (XML strings, XML
+files or in-memory trees) and materialises them into
+:class:`repro.api.Document` instances on first access.  Materialised
+documents — and with them the Theorem 2 oracle matrices, which dominate
+per-document memory — form the *resident set*, optionally bounded by
+``max_resident`` with least-recently-used eviction.  Evicting a document
+drops its tree, oracle and caches; the (cheap) source stays registered, so a
+later access transparently reparses and rebuilds.
+
+Sources are picklable: :meth:`DocumentStore.source_spec` returns a
+``(kind, payload)`` pair that ships to worker processes, where the document
+is rebuilt locally.  This is deliberate — the oracle's boolean matrices are
+dense ``|t| x |t|`` numpy arrays that are far cheaper to recompute in the
+worker than to serialise, so the executor's process strategy ships sources
+and answers, never documents (see :mod:`repro.corpus.executor`).  Tree-backed
+sources ship as serialised XML for the same reason.
+
+The store is thread-safe: the thread strategy of the executor shares one
+store across its pool, so lookups, loads and evictions are guarded by a
+lock, with per-name load locks so two threads never parse the same document
+twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ReproError
+from repro.trees.tree import Node, Tree
+from repro.trees.xml_io import tree_to_xml
+from repro.api.document import Document
+
+
+class CorpusError(ReproError):
+    """Raised for unknown document names and invalid store configurations."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters describing the store's caching behaviour.
+
+    ``loads`` counts every materialisation (including reloads after
+    eviction), ``hits`` counts accesses served from the resident set, and
+    ``evictions`` counts documents dropped to stay under ``max_resident``.
+    """
+
+    loads: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+
+@dataclass(frozen=True)
+class DocumentSource:
+    """One registered document: a name plus where its content comes from.
+
+    Exactly one of ``xml``, ``path`` and ``tree`` is set, matching ``kind``
+    (``"xml"``, ``"file"`` or ``"tree"``).
+    """
+
+    name: str
+    kind: str
+    xml: Optional[str] = None
+    path: Optional[str] = None
+    tree: Optional[Tree] = None
+
+    def load(self, *, cache_answers: bool = True) -> Document:
+        """Materialise the source into a fresh :class:`Document`.
+
+        Store-managed documents memoise answer sets by default: they are
+        bounded by the store's LRU, and residency is precisely what makes
+        repeated query batches cheap (see :class:`repro.api.Document`).
+        """
+        if self.kind == "xml":
+            return Document.from_xml(self.xml, cache_answers=cache_answers)
+        if self.kind == "file":
+            return Document.from_file(self.path, cache_answers=cache_answers)
+        return Document(self.tree, cache_answers=cache_answers)
+
+    def spec(self) -> tuple[str, str]:
+        """Return a picklable ``(kind, payload)`` pair for worker processes.
+
+        Tree-backed sources are serialised to XML text: shipping the builder
+        nodes would drag the (unpicklably large, matrix-cache-carrying) tree
+        along, while the XML round-trips exactly — the paper's data model
+        keeps only element structure and names.
+        """
+        if self.kind == "xml":
+            return ("xml", self.xml)
+        if self.kind == "file":
+            return ("file", self.path)
+        return ("xml", tree_to_xml(self.tree))
+
+
+class DocumentStore:
+    """A named collection of documents with a bounded resident set.
+
+    Parameters
+    ----------
+    max_resident:
+        Upper bound on concurrently materialised documents (``None`` =
+        unbounded).  The bound is what makes corpus serving memory-safe: a
+        corpus can be arbitrarily larger than RAM as long as the working set
+        fits, and the executor's process strategy multiplies the budget by
+        giving every shard worker its own ``max_resident`` (see
+        :class:`repro.corpus.executor.CorpusExecutor`).
+    cache_answers:
+        Whether materialised documents memoise their answer sets (default
+        true — the LRU bound caps the footprint, and residency then makes
+        repeated batches cost a lookup per document).
+    """
+
+    def __init__(
+        self, max_resident: Optional[int] = None, *, cache_answers: bool = True
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise CorpusError("max_resident must be at least 1 (or None for unbounded)")
+        self.max_resident = max_resident
+        self.cache_answers = cache_answers
+        self._sources: "OrderedDict[str, DocumentSource]" = OrderedDict()
+        self._resident: "OrderedDict[str, Document]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self._loads = 0
+        self._hits = 0
+        self._evictions = 0
+        self._version = 0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_directory(
+        cls,
+        directory: Union[str, Path],
+        pattern: str = "*.xml",
+        max_resident: Optional[int] = None,
+    ) -> "DocumentStore":
+        """Build a store over every file matching ``pattern`` in ``directory``."""
+        store = cls(max_resident=max_resident)
+        store.add_directory(directory, pattern)
+        return store
+
+    # ------------------------------------------------------------ registration
+    def add_xml(self, name: str, text: str) -> str:
+        """Register an XML string under ``name``; parsing is deferred."""
+        return self._register(DocumentSource(name=name, kind="xml", xml=text))
+
+    def add_file(self, path: Union[str, Path], name: Optional[str] = None) -> str:
+        """Register an XML file, named after its stem unless ``name`` is given.
+
+        Re-registering the same path under the same name is a no-op, so the
+        store can double as a path cache (see :func:`repro.api.answer_batch`).
+        """
+        resolved = str(path)
+        key = name if name is not None else Path(resolved).stem
+        with self._lock:
+            existing = self._sources.get(key)
+            if existing is not None and existing.kind == "file" and existing.path == resolved:
+                return key
+        return self._register(DocumentSource(name=key, kind="file", path=resolved))
+
+    def add_tree(self, name: str, tree: Tree | Node) -> str:
+        """Register an in-memory tree under ``name``.
+
+        Note that eviction cannot reclaim the tree itself (the source keeps
+        it alive) — only the document wrapper and its answerer.  Because the
+        oracle caches its matrices *on the tree*, a reloaded tree-backed
+        document keeps its precomputed matrices; XML-backed documents start
+        cold.
+        """
+        if not isinstance(tree, Tree):
+            tree = Tree(tree)
+        return self._register(DocumentSource(name=name, kind="tree", tree=tree))
+
+    def add_directory(self, directory: Union[str, Path], pattern: str = "*.xml") -> list[str]:
+        """Register every file matching ``pattern``, sorted for determinism.
+
+        Returns the registered names (file stems).
+        """
+        root = Path(directory)
+        if not root.is_dir():
+            raise CorpusError(f"not a directory: {root}")
+        names = []
+        for path in sorted(root.glob(pattern)):
+            names.append(self.add_file(path))
+        return names
+
+    def _register(self, source: DocumentSource) -> str:
+        with self._lock:
+            if source.name in self._sources:
+                raise CorpusError(f"a document named {source.name!r} is already registered")
+            self._sources[source.name] = source
+            self._version += 1
+        return source.name
+
+    def discard(self, name: str) -> None:
+        """Forget a document entirely: its source and any resident state."""
+        with self._lock:
+            removed = self._sources.pop(name, None)
+            self._resident.pop(name, None)
+            self._load_locks.pop(name, None)
+            if removed is not None:
+                self._version += 1
+
+    # ------------------------------------------------------------------ access
+    def get(self, name: str) -> Document:
+        """Return the materialised document, loading (or reloading) on demand.
+
+        Raises
+        ------
+        CorpusError
+            If no source named ``name`` is registered.
+        """
+        with self._lock:
+            source = self._sources.get(name)
+            if source is None:
+                hint = (
+                    "registered: " + ", ".join(sorted(self._sources))
+                    if self._sources
+                    else "the store is empty"
+                )
+                raise CorpusError(f"unknown document {name!r}; {hint}")
+            document = self._resident.get(name)
+            if document is not None:
+                self._resident.move_to_end(name)
+                self._hits += 1
+                return document
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        with load_lock:
+            # Double-check: another thread may have loaded while we waited.
+            with self._lock:
+                document = self._resident.get(name)
+                if document is not None:
+                    self._resident.move_to_end(name)
+                    self._hits += 1
+                    return document
+            document = source.load(cache_answers=self.cache_answers)
+            with self._lock:
+                self._resident[name] = document
+                self._resident.move_to_end(name)
+                self._loads += 1
+                while (
+                    self.max_resident is not None
+                    and len(self._resident) > self.max_resident
+                ):
+                    self._resident.popitem(last=False)
+                    self._evictions += 1
+            return document
+
+    def resolve(self, name_or_path: Union[str, Path]) -> Document:
+        """Resolve a registered name, or register-and-load a filesystem path.
+
+        This is the lookup :func:`repro.api.answer_batch` routes string items
+        through: names win over paths, unknown strings that exist on disk are
+        adopted as file sources (so repeated batches reuse the parse), and
+        anything else is an error.  Adopted paths are registered under their
+        full path string, so they can never collide with directory-registered
+        stems (or with the same file spelled through a different path).
+        """
+        key = str(name_or_path)
+        with self._lock:
+            known = key in self._sources
+        if known:
+            return self.get(key)
+        path = Path(key)
+        if path.is_file():
+            return self.get(self.add_file(path, name=key))
+        raise CorpusError(f"{key!r} is neither a registered document nor an XML file")
+
+    # -------------------------------------------------------------- inspection
+    def names(self) -> tuple[str, ...]:
+        """Registered document names, in registration order."""
+        with self._lock:
+            return tuple(self._sources)
+
+    def resident_names(self) -> tuple[str, ...]:
+        """Names currently materialised, least-recently-used first."""
+        with self._lock:
+            return tuple(self._resident)
+
+    def source_spec(self, name: str) -> tuple[str, str]:
+        """The picklable ``(kind, payload)`` spec of one source (for workers)."""
+        with self._lock:
+            source = self._sources.get(name)
+        if source is None:
+            raise CorpusError(f"unknown document {name!r}")
+        return source.spec()
+
+    @property
+    def stats(self) -> StoreStats:
+        """A snapshot of the load/hit/eviction counters."""
+        with self._lock:
+            return StoreStats(loads=self._loads, hits=self._hits, evictions=self._evictions)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every source registration or discard.
+
+        The executor's process strategy partitions the corpus once and keeps
+        worker caches across runs; it compares this version to detect that
+        the registered sources changed (including same-name replacement) and
+        rebuild its shard pools.
+        """
+        with self._lock:
+            return self._version
+
+    def clear_resident(self) -> None:
+        """Drop every materialised document (sources stay registered)."""
+        with self._lock:
+            self._resident.clear()
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._sources
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sources)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DocumentStore(documents={len(self)}, "
+            f"resident={len(self._resident)}, max_resident={self.max_resident})"
+        )

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import NotAcyclicError, ReproError
-from repro.trees.tree import Tree
 from repro.hcl.ast import HclExpr, HCompose, HFilter, HUnion, HVar, Leaf
 
 

@@ -17,7 +17,7 @@ union that occurs to the left of a composition (Lemma 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 from repro.errors import EvaluationError
 from repro.hcl.ast import HCompose, HclExpr, HFilter, HUnion, HVar, Leaf

@@ -20,7 +20,7 @@ Python's recursion limit.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import TreeError
 

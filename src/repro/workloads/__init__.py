@@ -6,6 +6,8 @@
   attributes, the paper's motivating wide-tuple scenario.
 * :mod:`~repro.workloads.query_gen` — random expression generators for
   PPLbin, PPL and HCL⁻, used by property-based tests and scaling benches.
+* :mod:`~repro.workloads.corpus_gen` — multi-document corpora with
+  controllable size skew, for the corpus store/executor and experiment E10.
 """
 
 from repro.workloads.bibliography import (
@@ -19,8 +21,18 @@ from repro.workloads.query_gen import (
     random_ppl_expression,
     random_pplbin_expression,
 )
+from repro.workloads.corpus_gen import (
+    CORPUS_KINDS,
+    corpus_scales,
+    generate_corpus,
+    write_corpus,
+)
 
 __all__ = [
+    "CORPUS_KINDS",
+    "corpus_scales",
+    "generate_corpus",
+    "write_corpus",
     "generate_bibliography",
     "bibliography_pair_query",
     "bibliography_query_xquery_style",

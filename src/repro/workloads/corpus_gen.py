@@ -1,0 +1,106 @@
+"""Corpus generation: many documents with controllable size skew (S9, E10).
+
+Real corpora are not uniform — a few large documents dominate while most are
+small.  :func:`generate_corpus` produces ``N`` bibliography or restaurant
+documents whose sizes follow a Zipf-like power law controlled by ``skew``
+(``0.0`` = uniform, larger = heavier head), which is what makes shard-balance
+and eviction behaviour observable in the corpus benchmarks.
+
+:func:`write_corpus` materialises a generated corpus as one XML file per
+document, ready for ``DocumentStore.from_directory`` and the
+``repro-xpath corpus`` CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.trees.tree import Tree
+from repro.trees.xml_io import tree_to_xml
+from repro.workloads.bibliography import generate_bibliography
+from repro.workloads.restaurants import generate_restaurants
+
+CORPUS_KINDS = ("bibliography", "restaurants")
+
+
+def corpus_scales(num_documents: int, base: int, skew: float) -> list[int]:
+    """Per-document scale factors following a truncated power law.
+
+    Document ``i`` (0-based) gets ``max(1, round(base / (i + 1) ** skew))``
+    elements: with ``skew=0`` every document has ``base`` elements, with
+    ``skew=1`` the classic Zipf head/tail shape.  Deterministic by
+    construction.
+    """
+    if num_documents < 1:
+        raise ValueError("num_documents must be at least 1")
+    if base < 1:
+        raise ValueError("base must be at least 1")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [max(1, round(base / (i + 1) ** skew)) for i in range(num_documents)]
+
+
+def generate_corpus(
+    num_documents: int,
+    kind: str = "bibliography",
+    *,
+    base: int = 16,
+    skew: float = 0.0,
+    seed: int = 0,
+    **kwargs,
+) -> dict[str, Tree]:
+    """Return ``{name: tree}`` for ``num_documents`` synthetic documents.
+
+    Parameters
+    ----------
+    kind:
+        ``"bibliography"`` (books with author/title/decoy children) or
+        ``"restaurants"`` (the wide-tuple scenario).
+    base:
+        Element count (books or restaurants) of the *largest* document.
+    skew:
+        Power-law exponent for the size distribution; ``0.0`` keeps every
+        document at ``base`` elements.
+    seed:
+        Base seed; document ``i`` uses ``seed + i`` so contents differ while
+        the corpus stays reproducible.
+    kwargs:
+        Forwarded to the per-document generator
+        (:func:`~repro.workloads.bibliography.generate_bibliography` or
+        :func:`~repro.workloads.restaurants.generate_restaurants`).
+
+    Names are zero-padded (``doc000``, ``doc001``, ...) so lexicographic
+    order equals generation order — directory loading round-trips the store
+    order.
+    """
+    if kind not in CORPUS_KINDS:
+        raise ValueError(f"unknown corpus kind {kind!r}; expected one of {CORPUS_KINDS}")
+    scales = corpus_scales(num_documents, base, skew)
+    width = max(3, len(str(num_documents - 1)))
+    corpus: dict[str, Tree] = {}
+    for index, scale in enumerate(scales):
+        name = f"doc{index:0{width}d}"
+        if kind == "bibliography":
+            corpus[name] = generate_bibliography(scale, seed=seed + index, **kwargs)
+        else:
+            corpus[name] = generate_restaurants(scale, seed=seed + index, **kwargs)
+    return corpus
+
+
+def write_corpus(
+    directory: Union[str, Path], corpus: dict[str, Tree], *, indent: bool = False
+) -> list[Path]:
+    """Write each document of ``corpus`` as ``<name>.xml`` under ``directory``.
+
+    The directory is created if needed; returns the written paths in name
+    order.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name in sorted(corpus):
+        path = root / f"{name}.xml"
+        path.write_text(tree_to_xml(corpus[name], indent=indent), encoding="utf-8")
+        paths.append(path)
+    return paths

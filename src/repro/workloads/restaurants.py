@@ -11,7 +11,6 @@ experiment E3.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.trees.tree import Node, Tree
 

@@ -19,9 +19,7 @@ from repro.xpath.ast import (
     NotTest,
     PathCompose,
     PathExcept,
-    PathExpr,
     PathIntersect,
-    TestExpr,
     VarRef,
     _Expr,
 )

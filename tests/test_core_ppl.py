@@ -11,7 +11,6 @@ from repro.core.translate import hcl_to_ppl, ppl_to_hcl
 from repro.hcl.ast import HVar, Leaf
 from repro.hcl.answering import answer_hcl
 from repro.hcl.binding import PPLbinOracle
-from repro.pplbin.parser import parse_pplbin
 from repro.xpath.naive import NaiveEngine, naive_answer
 from repro.xpath.parser import parse_path
 

@@ -6,12 +6,10 @@ from repro.errors import ParseError, TranslationError, UnboundVariableError
 from repro.fo.ast import (
     And,
     ChStar,
-    Child,
     Exists,
     Forall,
     Lab,
     Not,
-    NsStar,
     Or,
     conjunction,
     disjunction,

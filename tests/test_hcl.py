@@ -5,7 +5,7 @@ import pytest
 from repro.errors import EvaluationError, RestrictionViolation
 from repro.trees.axes import Axis
 from repro.trees.generators import random_tree
-from repro.pplbin.ast import BStep, SelfStep, nodes_query
+from repro.pplbin.ast import BStep, SelfStep
 from repro.pplbin.parser import parse_pplbin
 from repro.hcl.answering import HclAnswerer, answer_hcl, check_no_variable_sharing
 from repro.hcl.ast import (
@@ -24,7 +24,6 @@ from repro.hcl.mc import MCTable
 from repro.hcl.sharing import (
     SELF_QUERY,
     SharedCompose,
-    SharedSelf,
     SharedUnion,
     expand,
     normalize,

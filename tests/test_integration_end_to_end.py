@@ -10,8 +10,6 @@ These exercise the full pipelines the paper describes:
 * documents travelling through XML serialisation and the binary encoding.
 """
 
-import pytest
-
 from repro import NaiveEngine, PPLEngine, answer, compile_query
 from repro.fo import fo_answer, fo_to_core_xpath, parse_fo
 from repro.hardness import random_3cnf, reduce_sat_to_xpath

@@ -12,7 +12,6 @@ from repro.pplbin.ast import (
     BExcept,
     BFilter,
     BStep,
-    BUnion,
     SelfStep,
     binary_compose,
     binary_except,
@@ -31,8 +30,8 @@ from repro.pplbin.corexpath1 import (
 from repro.pplbin.evaluator import PPLbinEvaluator, evaluate_matrix, evaluate_pairs
 from repro.pplbin.parser import parse_pplbin
 from repro.pplbin.translate import ROOT, from_core_xpath, to_core_xpath
-from repro.xpath.parser import parse_path, parse_test
-from repro.xpath.semantics import evaluate_path, evaluate_test
+from repro.xpath.parser import parse_path
+from repro.xpath.semantics import evaluate_path
 
 
 # -------------------------------------------------------------------- parser

@@ -8,12 +8,11 @@ fast; hypothesis' shrinking then produces minimal counterexamples on failure.
 
 from __future__ import annotations
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.trees.axes import AXES, Axis, axis_matrix, axis_pairs, iter_axis
+from repro.trees.axes import Axis, axis_matrix, axis_pairs, iter_axis
 from repro.trees.binary import binary_decode, binary_encode
 from repro.trees.generators import random_tree
 from repro.trees.tree import Tree

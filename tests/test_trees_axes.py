@@ -17,7 +17,6 @@ from repro.trees.axes import (
     parse_axis,
     successors,
 )
-from repro.trees.tree import Node, Tree
 
 
 def test_parse_axis_accepts_both_spellings():

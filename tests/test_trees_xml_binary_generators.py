@@ -18,7 +18,6 @@ from repro.trees.generators import (
     random_tree,
     star_tree,
 )
-from repro.trees.tree import Node, Tree
 from repro.trees.xml_io import tree_from_xml, tree_to_xml
 
 

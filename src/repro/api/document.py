@@ -41,6 +41,7 @@ from repro.api.query import Query, _build_query
 from repro.api.registry import DEFAULT_ENGINE, check_capabilities, get_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.cache import AnswerCache
     from repro.corpus.store import DocumentStore
 
 #: Anything `Document.answer`/`answer_many` accept as a query.
@@ -48,6 +49,28 @@ QueryLike = Union[Query, PathExpr, str]
 #: One batch item: a bare expression (arity taken from the query) or an
 #: ``(expression, variables)`` pair.
 BatchItem = Union[QueryLike, tuple[Union[PathExpr, str], Sequence[str]]]
+
+
+def iter_batch(queries: Union[BatchItem, Iterable[BatchItem]]) -> list[BatchItem]:
+    """Normalise every accepted query-batch shape into a list of items.
+
+    A bare expression/``Query``, a single ``(expression, variables)`` pair
+    and an iterable of items are all accepted; the two-element tuple whose
+    second element is a sequence of strings is the single-pair case (not a
+    batch of two bare expressions).  Shared by every batch entry point —
+    :meth:`Document.answer_many`, the corpus executor and the server — so
+    they cannot drift on the accepted shapes.
+    """
+    if isinstance(queries, (str, Query)) or not isinstance(queries, Iterable):
+        return [queries]
+    if (
+        isinstance(queries, tuple)
+        and len(queries) == 2
+        and isinstance(queries[1], (list, tuple))
+        and all(isinstance(variable, str) for variable in queries[1])
+    ):
+        return [queries]
+    return list(queries)
 
 
 class Document:
@@ -60,13 +83,20 @@ class Document:
         (which is indexed on the spot).
     cache_answers:
         Memoise complete answer sets per ``(query, engine)``.  Sound because
-        documents are immutable and compiled queries compare by value; the
-        cache lives and dies with the document, so eviction from a
-        :class:`repro.corpus.DocumentStore` reclaims it.  Off by default for
-        ad-hoc documents (answer sets can dwarf the tree); the corpus store
-        and the executor's shard workers turn it on, where the LRU residency
-        bound caps the total footprint — repeated query batches over a
-        resident corpus then cost one dictionary lookup per document.
+        documents are immutable and compiled queries compare by value.  Off
+        by default for ad-hoc documents (answer sets can dwarf the tree);
+        the corpus store and the executor's shard workers turn it on.
+    answer_cache:
+        An explicit :class:`repro.corpus.cache.AnswerCache` to memoise into
+        (implies ``cache_answers``).  A :class:`repro.corpus.DocumentStore`
+        passes its *shared*, byte-budgeted cache here so answers survive
+        document eviction and the memo footprint is bounded corpus-wide;
+        without it, ``cache_answers=True`` creates a private unbounded cache
+        that lives and dies with the document.
+    cache_owner:
+        The key prefix identifying this document inside a shared
+        ``answer_cache`` (the store passes a token tied to the registered
+        source).  Defaults to the document instance itself.
 
     Attributes
     ----------
@@ -78,7 +108,14 @@ class Document:
         The shared Fig. 8 answerer used by the polynomial backend.
     """
 
-    def __init__(self, tree: Tree | Node, *, cache_answers: bool = False) -> None:
+    def __init__(
+        self,
+        tree: Tree | Node,
+        *,
+        cache_answers: bool = False,
+        answer_cache: Optional["AnswerCache"] = None,
+        cache_owner: Optional[object] = None,
+    ) -> None:
         self.tree = tree if isinstance(tree, Tree) else Tree(tree)
         self.oracle = PPLbinOracle(self.tree)
         self.answerer = HclAnswerer(self.tree, self.oracle)
@@ -87,9 +124,12 @@ class Document:
         # compiled with different variable tuples translates once.
         self._queries: dict[tuple[PathExpr, tuple[str, ...]], Query] = {}
         self._translations: dict[PathExpr, HclExpr] = {}
-        self._answers: Optional[
-            dict[tuple[PathExpr, tuple[str, ...], str], frozenset[tuple[int, ...]]]
-        ] = {} if cache_answers else None
+        if answer_cache is None and cache_answers:
+            from repro.corpus.cache import AnswerCache
+
+            answer_cache = AnswerCache(max_bytes=None)
+        self._answer_cache = answer_cache
+        self._cache_owner = cache_owner if cache_owner is not None else self
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -184,16 +224,18 @@ class Document:
         backend = get_engine(engine)
         compiled = self._as_query(query, variables)
         check_capabilities(backend, compiled)
-        if self._answers is None:
+        if self._answer_cache is None:
             return backend.answer(self, compiled)
         # Keyed by backend.name (not the requested alias) so "ppl" and
         # "polynomial" share one entry; capability checks stay above the
-        # cache so a miss and a hit raise identically.
-        key = (compiled.source, compiled.variables, backend.name)
-        answers = self._answers.get(key)
+        # cache so a miss and a hit raise identically.  The owner prefix
+        # scopes the entry to this document's *source* inside a shared
+        # corpus-wide cache (see repro.corpus.cache).
+        key = (self._cache_owner, compiled.source, compiled.variables, backend.name)
+        answers = self._answer_cache.get(key)
         if answers is None:
             answers = backend.answer(self, compiled)
-            self._answers[key] = answers
+            self._answer_cache.put(key, answers)
         return answers
 
     def nonempty(self, query: QueryLike, *, engine: str = DEFAULT_ENGINE) -> bool:
@@ -269,15 +311,19 @@ class Document:
 
     # -------------------------------------------------------------------- batch
     def answer_many(
-        self, queries: Iterable[BatchItem], *, engine: str = DEFAULT_ENGINE
+        self,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        *,
+        engine: str = DEFAULT_ENGINE,
     ) -> list[frozenset[tuple[int, ...]]]:
         """Answer a batch of queries, reusing the shared oracle across calls.
 
         Each item is a compiled :class:`Query`, a bare expression, or an
-        ``(expression, variables)`` pair.
+        ``(expression, variables)`` pair; every batch shape accepted by
+        :func:`iter_batch` works, including a single bare item.
         """
         results = []
-        for item in queries:
+        for item in iter_batch(queries):
             if isinstance(item, tuple) and not isinstance(item, Query):
                 expression, variables = item
                 results.append(self.answer(expression, variables, engine=engine))

@@ -10,6 +10,10 @@ documents, with any registered engine whose capabilities cover the query.
 
 from __future__ import annotations
 
+import pickle
+import sys
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -93,6 +97,93 @@ class Query:
 
     def __str__(self) -> str:
         return self.unparse()
+
+    # ------------------------------------------------------------ serialisation
+    def plan_size(self) -> int:
+        """Total node count across the AST and every materialised translation.
+
+        This is the depth bound used to make pickling stack-safe: the ASTs
+        are linked structures whose nesting can reach their size (e.g. a long
+        ``/``-chain), and the default pickler recurses once per node.
+        Counted through the iterative ``walk()`` — the recursive ``size``
+        property would itself overflow on the expressions this exists for.
+        """
+        count = sum(1 for _ in self.source.walk())
+        if self.hcl is not None:
+            count += sum(1 for _ in self.hcl.walk())
+            count += sum(
+                1 for leaf in self.hcl.leaves() for _ in leaf.query.walk()
+            )
+        if self.pplbin is not None:
+            count += sum(1 for _ in self.pplbin.walk())
+        return count
+
+    def __reduce__(self):
+        # Deep queries (and their HCL⁻/PPLbin translations, whichever were
+        # materialised) overflow the interpreter's recursion limit under the
+        # default structural pickle, and `copy.deepcopy` fails the same way.
+        # Serialising the fields with a nested pickler under raised headroom
+        # makes the query a flat bytes payload to any *outer* pickler — so
+        # `pickle.dumps(query)`, pickling a container of queries, shipping a
+        # query to a worker process and `deepcopy` (which routes through
+        # `__reduce__`) all work regardless of nesting depth.
+        size = self.plan_size()
+        with _recursion_headroom(size):
+            payload = pickle.dumps(
+                {
+                    "source": self.source,
+                    "variables": self.variables,
+                    "violations": self.violations,
+                    "hcl": self.hcl,
+                    "pplbin": self.pplbin,
+                    "text": self.text,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        return (_unpickle_query, (payload, size))
+
+
+#: Guards the process-global recursion limit: concurrent picklers (server
+#: submissions compile in worker threads) must not restore the limit while
+#: another thread is still inside a deep pickle.
+_headroom_lock = threading.Lock()
+_headroom_depth = 0
+_headroom_baseline = 0
+
+
+@contextmanager
+def _recursion_headroom(node_count: int):
+    """Temporarily raise the recursion limit to cover ``node_count`` nesting.
+
+    The pickler spends a handful of frames per nested object; eight per AST
+    node is a comfortable over-approximation (nesting depth is at most the
+    node count).  The limit is only ever raised while any thread is inside
+    (never lowered, so concurrent deep pickles cannot yank each other's
+    headroom away) and restored to the outermost entrant's baseline once
+    the last thread leaves.
+    """
+    global _headroom_depth, _headroom_baseline
+    target = 1000 + 8 * node_count
+    with _headroom_lock:
+        if _headroom_depth == 0:
+            _headroom_baseline = sys.getrecursionlimit()
+        _headroom_depth += 1
+        if target > sys.getrecursionlimit():
+            sys.setrecursionlimit(target)
+    try:
+        yield
+    finally:
+        with _headroom_lock:
+            _headroom_depth -= 1
+            if _headroom_depth == 0:
+                sys.setrecursionlimit(_headroom_baseline)
+
+
+def _unpickle_query(payload: bytes, size: int) -> "Query":
+    """Rebuild a :class:`Query` from its nested-pickle payload."""
+    with _recursion_headroom(size):
+        fields = pickle.loads(payload)
+    return Query(**fields)
 
 
 def compile_query(

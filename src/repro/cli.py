@@ -60,6 +60,28 @@ Subcommands
             repro-xpath corpus bench --dir corpus/ --query "..." --vars y,z \
                 --strategies serial,threads,processes --out BENCH_corpus.json
 
+``serve``
+    Async serving commands backed by :mod:`repro.serve`:
+
+    ``serve run``
+        Serve a corpus directory over the newline-delimited-JSON TCP
+        protocol, optionally with a persistent compiled-plan cache::
+
+            repro-xpath serve run --dir corpus/ --port 8723 \
+                --strategy threads --plan-cache /var/cache/repro-plans
+
+    ``serve query`` / ``serve stats``
+        Thin NDJSON clients: submit one query (streaming one
+        ``name<TAB>count`` line per document) or fetch the
+        :class:`repro.serve.ServerStats` snapshot of a running server.
+
+    ``serve warm``
+        Compile queries into a plan cache ahead of time, so the first
+        ``serve run`` over that cache starts warm::
+
+            repro-xpath serve warm --plan-cache /var/cache/repro-plans \
+                --query "descendant::book[child::author[. is \$y]]" --vars y
+
 The seed's flat invocation (``repro-xpath --xml ... --query ...``) keeps
 working and is routed through the same facade; ``--engine ppl`` is accepted
 as an alias of ``polynomial``.
@@ -82,7 +104,7 @@ from repro.api import (
     get_engine,
 )
 
-SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines", "corpus")
+SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines", "corpus", "serve")
 
 
 # ---------------------------------------------------------------- new parser
@@ -225,6 +247,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corpus_bench.add_argument(
         "--out", default=None, help="write the JSON comparison to this path as well"
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="async serving commands (run / query / stats / warm)"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="serve a corpus over the newline-delimited-JSON TCP protocol"
+    )
+    add_store_options(serve_run)
+    serve_run.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_run.add_argument(
+        "--port", type=int, default=8723, help="TCP port (0 = kernel-assigned)"
+    )
+    serve_run.add_argument(
+        "--strategy",
+        default="threads",
+        choices=("serial", "threads", "processes"),
+        help="executor strategy behind the server (default threads)",
+    )
+    serve_run.add_argument(
+        "--workers", type=int, default=None, help="thread-pool width / process shard count"
+    )
+    serve_run.add_argument(
+        "--engine", default=DEFAULT_ENGINE, help=f"registry engine (default {DEFAULT_ENGINE})"
+    )
+    serve_run.add_argument(
+        "--plan-cache", default=None, help="directory of the persistent compiled-plan cache"
+    )
+    serve_run.add_argument(
+        "--plan-cache-bytes", type=int, default=None, help="plan-cache LRU byte budget"
+    )
+    serve_run.add_argument(
+        "--answer-cache-bytes",
+        type=int,
+        default=None,
+        help="corpus-wide answer-memo byte budget (default 64 MiB)",
+    )
+    serve_run.add_argument(
+        "--max-concurrent", type=int, default=4, help="documents evaluated at once"
+    )
+    serve_run.add_argument(
+        "--max-queue", type=int, default=256, help="admission bound on pending documents"
+    )
+
+    serve_query = serve_sub.add_parser(
+        "query", help="submit one query to a running server, streaming results"
+    )
+    serve_query.add_argument("--host", default="127.0.0.1", help="server address")
+    serve_query.add_argument("--port", type=int, required=True, help="server port")
+    serve_query.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    serve_query.add_argument("--vars", default="", help="comma-separated output variables")
+    serve_query.add_argument(
+        "--docs", default="", help="comma-separated document names (default: all)"
+    )
+    serve_query.add_argument("--engine", default=None, help="registry engine override")
+    serve_query.add_argument(
+        "--unordered",
+        action="store_true",
+        help="stream results in completion order instead of store order",
+    )
+    serve_query.add_argument(
+        "--json", action="store_true", help="print the raw NDJSON response lines"
+    )
+
+    serve_stats = serve_sub.add_parser(
+        "stats", help="print a running server's telemetry snapshot"
+    )
+    serve_stats.add_argument("--host", default="127.0.0.1", help="server address")
+    serve_stats.add_argument("--port", type=int, required=True, help="server port")
+
+    serve_warm = serve_sub.add_parser(
+        "warm", help="compile queries into a plan cache ahead of serving"
+    )
+    serve_warm.add_argument(
+        "--plan-cache", required=True, help="directory of the plan cache to fill"
+    )
+    serve_warm.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="expression to compile (repeatable)",
+    )
+    serve_warm.add_argument(
+        "--vars",
+        action="append",
+        default=None,
+        help="comma-separated output variables, one per --query (default: none)",
     )
 
     return parser
@@ -493,6 +604,167 @@ def _run_corpus_bench(args) -> int:
     return 0 if agreement else 1
 
 
+def _serve_store(args):
+    from repro.corpus import DocumentStore
+
+    kwargs = {}
+    if args.answer_cache_bytes is not None:
+        kwargs["answer_cache_bytes"] = args.answer_cache_bytes
+    store = DocumentStore.from_directory(
+        args.dir, pattern=args.pattern, max_resident=args.max_resident, **kwargs
+    )
+    if not len(store):
+        raise ReproError(f"no files matching {args.pattern!r} under {args.dir!r}")
+    return store
+
+
+def _run_serve_run(args) -> int:
+    import asyncio
+
+    from repro.serve import CorpusServer, PlanCache, ProtocolServer
+
+    store = _serve_store(args)
+    plan_cache = (
+        PlanCache(args.plan_cache, max_bytes=args.plan_cache_bytes)
+        if args.plan_cache
+        else None
+    )
+
+    async def main() -> int:
+        async with CorpusServer(
+            store,
+            strategy=args.strategy,
+            max_workers=args.workers,
+            engine=args.engine,
+            plan_cache=plan_cache,
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+        ) as server:
+            tcp = await ProtocolServer(server).serve_tcp(args.host, args.port)
+            port = tcp.sockets[0].getsockname()[1]
+            print(
+                f"serving {len(store)} documents on {args.host}:{port} "
+                f"(strategy={args.strategy}, engine={args.engine})",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                async with tcp:
+                    await tcp.serve_forever()
+            except asyncio.CancelledError:
+                pass
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0
+
+
+def _run_serve_query(args) -> int:
+    import asyncio
+
+    from repro.serve import request_lines
+
+    variables = _split_vars(args.vars)
+    request = {
+        "op": "submit",
+        "id": 1,
+        "query": args.query,
+        "vars": variables,
+        "ordered": not args.unordered,
+    }
+    docs = _split_vars(args.docs)
+    if docs:
+        request["docs"] = docs
+    if args.engine:
+        request["engine"] = args.engine
+
+    async def main() -> int:
+        total = 0
+        async for line in request_lines(args.host, args.port, request):
+            if args.json:
+                print(json.dumps(line))
+            if line["type"] == "error":
+                if not args.json:
+                    print(f"error: {line['error']}", file=sys.stderr)
+                return 1
+            if line["type"] == "result":
+                if not args.json:
+                    print(f"{line['doc']}\t{line['count']}")
+                total += line["count"]
+            elif line["type"] == "done":
+                if not args.json:
+                    print(
+                        f"# documents={line['results']} total_answers={total}",
+                        file=sys.stderr,
+                    )
+                return 0
+        print("error: connection closed before the stream finished", file=sys.stderr)
+        return 1
+
+    return asyncio.run(main())
+
+
+def _run_serve_stats(args) -> int:
+    import asyncio
+
+    from repro.serve import request_lines
+
+    async def main() -> int:
+        async for line in request_lines(
+            args.host, args.port, {"op": "stats", "id": 1}
+        ):
+            if line.get("type") == "stats":
+                print(json.dumps(line["stats"], indent=2))
+                return 0
+        print("error: no stats response", file=sys.stderr)
+        return 1
+
+    return asyncio.run(main())
+
+
+def _run_serve_warm(args) -> int:
+    # Plans are stored under the shared engine-independent label — compiled
+    # Query values carry every translation, and it is the label the server
+    # looks plans up with, so one warmed entry serves every --engine.
+    from repro.api import compile_query
+    from repro.serve import ANY_ENGINE, PlanCache
+
+    cache = PlanCache(args.plan_cache)
+    variable_lists = args.vars if args.vars is not None else []
+    if len(variable_lists) not in (0, len(args.query)):
+        raise ReproError("--vars must be given once per --query (or not at all)")
+    entries = []
+    for index, text in enumerate(args.query):
+        variables = _split_vars(variable_lists[index]) if variable_lists else []
+        already = cache.load(text, variables) is not None
+        if not already:
+            cache.store(compile_query(text, tuple(variables), require_ppl=False),
+                        expression=text)
+        entries.append(
+            {
+                "query": text,
+                "variables": variables,
+                "key": cache.key(text, variables),
+                "cached": already,
+            }
+        )
+    print(
+        json.dumps(
+            {
+                "plan_cache": args.plan_cache,
+                "engine": ANY_ENGINE,
+                "plans": entries,
+                "total_bytes": cache.total_bytes(),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
 def _run_engines() -> int:
     from dataclasses import asdict
 
@@ -533,6 +805,14 @@ def _main_subcommands(arguments: list[str]) -> int:
             if args.corpus_command == "bench":
                 return _run_corpus_bench(args)
             return _run_corpus_answer(args)
+        if args.command == "serve":
+            if args.serve_command == "run":
+                return _run_serve_run(args)
+            if args.serve_command == "query":
+                return _run_serve_query(args)
+            if args.serve_command == "stats":
+                return _run_serve_stats(args)
+            return _run_serve_warm(args)
         if args.command == "bench":
             return _run_bench(
                 args.xml,

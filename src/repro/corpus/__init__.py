@@ -27,6 +27,7 @@ Typical usage::
             print(doc_name, report.answer_count)
 """
 
+from repro.corpus.cache import AnswerCache, AnswerCacheStats, estimate_answer_bytes
 from repro.corpus.store import CorpusError, DocumentSource, DocumentStore, StoreStats
 from repro.corpus.executor import (
     STRATEGIES,
@@ -37,6 +38,9 @@ from repro.corpus.executor import (
 from repro.corpus.report import CorpusEntry, CorpusReport
 
 __all__ = [
+    "AnswerCache",
+    "AnswerCacheStats",
+    "estimate_answer_bytes",
     "CorpusError",
     "DocumentSource",
     "DocumentStore",

@@ -1,0 +1,171 @@
+"""Corpus-wide, byte-budgeted memoisation of complete answer sets.
+
+The seed memoised answers *per document*: every :class:`repro.api.Document`
+owned an unbounded ``(query, engine) -> frozenset`` dict that lived and died
+with the document, so the only bound on answer-memo memory was the store's
+document LRU — eviction threw away answers that were still valid (sources
+are immutable), and a corpus with one hot document and many cold ones spent
+its whole budget on residency instead of answers.
+
+:class:`AnswerCache` replaces that with one shared, thread-safe cache per
+:class:`repro.corpus.store.DocumentStore`, accounted in *bytes* rather than
+entry counts:
+
+* entries are keyed by ``(owner, source AST, variables, engine)`` where
+  ``owner`` is a token identifying the registered *source* (not the
+  materialised document), so answers survive document eviction and are
+  reused when the document is reloaded;
+* the budget is enforced by least-recently-used eviction over an estimate of
+  each answer set's memory footprint;
+* hit/miss/insertion/eviction counters and the current byte total are
+  exposed as :class:`AnswerCacheStats` — surfaced by
+  :class:`repro.corpus.report.CorpusReport` and the serving layer's
+  ``ServerStats``.
+
+Discarding a source calls :meth:`AnswerCache.drop_owner` so replaced
+documents can never serve stale answers.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+#: CPython footprint of a small int object; answer tuples hold node ids.
+_INT_BYTES = 28
+
+
+def estimate_answer_bytes(answers: frozenset) -> int:
+    """Estimate the resident footprint of one answer set in bytes.
+
+    Counts the frozenset, each tuple and a fixed per-int cost.  Node ids in
+    one document repeat across tuples (and small ints are interned), so this
+    over-approximates — the safe direction for a budget.
+    """
+    total = sys.getsizeof(answers)
+    for answer in answers:
+        total += sys.getsizeof(answer) + _INT_BYTES * len(answer)
+    return total
+
+
+@dataclass(frozen=True)
+class AnswerCacheStats:
+    """Counters describing a cache's behaviour, plus its current footprint."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+    max_bytes: Optional[int] = None
+    entries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "entries": self.entries,
+        }
+
+
+class AnswerCache:
+    """A shared LRU answer-set cache bounded by total estimated bytes.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget over every entry's estimated footprint (``None`` =
+        unbounded).  A single answer set larger than the whole budget is not
+        cached at all — storing it would evict everything else for an entry
+        that cannot pay for itself.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[tuple, tuple[frozenset, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def get(self, key: tuple) -> Optional[frozenset]:
+        """Return the cached answer set, bumping its recency, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, answers: frozenset) -> None:
+        """Insert an answer set, evicting LRU entries to stay in budget."""
+        cost = estimate_answer_bytes(answers)
+        with self._lock:
+            if self.max_bytes is not None and cost > self.max_bytes:
+                return
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            self._entries[key] = (answers, cost)
+            self._bytes += cost
+            self._insertions += 1
+            while self.max_bytes is not None and self._bytes > self.max_bytes:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self._bytes -= evicted_cost
+                self._evictions += 1
+
+    def drop_owner(self, owner: Hashable) -> int:
+        """Remove every entry whose key starts with ``owner``; return the count.
+
+        Called when a source is discarded from the store, so a later document
+        registered under the same name can never see the old answers.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == owner]
+            for key in stale:
+                _, cost = self._entries.pop(key)
+                self._bytes -= cost
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def stats(self) -> AnswerCacheStats:
+        """A consistent snapshot of the counters and footprint."""
+        with self._lock:
+            return AnswerCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+                entries=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnswerCache(entries={len(self)}, bytes={self._bytes}, "
+            f"max_bytes={self.max_bytes})"
+        )

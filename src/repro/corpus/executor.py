@@ -36,6 +36,7 @@ arrive in deterministic store order regardless of completion order; with
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -48,12 +49,23 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.engine import QueryReport
-from repro.api.document import BatchItem, Document
+from repro.api.document import BatchItem, Document, iter_batch
 from repro.api.query import Query, compile_query
 from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.store import CorpusError, DocumentStore, StoreStats
 
 STRATEGIES = ("serial", "threads", "processes")
+
+
+def _query_spec(query: Query) -> tuple[str, tuple[str, ...]]:
+    """A picklable ``(text, variables)`` spec for shipping to shard workers.
+
+    Reuses the original expression text when the query was compiled from a
+    string (the common case) instead of re-walking the AST with
+    ``unparse()`` on every per-document submission.
+    """
+    text = query.text if query.text is not None else query.unparse()
+    return (text, query.variables)
 
 
 @dataclass(frozen=True)
@@ -91,8 +103,17 @@ class CorpusResult:
 _WORKER: dict = {}
 
 
-def _worker_initialise(specs: dict[str, tuple[str, str]], max_resident: Optional[int]) -> None:
-    store = DocumentStore(max_resident=max_resident)
+def _worker_initialise(
+    specs: dict[str, tuple[str, str]],
+    max_resident: Optional[int],
+    answer_cache_bytes: Optional[int] = None,
+    cache_answers: bool = True,
+) -> None:
+    store = DocumentStore(
+        max_resident=max_resident,
+        cache_answers=cache_answers,
+        answer_cache_bytes=answer_cache_bytes,
+    )
     for name, (kind, payload) in specs.items():
         if kind == "xml":
             store.add_xml(name, payload)
@@ -133,17 +154,25 @@ def _worker_stats() -> tuple[int, int, int]:
     return (stats.loads, stats.hits, stats.evictions)
 
 
+def _worker_cache_stats() -> Optional[dict]:
+    """The shard worker's answer-cache counters, as a plain dict (or None)."""
+    cache = _WORKER["store"].answer_cache
+    return cache.stats.to_dict() if cache is not None else None
+
+
 # --------------------------------------------------------------- shard pools
 class _ShardPool:
     """A single-worker process pool owning a fixed document partition."""
 
     def __init__(self, doc_names: Sequence[str], specs: dict[str, tuple[str, str]],
-                 max_resident: Optional[int]) -> None:
+                 max_resident: Optional[int],
+                 answer_cache_bytes: Optional[int] = None,
+                 cache_answers: bool = True) -> None:
         self.doc_names = tuple(doc_names)
         self.pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker_initialise,
-            initargs=(specs, max_resident),
+            initargs=(specs, max_resident, answer_cache_bytes, cache_answers),
         )
 
     def submit(self, name: str, query_specs, engine: str) -> Future:
@@ -197,20 +226,39 @@ class CorpusExecutor:
         #: partition slot whose pool has not been needed yet).
         self._pools: Optional[list[Optional[_ShardPool]]] = None
         self._shard_names: list[tuple[str, ...]] = []
+        #: Per-shard membership fingerprints: tuples of (name, source token),
+        #: so a same-name source replacement registers as a shard change.
+        self._shard_tokens: list[tuple[tuple[str, int], ...]] = []
         self._shard_of: dict[str, int] = {}
         self._partition_version: Optional[int] = None
+        #: Targeted-refresh telemetry: how many live pools each repartition
+        #: kept versus shut down (see :meth:`_ensure_partition`).
+        self.pools_kept = 0
+        self.pools_rebuilt = 0
+        #: Lazy thread pool backing :meth:`submit_document` for the serial
+        #: and threads strategies (processes submit straight to shard pools).
+        self._dispatch_pool: Optional[ThreadPoolExecutor] = None
+        #: Serialises pool lifecycle (partitioning, spawning, shutdown):
+        #: ``submit_document`` may be called from several threads at once
+        #: (the server offloads it from the event loop).
+        self._pool_lock = threading.RLock()
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Shut down any worker pools (dropping per-worker caches)."""
-        if self._pools is not None:
-            for pool in self._pools:
-                if pool is not None:
-                    pool.shutdown()
-            self._pools = None
-            self._shard_names = []
-            self._shard_of = {}
-            self._partition_version = None
+        with self._pool_lock:
+            if self._pools is not None:
+                for pool in self._pools:
+                    if pool is not None:
+                        pool.shutdown()
+                self._pools = None
+                self._shard_names = []
+                self._shard_tokens = []
+                self._shard_of = {}
+                self._partition_version = None
+            if self._dispatch_pool is not None:
+                self._dispatch_pool.shutdown(wait=True, cancel_futures=True)
+                self._dispatch_pool = None
 
     def __enter__(self) -> "CorpusExecutor":
         return self
@@ -255,6 +303,135 @@ class CorpusExecutor:
             return self._run_threads(names, compiled, engine_name, ordered)
         return self._run_processes(names, compiled, engine_name, ordered)
 
+    def submit_document(
+        self,
+        name: str,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        *,
+        engine: Optional[str] = None,
+    ) -> "Future[list[CorpusResult]]":
+        """Submit one document's work and return a future, without blocking.
+
+        This is the submission hook the async serving layer
+        (:mod:`repro.serve`) multiplexes on: each call schedules *one*
+        document against the given queries and immediately returns a
+        ``concurrent.futures.Future`` resolving to that document's
+        :class:`CorpusResult` list, so concurrently arriving requests
+        interleave at document granularity instead of queueing behind whole
+        batches.
+
+        Under ``"processes"`` the work goes straight to the document's shard
+        pool (per-worker caches apply as in :meth:`run`); under ``"serial"``
+        and ``"threads"`` it runs on an internal dispatch thread pool of
+        width 1 or ``max_workers`` respectively.
+        """
+        engine_name = engine if engine is not None else self.engine
+        compiled = self._normalise_queries(queries)
+        if name not in self.store:
+            raise CorpusError(f"unknown document {name!r}")
+        if self.strategy == "processes":
+            query_specs = [_query_spec(query) for query in compiled]
+            # One lock hold across partition check, shard lookup and the
+            # pool submit: a concurrent targeted repartition (another
+            # thread's submit after a store change) must not shut the
+            # chosen pool down between lookup and submit.
+            with self._pool_lock:
+                self._ensure_partition()
+                shard_index = self._shard_of.get(name)
+                if shard_index is None:
+                    # Discarded between the membership check and the lock.
+                    raise CorpusError(f"unknown document {name!r}")
+                inner = self._shard_pool(shard_index).submit(
+                    name, query_specs, engine_name
+                )
+            outer: "Future[list[CorpusResult]]" = Future()
+
+            def _forward_cancel(done: Future) -> None:
+                # Cancelling the outer future (asyncio.wrap_future does so
+                # when the awaiting task is cancelled) should pull the work
+                # out of the shard queue too, not leave the worker
+                # evaluating documents for an aborted submission.
+                if done.cancelled():
+                    inner.cancel()
+
+            def _chain(finished: Future) -> None:
+                if finished.cancelled():
+                    outer.cancel()
+                    return
+                # Atomically claim the outer future: False means it was
+                # cancelled meanwhile, and claiming it stops a concurrent
+                # cancel from landing between the check and set_result.
+                if not outer.set_running_or_notify_cancel():
+                    return
+                error = finished.exception()
+                if error is not None:
+                    outer.set_exception(error)
+                    return
+                outer.set_result(
+                    [
+                        CorpusResult(
+                            doc_name=name,
+                            report=report,
+                            query=text,
+                            variables=variables,
+                            answers=answers,
+                            seconds=elapsed,
+                        )
+                        for text, variables, answers, report, elapsed in finished.result()
+                    ]
+                )
+
+            outer.add_done_callback(_forward_cancel)
+            inner.add_done_callback(_chain)
+            return outer
+        return self._dispatch().submit(
+            lambda: list(
+                self._answer_document(name, self.store.get(name), compiled, engine_name)
+            )
+        )
+
+    def _dispatch(self) -> ThreadPoolExecutor:
+        """The internal thread pool behind ``submit_document`` (lazy)."""
+        with self._pool_lock:
+            if self._dispatch_pool is None:
+                if self.strategy == "serial":
+                    width = 1
+                else:
+                    width = self.max_workers or min(8, (os.cpu_count() or 1) + 2)
+                self._dispatch_pool = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="corpus-dispatch"
+                )
+            return self._dispatch_pool
+
+    def answer_cache_stats(self) -> Optional[dict]:
+        """Aggregate answer-cache counters, wherever the caches live.
+
+        For ``"serial"``/``"threads"`` this is the parent store's shared
+        cache; for ``"processes"`` it sums over the live shard workers'
+        caches (the parent cache sees no traffic there).  Returns ``None``
+        when answer caching is disabled.
+        """
+        with self._pool_lock:
+            if self.strategy != "processes" or self._pools is None:
+                cache = self.store.answer_cache
+                return cache.stats.to_dict() if cache is not None else None
+            pools = [pool for pool in self._pools if pool is not None]
+        totals: Optional[dict] = None
+        for pool in pools:
+            try:
+                worker = pool.pool.submit(_worker_cache_stats).result()
+            except RuntimeError:
+                continue  # shut down by a concurrent targeted repartition
+            if worker is None:
+                continue
+            if totals is None:
+                totals = dict.fromkeys(worker, 0)
+                totals["max_bytes"] = worker["max_bytes"]
+            for field_name, value in worker.items():
+                if field_name != "max_bytes" and value is not None:
+                    totals[field_name] += value
+        return totals
+
     def run_report(
         self,
         queries: Union[BatchItem, Iterable[BatchItem]],
@@ -274,6 +451,7 @@ class CorpusExecutor:
             strategy=self.strategy,
             engine=engine if engine is not None else self.engine,
             wall_seconds=wall,
+            cache=self.answer_cache_stats(),
         )
 
     # ------------------------------------------------------------------ serial
@@ -292,11 +470,12 @@ class CorpusExecutor:
             answers = document.answer(query, engine=engine)
             elapsed = time.perf_counter() - started
             report = document.report(query, engine=engine, answers=answers)
+            text, variables = _query_spec(query)
             yield CorpusResult(
                 doc_name=name,
                 report=report,
-                query=query.unparse(),
-                variables=query.variables,
+                query=text,
+                variables=variables,
                 answers=answers,
                 seconds=elapsed,
             )
@@ -320,51 +499,118 @@ class CorpusExecutor:
         return generate()
 
     # --------------------------------------------------------------- processes
+    def _shard_count(self, total: int) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, total or 1))
+        count = os.cpu_count() or 1
+        return max(2, min(count, total)) if total > 1 else 1
+
     def _ensure_partition(self) -> None:
         """(Re)compute the document → shard assignment when needed.
 
-        Sharding is by store order, contiguously, so the partition is stable
-        across runs: a document always lands in the same worker, which is
-        what makes the per-worker caches effective.  The partition covers
-        the whole store, but pools are only spawned for shards that actually
-        receive work (:meth:`_shard_pool`).  Any source change — additions,
-        discards, and same-name replacement — bumps the store version and
-        invalidates the partition together with every worker cache.
+        The first partition is contiguous by store order — balanced, and
+        stable across runs, so a document always lands in the same worker,
+        which is what makes the per-worker caches effective.  The partition
+        covers the whole store, but pools are only spawned for shards that
+        actually receive work (:meth:`_shard_pool`).
+
+        Refresh is *targeted* and incremental: when the store version moves
+        (and the shard count is unchanged), documents whose source token
+        still matches keep their previous shard, new or replaced documents
+        are placed on the least-loaded shard, and only the shards whose
+        membership fingerprint — the (name, source token) tuple — actually
+        changed are shut down and respawned; the rest keep their worker's
+        document and answer caches warm across the corpus update.  An
+        append therefore touches one shard, a discard only the shard that
+        owned the document.  Comparing source tokens (not just names) means
+        a discard + same-name re-add can never be served by a stale worker.
+        A change in the shard count itself (corpus crossed the worker
+        count, or ``max_workers`` semantics) falls back to a full rebuild.
         """
-        if (
-            self._pools is not None
-            and self._partition_version == self.store.version
-        ):
+        with self._pool_lock:
+            self._ensure_partition_locked()
+
+    def _ensure_partition_locked(self) -> None:
+        version = self.store.version
+        if self._pools is not None and self._partition_version == version:
             return
-        self.close()
         all_names = list(self.store.names())
-        if self.max_workers is not None:
-            count = max(1, min(self.max_workers, len(all_names) or 1))
-        else:
-            count = os.cpu_count() or 1
-            count = max(2, min(count, len(all_names))) if len(all_names) > 1 else 1
+        tokens = {name: self.store.source_token(name) for name in all_names}
+        count = self._shard_count(len(all_names))
+        previous_tokens = {
+            name: token for shard in self._shard_tokens for name, token in shard
+        }
         shards: list[list[str]] = [[] for _ in range(count)]
-        for index, name in enumerate(all_names):
-            shards[index * count // len(all_names)].append(name)
-        self._shard_names = [tuple(shard) for shard in shards]
+        if self._pools is not None and count == len(self._shard_names):
+            # Incremental: keep surviving documents where they are, place
+            # the rest (new names, replaced sources) on the smallest shard.
+            placed = []
+            for name in all_names:
+                if (
+                    name in self._shard_of
+                    and previous_tokens.get(name) == tokens[name]
+                ):
+                    shards[self._shard_of[name]].append(name)
+                else:
+                    placed.append(name)
+            for name in placed:
+                target = min(range(count), key=lambda index: (len(shards[index]), index))
+                shards[target].append(name)
+        elif all_names:
+            for index, name in enumerate(all_names):
+                shards[index * count // len(all_names)].append(name)
+        shard_names = [tuple(shard) for shard in shards]
+        shard_tokens = [
+            tuple((name, tokens[name]) for name in shard) for shard in shard_names
+        ]
+        pools: list[Optional[_ShardPool]] = [None] * count
+        old_pools = self._pools
+        if old_pools is not None:
+            for shard_index, fingerprint in enumerate(shard_tokens):
+                if (
+                    shard_index < len(self._shard_tokens)
+                    and self._shard_tokens[shard_index] == fingerprint
+                    and old_pools[shard_index] is not None
+                ):
+                    pools[shard_index] = old_pools[shard_index]
+                    old_pools[shard_index] = None
+                    self.pools_kept += 1
+            for stale in old_pools:
+                if stale is not None:
+                    stale.shutdown()
+                    self.pools_rebuilt += 1
+        self._pools = pools
+        self._shard_names = shard_names
+        self._shard_tokens = shard_tokens
         self._shard_of = {
             name: shard_index
-            for shard_index, shard in enumerate(self._shard_names)
+            for shard_index, shard in enumerate(shard_names)
             for name in shard
         }
-        self._pools = [None] * count
-        self._partition_version = self.store.version
+        self._partition_version = version
 
     def _shard_pool(self, shard_index: int) -> _ShardPool:
-        """The shard's pool, spawned (with its source specs) on first use."""
-        assert self._pools is not None
-        pool = self._pools[shard_index]
-        if pool is None:
-            shard_names = self._shard_names[shard_index]
-            specs = {name: self.store.source_spec(name) for name in shard_names}
-            pool = _ShardPool(shard_names, specs, self.store.max_resident)
-            self._pools[shard_index] = pool
-        return pool
+        """The shard's pool, spawned (with its source specs) on first use.
+
+        Locked: concurrent ``submit_document`` calls must not both observe
+        the empty slot and spawn duplicate pools (one would leak its worker
+        process and split the shard's caches).
+        """
+        with self._pool_lock:
+            assert self._pools is not None
+            pool = self._pools[shard_index]
+            if pool is None:
+                shard_names = self._shard_names[shard_index]
+                specs = {name: self.store.source_spec(name) for name in shard_names}
+                pool = _ShardPool(
+                    shard_names,
+                    specs,
+                    self.store.max_resident,
+                    self.store.answer_cache_bytes,
+                    self.store.cache_answers,
+                )
+                self._pools[shard_index] = pool
+            return pool
 
     def worker_stats(self) -> StoreStats:
         """Aggregate (loads, hits, evictions) over the live shard workers.
@@ -375,27 +621,35 @@ class CorpusExecutor:
         strategies, or before the first run).
         """
         loads = hits = evictions = 0
-        for pool in self._pools or ():
-            if pool is not None:
+        with self._pool_lock:
+            pools = [pool for pool in self._pools or () if pool is not None]
+        for pool in pools:
+            try:
                 worker_loads, worker_hits, worker_evictions = pool.pool.submit(
                     _worker_stats
                 ).result()
-                loads += worker_loads
-                hits += worker_hits
-                evictions += worker_evictions
+            except RuntimeError:
+                continue  # shut down by a concurrent targeted repartition
+            loads += worker_loads
+            hits += worker_hits
+            evictions += worker_evictions
         return StoreStats(loads=loads, hits=hits, evictions=evictions)
 
     def _run_processes(
         self, names: Sequence[str], queries: Sequence[Query], engine: str, ordered: bool
     ) -> Iterator[CorpusResult]:
         self._ensure_partition()
-        query_specs = [(query.unparse(), query.variables) for query in queries]
+        query_specs = [_query_spec(query) for query in queries]
 
         def generate() -> Iterator[CorpusResult]:
             futures: dict[int, Future] = {}
-            for index, name in enumerate(names):
-                shard = self._shard_pool(self._shard_of[name])
-                futures[index] = shard.submit(name, query_specs, engine)
+            # One lock hold across shard lookup and submits: a concurrent
+            # targeted repartition (submit_document after a store change)
+            # must not shut a pool down or remap shards mid-batch.
+            with self._pool_lock:
+                for index, name in enumerate(names):
+                    shard = self._shard_pool(self._shard_of[name])
+                    futures[index] = shard.submit(name, query_specs, engine)
 
             def unpack(index: int, payload) -> list[CorpusResult]:
                 name = names[index]
@@ -419,16 +673,7 @@ class CorpusExecutor:
     def _normalise_queries(
         self, queries: Union[BatchItem, Iterable[BatchItem]]
     ) -> list[Query]:
-        items: Iterable[BatchItem]
-        if isinstance(queries, (str, Query)) or not isinstance(queries, Iterable):
-            items = [queries]
-        elif isinstance(queries, tuple) and len(queries) == 2 and isinstance(
-            queries[1], (list, tuple)
-        ) and all(isinstance(v, str) for v in queries[1]):
-            # A single (expression, variables) pair, not a list of two queries.
-            items = [queries]
-        else:
-            items = list(queries)
+        items = iter_batch(queries)
         compiled: list[Query] = []
         for item in items:
             if isinstance(item, Query):

@@ -57,12 +57,18 @@ class CorpusReport:
     wall_seconds:
         End-to-end wall-clock of the run (``None`` when the results were
         collected outside :meth:`CorpusExecutor.run_report`).
+    cache:
+        Answer-cache telemetry for the run — the
+        :meth:`repro.corpus.cache.AnswerCacheStats.to_dict` snapshot
+        aggregated by :meth:`CorpusExecutor.answer_cache_stats` (``None``
+        when answer caching is off or the stats were not collected).
     """
 
     strategy: str
     engine: Optional[str]
     entries: tuple[CorpusEntry, ...] = field(default_factory=tuple)
     wall_seconds: Optional[float] = None
+    cache: Optional[dict] = None
 
     @classmethod
     def from_results(
@@ -72,6 +78,7 @@ class CorpusReport:
         strategy: str,
         engine: Optional[str] = None,
         wall_seconds: Optional[float] = None,
+        cache: Optional[dict] = None,
     ) -> "CorpusReport":
         """Aggregate a (collected or streaming) result sequence."""
         entries = tuple(
@@ -87,7 +94,11 @@ class CorpusReport:
             for result in results
         )
         return cls(
-            strategy=strategy, engine=engine, entries=entries, wall_seconds=wall_seconds
+            strategy=strategy,
+            engine=engine,
+            entries=entries,
+            wall_seconds=wall_seconds,
+            cache=cache,
         )
 
     # ------------------------------------------------------------- aggregates
@@ -136,6 +147,7 @@ class CorpusReport:
             "total_answers": self.total_answers,
             "total_seconds": self.total_seconds,
             "wall_seconds": self.wall_seconds,
+            "cache": self.cache,
             "per_document": self.per_document(),
             "entries": [entry.to_dict() for entry in self.entries],
         }

@@ -33,8 +33,16 @@ from typing import Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.trees.tree import Node, Tree
-from repro.trees.xml_io import tree_to_xml
+from repro.trees.xml_io import tree_from_xml, tree_from_xml_file, tree_to_xml
 from repro.api.document import Document
+from repro.corpus.cache import AnswerCache
+
+
+#: Default byte budget of a store's shared answer cache.  Finite on purpose:
+#: answers survive document eviction (see :mod:`repro.corpus.cache`), so an
+#: unbounded default would let the memo grow without limit on long-running
+#: varied workloads even when ``max_resident`` is tight.
+DEFAULT_ANSWER_CACHE_BYTES = 64 << 20
 
 
 class CorpusError(ReproError):
@@ -69,18 +77,33 @@ class DocumentSource:
     path: Optional[str] = None
     tree: Optional[Tree] = None
 
-    def load(self, *, cache_answers: bool = True) -> Document:
+    def load(
+        self,
+        *,
+        cache_answers: bool = True,
+        answer_cache: Optional[AnswerCache] = None,
+        cache_owner: Optional[object] = None,
+    ) -> Document:
         """Materialise the source into a fresh :class:`Document`.
 
-        Store-managed documents memoise answer sets by default: they are
-        bounded by the store's LRU, and residency is precisely what makes
-        repeated query batches cheap (see :class:`repro.api.Document`).
+        Store-managed documents memoise answer sets by default, into the
+        store's shared byte-budgeted :class:`AnswerCache` when one is passed
+        (``cache_owner`` scopes the entries to this registration, so answers
+        survive eviction but die with the source — see
+        :mod:`repro.corpus.cache`).
         """
         if self.kind == "xml":
-            return Document.from_xml(self.xml, cache_answers=cache_answers)
-        if self.kind == "file":
-            return Document.from_file(self.path, cache_answers=cache_answers)
-        return Document(self.tree, cache_answers=cache_answers)
+            tree = tree_from_xml(self.xml)
+        elif self.kind == "file":
+            tree = tree_from_xml_file(self.path)
+        else:
+            tree = self.tree
+        return Document(
+            tree,
+            cache_answers=cache_answers,
+            answer_cache=answer_cache,
+            cache_owner=cache_owner,
+        )
 
     def spec(self) -> tuple[str, str]:
         """Return a picklable ``(kind, payload)`` pair for worker processes.
@@ -111,17 +134,35 @@ class DocumentStore:
         :class:`repro.corpus.executor.CorpusExecutor`).
     cache_answers:
         Whether materialised documents memoise their answer sets (default
-        true — the LRU bound caps the footprint, and residency then makes
-        repeated batches cost a lookup per document).
+        true).  Memoisation goes through one *shared* byte-accounted
+        :class:`repro.corpus.cache.AnswerCache` per store, so answers
+        survive document eviction and the memo footprint is bounded
+        corpus-wide rather than per document.
+    answer_cache_bytes:
+        Byte budget of the shared answer cache.  Bounded *by default* (64
+        MiB, :data:`DEFAULT_ANSWER_CACHE_BYTES`): answers survive document
+        eviction, so without a budget a long-running varied workload would
+        grow the memo without limit even under a tight ``max_resident``.
+        Pass ``None`` explicitly for an unbounded cache.  The executor's
+        process strategy gives every shard worker its own budget of this
+        size, mirroring how ``max_resident`` scales out.
     """
 
     def __init__(
-        self, max_resident: Optional[int] = None, *, cache_answers: bool = True
+        self,
+        max_resident: Optional[int] = None,
+        *,
+        cache_answers: bool = True,
+        answer_cache_bytes: Optional[int] = DEFAULT_ANSWER_CACHE_BYTES,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise CorpusError("max_resident must be at least 1 (or None for unbounded)")
         self.max_resident = max_resident
         self.cache_answers = cache_answers
+        self.answer_cache_bytes = answer_cache_bytes
+        self.answer_cache: Optional[AnswerCache] = (
+            AnswerCache(max_bytes=answer_cache_bytes) if cache_answers else None
+        )
         self._sources: "OrderedDict[str, DocumentSource]" = OrderedDict()
         self._resident: "OrderedDict[str, Document]" = OrderedDict()
         self._lock = threading.Lock()
@@ -130,6 +171,8 @@ class DocumentStore:
         self._hits = 0
         self._evictions = 0
         self._version = 0
+        self._tokens: dict[str, int] = {}
+        self._next_token = 0
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -138,9 +181,14 @@ class DocumentStore:
         directory: Union[str, Path],
         pattern: str = "*.xml",
         max_resident: Optional[int] = None,
+        **store_kwargs,
     ) -> "DocumentStore":
-        """Build a store over every file matching ``pattern`` in ``directory``."""
-        store = cls(max_resident=max_resident)
+        """Build a store over every file matching ``pattern`` in ``directory``.
+
+        Extra keyword arguments (``cache_answers``, ``answer_cache_bytes``)
+        are forwarded to the constructor.
+        """
+        store = cls(max_resident=max_resident, **store_kwargs)
         store.add_directory(directory, pattern)
         return store
 
@@ -194,17 +242,24 @@ class DocumentStore:
             if source.name in self._sources:
                 raise CorpusError(f"a document named {source.name!r} is already registered")
             self._sources[source.name] = source
+            self._tokens[source.name] = self._next_token
+            self._next_token += 1
             self._version += 1
         return source.name
 
     def discard(self, name: str) -> None:
-        """Forget a document entirely: its source and any resident state."""
+        """Forget a document entirely: its source, resident and memoised state."""
         with self._lock:
             removed = self._sources.pop(name, None)
             self._resident.pop(name, None)
             self._load_locks.pop(name, None)
+            token = self._tokens.pop(name, None)
             if removed is not None:
                 self._version += 1
+        # Outside the store lock: the cache has its own, and a same-name
+        # re-registration gets a fresh token anyway, so no staleness window.
+        if token is not None and self.answer_cache is not None:
+            self.answer_cache.drop_owner(token)
 
     # ------------------------------------------------------------------ access
     def get(self, name: str) -> Document:
@@ -215,41 +270,66 @@ class DocumentStore:
         CorpusError
             If no source named ``name`` is registered.
         """
-        with self._lock:
-            source = self._sources.get(name)
-            if source is None:
-                hint = (
-                    "registered: " + ", ".join(sorted(self._sources))
-                    if self._sources
-                    else "the store is empty"
-                )
-                raise CorpusError(f"unknown document {name!r}; {hint}")
-            document = self._resident.get(name)
-            if document is not None:
-                self._resident.move_to_end(name)
-                self._hits += 1
-                return document
-            load_lock = self._load_locks.setdefault(name, threading.Lock())
-        with load_lock:
-            # Double-check: another thread may have loaded while we waited.
+        while True:
             with self._lock:
+                source = self._sources.get(name)
+                if source is None:
+                    hint = (
+                        "registered: " + ", ".join(sorted(self._sources))
+                        if self._sources
+                        else "the store is empty"
+                    )
+                    raise CorpusError(f"unknown document {name!r}; {hint}")
                 document = self._resident.get(name)
                 if document is not None:
                     self._resident.move_to_end(name)
                     self._hits += 1
                     return document
-            document = source.load(cache_answers=self.cache_answers)
-            with self._lock:
-                self._resident[name] = document
-                self._resident.move_to_end(name)
-                self._loads += 1
-                while (
-                    self.max_resident is not None
-                    and len(self._resident) > self.max_resident
-                ):
-                    self._resident.popitem(last=False)
-                    self._evictions += 1
-            return document
+                # Captured together with the source, under one lock hold:
+                # the token identifies exactly this registration, so a
+                # concurrent discard + same-name re-add is detectable below.
+                token = self._tokens.get(name)
+                load_lock = self._load_locks.setdefault(name, threading.Lock())
+            with load_lock:
+                with self._lock:
+                    # Re-validate: another thread may have loaded while we
+                    # waited, or replaced the registration entirely (then
+                    # retry against the new source instead of parsing a
+                    # stale one).
+                    if (
+                        self._sources.get(name) is not source
+                        or self._tokens.get(name) != token
+                    ):
+                        continue
+                    document = self._resident.get(name)
+                    if document is not None:
+                        self._resident.move_to_end(name)
+                        self._hits += 1
+                        return document
+                document = source.load(
+                    cache_answers=self.cache_answers,
+                    answer_cache=self.answer_cache,
+                    cache_owner=token,
+                )
+                with self._lock:
+                    if (
+                        self._sources.get(name) is not source
+                        or self._tokens.get(name) != token
+                    ):
+                        # Replaced mid-parse: drop the stale document (its
+                        # answers, if any, sit under the retired token and
+                        # were purged by discard) and load the new source.
+                        continue
+                    self._resident[name] = document
+                    self._resident.move_to_end(name)
+                    self._loads += 1
+                    while (
+                        self.max_resident is not None
+                        and len(self._resident) > self.max_resident
+                    ):
+                        self._resident.popitem(last=False)
+                        self._evictions += 1
+                return document
 
     def resolve(self, name_or_path: Union[str, Path]) -> Document:
         """Resolve a registered name, or register-and-load a filesystem path.
@@ -289,6 +369,21 @@ class DocumentStore:
         if source is None:
             raise CorpusError(f"unknown document {name!r}")
         return source.spec()
+
+    def source_token(self, name: str) -> int:
+        """A token unique to this *registration* of ``name``.
+
+        Two registrations of the same name (discard + re-add) get different
+        tokens.  The executor fingerprints shard membership with these, so a
+        same-name source replacement is detected as a shard change even
+        though the name list is identical; the answer cache keys entries by
+        them for the same staleness guarantee.
+        """
+        with self._lock:
+            token = self._tokens.get(name)
+        if token is None:
+            raise CorpusError(f"unknown document {name!r}")
+        return token
 
     @property
     def stats(self) -> StoreStats:

@@ -17,12 +17,17 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator
 
+from repro.pickling import strip_cached_properties
+
 #: Type alias for variable names.
 Var = str
 
 
 class Formula:
     """Base class of FO formulas."""
+
+    def __getstate__(self) -> dict:
+        return strip_cached_properties(self)
 
     @cached_property
     def size(self) -> int:

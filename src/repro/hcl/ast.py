@@ -18,11 +18,15 @@ from functools import cached_property
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import EvaluationError, UnboundVariableError
+from repro.pickling import strip_cached_properties
 from repro.trees.tree import Tree
 
 
 class HclExpr:
     """Base class of HCL composition formulas."""
+
+    def __getstate__(self) -> dict:
+        return strip_cached_properties(self)
 
     @cached_property
     def size(self) -> int:

@@ -1,0 +1,56 @@
+"""Keep derived, lazily-cached AST state out of pickles.
+
+Every AST base in this library (:class:`repro.xpath.ast._Expr`,
+:class:`repro.hcl.ast.HclExpr`, :class:`repro.pplbin.ast.BinExpr`,
+:class:`repro.fo.ast.Formula`) memoises derived attributes — ``size``,
+``free_variables``, ``quantifier_rank`` — with :func:`functools.cached_property`,
+which stores the computed value in the instance ``__dict__`` right next to the
+dataclass fields.  The default pickle therefore ships every memoised value of
+every node: compiling a query populates the caches on each AST node it checks,
+and a compiled plan's pickle grows ~40% larger (and correspondingly slower to
+load) than the same plan freshly parsed.  That tax lands exactly where pickles
+matter — the :mod:`repro.serve.plancache` plan files and the query payloads
+shipped to :mod:`repro.corpus` worker processes.
+
+:func:`strip_cached_properties` is a drop-in ``__getstate__`` body: it returns
+the instance state minus every ``cached_property`` slot declared anywhere in
+the class's MRO, so pickles (and ``copy.deepcopy``, which routes through the
+same reduce protocol) carry only the defining fields.  The dropped values are
+recomputed lazily on first use after load — semantics are unchanged, the
+caches just start cold.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+#: Per-class memo of which attribute names are ``cached_property`` slots.
+_CACHE_NAMES: dict[type, frozenset[str]] = {}
+
+
+def cached_property_names(cls: type) -> frozenset[str]:
+    """The names of every ``cached_property`` declared in ``cls``'s MRO."""
+    names = _CACHE_NAMES.get(cls)
+    if names is None:
+        names = frozenset(
+            name
+            for klass in cls.__mro__
+            for name, value in vars(klass).items()
+            if isinstance(value, cached_property)
+        )
+        _CACHE_NAMES[cls] = names
+    return names
+
+
+def strip_cached_properties(obj: object) -> dict:
+    """Instance state with every memoised ``cached_property`` value removed.
+
+    Intended as the body of ``__getstate__`` on AST bases; the returned dict
+    holds only genuine fields, so pickling an AST costs the same whether or
+    not its derived attributes were ever computed.
+    """
+    state = obj.__dict__
+    names = cached_property_names(type(obj))
+    if not names.intersection(state):
+        return dict(state)
+    return {key: value for key, value in state.items() if key not in names}

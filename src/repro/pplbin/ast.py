@@ -25,11 +25,15 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator, Optional
 
+from repro.pickling import strip_cached_properties
 from repro.trees.axes import Axis
 
 
 class BinExpr:
     """Base class of PPLbin expressions (binary queries over nodes)."""
+
+    def __getstate__(self) -> dict:
+        return strip_cached_properties(self)
 
     @cached_property
     def size(self) -> int:

@@ -1,0 +1,301 @@
+"""Persistent, content-addressed cache of compiled query plans.
+
+Compiling a query is the expensive half of the paper's pipeline: parse the
+Core XPath 2.0 syntax, check Definition 1, build the Fig. 7 HCL⁻(PPLbin)
+translation and (when variable free) the Fig. 4 PPLbin form.  The result is
+a document-independent :class:`repro.api.Query` value — exactly the thing a
+server wants to keep across restarts so warm starts answer immediately
+instead of recompiling the whole workload.
+
+:class:`PlanCache` stores compiled plans on disk:
+
+* **content-addressed** — the filename is a SHA-256 over the cache format
+  version, the expression text, the output-variable tuple and the engine
+  label, so a plan can never be served for the wrong source text and a
+  format bump silently invalidates every old file;
+* **versioned + corruption-tolerant** — payloads carry the format version
+  and the addressing fields *inside* the pickle; any load failure
+  (truncated file, foreign bytes, version or text mismatch) counts as a
+  miss, deletes the offending file, and falls back to compilation — a
+  corrupted cache can cost time, never correctness;
+* **byte-budgeted** — an optional LRU budget over the total file size,
+  enforced on every store by deleting least-recently-*used* plans (hits
+  refresh the file mtime);
+* **stack-safe** — serialisation rides on :class:`repro.api.Query`'s
+  depth-robust pickling, so arbitrarily deep plans round-trip.
+
+The cache is wired into serving through
+:meth:`repro.serve.server.CorpusServer`, and into ad-hoc compilation through
+:meth:`PlanCache.get_or_compile`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.api.query import Query, compile_query
+
+#: Bump when the payload layout (or anything pickled inside it) changes
+#: incompatibly; old files then miss by key and are evicted by budget.
+FORMAT_VERSION = 1
+
+#: Default engine label when a plan is not tied to a particular backend
+#: (compiled Query values carry every translation, so most callers share).
+ANY_ENGINE = "any"
+
+_SUFFIX = ".plan"
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Counters for one cache instance (not persisted across processes)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalid: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalid": self.invalid,
+        }
+
+
+class PlanCache:
+    """On-disk LRU cache of compiled :class:`repro.api.Query` plans.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``<sha256>.plan`` files live; created on first use.
+    max_bytes:
+        Total byte budget over the plan files (``None`` = unbounded).
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], *, max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative (or None for unbounded)")
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._invalid = 0
+
+    # ------------------------------------------------------------------- keys
+    @staticmethod
+    def key(
+        expression: str, variables: Sequence[str] = (), engine: str = ANY_ENGINE
+    ) -> str:
+        """The content address of one plan: SHA-256 hex over the identity.
+
+        The digest covers the cache format version, the exact expression
+        text, the output-variable tuple and the engine label, in a framing
+        (JSON) that cannot collide across fields.
+        """
+        identity = json.dumps(
+            [FORMAT_VERSION, expression, list(variables), engine],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def path_for(
+        self, expression: str, variables: Sequence[str] = (), engine: str = ANY_ENGINE
+    ) -> Path:
+        """The file a plan for this identity would be stored at."""
+        return self.directory / (self.key(expression, variables, engine) + _SUFFIX)
+
+    # ------------------------------------------------------------------ loads
+    def load(
+        self, expression: str, variables: Sequence[str] = (), engine: str = ANY_ENGINE
+    ) -> Optional[Query]:
+        """Return the cached plan, or ``None`` on miss *or any* load failure.
+
+        Never raises for cache trouble: unreadable, truncated, foreign,
+        version-skewed or mismatched files are deleted (best-effort) and
+        reported as a miss, so a damaged cache degrades to cold compilation.
+        """
+        path = self.path_for(expression, variables, engine)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if not isinstance(payload, dict):
+                raise ValueError("plan payload is not a dict")
+            if payload.get("format") != FORMAT_VERSION:
+                raise ValueError("plan format version mismatch")
+            if (
+                payload.get("text") != expression
+                or tuple(payload.get("variables", ())) != tuple(variables)
+                or payload.get("engine") != engine
+            ):
+                raise ValueError("plan identity mismatch")
+            query = payload["query"]
+            if not isinstance(query, Query):
+                raise ValueError("plan payload holds no Query")
+        except Exception:
+            # Corruption tolerance: drop the bad file and recompile.
+            with self._lock:
+                self._invalid += 1
+                self._misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            self._hits += 1
+        self._touch(path)
+        return query
+
+    def store(
+        self,
+        query: Query,
+        *,
+        expression: Optional[str] = None,
+        engine: str = ANY_ENGINE,
+    ) -> Path:
+        """Persist a compiled plan; returns the file written.
+
+        ``expression`` defaults to ``query.unparse()`` — pass the original
+        text explicitly when it must match later ``load`` lookups verbatim.
+        """
+        text = expression if expression is not None else query.unparse()
+        path = self.path_for(text, query.variables, engine)
+        payload = pickle.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "text": text,
+                "variables": list(query.variables),
+                "engine": engine,
+                "query": query,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Unique per writer *thread*: concurrent stores of the same key
+        # (two clients miss on one expression simultaneously) must not
+        # rename each other's temp file away mid-replace.
+        temporary = path.with_suffix(
+            ".tmp-%d-%d" % (os.getpid(), threading.get_ident())
+        )
+        temporary.write_bytes(payload)
+        os.replace(temporary, path)
+        with self._lock:
+            self._stores += 1
+        self._enforce_budget()
+        return path
+
+    def get_or_compile(
+        self,
+        expression: str,
+        variables: Sequence[str] = (),
+        *,
+        engine: str = ANY_ENGINE,
+        require_ppl: bool = False,
+    ) -> Query:
+        """One-stop compilation through the cache: load, else compile + store."""
+        cached = self.load(expression, variables, engine)
+        if cached is not None:
+            return cached
+        query = compile_query(expression, tuple(variables), require_ppl=require_ppl)
+        self.store(query, expression=expression, engine=engine)
+        return query
+
+    # -------------------------------------------------------------- housekeeping
+    def _touch(self, path: Path) -> None:
+        """Refresh the file's mtime so budget eviction is least-recently-used."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _plan_files(self) -> list[Path]:
+        try:
+            return [entry for entry in self.directory.iterdir() if entry.suffix == _SUFFIX]
+        except OSError:
+            return []
+
+    def _enforce_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self._plan_files():
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+            total += status.st_size
+        entries.sort()  # oldest mtime first = least recently used
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            with self._lock:
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Delete every plan file; returns how many were removed."""
+        removed = 0
+        for path in self._plan_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------- inspection
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of the plan files."""
+        total = 0
+        for path in self._plan_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def __len__(self) -> int:
+        return len(self._plan_files())
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        """Snapshot of this instance's counters."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                evictions=self._evictions,
+                invalid=self._invalid,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCache({str(self.directory)!r}, max_bytes={self.max_bytes})"

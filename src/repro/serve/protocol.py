@@ -1,0 +1,281 @@
+"""Newline-delimited-JSON wire protocol over asyncio streams (TCP or stdio).
+
+One JSON object per line, both directions.  Requests carry an ``op`` and a
+client-chosen ``id`` that is echoed on every response line, so a client may
+pipeline several submissions over one connection and demultiplex by id.
+
+Requests
+--------
+``{"op": "submit", "id": 1, "query": "...", "vars": ["y","z"]}``
+    Answer one query on every document (or ``"docs": [...]`` a subset);
+    ``"engine"`` and ``"ordered"`` are optional.  Several queries can be
+    submitted at once with ``"queries": [["<expr>", ["y"]], ...]`` instead
+    of ``query``/``vars``.
+``{"op": "stats", "id": 2}``
+    A :class:`repro.serve.server.ServerStats` snapshot.
+``{"op": "ping", "id": 3}``
+    Liveness check.
+
+Responses
+---------
+``{"id": 1, "type": "result", "doc": ..., "query": ..., "answers": [[...]],
+"count": n, "seconds": s}``
+    One line per (document, query) pair, streamed as results complete.
+``{"id": 1, "type": "done", "results": n, "cancelled": false}``
+    Terminates a submission's stream.
+``{"id": 1, "type": "error", "error": "...", "kind": "overloaded"}``
+    Submission-level failure (parse error, overload, unknown document ...).
+    ``kind`` is ``"overloaded"``, ``"closed"``, ``"bad-request"`` or
+    ``"error"``, so clients can implement retry policies without matching
+    on message text.
+
+Backpressure propagates end to end: every result line awaits both the
+submission queue and the transport's ``drain()``, so a slow TCP reader
+slows only its own submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Optional
+
+from repro.errors import ReproError
+from repro.serve.server import (
+    CorpusServer,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+
+#: StreamReader buffer limit for request lines.  asyncio's 64 KiB default is
+#: too small for the documented pipelined ``"queries": [...]`` form over a
+#: real workload; a line beyond even this limit gets a typed error line
+#: instead of a silently dropped connection.
+READ_LIMIT = 16 * 1024 * 1024
+
+
+def _error_kind(error: Exception) -> str:
+    if isinstance(error, ServerOverloadedError):
+        return "overloaded"
+    if isinstance(error, ServerClosedError):
+        return "closed"
+    if isinstance(error, (ValueError, KeyError, ReproError)):
+        return "bad-request"
+    return "error"
+
+
+class ProtocolServer:
+    """Bridges an NDJSON stream pair onto a :class:`CorpusServer`.
+
+    One instance can serve many connections; per-connection state is local
+    to :meth:`handle_connection`.
+    """
+
+    def __init__(self, server: CorpusServer) -> None:
+        self.server = server
+
+    # -------------------------------------------------------------- transports
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Return an ``asyncio.base_events.Server`` accepting NDJSON clients.
+
+        With ``port=0`` the kernel picks a free port —
+        ``server.sockets[0].getsockname()[1]`` reveals it (used by tests and
+        by the CLI's startup banner).
+        """
+        return await asyncio.start_server(
+            self.handle_connection, host, port, limit=READ_LIMIT
+        )
+
+    async def handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        """Serve one client: read request lines, spawn a task per submission."""
+        write_lock = asyncio.Lock()
+        pending: set["asyncio.Task"] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Request line beyond the reader limit: the buffer state
+                    # is unrecoverable mid-line, so reply with a typed error
+                    # and close instead of dying with an unhandled exception.
+                    try:
+                        await self._send(
+                            writer,
+                            write_lock,
+                            {
+                                "id": None,
+                                "type": "error",
+                                "error": "request line too long",
+                                "kind": "bad-request",
+                            },
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Cancelled here means the loop is shutting down while the
+                # transport flushes; the connection is already closed, and
+                # ending the handler normally avoids asyncio's noisy
+                # "exception was never retrieved" callback for it.
+                pass
+
+    # ---------------------------------------------------------------- dispatch
+    async def _handle_line(
+        self, line: bytes, writer: "asyncio.StreamWriter", lock: "asyncio.Lock"
+    ) -> None:
+        request_id: Optional[object] = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "submit")
+            if op == "ping":
+                await self._send(writer, lock, {"id": request_id, "type": "pong"})
+            elif op == "stats":
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "stats",
+                        "stats": self.server.stats.to_dict(),
+                    },
+                )
+            elif op == "submit":
+                await self._handle_submit(request, request_id, writer, lock)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except asyncio.CancelledError:
+            raise
+        except ConnectionError:
+            pass  # client went away mid-stream; nothing left to tell it
+        except Exception as error:
+            try:
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "error",
+                        "error": str(error),
+                        "kind": _error_kind(error),
+                    },
+                )
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_submit(
+        self,
+        request: dict,
+        request_id: Optional[object],
+        writer: "asyncio.StreamWriter",
+        lock: "asyncio.Lock",
+    ) -> None:
+        if "queries" in request:
+            items = [
+                (text, tuple(variables)) for text, variables in request["queries"]
+            ]
+        elif "query" in request:
+            items = [(request["query"], tuple(request.get("vars", ())))]
+        else:
+            raise ValueError("submit needs 'query' or 'queries'")
+        submission = await self.server.submit(
+            items,
+            request.get("docs"),
+            engine=request.get("engine"),
+            ordered=bool(request.get("ordered", True)),
+        )
+        delivered = 0
+        try:
+            async for result in submission:
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "result",
+                        "doc": result.doc_name,
+                        "query": result.query,
+                        "variables": list(result.variables),
+                        "answers": sorted(list(answer) for answer in result.answers),
+                        "count": len(result.answers),
+                        "seconds": result.seconds,
+                    },
+                )
+                delivered += 1
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            # The client went away mid-stream (or the connection handler is
+            # shutting down): abort the submission's outstanding document
+            # jobs instead of evaluating a corpus for a dead reader.
+            submission.cancel()
+            raise
+        await self._send(
+            writer,
+            lock,
+            {
+                "id": request_id,
+                "type": "done",
+                "results": delivered,
+                "cancelled": submission.cancelled,
+            },
+        )
+
+    async def _send(
+        self, writer: "asyncio.StreamWriter", lock: "asyncio.Lock", payload: dict
+    ) -> None:
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+
+
+# -------------------------------------------------------------------- client
+async def request_lines(
+    host: str, port: int, request: dict
+) -> AsyncIterator[dict]:
+    """Tiny NDJSON client: send one request, yield response lines until done.
+
+    Yields every response object for the request's id; stops after a
+    ``done``, ``error``, ``stats`` or ``pong`` line.  Used by the CLI's
+    ``serve query`` / ``serve stats`` subcommands and handy in tests.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            payload = json.loads(line)
+            yield payload
+            if payload.get("type") in ("done", "error", "stats", "pong"):
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,586 @@
+"""The asyncio serving core: concurrent submissions over a corpus executor.
+
+See the package docstring (:mod:`repro.serve`) for the architecture.  In
+short: :class:`CorpusServer` accepts concurrently-submitted query batches,
+expands each into per-document jobs, pushes the jobs through the blocking
+:class:`repro.corpus.CorpusExecutor` via its ``submit_document`` hook (the
+event loop never blocks — shard pools and dispatch threads do the work), and
+streams per-document answers back through a bounded per-client queue.
+
+Flow control has three independent knobs:
+
+* ``max_concurrent`` — a semaphore bounding documents being *evaluated* at
+  once, server-wide;
+* ``max_queue`` — an admission bound on documents admitted but not finished;
+  a submission that would overflow it while other work is pending is
+  rejected whole with :class:`ServerOverloadedError` (fail fast beats
+  unbounded buffering).  On an otherwise idle server any single submission
+  is admitted regardless of size — overload is load-dependent, never
+  structural, so big corpora stay servable with default limits;
+* ``stream_buffer`` — the per-submission result queue size; a slow consumer
+  stalls only its own submission's delivery (per-client backpressure), never
+  the server loop or other clients.
+
+Shutdown is graceful by default: :meth:`CorpusServer.drain` stops admission
+and waits for in-flight submissions, :meth:`CorpusServer.aclose` then tears
+down the executor pools.  :meth:`Submission.cancel` aborts one stream
+mid-flight without touching the rest of the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Iterable, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.api.document import BatchItem, iter_batch
+from repro.api.query import Query, compile_query
+from repro.api.registry import DEFAULT_ENGINE
+from repro.corpus.executor import CorpusExecutor, CorpusResult
+from repro.corpus.store import CorpusError, DocumentStore
+from repro.serve.plancache import ANY_ENGINE, PlanCache
+
+
+class ServeError(ReproError):
+    """Base class of serving-layer errors."""
+
+
+class ServerClosedError(ServeError):
+    """Submission refused because the server is draining or closed."""
+
+
+class ServerOverloadedError(ServeError):
+    """Submission refused because the admission queue is full."""
+
+
+#: Queue sentinel marking the end of a submission's result stream.
+_DONE = object()
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A telemetry snapshot of one :class:`CorpusServer`.
+
+    Latency quantiles are computed over a sliding window of recent
+    per-document evaluation latencies (seconds from slot acquisition to
+    completion of that document's jobs).  ``answer_cache`` reflects the
+    parent store's shared cache; under the process strategy the per-worker
+    caches live in the shard workers — aggregate them with the (blocking)
+    :meth:`repro.corpus.CorpusExecutor.answer_cache_stats` instead, off the
+    event loop.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    cancelled: int
+    failed: int
+    in_flight: int
+    queued: int
+    active_submissions: int
+    p50_latency: Optional[float] = None
+    p95_latency: Optional[float] = None
+    plan_cache: Optional[dict] = None
+    answer_cache: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "active_submissions": self.active_submissions,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "plan_cache": self.plan_cache,
+            "answer_cache": self.answer_cache,
+        }
+
+
+@dataclass
+class Submission:
+    """A handle on one accepted submission: an async stream of results.
+
+    Iterate to receive one :class:`repro.corpus.CorpusResult` per
+    (document, query) pair — in deterministic document order when the
+    submission was made with ``ordered=True`` (default), in completion order
+    otherwise.  :meth:`cancel` aborts outstanding work; results already
+    queued are still delivered, then the stream ends with ``cancelled``
+    set.  A worker exception ends the stream by re-raising on the consumer.
+    """
+
+    id: int
+    queries: tuple[Query, ...]
+    doc_names: tuple[str, ...]
+    engine: str
+    ordered: bool
+    cancelled: bool = False
+    _queue: Optional["asyncio.Queue"] = field(repr=False, default=None)
+    _task: Optional["asyncio.Task"] = field(repr=False, default=None)
+    _error: Optional[BaseException] = field(repr=False, default=None)
+    _finished: bool = field(repr=False, default=False)
+    #: Set by the producer when the stream ended but the sentinel found no
+    #: queue room (abort with a full, unread queue).  Queued results stay
+    #: deliverable; the stream ends once the queue drains.
+    _done_pending: bool = field(repr=False, default=False)
+
+    def __aiter__(self) -> AsyncIterator[CorpusResult]:
+        return self
+
+    async def __anext__(self) -> CorpusResult:
+        if self._finished:
+            raise StopAsyncIteration
+        try:
+            item = self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            # Queue drained: either the producer flagged the end without
+            # room for the sentinel, or we block until it delivers more.
+            # No lost-wakeup: the producer sets the flag *before* its final
+            # put attempt, and an empty queue means that attempt succeeds.
+            item = _DONE if self._done_pending else await self._queue.get()
+        if item is _DONE:
+            self._finished = True
+            if self._error is not None:
+                raise self._error
+            raise StopAsyncIteration
+        return item
+
+    async def results(self) -> list[CorpusResult]:
+        """Drain the stream into a list (convenience for non-streaming use)."""
+        return [result async for result in self]
+
+    def cancel(self) -> None:
+        """Abort outstanding document jobs of this submission."""
+        if not self.cancelled and not self._finished and self._task is not None:
+            self.cancelled = True
+            self._task.cancel()
+            # A task cancelled before it ever ran executes no body (and no
+            # finally), so the stream must be closed from here: queued
+            # results still precede the sentinel, and the flag covers a
+            # full queue.  Redundant when the producer's own finally runs.
+            self._done_pending = True
+            try:
+                self._queue.put_nowait(_DONE)
+            except asyncio.QueueFull:
+                pass
+
+    async def wait(self) -> None:
+        """Wait until the submission's producer task has finished."""
+        if self._task is not None:
+            await asyncio.gather(self._task, return_exceptions=True)
+
+
+class CorpusServer:
+    """Serve concurrently-submitted queries over a document corpus.
+
+    Parameters
+    ----------
+    store:
+        The corpus to serve.
+    strategy / max_workers / engine:
+        Passed to the underlying :class:`repro.corpus.CorpusExecutor` (one
+        is built unless ``executor`` is given).  ``"threads"`` is the
+        default here — a serving loop wants submission-level parallelism
+        even when each document evaluates in pure Python.
+    executor:
+        An existing executor to serve from; it is closed by
+        :meth:`aclose` only when the server created it itself.
+    plan_cache:
+        A :class:`repro.serve.plancache.PlanCache` used to resolve
+        expression texts; hits skip parse/check/translate entirely, misses
+        are compiled once and persisted, so the *next* server start is warm.
+    max_concurrent:
+        Documents evaluated at once (semaphore width, default 4).
+    max_queue:
+        Admitted-but-unfinished document bound; a submission that would
+        overflow it while other work is pending is rejected with
+        :class:`ServerOverloadedError` (an idle server admits any size).
+    stream_buffer:
+        Per-submission result queue size (per-client backpressure).
+    latency_window:
+        How many recent per-document latencies back the p50/p95 stats.
+    abandon_grace:
+        Once the server is draining, a stream whose full queue has gone
+        unread for this many seconds is treated as abandoned (consumer gone
+        without cancelling) and cancelled, so shutdown can never wedge on a
+        vanished client.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        *,
+        strategy: str = "threads",
+        max_workers: Optional[int] = None,
+        engine: str = DEFAULT_ENGINE,
+        executor: Optional[CorpusExecutor] = None,
+        plan_cache: Optional[PlanCache] = None,
+        max_concurrent: int = 4,
+        max_queue: int = 256,
+        stream_buffer: int = 16,
+        latency_window: int = 512,
+        abandon_grace: float = 5.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ServeError("max_concurrent must be at least 1")
+        if max_queue < 1:
+            raise ServeError("max_queue must be at least 1")
+        if stream_buffer < 1:
+            raise ServeError("stream_buffer must be at least 1")
+        if abandon_grace <= 0:
+            raise ServeError("abandon_grace must be positive")
+        self.store = store
+        self.engine = engine
+        self.plan_cache = plan_cache
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.stream_buffer = stream_buffer
+        self.abandon_grace = abandon_grace
+        self._own_executor = executor is None
+        self.executor = executor if executor is not None else CorpusExecutor(
+            store, strategy=strategy, max_workers=max_workers, engine=engine
+        )
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._tasks: set["asyncio.Task"] = set()
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._draining = False
+        self._closed = False
+        self._next_id = 0
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._cancelled = 0
+        self._failed = 0
+        self._in_flight = 0
+        self._queued = 0
+
+    # ---------------------------------------------------------------- lifecycle
+    async def __aenter__(self) -> "CorpusServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def drain(self) -> None:
+        """Stop admitting submissions and wait for in-flight work to finish."""
+        self._draining = True
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain, then shut down the executor pools (idempotent)."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        if self._own_executor:
+            self.executor.close()
+
+    # --------------------------------------------------------------- submission
+    def compile(
+        self, expression: Union[str, BatchItem], variables: Sequence[str] = ()
+    ) -> Query:
+        """Compile one expression through the plan cache (if configured)."""
+        if isinstance(expression, Query):
+            return expression
+        if isinstance(expression, tuple):
+            expression, variables = expression
+        if isinstance(expression, str) and self.plan_cache is not None:
+            # Compiled plans carry every translation, so they are engine
+            # independent: keyed under the shared ANY_ENGINE label, one
+            # cached plan serves every engine (and `serve warm` hits
+            # regardless of which --engine the server later runs with).
+            return self.plan_cache.get_or_compile(
+                expression, tuple(variables), engine=ANY_ENGINE
+            )
+        return compile_query(expression, tuple(variables), require_ppl=False)
+
+    async def submit(
+        self,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        documents: Optional[Sequence[str]] = None,
+        *,
+        engine: Optional[str] = None,
+        ordered: bool = True,
+    ) -> Submission:
+        """Admit a query batch; returns a :class:`Submission` stream.
+
+        Compilation (including plan-cache disk traffic) runs off the event
+        loop; admission is checked after it, atomically with scheduling.
+
+        Raises
+        ------
+        ServerClosedError
+            When the server is draining or closed.
+        ServerOverloadedError
+            When admitting the batch would overflow ``max_queue``.
+        CorpusError
+            For unknown document names (before any work is scheduled).
+        """
+        if self._draining or self._closed:
+            raise ServerClosedError("the server is draining; no new submissions")
+        batch = iter_batch(queries)
+        if all(isinstance(item, Query) for item in batch):
+            compiled = tuple(batch)
+        else:
+            # Anything not yet compiled (strings, pairs, bare PathExprs)
+            # pays parse/check/translate — off the event loop.
+            compiled = tuple(
+                await asyncio.to_thread(self._compile_batch, batch)
+            )
+        if self._draining or self._closed:  # may have started draining meanwhile
+            raise ServerClosedError("the server is draining; no new submissions")
+        names = tuple(documents) if documents is not None else tuple(self.store.names())
+        for name in names:
+            if name not in self.store:
+                raise CorpusError(f"unknown document {name!r}")
+        pending = self._queued + self._in_flight
+        # Overload is load-dependent, never structural: an idle server
+        # admits a submission of any size (it trickles through the
+        # evaluation semaphore), so a corpus larger than max_queue stays
+        # servable with default limits and client retries can succeed.
+        if pending > 0 and pending + len(names) > self.max_queue:
+            self._rejected += 1
+            raise ServerOverloadedError(
+                f"admission queue full ({pending} pending, "
+                f"{len(names)} requested, limit {self.max_queue})"
+            )
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.max_concurrent)
+        self._next_id += 1
+        self._submitted += 1
+        submission = Submission(
+            id=self._next_id,
+            queries=compiled,
+            doc_names=names,
+            engine=engine if engine is not None else self.engine,
+            ordered=ordered,
+        )
+        submission._queue = asyncio.Queue(maxsize=self.stream_buffer)
+        # Admission slots are reserved *now*, synchronously with the check
+        # above — the producer task may not run for a while, and a second
+        # submit arriving in between must see the queue as occupied.  Slots
+        # not yet handed to a job when the producer finishes (cancelled
+        # before start, failed early) are released by the done-callback.
+        self._queued += len(names)
+        unspawned = {"count": len(names)}
+        task = asyncio.create_task(self._run_submission(submission, unspawned))
+        submission._task = task
+        self._tasks.add(task)
+
+        def _finalise(finished: "asyncio.Task") -> None:
+            self._tasks.discard(finished)
+            self._queued -= unspawned["count"]
+            unspawned["count"] = 0
+            if finished.cancelled():
+                # Cancelled before the body ran: the producer's own
+                # CancelledError accounting never executed.
+                self._cancelled += 1
+
+        task.add_done_callback(_finalise)
+        return submission
+
+    def _compile_batch(self, batch: list[BatchItem]) -> list[Query]:
+        return [self.compile(item) for item in batch]
+
+    async def answer(
+        self,
+        queries: Union[BatchItem, Iterable[BatchItem]],
+        documents: Optional[Sequence[str]] = None,
+        *,
+        engine: Optional[str] = None,
+        ordered: bool = True,
+    ) -> list[CorpusResult]:
+        """Submit and collect in one await (convenience wrapper)."""
+        submission = await self.submit(
+            queries, documents, engine=engine, ordered=ordered
+        )
+        return await submission.results()
+
+    # ----------------------------------------------------------------- internals
+    def _spawn_job(self, submission: Submission, name: str) -> "asyncio.Task":
+        """Create one admitted document job with leak-proof slot accounting.
+
+        The job takes over one of the admission slots reserved by
+        :meth:`submit` and releases it exactly once — normally when it
+        acquires an evaluation slot, but via the done-callback when it is
+        cancelled before its coroutine ever ran (a cancelled-before-start
+        task executes no body code, so the accounting cannot live inside
+        the coroutine alone).
+        """
+        state = {"dequeued": False}
+
+        def dequeue() -> None:
+            if not state["dequeued"]:
+                state["dequeued"] = True
+                self._queued -= 1
+
+        task = asyncio.create_task(self._run_document(submission, name, dequeue))
+        task.add_done_callback(lambda _finished: dequeue())
+        return task
+
+    async def _run_submission(self, submission: Submission, unspawned: dict) -> None:
+        """Producer task: schedule per-document jobs, deliver results in order."""
+        jobs = []
+        for name in submission.doc_names:
+            unspawned["count"] -= 1
+            jobs.append(self._spawn_job(submission, name))
+        try:
+            if submission.ordered:
+                for job in jobs:
+                    for result in await job:
+                        await self._put_result(submission, result)
+            else:
+                for next_done in asyncio.as_completed(jobs):
+                    for result in await next_done:
+                        await self._put_result(submission, result)
+        except asyncio.CancelledError:
+            submission.cancelled = True
+            self._cancelled += 1
+        except Exception as error:
+            submission._error = error
+            self._failed += 1
+        finally:
+            for job in jobs:
+                if not job.done():
+                    job.cancel()
+            await asyncio.gather(*jobs, return_exceptions=True)
+            # The sentinel must always arrive, and this task must always
+            # terminate (drain()/aclose() gather it).  On the normal path a
+            # full queue means a live, slow consumer: a blocking put is
+            # correct and preserves every queued result.  On an aborted
+            # stream (cancelled or failed) the consumer may be gone for
+            # good — a client that disconnected mid-stream — so blocking
+            # would wedge the server; drop queued results instead (the
+            # stream is ending with ``cancelled``/an error anyway) until
+            # the sentinel fits.
+            # Flag first, then try the sentinel: if the queue is full the
+            # consumer is not blocked on get() and will see the flag once
+            # it drains the (still fully deliverable) queue; if the queue
+            # is empty the put wakes a blocked consumer.  Never a blocking
+            # put — a vanished consumer must not wedge this task (and with
+            # it drain()/aclose()), however the stream ended.
+            submission._done_pending = True
+            try:
+                submission._queue.put_nowait(_DONE)
+            except asyncio.QueueFull:
+                pass
+
+    async def _put_result(self, submission: Submission, result) -> None:
+        """Deliver one result without ever wedging shutdown.
+
+        A plain blocking put would hang forever if the consumer stopped
+        iterating without cancelling (a vanished client whose stream nobody
+        reads).  The put is therefore re-armed periodically; while the
+        server is *draining*, a stream whose queue has stayed full past
+        ``abandon_grace`` is treated as abandoned and cancelled — the
+        cancelled path guarantees the sentinel lands and the task ends.  A
+        live slow consumer is unaffected: any successful put resets the
+        clock, and outside of drain the producer waits indefinitely.
+        """
+        # asyncio.wait (not wait_for) on purpose: wait_for swallows this
+        # task's cancellation when the put completes in the same loop tick,
+        # which would make Submission.cancel() silently lose the race.
+        putter = asyncio.ensure_future(submission._queue.put(result))
+        unread_since: Optional[float] = None
+        try:
+            while True:
+                done, _ = await asyncio.wait({putter}, timeout=0.25)
+                if done:
+                    putter.result()
+                    return
+                if not self._draining:
+                    unread_since = None
+                    continue
+                now = time.perf_counter()
+                if unread_since is None:
+                    unread_since = now
+                elif now - unread_since >= self.abandon_grace:
+                    raise asyncio.CancelledError(
+                        "stream abandoned: queue unread while draining"
+                    )
+        finally:
+            if not putter.done():
+                putter.cancel()
+                await asyncio.gather(putter, return_exceptions=True)
+
+    async def _run_document(
+        self, submission: Submission, name: str, dequeue
+    ) -> list[CorpusResult]:
+        """One admitted document job: wait for an evaluation slot, run off-loop."""
+        async with self._semaphore:
+            dequeue()
+            self._in_flight += 1
+            started = time.perf_counter()
+            try:
+                # Off-loop: under the processes strategy, submitting can
+                # repartition shards (blocking pool spawn/shutdown and
+                # pickling source specs) — the event loop must not pay
+                # that.  The shared `handoff` dict keeps the executor
+                # future reachable when this task is cancelled *during*
+                # the thread hop: store-then-check on the thread side and
+                # set-then-check on the cancel side guarantee at least one
+                # of them sees the other, so the future is always
+                # cancelled rather than silently evaluated and dropped.
+                handoff = {"future": None, "cancelled": False}
+
+                def _submit_off_loop():
+                    future = self.executor.submit_document(
+                        name, list(submission.queries), engine=submission.engine
+                    )
+                    handoff["future"] = future
+                    if handoff["cancelled"]:
+                        future.cancel()
+                    return future
+
+                try:
+                    future = await asyncio.to_thread(_submit_off_loop)
+                except asyncio.CancelledError:
+                    handoff["cancelled"] = True
+                    if handoff["future"] is not None:
+                        handoff["future"].cancel()
+                    raise
+                results = await asyncio.wrap_future(future)
+            finally:
+                self._in_flight -= 1
+            self._latencies.append(time.perf_counter() - started)
+            self._completed += 1
+            return results
+
+    # ---------------------------------------------------------------- telemetry
+    @property
+    def stats(self) -> ServerStats:
+        """A :class:`ServerStats` snapshot (cheap; safe to poll from the loop)."""
+        window = sorted(self._latencies)
+        p50 = p95 = None
+        if window:
+            p50 = statistics.median(window)
+            p95 = window[min(len(window) - 1, int(0.95 * len(window)))]
+        answer_cache = self.store.answer_cache
+        return ServerStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            rejected=self._rejected,
+            cancelled=self._cancelled,
+            failed=self._failed,
+            in_flight=self._in_flight,
+            queued=self._queued,
+            active_submissions=len(self._tasks),
+            p50_latency=p50,
+            p95_latency=p95,
+            plan_cache=(
+                self.plan_cache.stats.to_dict() if self.plan_cache is not None else None
+            ),
+            answer_cache=(
+                answer_cache.stats.to_dict() if answer_cache is not None else None
+            ),
+        )
+
+

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator, Optional, Union
 
+from repro.pickling import strip_cached_properties
 from repro.trees.axes import Axis
 
 #: Sentinel used in comparison tests for the context item ``.``.
@@ -25,6 +26,9 @@ CONTEXT = "."
 
 class _Expr:
     """Shared helpers for path and test expressions."""
+
+    def __getstate__(self) -> dict:
+        return strip_cached_properties(self)
 
     @cached_property
     def size(self) -> int:

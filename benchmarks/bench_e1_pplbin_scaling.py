@@ -1,23 +1,31 @@
 """E1 — Theorem 2: PPLbin matrix evaluation scales ~|t|^3 and ~|P| (linearly).
 
-Two series are produced:
+Two series are produced, each measured with the dense, bitset and adaptive
+relation kernels (the first points of the per-kernel perf trajectory):
 
 * ``test_tree_size_scaling``: a fixed composition-heavy PPLbin query on
   random trees of growing size.  Theorem 2 predicts cubic growth in |t|
-  (each composition is one Boolean matrix product).
+  (each composition is one Boolean matrix product; the packed kernel divides
+  the constant by the word width).
 * ``test_query_size_scaling``: growing chains of compositions on a fixed
   tree.  Theorem 2 predicts linear growth in |P|.
+
+Set ``REPRO_BENCH_SCALE=smoke`` to shrink the grid for CI.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.trees.generators import random_tree
-from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.evaluator import evaluate_relation
 from repro.pplbin.parser import parse_pplbin
 
 from bench_utils import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
 
 #: A query exercising composition, union, complement and filters.
 QUERY = (
@@ -25,34 +33,41 @@ QUERY = (
     " union except (child::c/descendant::b)"
 )
 
-TREE_SIZES = [50, 100, 200, 400]
-QUERY_LENGTHS = [2, 4, 8, 16]
+KERNELS = ["dense", "bitset", "adaptive"]
+TREE_SIZES = [30, 60] if SMOKE else [50, 100, 200, 400]
+QUERY_LENGTHS = [2, 4] if SMOKE else [2, 4, 8, 16]
 
 
 @pytest.mark.parametrize("size", TREE_SIZES)
-def test_tree_size_scaling(benchmark, size):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_tree_size_scaling(benchmark, kernel, size):
     tree = random_tree(size, seed=size)
     expression = parse_pplbin(QUERY)
 
     def evaluate():
-        return evaluate_matrix(tree, expression, use_cache=False)
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
 
-    matrix = run_once(benchmark, evaluate)
+    evaluate()  # warm the per-tree axis relations
+    relation = run_once(benchmark, evaluate)
     benchmark.extra_info["tree_size"] = size
     benchmark.extra_info["query_size"] = expression.size
-    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["result_pairs"] = relation.nnz()
 
 
 @pytest.mark.parametrize("length", QUERY_LENGTHS)
-def test_query_size_scaling(benchmark, length):
-    tree = random_tree(200, seed=7)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_query_size_scaling(benchmark, kernel, length):
+    tree = random_tree(60 if SMOKE else 200, seed=7)
     text = "/".join(["(child::* union descendant::a)"] * length)
     expression = parse_pplbin(text)
 
     def evaluate():
-        return evaluate_matrix(tree, expression, use_cache=False)
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
 
-    matrix = run_once(benchmark, evaluate)
+    evaluate()  # warm the per-tree axis relations
+    relation = run_once(benchmark, evaluate)
     benchmark.extra_info["tree_size"] = tree.size
     benchmark.extra_info["query_size"] = expression.size
-    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["result_pairs"] = relation.nnz()

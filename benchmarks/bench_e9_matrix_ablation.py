@@ -2,88 +2,141 @@
 
 Section 4 notes that the cubic bound of Theorem 2 comes from Boolean matrix
 multiplication (and could in theory be lowered to O(n^2.376)).  This ablation
-compares, on the same composition-heavy query, three product implementations:
+compares, on the same queries, the relation kernels of
+:mod:`repro.pplbin.bitmatrix`:
 
-* the vectorised numpy Boolean product used by default,
-* a sparse per-row successor-set product (fast while the relations stay
-  sparse, i.e. before any ``except`` densifies them),
-* the naive Python triple loop counted by the paper's complexity analysis.
+* ``dense`` — dense bool matrices, float32 BLAS product,
+* ``bitset`` — rows packed into uint64 words, n^3/64 bit operations,
+* ``sparse`` — per-row successor sets, cost follows the 1-entries touched,
+* ``adaptive`` — per-sub-expression choice by the density cost model,
 
-Two query families are used: a sparse one (axis compositions only) where the
-sparse product is competitive, and a dense one (complement under composition)
-where only the vectorised product remains practical — which is why it is the
-default.  The naive loop is capped at small trees.
+against the two legacy baselines kept for the trajectory:
+
+* ``uint8-dense`` — the seed's uint8-cast numpy product (the "current dense
+  product" the packed kernel is measured against),
+* ``naive-triple-loop`` — the textbook O(n^3) Python loop the paper's
+  complexity analysis counts (capped at small trees).
+
+Two query families: a sparse one (axis compositions only) and a dense one
+(complement under composition, which densifies every operand).  Every
+measurement *asserts* that the evaluated relation matches the dense kernel's
+answer, so a kernel disagreement fails the bench (and CI's smoke run).
+
+Set ``REPRO_BENCH_SCALE=smoke`` to shrink the grid for CI.
 """
 
 from __future__ import annotations
+
+import os
+from functools import lru_cache
 
 import pytest
 
 from repro.trees.generators import random_tree
 from repro.pplbin import matrix as bm
-from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.bitmatrix import KERNEL_NAMES
+from repro.pplbin.evaluator import MatmulKernel, evaluate_relation
 from repro.pplbin.parser import parse_pplbin
 
 from bench_utils import run_once, run_single
 
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
+
 SPARSE_QUERY = "child::*/descendant::a/child::*/ancestor::b"
 DENSE_QUERY = "(except child::a)/(except descendant::b)"
+QUERIES = {"sparse": SPARSE_QUERY, "dense": DENSE_QUERY}
 
-PRODUCTS = {
-    "numpy": bm.bool_matmul,
-    "sparse-sets": bm.bool_matmul_sparse,
-}
-
-NUMPY_SIZES = [50, 100, 200, 400]
-SPARSE_SIZES = [50, 100, 200]
-TRIPLE_LOOP_SIZES = [30, 60]
+KERNEL_SIZES = [30, 60] if SMOKE else [64, 128, 256, 512]
+UINT8_SIZES = [30, 60] if SMOKE else [64, 128, 256, 512]
+TRIPLE_LOOP_SIZES = [20] if SMOKE else [30, 60]
 
 
-@pytest.mark.parametrize("size", NUMPY_SIZES)
+@lru_cache(maxsize=None)
+def _tree(size: int):
+    return random_tree(size, seed=size)
+
+
+@lru_cache(maxsize=None)
+def _reference_pairs(size: int, query_kind: str):
+    """The answer set every kernel must reproduce (dense kernel, uncached)."""
+    expression = parse_pplbin(QUERIES[query_kind])
+    return evaluate_relation(
+        _tree(size), expression, kernel="dense", use_cache=False
+    ).pairs()
+
+
+def _record(benchmark, relation, size, query_kind, kernel):
+    benchmark.extra_info["tree_size"] = size
+    benchmark.extra_info["query_kind"] = query_kind
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["result_pairs"] = relation.nnz()
+    benchmark.extra_info["density"] = relation.density()
+    benchmark.extra_info["representation"] = relation.representation
+    assert relation.pairs() == _reference_pairs(size, query_kind), (
+        f"kernel {kernel} disagrees with the dense reference on "
+        f"size={size} query={query_kind}"
+    )
+
+
+@pytest.mark.parametrize("size", KERNEL_SIZES)
 @pytest.mark.parametrize("query_kind", ["sparse", "dense"])
-def test_numpy_product(benchmark, size, query_kind):
-    tree = random_tree(size, seed=size)
-    expression = parse_pplbin(SPARSE_QUERY if query_kind == "sparse" else DENSE_QUERY)
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_kernel_products(benchmark, kernel, size, query_kind):
+    tree = _tree(size)
+    expression = parse_pplbin(QUERIES[query_kind])
 
     def evaluate():
-        return evaluate_matrix(tree, expression, matmul=bm.bool_matmul, use_cache=False)
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
 
-    matrix = run_once(benchmark, evaluate)
-    benchmark.extra_info["tree_size"] = size
-    benchmark.extra_info["product"] = "numpy"
-    benchmark.extra_info["query_kind"] = query_kind
-    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    if SMOKE:
+        rounds = 1
+    elif kernel == "sparse" and query_kind == "dense":
+        rounds = 2  # documented pathological regime; no need to average it
+    else:
+        rounds = 15 if size <= 128 else 7  # sub-ms configs need more rounds
+    evaluate()  # warm the per-tree axis relations; the products stay measured
+    relation = run_once(benchmark, evaluate, rounds=rounds)
+    _record(benchmark, relation, size, query_kind, kernel)
 
 
-@pytest.mark.parametrize("size", SPARSE_SIZES)
+@pytest.mark.parametrize("size", UINT8_SIZES)
 @pytest.mark.parametrize("query_kind", ["sparse", "dense"])
-def test_sparse_set_product(benchmark, size, query_kind):
-    tree = random_tree(size, seed=size)
-    expression = parse_pplbin(SPARSE_QUERY if query_kind == "sparse" else DENSE_QUERY)
+def test_uint8_dense_baseline(benchmark, size, query_kind):
+    """The seed's uint8-cast dense product — the bar the bitset kernel beats."""
+    tree = _tree(size)
+    expression = parse_pplbin(QUERIES[query_kind])
+    kernel = MatmulKernel(bm.bool_matmul)
 
     def evaluate():
-        return evaluate_matrix(
-            tree, expression, matmul=bm.bool_matmul_sparse, use_cache=False
-        )
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
 
-    matrix = run_single(benchmark, evaluate)
-    benchmark.extra_info["tree_size"] = size
-    benchmark.extra_info["product"] = "sparse-sets"
-    benchmark.extra_info["query_kind"] = query_kind
-    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    evaluate()  # warm the per-tree axis relations; the products stay measured
+    relation = run_once(benchmark, evaluate)
+    _record(benchmark, relation, size, query_kind, "uint8-dense")
 
 
 @pytest.mark.parametrize("size", TRIPLE_LOOP_SIZES)
 def test_triple_loop_product(benchmark, size):
-    tree = random_tree(size, seed=size)
+    tree = _tree(size)
     expression = parse_pplbin(SPARSE_QUERY)
+    kernel = MatmulKernel(bm.bool_matmul_python)
 
     def evaluate():
-        return evaluate_matrix(
-            tree, expression, matmul=bm.bool_matmul_python, use_cache=False
-        )
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
 
-    matrix = run_single(benchmark, evaluate)
-    benchmark.extra_info["tree_size"] = size
-    benchmark.extra_info["product"] = "naive-triple-loop"
-    benchmark.extra_info["result_pairs"] = int(matrix.sum())
+    relation = run_single(benchmark, evaluate)
+    _record(benchmark, relation, size, "sparse", "naive-triple-loop")
+
+
+@pytest.mark.parametrize("size", TRIPLE_LOOP_SIZES)
+def test_legacy_sparse_sets_product(benchmark, size):
+    """The seed's python successor-set matmul (superseded by SparseRelation)."""
+    tree = _tree(size)
+    expression = parse_pplbin(SPARSE_QUERY)
+    kernel = MatmulKernel(bm.bool_matmul_sparse)
+
+    def evaluate():
+        return evaluate_relation(tree, expression, kernel=kernel, use_cache=False)
+
+    relation = run_single(benchmark, evaluate)
+    _record(benchmark, relation, size, "sparse", "legacy-sparse-sets")

@@ -82,14 +82,18 @@ def write_session_results() -> list[Path]:
     return paths
 
 
-def run_once(benchmark, function, *args, **kwargs):
+def run_once(benchmark, function, *args, rounds=3, **kwargs):
     """Benchmark ``function`` with a fixed small number of rounds.
 
     Several of the measured operations are too slow (or too allocation-heavy)
-    for pytest-benchmark's default calibration loop; three single-iteration
-    rounds keep total harness time bounded while still averaging a few runs.
+    for pytest-benchmark's default calibration loop; a few single-iteration
+    rounds keep total harness time bounded while still averaging several
+    runs.  Fast, noise-sensitive measurements (the E9 kernel grid) pass a
+    larger ``rounds``.
     """
-    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+    )
     _register(benchmark)
     return result
 

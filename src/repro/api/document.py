@@ -97,6 +97,12 @@ class Document:
         The key prefix identifying this document inside a shared
         ``answer_cache`` (the store passes a token tied to the registered
         source).  Defaults to the document instance itself.
+    kernel:
+        Relation kernel for the Theorem 2 matrix evaluator — a name
+        (``dense``/``bitset``/``sparse``/``adaptive``), a
+        :class:`repro.pplbin.bitmatrix.Kernel` instance, or ``None`` for
+        the process default (the CLI's ``--kernel`` knob sets that
+        default).
 
     Attributes
     ----------
@@ -115,9 +121,10 @@ class Document:
         cache_answers: bool = False,
         answer_cache: Optional["AnswerCache"] = None,
         cache_owner: Optional[object] = None,
+        kernel=None,
     ) -> None:
         self.tree = tree if isinstance(tree, Tree) else Tree(tree)
-        self.oracle = PPLbinOracle(self.tree)
+        self.oracle = PPLbinOracle(self.tree, kernel=kernel)
         self.answerer = HclAnswerer(self.tree, self.oracle)
         # Compiled queries keyed by (source AST, output variables); the HCL
         # translations are cached separately so that the same expression
@@ -307,6 +314,8 @@ class Document:
             answer_count=len(answers),
             tree_size=self.tree.size,
             engine=engine,
+            kernel=self.oracle.kernel.name,
+            matrix_cache=self.tree.matrix_cache().stats.to_dict(),
         )
 
     # -------------------------------------------------------------------- batch

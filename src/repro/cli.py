@@ -117,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_kernel_option(subparser: argparse.ArgumentParser) -> None:
+        from repro.pplbin.bitmatrix import KERNEL_NAMES
+
+        subparser.add_argument(
+            "--kernel",
+            default=None,
+            choices=KERNEL_NAMES,
+            help="Boolean matrix kernel for the Theorem 2 evaluator "
+            "(default: adaptive, or the REPRO_KERNEL environment variable)",
+        )
+
     answer = subparsers.add_parser(
         "answer", help="answer a query on an XML document with a registered engine"
     )
@@ -168,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeat", type=int, default=3, help="timing rounds per engine (best is kept)"
     )
+    add_kernel_option(bench)
 
     subparsers.add_parser("engines", help="list registered engines and capabilities")
 
@@ -292,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument(
         "--max-queue", type=int, default=256, help="admission bound on pending documents"
     )
+    add_kernel_option(serve_run)
 
     serve_query = serve_sub.add_parser(
         "query", help="submit one query to a running server, streaming results"
@@ -379,6 +392,22 @@ def build_legacy_parser() -> argparse.ArgumentParser:
 
 def _split_vars(text: str) -> list[str]:
     return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def _apply_kernel(name: Optional[str]) -> None:
+    """Select the matrix kernel process-wide (and for spawned workers).
+
+    Exporting ``REPRO_KERNEL`` alongside the in-process default means the
+    corpus executor's shard worker processes evaluate with the same kernel.
+    """
+    if name is None:
+        return
+    import os
+
+    from repro.pplbin import bitmatrix
+
+    bitmatrix.set_default_kernel(name)
+    os.environ[bitmatrix.KERNEL_ENV] = name
 
 
 # ------------------------------------------------------------------ handlers
@@ -623,6 +652,7 @@ def _run_serve_run(args) -> int:
 
     from repro.serve import CorpusServer, PlanCache, ProtocolServer
 
+    _apply_kernel(args.kernel)
     store = _serve_store(args)
     plan_cache = (
         PlanCache(args.plan_cache, max_bytes=args.plan_cache_bytes)
@@ -642,9 +672,12 @@ def _run_serve_run(args) -> int:
         ) as server:
             tcp = await ProtocolServer(server).serve_tcp(args.host, args.port)
             port = tcp.sockets[0].getsockname()[1]
+            from repro.pplbin.bitmatrix import get_default_kernel
+
             print(
                 f"serving {len(store)} documents on {args.host}:{port} "
-                f"(strategy={args.strategy}, engine={args.engine})",
+                f"(strategy={args.strategy}, engine={args.engine}, "
+                f"kernel={get_default_kernel().name})",
                 file=sys.stderr,
                 flush=True,
             )
@@ -814,6 +847,7 @@ def _main_subcommands(arguments: list[str]) -> int:
                 return _run_serve_stats(args)
             return _run_serve_warm(args)
         if args.command == "bench":
+            _apply_kernel(args.kernel)
             return _run_bench(
                 args.xml,
                 args.query,

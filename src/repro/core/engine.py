@@ -37,7 +37,13 @@ from repro.hcl.ast import HclExpr
 
 @dataclass(frozen=True)
 class QueryReport:
-    """Diagnostic information about one answered query (used by the CLI/benches)."""
+    """Diagnostic information about one answered query (used by the CLI/benches).
+
+    ``kernel`` names the relation kernel the document's oracle evaluated
+    with; ``matrix_cache`` is the snapshot of the tree's byte-budgeted
+    matrix-cache counters (hits/misses/evictions/bytes) after answering,
+    mirroring the AnswerCache telemetry of the corpus layer.
+    """
 
     expression_size: int
     hcl_size: int
@@ -46,6 +52,8 @@ class QueryReport:
     answer_count: int
     tree_size: Optional[int] = None
     engine: Optional[str] = None
+    kernel: Optional[str] = None
+    matrix_cache: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Return a plain-dict form (JSON-ready; tuples become lists)."""

@@ -51,6 +51,23 @@ def estimate_answer_bytes(answers: frozenset) -> int:
     return total
 
 
+def estimate_entry_bytes(value) -> int:
+    """Estimate the footprint of any cached value.
+
+    Answer sets go through :func:`estimate_answer_bytes`; everything else —
+    packed matrices (:class:`repro.pplbin.bitmatrix.Relation` objects) and
+    raw numpy arrays, which both expose ``nbytes`` — is charged by the same
+    :func:`repro.trees.tree.estimate_value_bytes` the per-tree matrix cache
+    uses, so a cache holding bitset relations pays n^2/8 bytes rather than a
+    meaningless ``getsizeof`` of the wrapper object.
+    """
+    if isinstance(value, frozenset):
+        return estimate_answer_bytes(value)
+    from repro.trees.tree import estimate_value_bytes
+
+    return estimate_value_bytes(value)
+
+
 @dataclass(frozen=True)
 class AnswerCacheStats:
     """Counters describing a cache's behaviour, plus its current footprint."""
@@ -110,9 +127,9 @@ class AnswerCache:
             self._hits += 1
             return entry[0]
 
-    def put(self, key: tuple, answers: frozenset) -> None:
-        """Insert an answer set, evicting LRU entries to stay in budget."""
-        cost = estimate_answer_bytes(answers)
+    def put(self, key: tuple, answers) -> None:
+        """Insert an entry (answer set or packed matrix), evicting LRU to budget."""
+        cost = estimate_entry_bytes(answers)
         with self._lock:
             if self.max_bytes is not None and cost > self.max_bytes:
                 return

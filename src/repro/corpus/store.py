@@ -391,6 +391,45 @@ class DocumentStore:
         with self._lock:
             return StoreStats(loads=self._loads, hits=self._hits, evictions=self._evictions)
 
+    def matrix_cache_stats(self):
+        """Aggregate matrix-cache counters over the resident documents.
+
+        Sums the per-tree :class:`repro.trees.tree.MatrixCacheStats` of every
+        materialised document — the Theorem 2 relation/row cache telemetry,
+        surfaced next to the AnswerCache stats by ``CorpusReport`` and the
+        serving layer's ``ServerStats``.  Evicted (non-resident) documents
+        contribute nothing: their matrix caches died with the tree.
+        """
+        from repro.trees.tree import MatrixCacheStats
+
+        with self._lock:
+            documents = list(self._resident.values())
+        totals = MatrixCacheStats()
+        budgets: list = []
+        for document in documents:
+            stats = document.tree.matrix_cache().stats
+            budgets.append(stats.max_bytes)
+            totals = MatrixCacheStats(
+                hits=totals.hits + stats.hits,
+                misses=totals.misses + stats.misses,
+                insertions=totals.insertions + stats.insertions,
+                evictions=totals.evictions + stats.evictions,
+                current_bytes=totals.current_bytes + stats.current_bytes,
+                entries=totals.entries + stats.entries,
+            )
+        max_bytes = (
+            sum(budgets) if budgets and all(b is not None for b in budgets) else None
+        )
+        return MatrixCacheStats(
+            hits=totals.hits,
+            misses=totals.misses,
+            insertions=totals.insertions,
+            evictions=totals.evictions,
+            current_bytes=totals.current_bytes,
+            max_bytes=max_bytes,
+            entries=totals.entries,
+        )
+
     @property
     def version(self) -> int:
         """Monotonic counter bumped on every source registration or discard.

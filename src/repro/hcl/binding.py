@@ -24,7 +24,7 @@ from repro.errors import EvaluationError
 from repro.trees.axes import Axis, axis_matrix, label_vector
 from repro.trees.tree import Tree
 from repro.pplbin.ast import BinExpr
-from repro.pplbin.evaluator import evaluate_matrix
+from repro.pplbin.evaluator import PPLbinEvaluator
 
 
 class BinaryQueryOracle(Protocol):
@@ -44,24 +44,44 @@ class BinaryQueryOracle(Protocol):
 
 
 class PPLbinOracle:
-    """Oracle for ``L = PPLbin`` backed by the matrix evaluator of Theorem 2."""
+    """Oracle for ``L = PPLbin`` backed by the matrix evaluator of Theorem 2.
 
-    def __init__(self, tree: Tree) -> None:
+    Runs on the pluggable relation kernel of
+    :mod:`repro.pplbin.bitmatrix` (``kernel`` of ``None`` = the process
+    default).  ``successors`` is demand-driven: a cold query answers a row
+    without materialising the full matrix, and the underlying
+    :class:`repro.pplbin.evaluator.PPLbinEvaluator` materialises the full
+    relation only once a query has been probed often enough to amortise it.
+    """
+
+    def __init__(self, tree: Tree, kernel=None) -> None:
         self.tree = tree
+        self._evaluator = PPLbinEvaluator(tree, kernel=kernel)
+
+    @property
+    def kernel(self):
+        """The relation kernel the oracle evaluates with."""
+        return self._evaluator.kernel
+
+    def relation(self, query: BinExpr | str):
+        """Return (and cache) the relation of ``query`` on the tree."""
+        return self._evaluator.relation(query)
 
     def matrix(self, query: BinExpr | str) -> np.ndarray:
         """Return (and cache) the Boolean matrix of ``query``."""
-        return evaluate_matrix(self.tree, query)
+        return self._evaluator.matrix(query)
 
     def pairs(self, query: BinExpr | str) -> frozenset[tuple[int, int]]:
         """Return ``q_b(t)`` as an explicit set of pairs."""
-        matrix = self.matrix(query)
-        rows, cols = np.nonzero(matrix)
-        return frozenset(zip(rows.tolist(), cols.tolist()))
+        return self._evaluator.pairs(query)
 
     def successors(self, query: BinExpr | str, node: int) -> list[int]:
         """Return all successors of ``node`` under ``query``."""
-        return np.flatnonzero(self.matrix(query)[node]).tolist()
+        return self._evaluator.successors(query, node)
+
+    def has_successor(self, query: BinExpr | str, node: int) -> bool:
+        """Return True when ``node`` has at least one successor."""
+        return self._evaluator.has_successor(query, node)
 
 
 class AxisOracle:

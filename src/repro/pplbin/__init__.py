@@ -8,7 +8,10 @@ Modules:
 
 * :mod:`~repro.pplbin.ast` — the Fig. 3 abstract syntax.
 * :mod:`~repro.pplbin.parser` — concrete syntax parser.
-* :mod:`~repro.pplbin.matrix` — Boolean matrix algebra over node pairs.
+* :mod:`~repro.pplbin.matrix` — dense Boolean matrix algebra over node pairs
+  (the legacy/ablation products).
+* :mod:`~repro.pplbin.bitmatrix` — the packed-bitset / sparse / adaptive
+  relation kernel behind the evaluator.
 * :mod:`~repro.pplbin.evaluator` — the O(|P| |t|^3) evaluator of Theorem 2.
 * :mod:`~repro.pplbin.translate` — Fig. 4: variable-free Core XPath 2.0 to
   PPLbin, and the inverse embedding used as a correctness oracle.
@@ -31,10 +34,30 @@ from repro.pplbin.ast import (
     nodes_query,
 )
 from repro.pplbin.parser import parse_pplbin
-from repro.pplbin.evaluator import PPLbinEvaluator, evaluate_matrix, evaluate_pairs
+from repro.pplbin.bitmatrix import (
+    KERNEL_NAMES,
+    Relation,
+    get_default_kernel,
+    get_kernel,
+    set_default_kernel,
+)
+from repro.pplbin.evaluator import (
+    PPLbinEvaluator,
+    evaluate_matrix,
+    evaluate_pairs,
+    evaluate_relation,
+    evaluate_successors,
+)
 from repro.pplbin.translate import from_core_xpath, to_core_xpath
 
 __all__ = [
+    "KERNEL_NAMES",
+    "Relation",
+    "get_default_kernel",
+    "get_kernel",
+    "set_default_kernel",
+    "evaluate_relation",
+    "evaluate_successors",
     "BinExpr",
     "BStep",
     "SelfStep",

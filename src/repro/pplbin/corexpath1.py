@@ -224,14 +224,27 @@ def monadic_answer(tree: Tree, expression: BinExpr | str, start: int | None = No
     return successor_set(tree, expression, [origin])
 
 
+def binary_relation(tree: Tree, expression: BinExpr | str):
+    """The binary query as a :class:`repro.pplbin.bitmatrix.SparseRelation`.
+
+    Runs the monadic evaluator from every node (quadratic in |t|, the
+    Section 4 bound) and assembles the rows into the sparse successor-set
+    representation — the set-based baseline thereby produces the same
+    normalised relation values as the matrix kernels, so E8/E9 compare and
+    cross-check them directly.
+    """
+    from repro.pplbin import bitmatrix
+
+    parsed = parse_pplbin(expression) if isinstance(expression, str) else expression
+    return bitmatrix.relation_from_rows(
+        tree.size,
+        (_successors(tree, parsed, frozenset([node])) for node in tree.nodes()),
+    )
+
+
 def binary_answer(tree: Tree, expression: BinExpr | str) -> frozenset[tuple[int, int]]:
     """Answer the binary query by running the monadic evaluator from every node.
 
     Quadratic in |t| (the bound quoted in Section 4 for Core XPath 1.0).
     """
-    parsed = parse_pplbin(expression) if isinstance(expression, str) else expression
-    pairs = set()
-    for node in tree.nodes():
-        for target in _successors(tree, parsed, frozenset([node])):
-            pairs.add((node, target))
-    return frozenset(pairs)
+    return binary_relation(tree, expression).pairs()

@@ -1,8 +1,7 @@
 """The PPLbin query-answering algorithm of Theorem 2.
 
 A PPLbin expression ``P`` over a tree ``t`` is evaluated to the Boolean
-matrix ``M^t_P`` of its binary query by structural recursion, using the
-matrix operations of :mod:`repro.pplbin.matrix`:
+matrix ``M^t_P`` of its binary query by structural recursion:
 
     M_{P1/P2}       = M_{P1} . M_{P2}
     M_{P1 union P2} = M_{P1} + M_{P2}
@@ -10,20 +9,34 @@ matrix operations of :mod:`repro.pplbin.matrix`:
     M_{[P]}         = [M_P]
 
 giving the O(|P| |t|^3) bound of Theorem 2 (the cubic factor being the
-Boolean matrix product).  Matrices for sub-expressions are cached per tree so
-that a query containing the same sub-expression several times — which the
-translations of Fig. 4 and Fig. 7 routinely produce — pays for it only once.
+Boolean matrix product).  The matrix algebra runs on the pluggable
+representations of :mod:`repro.pplbin.bitmatrix` — dense bool, packed
+uint64 bitset, sparse successor sets, or the adaptive kernel that picks per
+sub-expression — and relations for sub-expressions are cached per tree (in
+the byte-budgeted matrix cache) so a query containing the same
+sub-expression several times pays for it only once.
+
+Two access paths are provided:
+
+* :func:`evaluate_relation` / :func:`evaluate_matrix` — the full ``|t| x
+  |t|`` relation of Theorem 2.
+* :func:`evaluate_successors` — the *demand-driven row* evaluation used by
+  Proposition 10's oracle: the successor set ``S_{u,P}`` of one node is
+  computed by structural recursion on rows (single-row products via
+  :func:`repro.pplbin.bitmatrix.union_rows`), touching only the rows the
+  recursion reaches and never materialising a full matrix.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.errors import EvaluationError
-from repro.trees.axes import axis_matrix, label_vector
+from repro.trees.axes import axis_relation, iter_axis, label_vector
 from repro.trees.tree import Tree
+from repro.pplbin import bitmatrix as bx
 from repro.pplbin import matrix as bm
 from repro.pplbin.ast import (
     BCompose,
@@ -38,14 +51,59 @@ from repro.pplbin.parser import parse_pplbin
 
 MatmulFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
+#: After this many demand-driven row queries on one expression the evaluator
+#: materialises the full relation: answering for a large fraction of the
+#: nodes row-by-row costs more than one vectorised evaluation (this is the
+#: amortisation Proposition 10's precompilation assumes).
+ROW_MATERIALIZE_THRESHOLD = 16
 
-def evaluate_matrix(
+#: Row probes before :meth:`PPLbinEvaluator.nonempty` falls back to the full
+#: relation (an empty query would otherwise probe every node the slow way).
+_NONEMPTY_PROBES = 32
+
+
+class MatmulKernel(bx.DenseKernel):
+    """A dense kernel whose composition is a caller-supplied matmul function.
+
+    Wraps the legacy ``matmul=`` argument of :func:`evaluate_matrix` (the E9
+    ablation's pure-Python and successor-set products).  The cache token is
+    the function object itself, so two different custom products can never
+    share cache entries — the seed keyed the cache on ``matmul is
+    bool_matmul``, which collapsed *all* non-default products onto one key.
+    """
+
+    def __init__(self, matmul: MatmulFn) -> None:
+        self.matmul = matmul
+        self.name = f"matmul:{getattr(matmul, '__name__', repr(matmul))}"
+
+    @property
+    def cache_token(self):
+        return self.matmul
+
+    def compose(self, left: bx.Relation, right: bx.Relation) -> bx.Relation:
+        bx._count("full_compose")
+        product = self.matmul(left.to_dense(), right.to_dense())
+        return bx.DenseRelation(left.size, np.asarray(product, dtype=bool))
+
+
+def _resolve_kernel(
+    matmul: Optional[MatmulFn], kernel: Union[str, bx.Kernel, None]
+) -> bx.Kernel:
+    """Map the legacy ``matmul`` argument and the ``kernel`` knob to a kernel."""
+    if kernel is not None:
+        return bx.get_kernel(kernel)
+    if matmul is not None and matmul is not bm.bool_matmul:
+        return MatmulKernel(matmul)
+    return bx.get_default_kernel()
+
+
+def evaluate_relation(
     tree: Tree,
     expression: BinExpr | str,
-    matmul: MatmulFn = bm.bool_matmul,
+    kernel: Union[str, bx.Kernel, None] = None,
     use_cache: bool = True,
-) -> np.ndarray:
-    """Return the Boolean matrix ``M^t_P`` of a PPLbin expression.
+) -> bx.Relation:
+    """Return the relation ``M^t_P`` of a PPLbin expression.
 
     Parameters
     ----------
@@ -53,52 +111,162 @@ def evaluate_matrix(
         The document.
     expression:
         A PPLbin AST or concrete syntax.
-    matmul:
-        The Boolean matrix product to use; the default is the vectorised
-        numpy product, the pure-Python product is available for ablations.
+    kernel:
+        Kernel name (``dense``/``bitset``/``sparse``/``adaptive``), a
+        :class:`repro.pplbin.bitmatrix.Kernel` instance, or ``None`` for the
+        process default.
     use_cache:
-        Cache sub-expression matrices on the tree (recommended; disable only
-        for benchmarking cold evaluation).
+        Cache sub-expression relations on the tree (recommended; disable
+        only for benchmarking cold evaluation).
     """
     parsed = parse_pplbin(expression) if isinstance(expression, str) else expression
+    resolved = bx.get_kernel(kernel)
     cache = tree.matrix_cache() if use_cache else {}
+    token = resolved.cache_token
 
-    def recurse(node: BinExpr) -> np.ndarray:
-        key = ("pplbin", node, matmul is bm.bool_matmul)
-        if use_cache and key in cache:
-            return cache[key]
-        result = _evaluate(tree, node, recurse, matmul)
-        if use_cache:
-            result.setflags(write=False)
-            cache[key] = result
+    def recurse(node: BinExpr) -> bx.Relation:
+        key = ("pplbin-rel", node, token)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = _evaluate(tree, node, recurse, resolved)
+        cache[key] = result
         return result
 
     return recurse(parsed)
 
 
-def _evaluate(
-    tree: Tree, node: BinExpr, recurse: Callable[[BinExpr], np.ndarray], matmul: MatmulFn
+def evaluate_matrix(
+    tree: Tree,
+    expression: BinExpr | str,
+    matmul: MatmulFn = bm.bool_matmul,
+    use_cache: bool = True,
+    kernel: Union[str, bx.Kernel, None] = None,
 ) -> np.ndarray:
+    """Return the Boolean matrix ``M^t_P`` of a PPLbin expression.
+
+    The dense entry point kept for compatibility (and the ablations): the
+    evaluation itself runs on :func:`evaluate_relation` with the kernel
+    implied by the arguments — ``kernel`` when given, a
+    :class:`MatmulKernel` when a non-default ``matmul`` is passed, the
+    process default otherwise.  The returned matrix is read-only and cached,
+    so repeated calls return the same array object.
+    """
+    resolved = _resolve_kernel(matmul, kernel)
+    return evaluate_relation(tree, expression, kernel=resolved, use_cache=use_cache).to_dense()
+
+
+def _evaluate(
+    tree: Tree,
+    node: BinExpr,
+    recurse: Callable[[BinExpr], bx.Relation],
+    kernel: bx.Kernel,
+) -> bx.Relation:
     if isinstance(node, BStep):
-        axis = axis_matrix(tree, node.axis)
-        labels = label_vector(tree, node.nametest)
-        return axis & labels[np.newaxis, :]
+        relation = axis_relation(tree, node.axis, kernel)
+        if node.nametest is None:
+            return relation
+        # The mask keeps the axis relation's representation; re-coerce so the
+        # adaptive kernel can rebalance a now-much-sparser step relation.
+        return kernel.coerce(
+            kernel.mask_columns(relation, label_vector(tree, node.nametest))
+        )
     if isinstance(node, SelfStep):
-        return bm.identity_matrix(tree.size)
+        return kernel.identity(tree.size)
     if isinstance(node, BCompose):
-        return matmul(recurse(node.left), recurse(node.right))
+        return kernel.compose(recurse(node.left), recurse(node.right))
     if isinstance(node, BUnion):
-        return bm.bool_union(recurse(node.left), recurse(node.right))
+        return kernel.union(recurse(node.left), recurse(node.right))
     if isinstance(node, BExcept):
-        return bm.bool_complement(recurse(node.operand))
+        return kernel.complement(recurse(node.operand))
     if isinstance(node, BFilter):
-        return bm.filter_diagonal(recurse(node.operand))
+        return kernel.filter_diagonal(recurse(node.operand))
     raise EvaluationError(f"unknown PPLbin expression {node!r}")
+
+
+# ------------------------------------------------------- demand-driven rows
+def evaluate_successors(
+    tree: Tree,
+    expression: BinExpr | str,
+    node: int,
+    kernel: Union[str, bx.Kernel, None] = None,
+    use_cache: bool = True,
+) -> np.ndarray:
+    """Return the sorted successor ids of ``node`` under ``expression``.
+
+    Structural recursion on *rows*: a step reads the axis successors of one
+    node straight off the tree, a composition unions the right operand's
+    rows over the left row's targets, ``except`` complements within the node
+    universe, ``[P]`` probes one row for emptiness.  No full ``|t| x |t|``
+    relation is ever materialised (cached full relations are reused when a
+    previous full evaluation left them behind); computed rows are memoised
+    in the tree's byte-budgeted matrix cache.
+    """
+    parsed = parse_pplbin(expression) if isinstance(expression, str) else expression
+    resolved = bx.get_kernel(kernel)
+    cache = tree.matrix_cache() if use_cache else {}
+    # Speculative full-relation probes are expected to miss on the demand-
+    # driven path; keep them out of the hit/miss telemetry.
+    peek = getattr(cache, "peek", cache.get)
+    token = resolved.cache_token
+    universe = np.arange(tree.size, dtype=np.int64)
+
+    def row(expr: BinExpr, source: int) -> np.ndarray:
+        full = peek(("pplbin-rel", expr, token))
+        if full is not None:
+            return full.row_indices(source)
+        key = ("pplbin-row", expr, token, source)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = _evaluate_row(expr, source)
+        cache[key] = result
+        return result
+
+    def _evaluate_row(expr: BinExpr, source: int) -> np.ndarray:
+        if isinstance(expr, BStep):
+            if expr.nametest is None:
+                targets = list(iter_axis(tree, expr.axis, source))
+            else:
+                labels = tree.labels
+                targets = [
+                    target
+                    for target in iter_axis(tree, expr.axis, source)
+                    if labels[target] == expr.nametest
+                ]
+            if not targets:
+                return bx._EMPTY_ROW
+            return np.array(sorted(targets), dtype=np.int64)
+        if isinstance(expr, SelfStep):
+            return universe[source : source + 1]
+        if isinstance(expr, BCompose):
+            sources = row(expr.left, source)
+            full = peek(("pplbin-rel", expr.right, token))
+            if full is not None:
+                return bx.union_rows(full, sources)
+            parts = [row(expr.right, mid) for mid in sources.tolist()]
+            parts = [part for part in parts if part.size]
+            if not parts:
+                return bx._EMPTY_ROW
+            if len(parts) == 1:
+                return parts[0]
+            return np.unique(np.concatenate(parts))
+        if isinstance(expr, BUnion):
+            return np.union1d(row(expr.left, source), row(expr.right, source))
+        if isinstance(expr, BExcept):
+            return np.setdiff1d(universe, row(expr.operand, source), assume_unique=True)
+        if isinstance(expr, BFilter):
+            if row(expr.operand, source).size:
+                return universe[source : source + 1]
+            return bx._EMPTY_ROW
+        raise EvaluationError(f"unknown PPLbin expression {expr!r}")
+
+    return row(parsed, node)
 
 
 def evaluate_pairs(tree: Tree, expression: BinExpr | str) -> frozenset[tuple[int, int]]:
     """Return the binary query ``q^bin_P(t)`` as an explicit set of node pairs."""
-    return bm.pairs_from_matrix(evaluate_matrix(tree, expression))
+    return evaluate_relation(tree, expression).pairs()
 
 
 def successors(tree: Tree, expression: BinExpr | str, node: int) -> list[int]:
@@ -106,10 +274,10 @@ def successors(tree: Tree, expression: BinExpr | str, node: int) -> list[int]:
 
     This is the per-node access path used by the HCL answering algorithm
     (the data structure of Proposition 10 that returns ``S_{u,b}`` in time
-    proportional to its size).
+    proportional to its size); computed demand-driven, without materialising
+    the full matrix.
     """
-    matrix = evaluate_matrix(tree, expression)
-    return np.flatnonzero(matrix[node]).tolist()
+    return evaluate_successors(tree, expression, node).tolist()
 
 
 class PPLbinEvaluator:
@@ -117,32 +285,80 @@ class PPLbinEvaluator:
 
     This class is also the ``L`` oracle handed to the hybrid composition
     language: it exposes exactly the two operations Proposition 10 requires —
-    full evaluation of a leaf expression (``matrix``/``pairs``) and
-    constant-time-per-successor access (``successors``).
+    full evaluation of a leaf expression (``matrix``/``relation``/``pairs``)
+    and constant-time-per-successor access (``successors``).  Row queries
+    start demand-driven; once an expression has been probed more than
+    :data:`ROW_MATERIALIZE_THRESHOLD` times the full relation is
+    materialised and subsequent rows are served from it (the precompilation
+    trade-off of Proposition 10).
     """
 
     name = "pplbin-matrix"
 
-    def __init__(self, tree: Tree, matmul: MatmulFn = bm.bool_matmul) -> None:
+    def __init__(
+        self,
+        tree: Tree,
+        matmul: Optional[MatmulFn] = None,
+        kernel: Union[str, bx.Kernel, None] = None,
+    ) -> None:
         self.tree = tree
-        self._matmul = matmul
+        self.kernel = _resolve_kernel(matmul, kernel)
+        self._row_queries: dict[BinExpr, int] = {}
+
+    def _parse(self, expression: BinExpr | str) -> BinExpr:
+        return parse_pplbin(expression) if isinstance(expression, str) else expression
+
+    def relation(self, expression: BinExpr | str) -> bx.Relation:
+        """Return (and cache) the relation of ``expression`` on the bound tree."""
+        return evaluate_relation(self.tree, expression, kernel=self.kernel)
 
     def matrix(self, expression: BinExpr | str) -> np.ndarray:
         """Return the Boolean matrix of ``expression`` on the bound tree."""
-        return evaluate_matrix(self.tree, expression, matmul=self._matmul)
+        return self.relation(expression).to_dense()
 
     def pairs(self, expression: BinExpr | str) -> frozenset[tuple[int, int]]:
         """Return the explicit pair set of ``expression`` on the bound tree."""
-        return bm.pairs_from_matrix(self.matrix(expression))
+        return self.relation(expression).pairs()
+
+    def _cached_relation(self, parsed: BinExpr) -> Optional[bx.Relation]:
+        # A speculative probe (absence is the normal demand-driven case):
+        # keep it out of the cache's hit/miss telemetry.
+        return self.tree.matrix_cache().peek(
+            ("pplbin-rel", parsed, self.kernel.cache_token)
+        )
+
+    def _row(self, parsed: BinExpr, node: int) -> np.ndarray:
+        relation = self._cached_relation(parsed)
+        if relation is not None:
+            return relation.row_indices(node)
+        queries = self._row_queries.get(parsed, 0) + 1
+        self._row_queries[parsed] = queries
+        if queries > ROW_MATERIALIZE_THRESHOLD:
+            return self.relation(parsed).row_indices(node)
+        return evaluate_successors(self.tree, parsed, node, kernel=self.kernel)
 
     def successors(self, expression: BinExpr | str, node: int) -> list[int]:
         """Return all ``v`` with ``(node, v)`` in the query of ``expression``."""
-        return np.flatnonzero(self.matrix(expression)[node]).tolist()
+        return self._row(self._parse(expression), node).tolist()
 
     def has_successor(self, expression: BinExpr | str, node: int) -> bool:
         """Return True when ``node`` has at least one successor."""
-        return bool(self.matrix(expression)[node].any())
+        return bool(self._row(self._parse(expression), node).size)
 
     def nonempty(self, expression: BinExpr | str) -> bool:
-        """Return True when the binary query is non-empty on the bound tree."""
-        return bool(self.matrix(expression).any())
+        """Return True when the binary query is non-empty on the bound tree.
+
+        Probes rows demand-driven with early exit; an expression that looks
+        empty after :data:`_NONEMPTY_PROBES` probes is settled with one full
+        evaluation instead of probing every node the slow way.
+        """
+        parsed = self._parse(expression)
+        relation = self._cached_relation(parsed)
+        if relation is not None:
+            return relation.any()
+        for node in range(min(self.tree.size, _NONEMPTY_PROBES)):
+            if evaluate_successors(self.tree, parsed, node, kernel=self.kernel).size:
+                return True
+        if self.tree.size <= _NONEMPTY_PROBES:
+            return False
+        return self.relation(parsed).any()

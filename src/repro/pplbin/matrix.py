@@ -37,9 +37,24 @@ def full_matrix(size: int) -> BoolMatrix:
 
 
 def bool_matmul(left: BoolMatrix, right: BoolMatrix) -> BoolMatrix:
-    """Boolean matrix product using numpy (O(n^3) bit operations, vectorised)."""
-    product = left.astype(np.uint8) @ right.astype(np.uint8)
-    return product.astype(bool)
+    """Boolean matrix product using numpy (O(n^3) bit operations, vectorised).
+
+    The inner dimension is processed in chunks of at most 255: a uint8
+    matmul accumulates modulo 256, so on a relation with ≥ 256 common
+    successors an unchunked product silently wraps a positive count to zero
+    (an all-ones 256x256 product came back all-False).  ORing the per-chunk
+    "any hit" results is exact, since each chunk's counts stay below 256.
+    """
+    size_mid = left.shape[1]
+    a = left.astype(np.uint8)
+    b = right.astype(np.uint8)
+    if size_mid < 256:
+        return (a @ b).astype(bool)
+    result = np.zeros((left.shape[0], right.shape[1]), dtype=bool)
+    for start in range(0, size_mid, 255):
+        stop = start + 255
+        result |= (a[:, start:stop] @ b[start:stop, :]).astype(bool)
+    return result
 
 
 def bool_matmul_sparse(left: BoolMatrix, right: BoolMatrix) -> BoolMatrix:
@@ -51,14 +66,24 @@ def bool_matmul_sparse(left: BoolMatrix, right: BoolMatrix) -> BoolMatrix:
     Python-level constants.  Used by the E9 ablation as the middle ground
     between the numpy product and the naive triple loop.
     """
-    size_left, size_mid = left.shape
-    _, size_right = right.shape
+    size_left, size_right = left.shape[0], right.shape[1]
     result = np.zeros((size_left, size_right), dtype=bool)
-    right_rows = [set(np.flatnonzero(right[k]).tolist()) for k in range(size_mid)]
+    if not left.any() or not right.any():
+        # Early exit: a zero operand makes the product zero without touching
+        # a single successor set.
+        return result
+    # Successor sets of `right` are built lazily, only for the columns some
+    # left row actually reaches — the seed precomputed all |t| of them even
+    # when `left` was empty or nearly so.
+    right_rows: dict[int, set[int]] = {}
     for i in range(size_left):
         row_targets: set[int] = set()
         for k in np.flatnonzero(left[i]).tolist():
-            row_targets |= right_rows[k]
+            targets = right_rows.get(k)
+            if targets is None:
+                targets = set(np.flatnonzero(right[k]).tolist())
+                right_rows[k] = targets
+            row_targets |= targets
         for j in row_targets:
             result[i, j] = True
     return result

@@ -42,6 +42,7 @@ from repro.api.query import Query, compile_query
 from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.executor import CorpusExecutor, CorpusResult
 from repro.corpus.store import CorpusError, DocumentStore
+from repro.pplbin import bitmatrix as _bitmatrix
 from repro.serve.plancache import ANY_ENGINE, PlanCache
 
 
@@ -86,6 +87,8 @@ class ServerStats:
     p95_latency: Optional[float] = None
     plan_cache: Optional[dict] = None
     answer_cache: Optional[dict] = None
+    matrix_cache: Optional[dict] = None
+    kernel: Optional[str] = None
 
     def to_dict(self) -> dict:
         return {
@@ -101,6 +104,8 @@ class ServerStats:
             "p95_latency": self.p95_latency,
             "plan_cache": self.plan_cache,
             "answer_cache": self.answer_cache,
+            "matrix_cache": self.matrix_cache,
+            "kernel": self.kernel,
         }
 
 
@@ -581,6 +586,8 @@ class CorpusServer:
             answer_cache=(
                 answer_cache.stats.to_dict() if answer_cache is not None else None
             ),
+            matrix_cache=self.store.matrix_cache_stats().to_dict(),
+            kernel=_bitmatrix.get_default_kernel().name,
         )
 
 

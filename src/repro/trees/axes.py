@@ -188,25 +188,40 @@ def axis_pairs(tree: Tree, axis: Axis) -> frozenset[tuple[int, int]]:
     return frozenset(pairs)
 
 
+def axis_relation(tree: Tree, axis: Axis, kernel=None):
+    """Return the axis relation as a :class:`repro.pplbin.bitmatrix.Relation`.
+
+    The relation is built *directly* in the kernel's representation from the
+    per-node successor lists — packed word rows for the bitset kernel,
+    successor arrays for the sparse one — without a dense intermediate, and
+    cached on the tree per ``(axis, kernel)``.
+
+    ``kernel`` is a kernel name, instance or ``None`` (the process default);
+    see :mod:`repro.pplbin.bitmatrix`.
+    """
+    from repro.pplbin import bitmatrix
+
+    resolved = bitmatrix.get_kernel(kernel)
+    cache = tree.matrix_cache()
+    key = ("axis-rel", axis, resolved.cache_token)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    relation = resolved.from_rows(
+        tree.size, (list(iter_axis(tree, axis, node)) for node in tree.nodes())
+    )
+    cache[key] = relation
+    return relation
+
+
 def axis_matrix(tree: Tree, axis: Axis) -> np.ndarray:
     """Return the axis relation as a Boolean matrix ``M[u, v]``.
 
     ``M[u, v]`` is True iff ``v`` is reachable from ``u`` along ``axis``.
-    Matrices are cached on the tree, so repeated calls are cheap.  The array
-    is returned read-only; callers must copy before mutating.
+    Backed by :func:`axis_relation` with the dense kernel, so matrices stay
+    cached on the tree and repeated calls return the same read-only array.
     """
-    cache = tree.matrix_cache()
-    key = ("axis", axis)
-    if key in cache:
-        return cache[key]
-    size = tree.size
-    matrix = np.zeros((size, size), dtype=bool)
-    for node in tree.nodes():
-        for target in iter_axis(tree, axis, node):
-            matrix[node, target] = True
-    matrix.setflags(write=False)
-    cache[key] = matrix
-    return matrix
+    return axis_relation(tree, axis, "dense").to_dense()
 
 
 def label_vector(tree: Tree, label: str | None) -> np.ndarray:
@@ -217,8 +232,9 @@ def label_vector(tree: Tree, label: str | None) -> np.ndarray:
     """
     cache = tree.matrix_cache()
     key = ("label", label)
-    if key in cache:
-        return cache[key]
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     if label is None:
         vector = np.ones(tree.size, dtype=bool)
     else:

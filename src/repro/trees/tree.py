@@ -20,9 +20,183 @@ Python's recursion limit.
 
 from __future__ import annotations
 
+import os
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import TreeError
+
+#: Default byte budget of one tree's matrix cache (axis relations, PPLbin
+#: sub-expression relations and demand-driven rows).  Override per tree via
+#: the ``matrix_cache_bytes`` constructor argument or process-wide with the
+#: ``REPRO_MATRIX_CACHE_BYTES`` environment variable (empty string or ``0``
+#: = unbounded, matching the seed's behaviour).
+DEFAULT_MATRIX_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Sentinel distinguishing "use the default budget" from an explicit None
+#: (= unbounded) in the :class:`Tree` constructor.
+_UNSET = object()
+
+
+def _default_cache_budget() -> Optional[int]:
+    raw = os.environ.get("REPRO_MATRIX_CACHE_BYTES")
+    if raw is None:
+        return DEFAULT_MATRIX_CACHE_BYTES
+    raw = raw.strip()
+    if not raw or raw == "0":
+        return None
+    return int(raw)
+
+
+def estimate_value_bytes(value) -> int:
+    """Estimated resident bytes of one cached value.
+
+    Numpy arrays and :class:`repro.pplbin.bitmatrix.Relation` objects both
+    expose ``nbytes``; anything else (label tuples, small lists) falls back
+    to ``sys.getsizeof``.  Shared by the per-tree :class:`MatrixCache` and
+    the corpus :class:`repro.corpus.cache.AnswerCache`, so the two byte
+    budgets can never diverge in how they charge the same objects.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes) + 64
+    return sys.getsizeof(value)
+
+
+@dataclass(frozen=True)
+class MatrixCacheStats:
+    """Counters and footprint of one tree's matrix cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+    max_bytes: Optional[int] = None
+    entries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "entries": self.entries,
+        }
+
+
+class MatrixCache:
+    """A byte-budgeted LRU cache for per-tree matrices, relations and rows.
+
+    Replaces the seed's unbounded plain dict (``tree.py``'s old
+    ``matrix_cache``): every axis matrix, PPLbin sub-expression relation and
+    demand-driven row lands here, accounted by its estimated footprint and
+    evicted least-recently-used when the budget is exceeded.  Evicted
+    entries are recomputable, so eviction only costs time.  The dict-style
+    interface (``get`` / ``[] =`` / ``in``) is what the evaluators use; an
+    entry larger than the whole budget is not stored at all.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise TreeError("matrix cache budget must be non-negative (or None)")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[object, tuple[object, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def get(self, key, default=None):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def peek(self, key, default=None):
+        """Look up without touching the hit/miss counters or LRU order.
+
+        For *speculative* probes — "is the full relation already there,
+        before I take the row path?" — where an absence is the expected
+        case, not a cache failure, and counting it would skew the hit-rate
+        telemetry surfaced in ``QueryReport``/``ServerStats``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            return default if entry is None else entry[0]
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __getitem__(self, key):
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        cost = estimate_value_bytes(value)
+        with self._lock:
+            if self.max_bytes is not None and cost > self.max_bytes:
+                return
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            self._entries[key] = (value, cost)
+            self._bytes += cost
+            self._insertions += 1
+            while self.max_bytes is not None and self._bytes > self.max_bytes:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self._bytes -= evicted_cost
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def stats(self) -> MatrixCacheStats:
+        with self._lock:
+            return MatrixCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+                entries=len(self._entries),
+            )
+
+    def __getstate__(self) -> dict:
+        # Locks do not pickle; a cache is recomputable state, so ship empty.
+        return {"max_bytes": self.max_bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state.get("max_bytes"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatrixCache(entries={len(self)}, bytes={self._bytes}, "
+            f"max_bytes={self.max_bytes})"
+        )
 
 
 class Node:
@@ -168,9 +342,11 @@ class Tree:
         "_matrix_cache",
     )
 
-    def __init__(self, root: Node) -> None:
+    def __init__(self, root: Node, matrix_cache_bytes=_UNSET) -> None:
         if not isinstance(root, Node):
             raise TreeError(f"Tree root must be a Node, got {type(root).__name__}")
+        if matrix_cache_bytes is _UNSET:
+            matrix_cache_bytes = _default_cache_budget()
         labels: list[str] = []
         parent: list[Optional[int]] = []
         children_of: list[list[int]] = []
@@ -232,7 +408,7 @@ class Tree:
         for uid, label in enumerate(labels):
             label_index.setdefault(label, []).append(uid)
         self._label_index = {lab: tuple(ids) for lab, ids in label_index.items()}
-        self._matrix_cache: dict = {}
+        self._matrix_cache = MatrixCache(matrix_cache_bytes)
 
     # ------------------------------------------------------------------ basic
     def nodes(self) -> range:
@@ -365,8 +541,8 @@ class Tree:
         return self.to_node().to_tuple()
 
     # --------------------------------------------------------------- helpers
-    def matrix_cache(self) -> dict:
-        """Return the per-tree cache used for axis/expression matrices."""
+    def matrix_cache(self) -> MatrixCache:
+        """Return the per-tree byte-budgeted cache for axis/expression relations."""
         return self._matrix_cache
 
     def _check(self, node: int) -> None:

@@ -45,7 +45,7 @@ import time
 import pytest
 
 from repro.corpus import CorpusExecutor, DocumentStore
-from repro.serve import CorpusServer, PlanCache
+from repro.session import ServingPolicy, Session
 from repro.workloads import generate_corpus, write_corpus
 
 from bench_utils import run_single, write_bench_json
@@ -112,34 +112,38 @@ def _digest(results: dict) -> str:
 async def _serve_startup(directory, cache_dir, queries, engine) -> dict:
     """One server start: build everything, submit the workload, stream.
 
-    Returns first-answer and total wall seconds measured from the very top
-    (store + cache + server construction included — this *is* the startup),
-    the result map and the plan-cache counters.
+    Driven end-to-end through a :class:`repro.session.Session` (PR 5): the
+    session owns the store, the plan cache and the async server, so the
+    measured path is the one production callers use.  Returns first-answer
+    and total wall seconds measured from the very top (session construction
+    included — this *is* the startup), the result map and the plan-cache
+    counters.
     """
     started = time.perf_counter()
-    store = DocumentStore.from_directory(directory)
-    cache = PlanCache(cache_dir)
-    docs = sorted(store.names(), key=lambda name: store.get(name).tree.size)
     first = None
     results = {}
-    async with CorpusServer(
-        store,
-        plan_cache=cache,
-        strategy="threads",
+    async with Session(
         engine=engine,
-        max_concurrent=1,
-    ) as server:
-        submission = await server.submit(queries, docs)
+        strategy="threads",
+        plan_cache=cache_dir,
+        serving=ServingPolicy(max_concurrent=1),
+    ) as session:
+        session.add_directory(directory)
+        docs = sorted(
+            session.store.names(), key=lambda name: session.document(name).tree.size
+        )
+        submission = await session.astream(queries, docs)
         async for result in submission:
             if first is None:
                 first = time.perf_counter() - started
             results[(result.doc_name, result.query)] = result.answers
+        plan_stats = session.plan_cache.stats.to_dict()
     total = time.perf_counter() - started
     return {
         "first_answer_seconds": first,
         "total_seconds": total,
         "results": results,
-        "plan_cache": cache.stats.to_dict(),
+        "plan_cache": plan_stats,
     }
 
 
@@ -193,26 +197,23 @@ def run_startup_pair(directory, queries, engine, repeats: int = 5) -> dict:
 # --------------------------------------------------------------- throughput
 async def _serve_throughput(directory, cache_dir, queries, concurrency) -> dict:
     """Concurrent clients: one submission per query, drained concurrently."""
-    store = DocumentStore.from_directory(directory)
-    cache = PlanCache(cache_dir)
     results = {}
-    async with CorpusServer(
-        store,
-        plan_cache=cache,
+    async with Session(
         strategy="threads",
-        max_concurrent=concurrency,
-        max_queue=4096,
-    ) as server:
+        plan_cache=cache_dir,
+        serving=ServingPolicy(max_concurrent=concurrency, max_queue=4096),
+    ) as session:
+        session.add_directory(directory)
 
         async def one_client(item):
-            submission = await server.submit([item], ordered=False)
+            submission = await session.astream([item], ordered=False)
             async for result in submission:
                 results[(result.doc_name, result.query)] = result.answers
 
         started = time.perf_counter()
         await asyncio.gather(*(one_client(item) for item in queries))
         wall = time.perf_counter() - started
-        stats = server.stats
+        stats = session.server().stats
     return {
         "concurrency": concurrency,
         "wall_seconds": wall,

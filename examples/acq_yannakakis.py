@@ -24,18 +24,21 @@ Run with::
     python examples/acq_yannakakis.py
 """
 
-from repro.api import Document
 from repro.hcl import Atom, ConjunctiveQuery, yannakakis_answer
 from repro.hcl.acq import acq_to_hcl
 from repro.pplbin import parse_pplbin, binary_intersect
 from repro.pplbin.corexpath1 import invert
+from repro.session import Session
 from repro.workloads import generate_bibliography
 
 
 def main() -> None:
-    document = Document(
-        generate_bibliography(num_books=5, authors_per_book=2, titles_per_book=1, seed=5)
+    session = Session()
+    session.add_tree(
+        "bib",
+        generate_bibliography(num_books=5, authors_per_book=2, titles_per_book=1, seed=5),
     )
+    document = session.document("bib")
     oracle = document.oracle  # the shared per-document PPLbin oracle
 
     # Binary queries of L = PPLbin used as ACQ relations.
@@ -65,15 +68,16 @@ def main() -> None:
     print("Fig. 8 on the Proposition 8 translation:", len(fig8), "answers")
 
     xpath = "descendant::book[ child::author[. is $y] and child::title[. is $z] ]"
-    compiled = document.compile(xpath, ["y", "z"])
-    ppl = document.answer(compiled)
+    compiled = session.compile(xpath, ["y", "z"])
+    ppl = session.query("bib", compiled)
     print("polynomial engine on the XPath formulation:", len(ppl), "answers")
 
-    via_registry = document.answer(compiled, engine="yannakakis")
+    via_registry = session.query("bib", compiled, engine="yannakakis")
     print("registered 'yannakakis' backend on the same query:", len(via_registry), "answers")
 
     assert yannakakis == fig8 == ppl == via_registry
     print("\nall four answering paths agree:", sorted(ppl)[:5], "...")
+    session.close()
 
 
 if __name__ == "__main__":

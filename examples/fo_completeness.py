@@ -19,17 +19,21 @@ Run with::
     python examples/fo_completeness.py
 """
 
-from repro import Document, is_ppl
+from repro import is_ppl
+from repro.session import Session
 from repro.fo import parse_fo, fo_answer, fo_to_core_xpath
 from repro.workloads import generate_bibliography
 
 
 def main() -> None:
-    document = Document(
+    session = Session()
+    session.add_tree(
+        "bib",
         generate_bibliography(
             num_books=4, authors_per_book=2, titles_per_book=1, decoys_per_book=2, seed=3
-        )
+        ),
     )
+    document = session.document("bib")
 
     # FO: x is a book with some price child, y is an author below x.
     phi = parse_fo(
@@ -47,7 +51,7 @@ def main() -> None:
 
     # The translation contains a for-loop, so only the "naive" backend's
     # capabilities cover it — the registry dispatches accordingly.
-    naive_result = document.answer(translated, ["x", "y"], engine="naive")
+    naive_result = session.query("bib", translated, ["x", "y"], engine="naive")
     assert naive_result == fo_result
     print("naive Core XPath 2.0 engine agrees with FO semantics")
 
@@ -57,9 +61,10 @@ def main() -> None:
         "descendant::book[. is $x][ child::price ]/child::author[. is $y]"
     )
     assert is_ppl(ppl_query)
-    ppl_result = document.answer(ppl_query, ["x", "y"])
+    ppl_result = session.query("bib", ppl_query, ["x", "y"])
     assert ppl_result == fo_result
     print("hand-written PPL formulation agrees as well:", len(ppl_result), "answers")
+    session.close()
 
 
 if __name__ == "__main__":

@@ -4,66 +4,70 @@ This is the example from the introduction of the paper: select all
 (author, title) node pairs that belong to the same book, using a pair of free
 variables instead of nested for-loops.
 
-Everything goes through the :mod:`repro.api` facade: a :class:`Document`
-owning the per-document state, a compiled :class:`Query`, and the engine
-registry for cross-checking backends.
+Everything goes through one :class:`repro.session.Session` — the execution
+context that owns the document store, the compiled-plan memo and the engine
+configuration (PR 5's consolidation of the earlier Document/executor/server
+front doors).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Document, Node, Tree, is_ppl
-from repro.api import available_engines, compile_query, get_engine
+from repro import Node, Tree, is_ppl
+from repro.api import available_engines, get_engine
+from repro.session import Session
+
+PAIR_QUERY = "descendant::book[ child::author[. is $y] and child::title[. is $z] ]"
 
 
-def build_document() -> Document:
+def build_tree() -> Tree:
     """A tiny bib.xml with two books (one of them with two authors)."""
-    return Document(
-        Tree(
-            Node(
-                "bib",
-                Node("book", Node("author"), Node("title"), Node("year")),
-                Node("book", Node("author"), Node("author"), Node("title")),
-            )
+    return Tree(
+        Node(
+            "bib",
+            Node("book", Node("author"), Node("title"), Node("year")),
+            Node("book", Node("author"), Node("author"), Node("title")),
         )
     )
 
 
 def main() -> None:
-    document = build_document()
-    query = compile_query(
-        "descendant::book[ child::author[. is $y] and child::title[. is $z] ]",
-        ["y", "z"],
-    )
+    with Session() as session:
+        session.add_tree("bib", build_tree())
+        document = session.document("bib")
+        query = session.compile(PAIR_QUERY, ["y", "z"])
 
-    print("document size:", document.size, "nodes")
-    print("query:", query)
-    print("is a PPL expression:", is_ppl(query.source))
-    print("compiled arity:", query.arity, "| HCL size:", query.hcl.size)
+        print("document size:", document.size, "nodes")
+        print("query:", query)
+        print("is a PPL expression:", is_ppl(query.source))
+        print("compiled arity:", query.arity, "| HCL size:", query.hcl.size)
 
-    answers = document.answer(query)  # the polynomial engine is the default
+        answers = session.query("bib", query)  # the polynomial engine is the default
 
-    print(f"\n{len(answers)} (author, title) pairs:")
-    for author, title in sorted(answers):
+        print(f"\n{len(answers)} (author, title) pairs:")
+        for author, title in sorted(answers):
+            print(
+                f"  author node {author} ({document.labels[author]})"
+                f"  <->  title node {title} ({document.labels[title]})"
+            )
+
+        # The same compiled query, answered by every registered backend whose
+        # capabilities cover it — they must all agree.
+        print("\ncross-checking backends:", ", ".join(available_engines()))
+        for name in ("naive", "yannakakis"):
+            assert session.query("bib", query, engine=name) == answers, name
+            print(f"  {name}: agrees with the polynomial engine")
+
+        # Variable-free binary queries dispatch to the backends' pairs path;
+        # the set-based Core XPath 1.0 evaluator handles complement-free ones.
+        binary = session.compile("descendant::book/child::author")
+        assert document.pairs(binary) == document.pairs(binary, engine="corexpath1")
+        print("  corexpath1: agrees on the variable-free binary query")
         print(
-            f"  author node {author} ({document.labels[author]})"
-            f"  <->  title node {title} ({document.labels[title]})"
+            "monadic via corexpath1:",
+            sorted(get_engine("corexpath1").monadic(document, binary)),
         )
-
-    # The same compiled query, answered by every registered backend whose
-    # capabilities cover it — they must all agree.
-    print("\ncross-checking backends:", ", ".join(available_engines()))
-    for name in ("naive", "yannakakis"):
-        assert document.answer(query, engine=name) == answers, name
-        print(f"  {name}: agrees with the polynomial engine")
-
-    # Variable-free binary queries dispatch to the backends' pairs path; the
-    # set-based Core XPath 1.0 evaluator handles complement-free ones.
-    binary = document.compile("descendant::book/child::author")
-    assert document.pairs(binary) == document.pairs(binary, engine="corexpath1")
-    print("  corexpath1: agrees on the variable-free binary query")
-    print("monadic via corexpath1:", sorted(get_engine("corexpath1").monadic(document, binary)))
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ Run with::
 
 import time
 
-from repro import Document
+from repro.session import Session
 from repro.workloads import generate_restaurants, restaurant_query
 
 
@@ -27,7 +27,9 @@ def main() -> None:
         decoys_per_restaurant=2,
         seed=7,
     )
-    document = Document(tree)
+    session = Session()
+    session.add_tree("guide", tree)
+    document = session.document("guide")
     query, variables = restaurant_query(num_attributes)
 
     print(f"document: {document.size} nodes, tuple width n = {len(variables)}")
@@ -38,7 +40,7 @@ def main() -> None:
     )
 
     start = time.perf_counter()
-    answers = document.answer(query, variables)
+    answers = session.query("guide", query, variables)
     elapsed = time.perf_counter() - start
 
     print(f"polynomial engine: {len(answers)} answer tuples in {elapsed * 1000:.1f} ms")
@@ -49,7 +51,8 @@ def main() -> None:
         print(f"  ... and {len(answers) - 3} more")
 
     # Only restaurants with all attributes present contribute a tuple.
-    report = document.report(query, variables)
+    report = session.report("guide", query, variables)
+    session.close()
     print(
         f"\nquery size |P| = {report.expression_size}, translated HCL size = "
         f"{report.hcl_size}, distinct PPLbin leaves = {report.distinct_leaves}"

@@ -1,9 +1,10 @@
 """Querying real XML files: library usage mirroring the `repro-xpath` CLI.
 
 Shows the end-to-end workflow a downstream user would follow: serialise
-documents to XML, load them back as :class:`repro.api.Document` objects,
-compile a query once with :func:`repro.api.compile_query`, and run it
-against all of them with :func:`repro.api.answer_batch`.
+documents to XML, register them on a :class:`repro.session.Session`, compile
+a query once with :meth:`Session.compile`, and stream it across the corpus
+with :meth:`Session.query_corpus` (the Session replacement for the old
+``answer_batch`` loop).
 
 Run with::
 
@@ -14,7 +15,7 @@ import os
 import tempfile
 
 from repro import tree_from_xml, tree_to_xml
-from repro.api import Document, answer_batch, compile_query
+from repro.session import Session
 from repro.workloads import generate_bibliography
 
 
@@ -30,17 +31,24 @@ def main() -> None:
         paths.append(path)
     print("wrote sample documents:", *paths, sep="\n  ")
 
-    # Compile the pair query once; the Definition 1 check and the Fig. 7
-    # translation happen here, not at every execution.
-    query = compile_query(
-        "descendant::book[ child::author[. is $y] and child::title[. is $z] ]",
-        ["y", "z"],
-    )
-    print(f"\ncompiled query of arity {query.arity}")
+    with Session() as session:
+        for path in paths:
+            session.add_file(path)
 
-    documents = [Document.from_file(path) for path in paths]
-    for path, document, answers in zip(paths, documents, answer_batch(documents, query)):
-        print(f"{os.path.basename(path)}: {document.size} nodes, {len(answers)} pairs")
+        # Compile the pair query once; the Definition 1 check and the Fig. 7
+        # translation happen here, not at every execution — and the session
+        # memoises the plan, so repeated query_corpus calls reuse it.
+        query = session.compile(
+            "descendant::book[ child::author[. is $y] and child::title[. is $z] ]",
+            ["y", "z"],
+        )
+        print(f"\ncompiled query of arity {query.arity}")
+
+        for result in session.query_corpus(query):
+            print(
+                f"{result.doc_name}.xml: {result.report.tree_size} nodes, "
+                f"{len(result.answers)} pairs"
+            )
 
     # Round-trip sanity check: serialise + reparse preserves the document.
     original = generate_bibliography(2, seed=42)

@@ -57,11 +57,25 @@ from repro.api import (
     get_engine,
     register_engine,
 )
+from repro.session import (
+    CancellationToken,
+    ExecutionPolicy,
+    ServingPolicy,
+    Session,
+    SessionClosedError,
+    SessionError,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "ExecutionPolicy",
+    "ServingPolicy",
+    "CancellationToken",
+    "SessionError",
+    "SessionClosedError",
     "Node",
     "Tree",
     "tree_from_xml",

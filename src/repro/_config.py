@@ -1,0 +1,39 @@
+"""The shared "not specified" sentinel for configuration plumbing.
+
+Several layers need to distinguish "this knob was not given" from an
+explicit ``None`` (which commonly means *unbounded* for byte budgets, or
+*process default* for the kernel).  They must all share **one** sentinel
+object: a value created in one module and compared against a lookalike in
+another would silently take the wrong branch.  :data:`UNSET` is that single
+object — :mod:`repro.session.policy` re-exports it as the public policy
+sentinel, and the Document/store/executor keyword plumbing compares against
+the same instance.
+
+(The :class:`repro.trees.tree.Tree` constructor keeps its own seed-era
+private sentinel; it never crosses a module boundary.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class _Unset:
+    """Singleton sentinel for "this field was not specified"."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The shared "not specified" sentinel.
+UNSET = _Unset()

@@ -1,0 +1,63 @@
+"""Shared machinery for the deprecation-shimmed legacy entry points.
+
+PR 5 consolidated the three parallel front doors — per-document
+:class:`repro.api.Document` calls, the batch :class:`repro.corpus`
+executor and the async :class:`repro.serve` server — behind one
+:class:`repro.session.Session`.  The old entry points keep working, but
+*direct* use emits a :class:`DeprecationWarning` pointing at the Session
+equivalent.
+
+The subtlety this module exists for: the Session (and the document store,
+and the server) build those same objects *internally* — a store
+materialising a :class:`Document`, a session spawning a
+:class:`CorpusServer` — and internal construction must stay silent, both to
+keep the warning signal meaningful and so the ``examples/`` CI job can run
+the ported code paths under ``-W error::DeprecationWarning``.  Internal
+call sites wrap construction in :func:`suppress_deprecations`; everything
+else goes through :func:`warn_deprecated`, which checks the (thread-local)
+suppression flag.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+
+_state = threading.local()
+
+
+def _suppressed() -> bool:
+    return getattr(_state, "depth", 0) > 0
+
+
+@contextmanager
+def suppress_deprecations():
+    """Silence :func:`warn_deprecated` on this thread for the duration.
+
+    Used by the library's own internals (the store loading a document, a
+    session building its executor/server) so that only *user* code touching
+    a legacy entry point directly sees the warning.
+    """
+    _state.depth = getattr(_state, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _state.depth -= 1
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard legacy-entry-point warning (unless suppressed).
+
+    ``old`` and ``new`` are human-readable call forms, e.g.
+    ``("answer_batch(...)", "Session.query_corpus(...)")``.  The message
+    names the removal horizon documented in the README's migration table.
+    """
+    if _suppressed():
+        return
+    warnings.warn(
+        f"{old} is deprecated and will be removed two releases after 1.2; "
+        f"use {new} instead (see the README 'Session API' migration table)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -28,6 +28,7 @@ import os
 import weakref
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
+from repro._deprecation import suppress_deprecations, warn_deprecated
 from repro.trees.tree import Node, Tree
 from repro.trees.xml_io import tree_from_xml, tree_from_xml_file
 from repro.xpath.ast import PathExpr
@@ -43,6 +44,11 @@ from repro.api.registry import DEFAULT_ENGINE, check_capabilities, get_engine
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.corpus.cache import AnswerCache
     from repro.corpus.store import DocumentStore
+
+#: Sentinel distinguishing "keep the tree's budget" from an explicit None
+#: (= unbounded) for ``Document(matrix_cache_bytes=...)`` — the one shared
+#: instance from :mod:`repro._config`.
+from repro._config import UNSET as _UNSET
 
 #: Anything `Document.answer`/`answer_many` accept as a query.
 QueryLike = Union[Query, PathExpr, str]
@@ -103,6 +109,18 @@ class Document:
         :class:`repro.pplbin.bitmatrix.Kernel` instance, or ``None`` for
         the process default (the CLI's ``--kernel`` knob sets that
         default).
+    matrix_cache_bytes:
+        When given, rebudget the tree's matrix cache to this many bytes
+        (``None`` = unbounded).  Left alone by default — the tree's own
+        budget (constructor argument or ``REPRO_MATRIX_CACHE_BYTES``)
+        stands.  The Session layer passes its resolved
+        ``ExecutionPolicy.matrix_cache_bytes`` through here.
+
+    .. deprecated::
+        Direct construction is deprecated in favour of
+        :class:`repro.session.Session`, which owns the store, caches and
+        pools this object participates in.  Existing code keeps working;
+        the session builds these internally (without the warning).
 
     Attributes
     ----------
@@ -122,8 +140,16 @@ class Document:
         answer_cache: Optional["AnswerCache"] = None,
         cache_owner: Optional[object] = None,
         kernel=None,
+        matrix_cache_bytes=_UNSET,
     ) -> None:
+        warn_deprecated(
+            "constructing Document directly",
+            "a repro.session.Session (session.add_tree/add_file + "
+            "session.query, or session.document for the handle)",
+        )
         self.tree = tree if isinstance(tree, Tree) else Tree(tree)
+        if matrix_cache_bytes is not _UNSET:
+            self.tree.matrix_cache().set_budget(matrix_cache_bytes)
         self.oracle = PPLbinOracle(self.tree, kernel=kernel)
         self.answerer = HclAnswerer(self.tree, self.oracle)
         # Compiled queries keyed by (source AST, output variables); the HCL
@@ -374,7 +400,8 @@ def as_document(source: Document | Tree | Node) -> Document:
     tree = source if isinstance(source, Tree) else Tree(source)
     document = _documents.get(id(tree))
     if document is None or document.tree is not tree:
-        document = Document(tree)
+        with suppress_deprecations():
+            document = Document(tree)
         _documents[id(tree)] = document
     return document
 
@@ -421,7 +448,12 @@ def answer_batch(
         *sources*, which a bare tree does not have).  New code should
         register documents in a ``DocumentStore`` and pass names; a later
         release will route all batch scheduling through the store.
+
+    .. deprecated::
+        Use :meth:`repro.session.Session.query_corpus` — register the
+        documents on the session's store and stream the results.
     """
+    warn_deprecated("answer_batch(...)", "Session.query_corpus(...)")
     if not isinstance(query, Query):
         from repro.api.query import compile_query
 

@@ -95,6 +95,20 @@ class Query:
         """Return concrete syntax for the source expression."""
         return self.text if self.text is not None else self.source.unparse()
 
+    @property
+    def cache_key(self) -> tuple:
+        """The plan-identity key ``(expression, variables)``.
+
+        This is the key under which a :class:`repro.session.Session`
+        memoises compiled plans (and the identity the persistent
+        :class:`repro.serve.PlanCache` hashes), so the sync and async
+        surfaces of a session resolve the same expression to the *same*
+        compiled object.  The original text is preferred when the query was
+        compiled from a string — the common case — falling back to the
+        (hashable, value-compared) source AST.
+        """
+        return (self.text if self.text is not None else self.source, self.variables)
+
     def __str__(self) -> str:
         return self.unparse()
 

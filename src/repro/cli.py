@@ -98,11 +98,11 @@ from typing import Optional, Sequence
 from repro.errors import ReproError
 from repro.api import (
     DEFAULT_ENGINE,
-    Document,
     available_engines,
     check_capabilities,
     get_engine,
 )
+from repro.session import ExecutionPolicy, ServingPolicy, Session
 
 SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines", "corpus", "serve")
 
@@ -304,6 +304,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument(
         "--max-queue", type=int, default=256, help="admission bound on pending documents"
     )
+    serve_run.add_argument(
+        "--auth-token",
+        default=None,
+        help="require this token in the 'auth' field of every NDJSON request",
+    )
+    serve_run.add_argument(
+        "--client-quota",
+        type=int,
+        default=None,
+        help="max concurrently streaming submissions per connection",
+    )
     add_kernel_option(serve_run)
 
     serve_query = serve_sub.add_parser(
@@ -325,12 +336,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_query.add_argument(
         "--json", action="store_true", help="print the raw NDJSON response lines"
     )
+    serve_query.add_argument(
+        "--auth", default=None, help="auth token expected by the server"
+    )
 
     serve_stats = serve_sub.add_parser(
         "stats", help="print a running server's telemetry snapshot"
     )
     serve_stats.add_argument("--host", default="127.0.0.1", help="server address")
     serve_stats.add_argument("--port", type=int, required=True, help="server port")
+    serve_stats.add_argument(
+        "--auth", default=None, help="auth token expected by the server"
+    )
 
     serve_warm = serve_sub.add_parser(
         "warm", help="compile queries into a plan cache ahead of serving"
@@ -395,10 +412,15 @@ def _split_vars(text: str) -> list[str]:
 
 
 def _apply_kernel(name: Optional[str]) -> None:
-    """Select the matrix kernel process-wide (and for spawned workers).
+    """Make ``--kernel`` the process-wide default kernel as well.
 
-    Exporting ``REPRO_KERNEL`` alongside the in-process default means the
-    corpus executor's shard worker processes evaluate with the same kernel.
+    The Session already pins the kernel for its own store *and* ships the
+    resolved name to worker subprocesses (the precedence fix), so this is
+    not what makes workers agree any more.  It is kept because a CLI
+    invocation is one process serving one command: anything materialised
+    outside the session's store (ad-hoc documents, legacy paths) should
+    follow the flag too, and ``REPRO_KERNEL`` is exported for tools the
+    command execs in turn.
     """
     if name is None:
         return
@@ -432,29 +454,33 @@ def _run_answer(
     labels: bool,
     stats: bool,
 ) -> int:
-    document = Document.from_file(xml)
-    answers = document.answer(query_text, variables, engine=engine)
-    if stats:
-        report = document.report(query_text, variables, engine=engine)
-        print(
-            f"# |P|={report.expression_size} |C|={report.hcl_size} "
-            f"leaves={report.distinct_leaves} |t|={document.size} "
-            f"n={len(variables)} |A|={report.answer_count}",
-            file=sys.stderr,
-        )
-        print(report.to_json(), file=sys.stderr)
+    with Session() as session:
+        name = session.add_file(xml)
+        document = session.document(name)
+        answers = session.query(name, query_text, variables, engine=engine)
+        if stats:
+            report = session.report(
+                name, query_text, variables, engine=engine, answers=answers
+            )
+            print(
+                f"# |P|={report.expression_size} |C|={report.hcl_size} "
+                f"leaves={report.distinct_leaves} |t|={document.size} "
+                f"n={len(variables)} |A|={report.answer_count}",
+                file=sys.stderr,
+            )
+            print(report.to_json(), file=sys.stderr)
 
-    header = "\t".join(f"${name}" for name in variables) if variables else "(boolean)"
-    print(header)
-    if not variables:
-        print("non-empty" if answers else "empty")
-        return 0
-    for answer_tuple in sorted(answers):
-        if labels:
-            rendered = [f"{node}:{document.labels[node]}" for node in answer_tuple]
-        else:
-            rendered = [str(node) for node in answer_tuple]
-        print("\t".join(rendered))
+        header = "\t".join(f"${name}" for name in variables) if variables else "(boolean)"
+        print(header)
+        if not variables:
+            print("non-empty" if answers else "empty")
+            return 0
+        for answer_tuple in sorted(answers):
+            if labels:
+                rendered = [f"{node}:{document.labels[node]}" for node in answer_tuple]
+            else:
+                rendered = [str(node) for node in answer_tuple]
+            print("\t".join(rendered))
     return 0
 
 
@@ -480,86 +506,100 @@ def _run_bench(
     variables: Sequence[str],
     engine_names: Sequence[str],
     repeat: int,
+    kernel: Optional[str] = None,
 ) -> int:
-    document = Document.from_file(xml)
-    results = []
-    for name in engine_names:
-        entry: dict = {"engine": name}
-        try:
-            backend = get_engine(name)
-            compiled = document.compile(query_text, variables, require_ppl=False)
-            check_capabilities(backend, compiled)
-            best = None
-            for _ in range(max(1, repeat)):
-                started = time.perf_counter()
-                answers = backend.answer(document, compiled)
-                elapsed = time.perf_counter() - started
-                best = elapsed if best is None else min(best, elapsed)
-            report = document.report(compiled, engine=name, answers=answers)
-            entry.update(report.to_dict())
-            entry["seconds"] = best
-        except ReproError as error:
-            entry["error"] = str(error)
-        results.append(entry)
+    # The explicit --kernel pins the session's kernel (beating REPRO_KERNEL,
+    # per the documented precedence); timing calls the backend directly so
+    # the answer memo cannot turn rounds 2..n into cache hits.
+    _apply_kernel(kernel)
+    with Session(kernel=kernel, cache_answers=False) as session:
+        doc_name = session.add_file(xml)
+        document = session.document(doc_name)
+        results = []
+        for name in engine_names:
+            entry: dict = {"engine": name}
+            try:
+                backend = get_engine(name)
+                compiled = session.compile(query_text, variables)
+                check_capabilities(backend, compiled)
+                best = None
+                for _ in range(max(1, repeat)):
+                    started = time.perf_counter()
+                    answers = backend.answer(document, compiled)
+                    elapsed = time.perf_counter() - started
+                    best = elapsed if best is None else min(best, elapsed)
+                report = session.report(
+                    doc_name, query_text, variables, engine=name, answers=answers
+                )
+                entry.update(report.to_dict())
+                entry["seconds"] = best
+            except ReproError as error:
+                entry["error"] = str(error)
+            results.append(entry)
     print(json.dumps(results, indent=2))
     return 0 if all("error" not in entry for entry in results) else 1
 
 
-def _corpus_store(args) -> "object":
-    from repro.corpus import DocumentStore
-
-    store = DocumentStore.from_directory(
-        args.dir, pattern=args.pattern, max_resident=args.max_resident
+def _corpus_session(args, **session_kwargs) -> Session:
+    """Build a Session over the corpus directory named on the command line."""
+    session = Session(
+        max_resident=args.max_resident,
+        strategy=getattr(args, "strategy", None),
+        max_workers=getattr(args, "workers", None),
+        engine=getattr(args, "engine", None),
+        **session_kwargs,
     )
-    if not len(store):
+    try:
+        session.add_directory(args.dir, args.pattern)
+    except ReproError:
+        session.close()
+        raise
+    if not len(session.store):
+        session.close()
         raise ReproError(f"no files matching {args.pattern!r} under {args.dir!r}")
-    return store
+    return session
 
 
 def _run_corpus_load(args) -> int:
-    store = _corpus_store(args)
-    documents = []
-    for name in store.names():
-        document = store.get(name)
-        documents.append({"name": name, "nodes": document.size})
-    stats = store.stats
-    print(
-        json.dumps(
-            {
-                "directory": args.dir,
-                "documents": documents,
-                "count": len(documents),
-                "total_nodes": sum(entry["nodes"] for entry in documents),
-                "max_resident": store.max_resident,
-                "stats": {
-                    "loads": stats.loads,
-                    "hits": stats.hits,
-                    "evictions": stats.evictions,
+    with _corpus_session(args) as session:
+        store = session.store
+        documents = []
+        for name in store.names():
+            document = session.document(name)
+            documents.append({"name": name, "nodes": document.size})
+        stats = store.stats
+        print(
+            json.dumps(
+                {
+                    "directory": args.dir,
+                    "documents": documents,
+                    "count": len(documents),
+                    "total_nodes": sum(entry["nodes"] for entry in documents),
+                    "max_resident": store.max_resident,
+                    "stats": {
+                        "loads": stats.loads,
+                        "hits": stats.hits,
+                        "evictions": stats.evictions,
+                    },
                 },
-            },
-            indent=2,
+                indent=2,
+            )
         )
-    )
     return 0
 
 
 def _run_corpus_answer(args) -> int:
-    from repro.corpus import CorpusExecutor
-
-    store = _corpus_store(args)
     names = _split_vars(args.docs) or None
     variables = _split_vars(args.vars)
-    with CorpusExecutor(
-        store, strategy=args.strategy, max_workers=args.workers, engine=args.engine
-    ) as executor:
+    with _corpus_session(args) as session:
         if args.json:
-            report = executor.run_report(
+            report = session.corpus_report(
                 (args.query, variables), names, ordered=not args.unordered
             )
             print(report.to_json(indent=2))
             return 0
         collected = []
-        for result in executor.run(
+        for result in session.query_corpus(
             (args.query, variables), names, ordered=not args.unordered
         ):
             print(f"{result.doc_name}\t{result.report.answer_count}")
@@ -570,33 +610,31 @@ def _run_corpus_answer(args) -> int:
 
 
 def _run_corpus_bench(args) -> int:
-    from repro.corpus import CorpusExecutor
-
     variables = _split_vars(args.vars)
     strategies = _split_vars(args.strategies)
     rounds = max(1, args.rounds)
     runs = []
     answer_maps = []
     for strategy in strategies:
-        # A fresh store per strategy: every strategy starts cold and pays its
-        # own parse/oracle work, so the wall-clocks are comparable.
-        store = _corpus_store(args)
+        # A fresh session (and store) per strategy: every strategy starts
+        # cold and pays its own parse/oracle work, so the wall-clocks are
+        # comparable.
         answers: dict[str, frozenset] = {}
         started = time.perf_counter()
-        with CorpusExecutor(
-            store, strategy=strategy, max_workers=args.workers, engine=args.engine
-        ) as executor:
+        with _corpus_session(
+            args, execution=ExecutionPolicy(strategy=strategy)
+        ) as session:
             round_seconds = []
             for _ in range(rounds):
                 round_started = time.perf_counter()
-                for result in executor.run((args.query, variables)):
+                for result in session.query_corpus((args.query, variables)):
                     answers[result.doc_name] = result.answers
                 round_seconds.append(time.perf_counter() - round_started)
             # The process strategy loads documents inside the shard workers;
             # fold their counters in so the strategies stay comparable.
-            worker_stats = executor.worker_stats()
+            worker_stats = session.worker_stats()
+            stats = session.store.stats
         wall = time.perf_counter() - started
-        stats = store.stats
         runs.append(
             {
                 "strategy": strategy,
@@ -633,51 +671,42 @@ def _run_corpus_bench(args) -> int:
     return 0 if agreement else 1
 
 
-def _serve_store(args):
-    from repro.corpus import DocumentStore
-
-    kwargs = {}
-    if args.answer_cache_bytes is not None:
-        kwargs["answer_cache_bytes"] = args.answer_cache_bytes
-    store = DocumentStore.from_directory(
-        args.dir, pattern=args.pattern, max_resident=args.max_resident, **kwargs
-    )
-    if not len(store):
-        raise ReproError(f"no files matching {args.pattern!r} under {args.dir!r}")
-    return store
-
-
 def _run_serve_run(args) -> int:
     import asyncio
 
-    from repro.serve import CorpusServer, PlanCache, ProtocolServer
-
-    _apply_kernel(args.kernel)
-    store = _serve_store(args)
-    plan_cache = (
-        PlanCache(args.plan_cache, max_bytes=args.plan_cache_bytes)
-        if args.plan_cache
-        else None
+    serving = ServingPolicy().override(
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        auth_token=args.auth_token,
+        max_submissions_per_client=args.client_quota,
     )
+    _apply_kernel(args.kernel)
+    session_kwargs: dict = {
+        "kernel": args.kernel,
+        "plan_cache": args.plan_cache if args.plan_cache else None,
+        "serving": serving,
+    }
+    if args.answer_cache_bytes is not None:
+        session_kwargs["answer_cache_bytes"] = args.answer_cache_bytes
+    if args.plan_cache_bytes is not None:
+        session_kwargs["plan_cache_bytes"] = args.plan_cache_bytes
+    session = _corpus_session(args, **session_kwargs)
 
     async def main() -> int:
-        async with CorpusServer(
-            store,
-            strategy=args.strategy,
-            max_workers=args.workers,
-            engine=args.engine,
-            plan_cache=plan_cache,
-            max_concurrent=args.max_concurrent,
-            max_queue=args.max_queue,
-        ) as server:
-            tcp = await ProtocolServer(server).serve_tcp(args.host, args.port)
+        async with session:
+            tcp = await session.protocol().serve_tcp(args.host, args.port)
             port = tcp.sockets[0].getsockname()[1]
             from repro.pplbin.bitmatrix import get_default_kernel
 
+            kernel_name = session.execution.resolved("kernel")
+            if kernel_name is None:
+                kernel_name = get_default_kernel().name
+            elif not isinstance(kernel_name, str):
+                kernel_name = kernel_name.name
             print(
-                f"serving {len(store)} documents on {args.host}:{port} "
+                f"serving {len(session.store)} documents on {args.host}:{port} "
                 f"(strategy={args.strategy}, engine={args.engine}, "
-                f"kernel={get_default_kernel().name})",
+                f"kernel={kernel_name})",
                 file=sys.stderr,
                 flush=True,
             )
@@ -692,6 +721,7 @@ def _run_serve_run(args) -> int:
         return asyncio.run(main())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+        session.close()
         return 0
 
 
@@ -713,6 +743,8 @@ def _run_serve_query(args) -> int:
         request["docs"] = docs
     if args.engine:
         request["engine"] = args.engine
+    if args.auth:
+        request["auth"] = args.auth
 
     async def main() -> int:
         total = 0
@@ -745,13 +777,18 @@ def _run_serve_stats(args) -> int:
 
     from repro.serve import request_lines
 
+    request = {"op": "stats", "id": 1}
+    if args.auth:
+        request["auth"] = args.auth
+
     async def main() -> int:
-        async for line in request_lines(
-            args.host, args.port, {"op": "stats", "id": 1}
-        ):
+        async for line in request_lines(args.host, args.port, request):
             if line.get("type") == "stats":
                 print(json.dumps(line["stats"], indent=2))
                 return 0
+            if line.get("type") == "error":
+                print(f"error: {line['error']}", file=sys.stderr)
+                return 1
         print("error: no stats response", file=sys.stderr)
         return 1
 
@@ -801,12 +838,26 @@ def _run_serve_warm(args) -> int:
 def _run_engines() -> int:
     from dataclasses import asdict
 
+    from repro.pplbin.bitmatrix import get_default_kernel, kernel_descriptions
+
+    print("engines:")
     for name in available_engines():
         backend = get_engine(name)
         flags = ", ".join(
             f"{key}={value}" for key, value in asdict(backend.capabilities).items()
         )
         print(f"{name}: {flags}")
+    # The kernels come from the same registry the Session resolves
+    # `ExecutionPolicy.kernel` against (repro.pplbin.bitmatrix.KERNELS), so
+    # this listing cannot drift from what --kernel / REPRO_KERNEL accept.
+    default_kernel = get_default_kernel().name
+    print("\nkernels (matrix backend of the Theorem 2 evaluator):")
+    for name, description in kernel_descriptions().items():
+        marker = " [default]" if name == default_kernel else ""
+        print(f"{name}{marker}:")
+        print(f"  storage:  {description['storage']}")
+        print(f"  compose:  {description['compose']}")
+        print(f"  best for: {description['best_for']}")
     return 0
 
 
@@ -847,13 +898,13 @@ def _main_subcommands(arguments: list[str]) -> int:
                 return _run_serve_stats(args)
             return _run_serve_warm(args)
         if args.command == "bench":
-            _apply_kernel(args.kernel)
             return _run_bench(
                 args.xml,
                 args.query,
                 _split_vars(args.vars),
                 _split_vars(args.engines),
                 args.repeat,
+                kernel=args.kernel,
             )
         return _run_answer(
             args.xml,

@@ -82,8 +82,13 @@ def compile_query(expression: PathExpr | str, variables: Sequence[str]) -> Compi
     RestrictionViolation
         If the expression violates Definition 1 (it is not a PPL expression).
     """
+    from repro._deprecation import warn_deprecated
     from repro.api.query import compile_query as api_compile_query
 
+    warn_deprecated(
+        "repro.compile_query(...) (the legacy CompiledQuery form)",
+        "Session.compile(...) (or repro.api.compile_query for a bare Query)",
+    )
     query = api_compile_query(expression, variables)
     return CompiledQuery(query.source, query.hcl, query.variables, query)
 
@@ -91,7 +96,13 @@ def compile_query(expression: PathExpr | str, variables: Sequence[str]) -> Compi
 def answer(
     tree: Tree, expression: PathExpr | str, variables: Sequence[str]
 ) -> frozenset[tuple[int, ...]]:
-    """Answer one n-ary PPL query on one document with the polynomial engine."""
+    """Answer one n-ary PPL query on one document with the polynomial engine.
+
+    .. deprecated:: use :meth:`repro.session.Session.query`.
+    """
+    from repro._deprecation import suppress_deprecations, warn_deprecated
     from repro.api.document import answer as api_answer
 
-    return api_answer(tree, expression, variables)
+    warn_deprecated("repro.answer(tree, ...)", "Session.query(...)")
+    with suppress_deprecations():
+        return api_answer(tree, expression, variables)

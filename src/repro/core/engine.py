@@ -78,10 +78,13 @@ class PPLEngine:
     name = "ppl-polynomial"
 
     def __init__(self, tree: Tree) -> None:
+        from repro._deprecation import suppress_deprecations, warn_deprecated
         from repro.api.document import Document
 
+        warn_deprecated("PPLEngine(tree)", "Session.query(...) / Session.document(...)")
+        with suppress_deprecations():
+            self._document = Document(tree)
         self.tree = tree
-        self._document = Document(tree)
         self.oracle = self._document.oracle
         self._answerer = self._document.answerer
 

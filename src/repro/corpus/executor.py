@@ -48,6 +48,8 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from repro._config import UNSET as _UNSET
+from repro._deprecation import suppress_deprecations, warn_deprecated
 from repro.core.engine import QueryReport
 from repro.api.document import BatchItem, Document, iter_batch
 from repro.api.query import Query, compile_query
@@ -108,11 +110,19 @@ def _worker_initialise(
     max_resident: Optional[int],
     answer_cache_bytes: Optional[int] = None,
     cache_answers: bool = True,
+    store_config: Optional[dict] = None,
 ) -> None:
+    # ``store_config`` carries the *resolved* kernel/matrix-budget settings
+    # from the parent.  This is the config-precedence fix: workers used to
+    # re-read ``REPRO_KERNEL`` on spawn, so an explicit ``kernel=`` argument
+    # lost to the environment inside subprocesses.  The parent now resolves
+    # precedence once and ships the outcome; the worker never consults the
+    # environment for a knob the caller pinned.
     store = DocumentStore(
         max_resident=max_resident,
         cache_answers=cache_answers,
         answer_cache_bytes=answer_cache_bytes,
+        **(store_config or {}),
     )
     for name, (kind, payload) in specs.items():
         if kind == "xml":
@@ -167,12 +177,14 @@ class _ShardPool:
     def __init__(self, doc_names: Sequence[str], specs: dict[str, tuple[str, str]],
                  max_resident: Optional[int],
                  answer_cache_bytes: Optional[int] = None,
-                 cache_answers: bool = True) -> None:
+                 cache_answers: bool = True,
+                 store_config: Optional[dict] = None) -> None:
         self.doc_names = tuple(doc_names)
         self.pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker_initialise,
-            initargs=(specs, max_resident, answer_cache_bytes, cache_answers),
+            initargs=(specs, max_resident, answer_cache_bytes, cache_answers,
+                      store_config),
         )
 
     def submit(self, name: str, query_specs, engine: str) -> Future:
@@ -213,7 +225,13 @@ class CorpusExecutor:
         strategy: str = "serial",
         max_workers: Optional[int] = None,
         engine: str = DEFAULT_ENGINE,
+        kernel=None,
     ) -> None:
+        warn_deprecated(
+            "constructing CorpusExecutor directly",
+            "repro.session.Session (session.query_corpus / session.corpus_report, "
+            "with strategy and workers on the ExecutionPolicy)",
+        )
         if strategy not in STRATEGIES:
             raise CorpusError(
                 f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}"
@@ -222,6 +240,12 @@ class CorpusExecutor:
         self.strategy = strategy
         self.max_workers = max_workers
         self.engine = engine
+        #: Kernel pinned for shard workers (name/instance or None).  Falls
+        #: back to the store's pinned kernel; ``None`` leaves workers on the
+        #: process default (which honours ``REPRO_KERNEL``).  For the
+        #: serial/threads strategies the store's own kernel governs, since
+        #: documents materialise in the parent store.
+        self.kernel = kernel if kernel is not None else store.kernel
         #: Shard pools, created lazily per shard on first submit (None =
         #: partition slot whose pool has not been needed yet).
         self._pools: Optional[list[Optional[_ShardPool]]] = None
@@ -608,9 +632,26 @@ class CorpusExecutor:
                     self.store.max_resident,
                     self.store.answer_cache_bytes,
                     self.store.cache_answers,
+                    self._worker_store_config(),
                 )
                 self._pools[shard_index] = pool
             return pool
+
+    def _worker_store_config(self) -> Optional[dict]:
+        """Resolved, picklable kernel/budget settings for shard workers.
+
+        Only knobs the caller actually pinned ship to the worker (a kernel
+        instance is reduced to its registry name); everything else stays
+        unset so the worker's own environment-driven defaults apply.
+        """
+        config: dict = {}
+        if self.kernel is not None:
+            from repro.pplbin.bitmatrix import get_kernel
+
+            config["kernel"] = get_kernel(self.kernel).name
+        if self.store.matrix_cache_bytes is not _UNSET:
+            config["matrix_cache_bytes"] = self.store.matrix_cache_bytes
+        return config or None
 
     def worker_stats(self) -> StoreStats:
         """Aggregate (loads, hits, evictions) over the live shard workers.
@@ -724,9 +765,10 @@ def answer_corpus(
     this helper tears its worker pools (and their caches) down when the
     iterator is exhausted.
     """
-    executor = CorpusExecutor(
-        store, strategy=strategy, max_workers=max_workers, engine=engine
-    )
+    with suppress_deprecations():
+        executor = CorpusExecutor(
+            store, strategy=strategy, max_workers=max_workers, engine=engine
+        )
 
     def generate() -> Iterator[CorpusResult]:
         try:

@@ -31,11 +31,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro._deprecation import suppress_deprecations
 from repro.errors import ReproError
 from repro.trees.tree import Node, Tree
 from repro.trees.xml_io import tree_from_xml, tree_from_xml_file, tree_to_xml
 from repro.api.document import Document
 from repro.corpus.cache import AnswerCache
+
+#: Sentinel for "no explicit matrix budget" (the tree's own default stands) —
+#: the one shared instance from :mod:`repro._config`.
+from repro._config import UNSET as _UNSET
 
 
 #: Default byte budget of a store's shared answer cache.  Finite on purpose:
@@ -83,6 +88,8 @@ class DocumentSource:
         cache_answers: bool = True,
         answer_cache: Optional[AnswerCache] = None,
         cache_owner: Optional[object] = None,
+        kernel=None,
+        matrix_cache_bytes=_UNSET,
     ) -> Document:
         """Materialise the source into a fresh :class:`Document`.
 
@@ -98,12 +105,18 @@ class DocumentSource:
             tree = tree_from_xml_file(self.path)
         else:
             tree = self.tree
-        return Document(
-            tree,
-            cache_answers=cache_answers,
-            answer_cache=answer_cache,
-            cache_owner=cache_owner,
-        )
+        kwargs = {} if matrix_cache_bytes is _UNSET else {
+            "matrix_cache_bytes": matrix_cache_bytes
+        }
+        with suppress_deprecations():
+            return Document(
+                tree,
+                cache_answers=cache_answers,
+                answer_cache=answer_cache,
+                cache_owner=cache_owner,
+                kernel=kernel,
+                **kwargs,
+            )
 
     def spec(self) -> tuple[str, str]:
         """Return a picklable ``(kind, payload)`` pair for worker processes.
@@ -146,6 +159,17 @@ class DocumentStore:
         Pass ``None`` explicitly for an unbounded cache.  The executor's
         process strategy gives every shard worker its own budget of this
         size, mirroring how ``max_resident`` scales out.
+    kernel:
+        Relation kernel every materialised document evaluates with — a
+        name, a :class:`repro.pplbin.bitmatrix.Kernel`, or ``None`` for the
+        process default.  An explicit kernel here is *pinned*: it ships to
+        the executor's shard workers as part of the store configuration, so
+        it beats ``REPRO_KERNEL`` in subprocesses too (the config-precedence
+        guarantee of :mod:`repro.session.policy`).
+    matrix_cache_bytes:
+        When given, every materialised document's tree is rebudgeted to
+        this matrix-cache byte budget (``None`` = unbounded); unset leaves
+        the tree default (``REPRO_MATRIX_CACHE_BYTES`` or 256 MiB).
     """
 
     def __init__(
@@ -154,12 +178,16 @@ class DocumentStore:
         *,
         cache_answers: bool = True,
         answer_cache_bytes: Optional[int] = DEFAULT_ANSWER_CACHE_BYTES,
+        kernel=None,
+        matrix_cache_bytes=_UNSET,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise CorpusError("max_resident must be at least 1 (or None for unbounded)")
         self.max_resident = max_resident
         self.cache_answers = cache_answers
         self.answer_cache_bytes = answer_cache_bytes
+        self.kernel = kernel
+        self.matrix_cache_bytes = matrix_cache_bytes
         self.answer_cache: Optional[AnswerCache] = (
             AnswerCache(max_bytes=answer_cache_bytes) if cache_answers else None
         )
@@ -310,6 +338,8 @@ class DocumentStore:
                     cache_answers=self.cache_answers,
                     answer_cache=self.answer_cache,
                     cache_owner=token,
+                    kernel=self.kernel,
+                    matrix_cache_bytes=self.matrix_cache_bytes,
                 )
                 with self._lock:
                     if (

@@ -111,3 +111,20 @@ class EngineCapabilityError(EngineError):
         super().__init__(f"engine {engine!r} cannot run this query ({capability}): {message}")
         self.engine = engine
         self.capability = capability
+
+
+class SessionError(ReproError):
+    """Base class for errors raised by the :mod:`repro.session` layer."""
+
+
+class SessionClosedError(SessionError):
+    """Raised when an operation is attempted on a closed :class:`Session`.
+
+    Every public method of :class:`repro.session.Session` raises this once
+    :meth:`~repro.session.Session.close` (or the context manager) has run,
+    so use-after-teardown fails loudly instead of touching torn-down pools.
+    """
+
+    def __init__(self, operation: str = "operation") -> None:
+        super().__init__(f"the session is closed; cannot perform {operation}")
+        self.operation = operation

@@ -73,9 +73,10 @@ from repro.serve.server import (
     ServerStats,
     Submission,
 )
-from repro.serve.protocol import ProtocolServer, request_lines
+from repro.serve.protocol import ProtocolServer, UnauthorizedError, request_lines
 
 __all__ = [
+    "UnauthorizedError",
     "ANY_ENGINE",
     "FORMAT_VERSION",
     "PlanCache",

@@ -15,6 +15,23 @@ Requests
     A :class:`repro.serve.server.ServerStats` snapshot.
 ``{"op": "ping", "id": 3}``
     Liveness check.
+``{"op": "cancel", "id": 4, "target": 1}``
+    Abort the streamed submission this client submitted under id
+    ``target``, mid-flight.  The cancel is mapped onto the submission's
+    :class:`repro.session.CancellationToken`: outstanding document jobs are
+    cancelled, already-queued results still arrive, and the target's stream
+    terminates with a ``done`` line carrying ``"cancelled": true``.  The
+    reply is ``{"id": 4, "type": "cancelled", "target": 1, "found": ...}``
+    — ``found`` is false when no live submission has that id (already
+    finished, or never existed).
+
+Authentication and quotas (from the server's
+:class:`repro.session.ServingPolicy`): when ``auth_token`` is set, every
+request must carry ``"auth": "<token>"`` or it is refused with a typed
+``unauthorized`` error line; ``max_submissions_per_client`` bounds the
+number of concurrently streaming submissions per connection (excess is a
+typed ``overloaded`` rejection); ``max_request_bytes`` bounds request-line
+size.
 
 Responses
 ---------
@@ -25,9 +42,9 @@ Responses
     Terminates a submission's stream.
 ``{"id": 1, "type": "error", "error": "...", "kind": "overloaded"}``
     Submission-level failure (parse error, overload, unknown document ...).
-    ``kind`` is ``"overloaded"``, ``"closed"``, ``"bad-request"`` or
-    ``"error"``, so clients can implement retry policies without matching
-    on message text.
+    ``kind`` is ``"overloaded"``, ``"closed"``, ``"bad-request"``,
+    ``"unauthorized"`` or ``"error"``, so clients can implement retry
+    policies without matching on message text.
 
 Backpressure propagates end to end: every result line awaits both the
 submission queue and the transport's ``drain()``, so a slow TCP reader
@@ -37,6 +54,7 @@ slows only its own submissions.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 from typing import AsyncIterator, Optional
 
@@ -46,16 +64,25 @@ from repro.serve.server import (
     ServerClosedError,
     ServerOverloadedError,
 )
+from repro.session.policy import ServingPolicy
+from repro.session.tokens import CancellationToken
 
 
 #: StreamReader buffer limit for request lines.  asyncio's 64 KiB default is
 #: too small for the documented pipelined ``"queries": [...]`` form over a
 #: real workload; a line beyond even this limit gets a typed error line
-#: instead of a silently dropped connection.
+#: instead of a silently dropped connection.  This is the fallback —
+#: ``ServingPolicy.max_request_bytes`` overrides it per server.
 READ_LIMIT = 16 * 1024 * 1024
 
 
+class UnauthorizedError(ReproError):
+    """Request refused: missing or wrong ``auth`` token."""
+
+
 def _error_kind(error: Exception) -> str:
+    if isinstance(error, UnauthorizedError):
+        return "unauthorized"
     if isinstance(error, ServerOverloadedError):
         return "overloaded"
     if isinstance(error, ServerClosedError):
@@ -65,15 +92,40 @@ def _error_kind(error: Exception) -> str:
     return "error"
 
 
+class _Connection:
+    """Per-connection protocol state: live submissions, addressable by id.
+
+    ``tokens`` maps the client's submission id to the
+    :class:`CancellationToken` wired to that submission's stream; the
+    ``cancel`` op resolves ids here.  Entries are removed when the stream
+    finishes, so the map size doubles as the per-client active-submission
+    count for the admission quota.
+    """
+
+    def __init__(self) -> None:
+        self.tokens: dict[object, CancellationToken] = {}
+
+
 class ProtocolServer:
     """Bridges an NDJSON stream pair onto a :class:`CorpusServer`.
 
     One instance can serve many connections; per-connection state is local
-    to :meth:`handle_connection`.
+    to :meth:`handle_connection`.  Auth, per-client quotas and the request
+    size limit come from the server's :class:`ServingPolicy`; cancellation
+    tokens come from the owning session when there is one
+    (:meth:`repro.session.Session.protocol`), so in-process holders of the
+    session can observe and fire the same tokens.
     """
 
-    def __init__(self, server: CorpusServer) -> None:
+    def __init__(self, server: CorpusServer, *, session=None) -> None:
         self.server = server
+        self.session = session if session is not None else getattr(server, "session", None)
+        self.policy: ServingPolicy = getattr(server, "policy", None) or ServingPolicy()
+
+    def _new_token(self) -> CancellationToken:
+        if self.session is not None:
+            return self.session.cancellation_token()
+        return CancellationToken()
 
     # -------------------------------------------------------------- transports
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
@@ -84,7 +136,10 @@ class ProtocolServer:
         by the CLI's startup banner).
         """
         return await asyncio.start_server(
-            self.handle_connection, host, port, limit=READ_LIMIT
+            self.handle_connection,
+            host,
+            port,
+            limit=self.policy.max_request_bytes or READ_LIMIT,
         )
 
     async def handle_connection(
@@ -93,6 +148,7 @@ class ProtocolServer:
         """Serve one client: read request lines, spawn a task per submission."""
         write_lock = asyncio.Lock()
         pending: set["asyncio.Task"] = set()
+        connection = _Connection()
         try:
             while True:
                 try:
@@ -121,7 +177,7 @@ class ProtocolServer:
                 if not line:
                     continue
                 task = asyncio.create_task(
-                    self._handle_line(line, writer, write_lock)
+                    self._handle_line(line, writer, write_lock, connection)
                 )
                 pending.add(task)
                 task.add_done_callback(pending.discard)
@@ -142,7 +198,11 @@ class ProtocolServer:
 
     # ---------------------------------------------------------------- dispatch
     async def _handle_line(
-        self, line: bytes, writer: "asyncio.StreamWriter", lock: "asyncio.Lock"
+        self,
+        line: bytes,
+        writer: "asyncio.StreamWriter",
+        lock: "asyncio.Lock",
+        connection: "_Connection",
     ) -> None:
         request_id: Optional[object] = None
         try:
@@ -151,6 +211,18 @@ class ProtocolServer:
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
             op = request.get("op", "submit")
+            if self.policy.auth_token is not None and not hmac.compare_digest(
+                # Constant-time comparison: a plain != short-circuits on the
+                # first differing byte, leaking the token through response
+                # timing on a network-facing check.
+                str(request.get("auth", "")),
+                self.policy.auth_token,
+            ):
+                raise UnauthorizedError(
+                    "missing or invalid 'auth' token"
+                    if "auth" in request
+                    else "this server requires an 'auth' token on every request"
+                )
             if op == "ping":
                 await self._send(writer, lock, {"id": request_id, "type": "pong"})
             elif op == "stats":
@@ -163,8 +235,10 @@ class ProtocolServer:
                         "stats": self.server.stats.to_dict(),
                     },
                 )
+            elif op == "cancel":
+                await self._handle_cancel(request, request_id, writer, lock, connection)
             elif op == "submit":
-                await self._handle_submit(request, request_id, writer, lock)
+                await self._handle_submit(request, request_id, writer, lock, connection)
             else:
                 raise ValueError(f"unknown op {op!r}")
         except asyncio.CancelledError:
@@ -186,12 +260,39 @@ class ProtocolServer:
             except (ConnectionError, OSError):
                 pass
 
+    async def _handle_cancel(
+        self,
+        request: dict,
+        request_id: Optional[object],
+        writer: "asyncio.StreamWriter",
+        lock: "asyncio.Lock",
+        connection: "_Connection",
+    ) -> None:
+        """Fire the cancellation token of one of this client's submissions."""
+        if "target" not in request:
+            raise ValueError("cancel needs 'target' (the submission's id)")
+        target = request["target"]
+        token = connection.tokens.get(target)
+        if token is not None:
+            token.cancel("cancel op from client")
+        await self._send(
+            writer,
+            lock,
+            {
+                "id": request_id,
+                "type": "cancelled",
+                "target": target,
+                "found": token is not None,
+            },
+        )
+
     async def _handle_submit(
         self,
         request: dict,
         request_id: Optional[object],
         writer: "asyncio.StreamWriter",
         lock: "asyncio.Lock",
+        connection: "_Connection",
     ) -> None:
         if "queries" in request:
             items = [
@@ -201,12 +302,37 @@ class ProtocolServer:
             items = [(request["query"], tuple(request.get("vars", ())))]
         else:
             raise ValueError("submit needs 'query' or 'queries'")
-        submission = await self.server.submit(
-            items,
-            request.get("docs"),
-            engine=request.get("engine"),
-            ordered=bool(request.get("ordered", True)),
-        )
+        if request_id in connection.tokens:
+            # A reused id would overwrite the live submission's token (and
+            # the first stream's cleanup would then delete the second's),
+            # corrupting cancel addressing and the quota count.
+            raise ValueError(
+                f"submission id {request_id!r} is already in use on this "
+                "connection; wait for its 'done' line or pick another id"
+            )
+        quota = self.policy.max_submissions_per_client
+        if quota is not None and len(connection.tokens) >= quota:
+            raise ServerOverloadedError(
+                f"per-client submission quota reached "
+                f"({len(connection.tokens)} active, limit {quota})"
+            )
+        # The token is registered *before* the (possibly slow, off-loop)
+        # compile inside submit, so a pipelined cancel op can land even
+        # while its target is still compiling; on_cancel fires immediately
+        # when the token was already cancelled by then.
+        token = self._new_token()
+        connection.tokens[request_id] = token
+        try:
+            submission = await self.server.submit(
+                items,
+                request.get("docs"),
+                engine=request.get("engine"),
+                ordered=bool(request.get("ordered", True)),
+            )
+        except BaseException:
+            connection.tokens.pop(request_id, None)
+            raise
+        token.on_cancel(submission.cancel)
         delivered = 0
         try:
             async for result in submission:
@@ -231,6 +357,11 @@ class ProtocolServer:
             # jobs instead of evaluating a corpus for a dead reader.
             submission.cancel()
             raise
+        finally:
+            # The stream ended (normally, cancelled, or by disconnect):
+            # the id is no longer cancellable and stops counting against
+            # the per-client quota.
+            connection.tokens.pop(request_id, None)
         await self._send(
             writer,
             lock,
@@ -271,7 +402,7 @@ async def request_lines(
                 return
             payload = json.loads(line)
             yield payload
-            if payload.get("type") in ("done", "error", "stats", "pong"):
+            if payload.get("type") in ("done", "error", "stats", "pong", "cancelled"):
                 return
     finally:
         writer.close()

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Iterable, Optional, Sequence, Union
 
+from repro._deprecation import suppress_deprecations, warn_deprecated
 from repro.errors import ReproError
 from repro.api.document import BatchItem, iter_batch
 from repro.api.query import Query, compile_query
@@ -44,6 +45,7 @@ from repro.corpus.executor import CorpusExecutor, CorpusResult
 from repro.corpus.store import CorpusError, DocumentStore
 from repro.pplbin import bitmatrix as _bitmatrix
 from repro.serve.plancache import ANY_ENGINE, PlanCache
+from repro.session.policy import ServingPolicy
 
 
 class ServeError(ReproError):
@@ -216,6 +218,22 @@ class CorpusServer:
         unread for this many seconds is treated as abandoned (consumer gone
         without cancelling) and cancelled, so shutdown can never wedge on a
         vanished client.
+    policy:
+        A :class:`repro.session.ServingPolicy` supplying the admission /
+        backpressure / auth defaults in one object.  The individual keyword
+        arguments above override matching policy fields (the documented
+        *explicit > policy* precedence); auth and per-client quotas are
+        enforced by the protocol layer, which reads them from here.
+    session:
+        The owning :class:`repro.session.Session`, when the server is that
+        session's async surface.  Compilation then routes through the
+        session's shared plan memo, so a plan compiled on the sync path is
+        the same object this server streams from.
+
+    .. deprecated::
+        Constructing a server directly (without a session) is deprecated;
+        use :meth:`repro.session.Session.astream` /
+        :meth:`repro.session.Session.protocol`.
     """
 
     def __init__(
@@ -227,12 +245,35 @@ class CorpusServer:
         engine: str = DEFAULT_ENGINE,
         executor: Optional[CorpusExecutor] = None,
         plan_cache: Optional[PlanCache] = None,
-        max_concurrent: int = 4,
-        max_queue: int = 256,
-        stream_buffer: int = 16,
-        latency_window: int = 512,
-        abandon_grace: float = 5.0,
+        max_concurrent: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        stream_buffer: Optional[int] = None,
+        latency_window: Optional[int] = None,
+        abandon_grace: Optional[float] = None,
+        policy: Optional[ServingPolicy] = None,
+        session=None,
     ) -> None:
+        if session is None:
+            warn_deprecated(
+                "constructing CorpusServer directly",
+                "repro.session.Session (session.astream / session.aquery / "
+                "session.protocol)",
+            )
+        base = policy if policy is not None else ServingPolicy()
+        #: The effective serving policy: explicit arguments folded over
+        #: ``policy`` (the protocol layer reads auth/quota/size-limit from it).
+        self.policy = base.override(
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+            stream_buffer=stream_buffer,
+            latency_window=latency_window,
+            abandon_grace=abandon_grace,
+        )
+        max_concurrent = self.policy.max_concurrent
+        max_queue = self.policy.max_queue
+        stream_buffer = self.policy.stream_buffer
+        latency_window = self.policy.latency_window
+        abandon_grace = self.policy.abandon_grace
         if max_concurrent < 1:
             raise ServeError("max_concurrent must be at least 1")
         if max_queue < 1:
@@ -244,14 +285,19 @@ class CorpusServer:
         self.store = store
         self.engine = engine
         self.plan_cache = plan_cache
+        self.session = session
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.stream_buffer = stream_buffer
         self.abandon_grace = abandon_grace
         self._own_executor = executor is None
-        self.executor = executor if executor is not None else CorpusExecutor(
-            store, strategy=strategy, max_workers=max_workers, engine=engine
-        )
+        if executor is not None:
+            self.executor = executor
+        else:
+            with suppress_deprecations():
+                self.executor = CorpusExecutor(
+                    store, strategy=strategy, max_workers=max_workers, engine=engine
+                )
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._tasks: set["asyncio.Task"] = set()
         self._latencies: deque = deque(maxlen=latency_window)
@@ -288,15 +334,36 @@ class CorpusServer:
         if self._own_executor:
             self.executor.close()
 
+    def close_nowait(self) -> None:
+        """Synchronously stop admission, without draining (idempotent).
+
+        For teardown paths that cannot await (``Session.close`` from sync
+        code): new submissions are refused with
+        :class:`ServerClosedError` immediately, in-flight producer tasks
+        are left to the owning loop.  The executor is *not* closed here —
+        the caller owns that (a session closes its shared executor itself;
+        a server that owns its executor should use :meth:`aclose`).
+        """
+        self._draining = True
+        self._closed = True
+
     # --------------------------------------------------------------- submission
     def compile(
         self, expression: Union[str, BatchItem], variables: Sequence[str] = ()
     ) -> Query:
-        """Compile one expression through the plan cache (if configured)."""
+        """Compile one expression through the plan cache (if configured).
+
+        When the server belongs to a :class:`repro.session.Session`, the
+        session's shared compiled-plan memo does the work instead — the
+        returned :class:`Query` is then the *same object* the session's
+        sync surface answers with (one plan, both surfaces).
+        """
         if isinstance(expression, Query):
             return expression
         if isinstance(expression, tuple):
             expression, variables = expression
+        if self.session is not None:
+            return self.session.compile(expression, tuple(variables))
         if isinstance(expression, str) and self.plan_cache is not None:
             # Compiled plans carry every translation, so they are engine
             # independent: keyed under the shared ANY_ENGINE label, one

@@ -1,0 +1,308 @@
+"""Execution and serving policies: one precedence chain for every knob.
+
+Before PR 5, engine choice, kernel selection, worker strategy and cache
+budgets were wired through a different mix of keyword arguments, ``REPRO_*``
+environment variables and CLI flags in each of the three front doors
+(``Document.answer``, ``CorpusExecutor``, ``CorpusServer``).  This module
+replaces the ad-hoc lookups with two frozen dataclasses and one documented
+rule:
+
+    **explicit argument  >  policy field  >  environment  >  default**
+
+:class:`ExecutionPolicy` carries everything that shapes *how a query runs*
+(engine, kernel, strategy, worker counts, cache byte budgets, timeout);
+:class:`ServingPolicy` carries everything that shapes *how a server admits
+work* (concurrency, admission queue, stream buffers, auth, per-client
+quotas, request size limits).  Both are immutable: a policy handed to a
+:class:`repro.session.Session` can never change under it, and tests can
+assert on exactly what was resolved — :meth:`ExecutionPolicy.explain`
+reports each field's value *and where it came from*.
+
+Unset fields use the :data:`UNSET` sentinel (not ``None``) wherever ``None``
+is itself a meaningful value (e.g. ``answer_cache_bytes=None`` means an
+unbounded cache, while ``UNSET`` means "fall through to the environment").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: The "not specified" sentinel used by policy fields where ``None`` is a
+#: meaningful explicit value (unbounded budgets, process-default kernel).
+#: One shared object across the whole stack — see :mod:`repro._config`.
+from repro._config import UNSET
+
+# ------------------------------------------------------------- environment
+#: Environment variables of the execution chain, one per policy field.
+#: ``REPRO_KERNEL`` and ``REPRO_MATRIX_CACHE_BYTES`` predate this module
+#: (they are also read by :mod:`repro.pplbin.bitmatrix` and
+#: :mod:`repro.trees.tree` for process-wide defaults); the rest are new
+#: with the Session API.
+ENGINE_ENV = "REPRO_ENGINE"
+KERNEL_ENV = "REPRO_KERNEL"
+STRATEGY_ENV = "REPRO_STRATEGY"
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+MAX_RESIDENT_ENV = "REPRO_MAX_RESIDENT"
+ANSWER_CACHE_BYTES_ENV = "REPRO_ANSWER_CACHE_BYTES"
+MATRIX_CACHE_BYTES_ENV = "REPRO_MATRIX_CACHE_BYTES"
+PLAN_CACHE_DIR_ENV = "REPRO_PLAN_CACHE"
+PLAN_CACHE_BYTES_ENV = "REPRO_PLAN_CACHE_BYTES"
+TIMEOUT_ENV = "REPRO_TIMEOUT"
+
+_ENV_OF_FIELD = {
+    "engine": ENGINE_ENV,
+    "kernel": KERNEL_ENV,
+    "strategy": STRATEGY_ENV,
+    "max_workers": MAX_WORKERS_ENV,
+    "max_resident": MAX_RESIDENT_ENV,
+    "answer_cache_bytes": ANSWER_CACHE_BYTES_ENV,
+    "matrix_cache_bytes": MATRIX_CACHE_BYTES_ENV,
+    "plan_cache_dir": PLAN_CACHE_DIR_ENV,
+    "plan_cache_bytes": PLAN_CACHE_BYTES_ENV,
+    "timeout": TIMEOUT_ENV,
+}
+
+_INT_FIELDS = frozenset(
+    {
+        "max_workers",
+        "max_resident",
+        "answer_cache_bytes",
+        "matrix_cache_bytes",
+        "plan_cache_bytes",
+    }
+)
+_FLOAT_FIELDS = frozenset({"timeout"})
+
+
+def _coerce_env(field: str, raw: str) -> Any:
+    """Parse an environment value for ``field`` (int/float fields numeric).
+
+    For byte-budget and worker-count fields an empty string or ``0`` means
+    "unbounded"/"auto" (``None``), matching the pre-existing convention of
+    ``REPRO_MATRIX_CACHE_BYTES``.
+    """
+    raw = raw.strip()
+    if field in _INT_FIELDS:
+        if not raw or raw == "0":
+            return None
+        return int(raw)
+    if field in _FLOAT_FIELDS:
+        if not raw:
+            return None
+        return float(raw)
+    return raw or None
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """One resolved knob: the value plus the precedence layer that won.
+
+    ``source`` is one of ``"explicit"``, ``"policy"``, ``"env"`` or
+    ``"default"`` — the regression tests for the precedence chain assert on
+    it directly instead of reverse-engineering the winner from behaviour.
+    """
+
+    value: Any
+    source: str
+
+
+def _resolve(field: str, explicit: Any, policy_value: Any, default: Any) -> Resolved:
+    """Apply the documented chain for one field."""
+    if explicit is not UNSET and explicit is not None:
+        return Resolved(explicit, "explicit")
+    if policy_value is not UNSET:
+        return Resolved(policy_value, "policy")
+    env_name = _ENV_OF_FIELD.get(field)
+    if env_name is not None:
+        raw = os.environ.get(env_name)
+        if raw is not None:
+            return Resolved(_coerce_env(field, raw), "env")
+    return Resolved(default, "default")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How queries execute: engine, kernel, workers, budgets, timeout.
+
+    Every field defaults to :data:`UNSET` ("not specified"), in which case
+    the matching ``REPRO_*`` environment variable applies, then the built-in
+    default.  An explicit per-call argument (e.g. ``engine=`` on
+    :meth:`repro.session.Session.query`) always wins over all of these —
+    including inside worker subprocesses, which receive the resolved values
+    rather than re-reading the environment on spawn.
+
+    Fields
+    ------
+    engine:
+        Registry key of the default backend (default ``"polynomial"``).
+    kernel:
+        Matrix-kernel name for the Theorem 2 evaluator (``dense`` /
+        ``bitset`` / ``sparse`` / ``adaptive``); ``None`` means the process
+        default (which itself honours ``REPRO_KERNEL``).
+    strategy:
+        Corpus execution strategy (``serial`` / ``threads`` / ``processes``,
+        default ``serial``).
+    max_workers:
+        Thread-pool width or process shard count (``None`` = automatic).
+    max_resident:
+        LRU bound on concurrently materialised documents (``None`` =
+        unbounded).
+    cache_answers:
+        Whether store-managed documents memoise answer sets (default true).
+    answer_cache_bytes:
+        Byte budget of the corpus-wide answer cache (``None`` = unbounded;
+        default 64 MiB, :data:`repro.corpus.store.DEFAULT_ANSWER_CACHE_BYTES`).
+    matrix_cache_bytes:
+        Per-tree matrix cache budget (``None`` = unbounded; default 256 MiB).
+    plan_cache_dir:
+        Directory of the persistent compiled-plan cache (``None`` = no
+        persistence; compiled plans still memoise in memory per session).
+    plan_cache_bytes:
+        LRU byte budget of the persistent plan cache.
+    timeout:
+        Per-submission wall-clock budget in seconds for the async surface;
+        an exceeded budget cancels the submission's outstanding work.
+    """
+
+    engine: Any = UNSET
+    kernel: Any = UNSET
+    strategy: Any = UNSET
+    max_workers: Any = UNSET
+    max_resident: Any = UNSET
+    cache_answers: Any = UNSET
+    answer_cache_bytes: Any = UNSET
+    matrix_cache_bytes: Any = UNSET
+    plan_cache_dir: Any = UNSET
+    plan_cache_bytes: Any = UNSET
+    timeout: Any = UNSET
+
+    # ------------------------------------------------------------ composition
+    def override(self, **explicit: Any) -> "ExecutionPolicy":
+        """Return a policy with the given *specified* fields replaced.
+
+        This is how explicit constructor arguments fold into a policy while
+        preserving precedence: only arguments that were actually given
+        (not ``None``/:data:`UNSET`) replace the field.  ``cache_answers``
+        accepts explicit booleans.
+        """
+        changes = {
+            name: value
+            for name, value in explicit.items()
+            if value is not None and value is not UNSET
+        }
+        return dataclasses.replace(self, **changes) if changes else self
+
+    # -------------------------------------------------------------- resolution
+    def resolve(self, field: str, explicit: Any = UNSET) -> Resolved:
+        """Resolve one field through explicit > policy > env > default."""
+        defaults = _EXECUTION_DEFAULTS
+        if field not in defaults:
+            raise ValueError(f"unknown execution-policy field {field!r}")
+        return _resolve(field, explicit, getattr(self, field), defaults[field])
+
+    def resolved(self, field: str, explicit: Any = UNSET) -> Any:
+        """Shorthand for ``resolve(...).value``."""
+        return self.resolve(field, explicit).value
+
+    def explain(self) -> dict[str, Resolved]:
+        """The full resolution table: every field's value and winning layer."""
+        return {name: self.resolve(name) for name in _EXECUTION_DEFAULTS}
+
+
+def _execution_defaults() -> dict[str, Any]:
+    # Imported lazily: policy must stay importable without dragging the
+    # whole engine stack in (worker subprocesses import it early).
+    from repro.api.registry import DEFAULT_ENGINE
+    from repro.corpus.store import DEFAULT_ANSWER_CACHE_BYTES
+    from repro.trees.tree import DEFAULT_MATRIX_CACHE_BYTES
+
+    return {
+        "engine": DEFAULT_ENGINE,
+        "kernel": None,
+        "strategy": "serial",
+        "max_workers": None,
+        "max_resident": None,
+        "cache_answers": True,
+        "answer_cache_bytes": DEFAULT_ANSWER_CACHE_BYTES,
+        "matrix_cache_bytes": DEFAULT_MATRIX_CACHE_BYTES,
+        "plan_cache_dir": None,
+        "plan_cache_bytes": None,
+        "timeout": None,
+    }
+
+
+class _LazyDefaults:
+    """Mapping view over :func:`_execution_defaults`, computed on first use."""
+
+    def __init__(self) -> None:
+        self._table: Optional[dict[str, Any]] = None
+
+    def _load(self) -> dict[str, Any]:
+        if self._table is None:
+            self._table = _execution_defaults()
+        return self._table
+
+    def __contains__(self, field: str) -> bool:
+        return field in self._load()
+
+    def __getitem__(self, field: str) -> Any:
+        return self._load()[field]
+
+    def __iter__(self):
+        return iter(self._load())
+
+
+_EXECUTION_DEFAULTS = _LazyDefaults()
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """How a server admits and protects work: concurrency, quotas, auth.
+
+    Unlike :class:`ExecutionPolicy`, serving knobs have no environment
+    layer — a server's admission behaviour should be explicit in the code
+    or config that starts it, never ambient — so fields carry their real
+    defaults directly.
+
+    Fields
+    ------
+    max_concurrent:
+        Documents evaluated at once, server-wide (semaphore width).
+    max_queue:
+        Admitted-but-unfinished document bound; overflowing submissions are
+        rejected with a typed ``overloaded`` error while other work pends.
+    stream_buffer:
+        Per-submission result queue size (per-client backpressure).
+    latency_window:
+        How many recent per-document latencies back the p50/p95 stats.
+    abandon_grace:
+        Seconds a full, unread stream queue survives during drain before
+        being treated as abandoned and cancelled.
+    auth_token:
+        When set, every NDJSON request must carry ``"auth": <token>``;
+        requests without it get a typed ``unauthorized`` error line.
+    max_submissions_per_client:
+        Per-connection bound on concurrently active submissions (``None`` =
+        unbounded); exceeding it is a typed ``overloaded`` rejection.
+    max_request_bytes:
+        NDJSON request-line size limit (the stream reader's buffer bound).
+    """
+
+    max_concurrent: int = 4
+    max_queue: int = 256
+    stream_buffer: int = 16
+    latency_window: int = 512
+    abandon_grace: float = 5.0
+    auth_token: Optional[str] = None
+    max_submissions_per_client: Optional[int] = None
+    max_request_bytes: int = 16 * 1024 * 1024
+
+    def override(self, **explicit: Any) -> "ServingPolicy":
+        """Return a policy with the given specified fields replaced."""
+        changes = {
+            name: value for name, value in explicit.items() if value is not None
+        }
+        return dataclasses.replace(self, **changes) if changes else self

@@ -1,0 +1,67 @@
+"""Cancellation tokens: one cancel signal shared across layers.
+
+A :class:`CancellationToken` is a tiny, thread-safe latch connecting a
+*canceller* (an NDJSON ``cancel`` op, a timeout watchdog, user code holding
+the token) to any number of *cancellables* (an async
+:class:`repro.serve.server.Submission`, a pending future).  Callbacks
+registered with :meth:`CancellationToken.on_cancel` fire exactly once, even
+when registration races the cancel itself — registering on an
+already-cancelled token fires the callback immediately.
+
+The protocol server creates one token per streamed submission and indexes it
+by the client's submission id; the ``cancel`` op resolves the id and fires
+the token, which aborts the stream mid-flight (satellite of the ROADMAP's
+protocol-hardening item).  :meth:`repro.session.Session.astream` accepts a
+token so in-process callers get the same mechanism.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+
+class CancellationToken:
+    """A one-shot, thread-safe cancel latch with callbacks.
+
+    Tokens are created by :meth:`repro.session.Session.cancellation_token`
+    (or directly); they carry an optional ``reason`` string for diagnostics.
+    """
+
+    __slots__ = ("_lock", "_cancelled", "_callbacks", "reason")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._callbacks: list[Callable[[], None]] = []
+        self.reason: Optional[str] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has run."""
+        with self._lock:
+            return self._cancelled
+
+    def cancel(self, reason: Optional[str] = None) -> bool:
+        """Fire the token; returns False when it was already cancelled.
+
+        Callbacks run outside the lock (a callback may itself consult the
+        token), in registration order, once each.
+        """
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self.reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+        return True
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run on cancel (immediately if already fired)."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        callback()

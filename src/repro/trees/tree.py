@@ -167,6 +167,23 @@ class MatrixCache:
         with self._lock:
             return len(self._entries)
 
+    def set_budget(self, max_bytes: Optional[int]) -> None:
+        """Rebudget the cache in place, evicting LRU entries if it shrank.
+
+        The budget is normally fixed at tree construction (argument or
+        ``REPRO_MATRIX_CACHE_BYTES``); this exists so a policy layer (the
+        Session's ``ExecutionPolicy.matrix_cache_bytes``) can apply an
+        explicit budget to documents whose trees were built elsewhere.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise TreeError("matrix cache budget must be non-negative (or None)")
+        with self._lock:
+            self.max_bytes = max_bytes
+            while self.max_bytes is not None and self._bytes > self.max_bytes:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self._bytes -= evicted_cost
+                self._evictions += 1
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

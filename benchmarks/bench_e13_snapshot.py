@@ -1,0 +1,237 @@
+"""E13 — snapshot store: warm starts vs cold parses on the E10 corpus.
+
+The scenario isolates what the :mod:`repro.snapshot` subsystem is for:
+*startup latency*.  A cold corpus start pays XML parsing, tree numbering
+and the first evaluation for every document; a warm start over a populated
+snapshot directory memmaps the columnar snapshots (O(1), no parsing), seeds
+the packed-bitset axis relations straight off the mapping, and serves the
+first answer set from the on-disk spill.
+
+Three passes over the same generated corpus (the E10 64-document corpus at
+full scale):
+
+* ``cold`` — fresh session, empty snapshot directory: parses everything,
+  writes snapshots and answer spills as it goes (the populate pass);
+* ``warm`` — fresh session over the now-populated directory: zero parses,
+  every document memmapped, every first answer served from the spill;
+* ``over_budget`` — a warm session whose snapshot byte budget is far too
+  small for the corpus *and* whose resident-document budget forces constant
+  eviction: correctness must hold (answers byte-identical to the all-in-
+  memory baseline) even while the LRU GC is deleting behind the reader.
+
+The headline numbers are the cold/warm startup-to-first-answer and
+whole-run wall-clocks (the acceptance bar is warm first-answer >= 5x faster
+than cold), plus the byte-identical agreement across every pass and engine.
+
+Run standalone to produce ``BENCH_snapshot.json`` in the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_e13_snapshot.py
+
+Set ``REPRO_BENCH_SCALE=smoke`` for the reduced CI scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.session import Session
+from repro.workloads import generate_corpus, write_corpus
+
+from bench_utils import write_bench_json
+
+#: Same introductory-shape selective queries as E10.
+QUERIES = [
+    (
+        "descendant::book[ child::author[. is $y] and child::price[. is $z]"
+        " and child::publisher and child::year ]",
+        ("y", "z"),
+    ),
+    (
+        "descendant::book[ child::title[. is $t] and child::year[. is $w]"
+        " and child::price ]",
+        ("t", "w"),
+    ),
+]
+ENGINES = ("polynomial", "yannakakis")
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
+
+#: Full scale = the E10 corpus; smoke keeps the shape at CI-friendly size.
+NUM_DOCUMENTS = 8 if SMOKE else 64
+BASE_BOOKS = 40 if SMOKE else 200
+SIZE_SKEW = 0.15
+SEED = 42
+#: Over-budget scenario: snapshots capped far below the corpus footprint,
+#: resident documents capped far below the corpus size.
+OVER_BUDGET_SNAPSHOT_BYTES = 64 * 1024
+OVER_BUDGET_MAX_RESIDENT = 2
+#: First-answer latency is a few milliseconds warm, so a single sample is
+#: at the mercy of scheduler noise; report the median of this many passes.
+FIRST_ANSWER_SAMPLES = 3
+
+
+def _digest(answers: dict) -> str:
+    """Stable digest of a ``{(doc, query, engine): frozenset}`` answer map."""
+    blob = repr(sorted((key, sorted(value)) for key, value in answers.items()))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_pass(
+    directory: str,
+    label: str,
+    *,
+    engines: tuple[str, ...] = ENGINES,
+    **session_kwargs,
+) -> dict:
+    """One full corpus run in a fresh session; timing from construction.
+
+    ``first_answer_seconds`` is startup-to-first-answer: session build +
+    directory registration + materialising the first document + its first
+    evaluation — the latency a serving process pays before it is useful.
+    """
+    started = time.perf_counter()
+    answers: dict = {}
+    first_answer = None
+    with Session(**session_kwargs) as session:
+        session.add_directory(directory)
+        for engine in engines:
+            for result in session.query_corpus(QUERIES, engine=engine):
+                if first_answer is None:
+                    first_answer = time.perf_counter() - started
+                answers[(result.doc_name, result.query, engine)] = result.answers
+        stats = session.stats()
+    wall = time.perf_counter() - started
+    return {
+        "label": label,
+        "first_answer_seconds": first_answer,
+        "wall_seconds": wall,
+        "store": stats["store"],
+        "snapshot": stats["snapshot"],
+        "answers": answers,
+    }
+
+
+def run_scenario(
+    *,
+    num_documents: int = NUM_DOCUMENTS,
+    base_books: int = BASE_BOOKS,
+    skew: float = SIZE_SKEW,
+    engines: tuple[str, ...] = ENGINES,
+) -> dict:
+    with tempfile.TemporaryDirectory() as workdir:
+        corpus_dir = os.path.join(workdir, "corpus")
+        snapshot_dir = os.path.join(workdir, "snapshots")
+        corpus = generate_corpus(
+            num_documents, base=base_books, skew=skew, seed=SEED, decoys_per_book=3
+        )
+        write_corpus(corpus_dir, corpus)
+        total_nodes = sum(tree.size for tree in corpus.values())
+
+        baseline = run_pass(corpus_dir, "baseline", engines=engines)
+
+        # First-answer latency is milliseconds warm, so single samples are
+        # noisy; repeat each pass and report the median.  Every cold sample
+        # starts from an empty snapshot directory (the last one populates
+        # the directory the warm passes then reuse).
+        cold_samples: list[float] = []
+        cold: dict = {}
+        for index in range(FIRST_ANSWER_SAMPLES):
+            last = index == FIRST_ANSWER_SAMPLES - 1
+            target = (
+                snapshot_dir
+                if last
+                else os.path.join(workdir, f"snapshots-cold-{index}")
+            )
+            cold = run_pass(
+                corpus_dir, "cold", engines=engines, snapshot_dir=target
+            )
+            cold_samples.append(cold["first_answer_seconds"])
+            if not last:
+                shutil.rmtree(target)
+        cold["first_answer_samples"] = cold_samples
+        cold["first_answer_seconds"] = statistics.median(cold_samples)
+
+        warm_samples: list[float] = []
+        warm: dict = {}
+        for _ in range(FIRST_ANSWER_SAMPLES):
+            warm = run_pass(
+                corpus_dir, "warm", engines=engines, snapshot_dir=snapshot_dir
+            )
+            warm_samples.append(warm["first_answer_seconds"])
+        warm["first_answer_samples"] = warm_samples
+        warm["first_answer_seconds"] = statistics.median(warm_samples)
+        over_budget = run_pass(
+            corpus_dir,
+            "over_budget",
+            engines=engines,
+            snapshot_dir=snapshot_dir,
+            snapshot_bytes=OVER_BUDGET_SNAPSHOT_BYTES,
+            max_resident=OVER_BUDGET_MAX_RESIDENT,
+        )
+
+    passes = [baseline, cold, warm, over_budget]
+    reference = baseline["answers"]
+    agreement = all(one["answers"] == reference for one in passes[1:])
+    for one in passes:
+        one["results_digest"] = _digest(one.pop("answers"))
+    speedup_first = (
+        cold["first_answer_seconds"] / warm["first_answer_seconds"]
+        if warm["first_answer_seconds"]
+        else None
+    )
+    speedup_wall = (
+        cold["wall_seconds"] / warm["wall_seconds"] if warm["wall_seconds"] else None
+    )
+    return {
+        "experiment": "e13_snapshot",
+        "scenario": {
+            "num_documents": num_documents,
+            "base_books": base_books,
+            "size_skew": skew,
+            "total_nodes": total_nodes,
+            "queries": [text for text, _ in QUERIES],
+            "engines": list(engines),
+            "smoke": SMOKE,
+            "over_budget_snapshot_bytes": OVER_BUDGET_SNAPSHOT_BYTES,
+            "over_budget_max_resident": OVER_BUDGET_MAX_RESIDENT,
+        },
+        "passes": passes,
+        "agreement": agreement,
+        "warm_first_answer_speedup": speedup_first,
+        "warm_wall_speedup": speedup_wall,
+        "warm_parse_count": warm["store"]["parse_count"],
+    }
+
+
+def main() -> int:
+    payload = run_scenario()
+    path = write_bench_json("snapshot", payload)
+    print(f"wrote {path}")
+    for one in payload["passes"]:
+        print(
+            f"{one['label']}: first_answer={one['first_answer_seconds']:.4f}s "
+            f"wall={one['wall_seconds']:.2f}s "
+            f"parses={one['store']['parse_count']} "
+            f"snapshot_hits={one['store']['snapshot_hits']}"
+        )
+    print(
+        f"agreement: {payload['agreement']}  "
+        f"first-answer speedup: {payload['warm_first_answer_speedup']:.1f}x  "
+        f"wall speedup: {payload['warm_wall_speedup']:.2f}x"
+    )
+    ok = (
+        payload["agreement"]
+        and payload["warm_parse_count"] == 0
+        and payload["warm_first_answer_speedup"] is not None
+        and payload["warm_first_answer_speedup"] >= 5.0
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

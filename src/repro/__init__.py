@@ -59,6 +59,7 @@ from repro.api import (
 )
 from repro.session import (
     CancellationToken,
+    CorpusTimeoutError,
     ExecutionPolicy,
     ServingPolicy,
     Session,
@@ -66,7 +67,7 @@ from repro.session import (
     SessionError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -76,6 +77,7 @@ __all__ = [
     "CancellationToken",
     "SessionError",
     "SessionClosedError",
+    "CorpusTimeoutError",
     "Node",
     "Tree",
     "tree_from_xml",

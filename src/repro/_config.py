@@ -9,8 +9,9 @@ object — :mod:`repro.session.policy` re-exports it as the public policy
 sentinel, and the Document/store/executor keyword plumbing compares against
 the same instance.
 
-(The :class:`repro.trees.tree.Tree` constructor keeps its own seed-era
-private sentinel; it never crosses a module boundary.)
+(:class:`repro.trees.tree.Tree` aliases this sentinel as its private
+``_UNSET`` — the snapshot loader forwards matrix budgets across that module
+boundary, so the instances must be one and the same.)
 """
 
 from __future__ import annotations

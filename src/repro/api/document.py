@@ -115,6 +115,14 @@ class Document:
         budget (constructor argument or ``REPRO_MATRIX_CACHE_BYTES``)
         stands.  The Session layer passes its resolved
         ``ExecutionPolicy.matrix_cache_bytes`` through here.
+    snapshot_store / source_digest:
+        The answer-spill hook: a :class:`repro.snapshot.SnapshotStore`
+        plus the content digest of this document's source.  With both set
+        (and answer caching on), a memory-cache miss consults the spilled
+        ``(digest, plan, engine)``-addressed answer set before evaluating,
+        and fresh evaluations spill back — warm starts skip the first
+        evaluation, not just the parse.  Wired by
+        :class:`repro.corpus.DocumentStore` when it has a ``snapshot_dir``.
 
     .. deprecated::
         Direct construction is deprecated in favour of
@@ -141,6 +149,8 @@ class Document:
         cache_owner: Optional[object] = None,
         kernel=None,
         matrix_cache_bytes=_UNSET,
+        snapshot_store=None,
+        source_digest: Optional[str] = None,
     ) -> None:
         warn_deprecated(
             "constructing Document directly",
@@ -163,6 +173,8 @@ class Document:
             answer_cache = AnswerCache(max_bytes=None)
         self._answer_cache = answer_cache
         self._cache_owner = cache_owner if cache_owner is not None else self
+        self._snapshot_store = snapshot_store if source_digest is not None else None
+        self._source_digest = source_digest
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -266,9 +278,24 @@ class Document:
         # corpus-wide cache (see repro.corpus.cache).
         key = (self._cache_owner, compiled.source, compiled.variables, backend.name)
         answers = self._answer_cache.get(key)
+        if answers is None and self._snapshot_store is not None:
+            # Spill tier: answers addressed by (source digest, plan, engine)
+            # survive process restarts; a disk hit re-seeds the memory memo.
+            plan = compiled.unparse()
+            answers = self._snapshot_store.load_answers(
+                self._source_digest, plan, compiled.variables, backend.name
+            )
+            if answers is not None:
+                self._answer_cache.put(key, answers)
+                return answers
         if answers is None:
             answers = backend.answer(self, compiled)
             self._answer_cache.put(key, answers)
+            if self._snapshot_store is not None:
+                plan = compiled.unparse()
+                self._snapshot_store.store_answers(
+                    self._source_digest, plan, compiled.variables, backend.name, answers
+                )
         return answers
 
     def nonempty(self, query: QueryLike, *, engine: str = DEFAULT_ENGINE) -> bool:

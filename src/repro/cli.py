@@ -91,6 +91,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -201,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="LRU bound on concurrently materialised documents (default unbounded)",
         )
+        subparser.add_argument(
+            "--snapshot-dir",
+            default=None,
+            help="directory of the on-disk columnar snapshot store "
+            "(default: REPRO_SNAPSHOT_DIR, else no snapshots)",
+        )
+        subparser.add_argument(
+            "--snapshot-bytes",
+            type=int,
+            default=None,
+            help="LRU byte budget of the snapshot directory (default unbounded)",
+        )
 
     corpus_load = corpus_sub.add_parser(
         "load", help="register a directory and print a JSON inventory"
@@ -259,6 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corpus_bench.add_argument(
         "--out", default=None, help="write the JSON comparison to this path as well"
+    )
+
+    corpus_snapshot = corpus_sub.add_parser(
+        "snapshot", help="manage the on-disk columnar snapshot store"
+    )
+    snapshot_sub = corpus_snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+
+    snapshot_build = snapshot_sub.add_parser(
+        "build", help="materialise every corpus document into the snapshot store"
+    )
+    add_store_options(snapshot_build)
+
+    snapshot_stats = snapshot_sub.add_parser(
+        "stats", help="print a snapshot directory's sizes and file counts"
+    )
+    snapshot_stats.add_argument(
+        "--snapshot-dir", required=True, help="the snapshot directory to inspect"
+    )
+
+    snapshot_gc = snapshot_sub.add_parser(
+        "gc", help="evict least-recently-used snapshot files down to a byte budget"
+    )
+    snapshot_gc.add_argument(
+        "--snapshot-dir", required=True, help="the snapshot directory to collect"
+    )
+    snapshot_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="target byte budget; least-recently-used files go first",
     )
 
     serve = subparsers.add_parser(
@@ -542,11 +587,15 @@ def _run_bench(
 
 def _corpus_session(args, **session_kwargs) -> Session:
     """Build a Session over the corpus directory named on the command line."""
+    snapshot_bytes = getattr(args, "snapshot_bytes", None)
+    if snapshot_bytes is not None:
+        session_kwargs.setdefault("snapshot_bytes", snapshot_bytes)
     session = Session(
         max_resident=args.max_resident,
         strategy=getattr(args, "strategy", None),
         max_workers=getattr(args, "workers", None),
         engine=getattr(args, "engine", None),
+        snapshot_dir=getattr(args, "snapshot_dir", None),
         **session_kwargs,
     )
     try:
@@ -606,6 +655,68 @@ def _run_corpus_answer(args) -> int:
             collected.append(result)
     total = sum(result.report.answer_count for result in collected)
     print(f"# documents={len(collected)} total_answers={total}", file=sys.stderr)
+    return 0
+
+
+def _run_corpus_snapshot_build(args) -> int:
+    """Materialise every corpus document once, writing its snapshot."""
+    snapshot_dir = args.snapshot_dir or os.environ.get("REPRO_SNAPSHOT_DIR")
+    if snapshot_dir is None:
+        print("error: corpus snapshot build requires --snapshot-dir", file=sys.stderr)
+        return 1
+    args.snapshot_dir = snapshot_dir
+    with _corpus_session(args) as session:
+        documents = []
+        for name in session.store.names():
+            document = session.document(name)
+            documents.append({"name": name, "nodes": document.size})
+        payload = {
+            "directory": args.dir,
+            "snapshot_dir": args.snapshot_dir,
+            "documents": len(documents),
+            "total_nodes": sum(entry["nodes"] for entry in documents),
+            "snapshot": session.store.snapshot_stats(),
+        }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_corpus_snapshot_stats(args) -> int:
+    from repro.snapshot import SnapshotStore
+
+    store = SnapshotStore(args.snapshot_dir)
+    print(
+        json.dumps(
+            {
+                "snapshot_dir": args.snapshot_dir,
+                "total_bytes": store.total_bytes(),
+                "files": store.file_counts(),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _run_corpus_snapshot_gc(args) -> int:
+    from repro.snapshot import SnapshotStore
+
+    store = SnapshotStore(args.snapshot_dir)
+    before = store.total_bytes()
+    removed = store.gc(args.max_bytes)
+    print(
+        json.dumps(
+            {
+                "snapshot_dir": args.snapshot_dir,
+                "max_bytes": args.max_bytes,
+                "removed_files": removed,
+                "bytes_before": before,
+                "bytes_after": store.total_bytes(),
+                "files": store.file_counts(),
+            },
+            indent=2,
+        )
+    )
     return 0
 
 
@@ -888,6 +999,12 @@ def _main_subcommands(arguments: list[str]) -> int:
                 return _run_corpus_load(args)
             if args.corpus_command == "bench":
                 return _run_corpus_bench(args)
+            if args.corpus_command == "snapshot":
+                if args.snapshot_command == "build":
+                    return _run_corpus_snapshot_build(args)
+                if args.snapshot_command == "stats":
+                    return _run_corpus_snapshot_stats(args)
+                return _run_corpus_snapshot_gc(args)
             return _run_corpus_answer(args)
         if args.command == "serve":
             if args.serve_command == "run":

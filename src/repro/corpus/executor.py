@@ -158,16 +158,28 @@ def _worker_answer(
     return results
 
 
-def _worker_stats() -> tuple[int, int, int]:
-    """The shard worker's (loads, hits, evictions) counters."""
+def _worker_stats() -> tuple[int, int, int, int, int, int]:
+    """The shard worker's store counters (residency plus parse/snapshot)."""
     stats = _WORKER["store"].stats
-    return (stats.loads, stats.hits, stats.evictions)
+    return (
+        stats.loads,
+        stats.hits,
+        stats.evictions,
+        stats.parse_count,
+        stats.snapshot_hits,
+        stats.snapshot_misses,
+    )
 
 
 def _worker_cache_stats() -> Optional[dict]:
     """The shard worker's answer-cache counters, as a plain dict (or None)."""
     cache = _WORKER["store"].answer_cache
     return cache.stats.to_dict() if cache is not None else None
+
+
+def _worker_snapshot_stats() -> Optional[dict]:
+    """The shard worker's snapshot-store counters, as a plain dict (or None)."""
+    return _WORKER["store"].snapshot_stats()
 
 
 # --------------------------------------------------------------- shard pools
@@ -476,6 +488,7 @@ class CorpusExecutor:
             engine=engine if engine is not None else self.engine,
             wall_seconds=wall,
             cache=self.answer_cache_stats(),
+            snapshot=self.snapshot_stats(),
         )
 
     # ------------------------------------------------------------------ serial
@@ -651,6 +664,12 @@ class CorpusExecutor:
             config["kernel"] = get_kernel(self.kernel).name
         if self.store.matrix_cache_bytes is not _UNSET:
             config["matrix_cache_bytes"] = self.store.matrix_cache_bytes
+        if self.store.snapshot_dir is not None:
+            # Workers share the parent's snapshot directory: the store is
+            # content-addressed and its writes are atomic renames, so
+            # concurrent shard workers cooperate instead of clobbering.
+            config["snapshot_dir"] = self.store.snapshot_dir
+            config["snapshot_bytes"] = self.store.snapshot_bytes
         return config or None
 
     def worker_stats(self) -> StoreStats:
@@ -661,20 +680,59 @@ class CorpusExecutor:
         snapshot.  Returns zeros when no shard pool has been spawned (other
         strategies, or before the first run).
         """
-        loads = hits = evictions = 0
+        totals = [0] * 6
         with self._pool_lock:
             pools = [pool for pool in self._pools or () if pool is not None]
         for pool in pools:
             try:
-                worker_loads, worker_hits, worker_evictions = pool.pool.submit(
-                    _worker_stats
-                ).result()
+                counters = pool.pool.submit(_worker_stats).result()
             except RuntimeError:
                 continue  # shut down by a concurrent targeted repartition
-            loads += worker_loads
-            hits += worker_hits
-            evictions += worker_evictions
-        return StoreStats(loads=loads, hits=hits, evictions=evictions)
+            for index, value in enumerate(counters):
+                totals[index] += value
+        loads, hits, evictions, parses, snap_hits, snap_misses = totals
+        return StoreStats(
+            loads=loads,
+            hits=hits,
+            evictions=evictions,
+            parse_count=parses,
+            snapshot_hits=snap_hits,
+            snapshot_misses=snap_misses,
+        )
+
+    def snapshot_stats(self) -> Optional[dict]:
+        """Aggregate snapshot-store counters, wherever the stores live.
+
+        Mirrors :meth:`answer_cache_stats`: for ``"serial"``/``"threads"``
+        the parent store's snapshot store sees all the traffic; for
+        ``"processes"`` the per-worker stores do, so their counters are
+        summed (the sizing fields — bytes/files/budget — describe the one
+        shared directory and are taken from the last worker rather than
+        summed).  Returns ``None`` when no snapshot directory is configured.
+        """
+        with self._pool_lock:
+            if self.strategy != "processes" or self._pools is None:
+                return self.store.snapshot_stats()
+            pools = [pool for pool in self._pools if pool is not None]
+        totals: Optional[dict] = None
+        shared = ("total_bytes", "trees", "answers", "max_bytes")
+        for pool in pools:
+            try:
+                worker = pool.pool.submit(_worker_snapshot_stats).result()
+            except RuntimeError:
+                continue  # shut down by a concurrent targeted repartition
+            if worker is None:
+                continue
+            if totals is None:
+                totals = dict.fromkeys(worker, 0)
+            for field_name, value in worker.items():
+                if field_name in shared:
+                    totals[field_name] = value
+                else:
+                    totals[field_name] += value
+        if totals is None:
+            return self.store.snapshot_stats()
+        return totals
 
     def _run_processes(
         self, names: Sequence[str], queries: Sequence[Query], engine: str, ordered: bool

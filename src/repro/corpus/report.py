@@ -62,6 +62,11 @@ class CorpusReport:
         :meth:`repro.corpus.cache.AnswerCacheStats.to_dict` snapshot
         aggregated by :meth:`CorpusExecutor.answer_cache_stats` (``None``
         when answer caching is off or the stats were not collected).
+    snapshot:
+        Snapshot-store telemetry for the run — the
+        :meth:`repro.corpus.store.DocumentStore.snapshot_stats` dict
+        aggregated by :meth:`CorpusExecutor.snapshot_stats` (``None`` when
+        no snapshot directory is configured).
     """
 
     strategy: str
@@ -69,6 +74,7 @@ class CorpusReport:
     entries: tuple[CorpusEntry, ...] = field(default_factory=tuple)
     wall_seconds: Optional[float] = None
     cache: Optional[dict] = None
+    snapshot: Optional[dict] = None
 
     @classmethod
     def from_results(
@@ -79,6 +85,7 @@ class CorpusReport:
         engine: Optional[str] = None,
         wall_seconds: Optional[float] = None,
         cache: Optional[dict] = None,
+        snapshot: Optional[dict] = None,
     ) -> "CorpusReport":
         """Aggregate a (collected or streaming) result sequence."""
         entries = tuple(
@@ -99,6 +106,7 @@ class CorpusReport:
             entries=entries,
             wall_seconds=wall_seconds,
             cache=cache,
+            snapshot=snapshot,
         )
 
     # ------------------------------------------------------------- aggregates
@@ -148,6 +156,7 @@ class CorpusReport:
             "total_seconds": self.total_seconds,
             "wall_seconds": self.wall_seconds,
             "cache": self.cache,
+            "snapshot": self.snapshot,
             "per_document": self.per_document(),
             "entries": [entry.to_dict() for entry in self.entries],
         }

@@ -61,11 +61,19 @@ class StoreStats:
     ``loads`` counts every materialisation (including reloads after
     eviction), ``hits`` counts accesses served from the resident set, and
     ``evictions`` counts documents dropped to stay under ``max_resident``.
+    The cold-load observability trio: ``parse_count`` counts XML parses
+    actually performed, ``snapshot_hits``/``snapshot_misses`` count loads
+    served from (or falling past) the snapshot store — so snapshot hit-rate
+    is measurable rather than inferred.  Without a ``snapshot_dir`` every
+    load parses and the snapshot counters stay at zero.
     """
 
     loads: int = 0
     hits: int = 0
     evictions: int = 0
+    parse_count: int = 0
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,9 @@ class DocumentSource:
         cache_owner: Optional[object] = None,
         kernel=None,
         matrix_cache_bytes=_UNSET,
+        tree: Optional[Tree] = None,
+        snapshot_store=None,
+        source_digest: Optional[str] = None,
     ) -> Document:
         """Materialise the source into a fresh :class:`Document`.
 
@@ -97,14 +108,18 @@ class DocumentSource:
         store's shared byte-budgeted :class:`AnswerCache` when one is passed
         (``cache_owner`` scopes the entries to this registration, so answers
         survive eviction but die with the source — see
-        :mod:`repro.corpus.cache`).
+        :mod:`repro.corpus.cache`).  ``tree`` short-circuits parsing (the
+        snapshot fast path passes the memmap-backed tree it already
+        loaded); ``snapshot_store``/``source_digest`` wire the document's
+        answer-spill hook (see :meth:`repro.api.Document.answer`).
         """
-        if self.kind == "xml":
-            tree = tree_from_xml(self.xml)
-        elif self.kind == "file":
-            tree = tree_from_xml_file(self.path)
-        else:
-            tree = self.tree
+        if tree is None:
+            if self.kind == "xml":
+                tree = tree_from_xml(self.xml)
+            elif self.kind == "file":
+                tree = tree_from_xml_file(self.path)
+            else:
+                tree = self.tree
         kwargs = {} if matrix_cache_bytes is _UNSET else {
             "matrix_cache_bytes": matrix_cache_bytes
         }
@@ -115,6 +130,8 @@ class DocumentSource:
                 answer_cache=answer_cache,
                 cache_owner=cache_owner,
                 kernel=kernel,
+                snapshot_store=snapshot_store,
+                source_digest=source_digest,
                 **kwargs,
             )
 
@@ -170,6 +187,18 @@ class DocumentStore:
         When given, every materialised document's tree is rebudgeted to
         this matrix-cache byte budget (``None`` = unbounded); unset leaves
         the tree default (``REPRO_MATRIX_CACHE_BYTES`` or 256 MiB).
+    snapshot_dir:
+        Directory of the on-disk snapshot store (:mod:`repro.snapshot`).
+        When set, XML and file sources materialise *through* it: loads
+        prefer a content-addressed columnar snapshot (memmapped, no parse)
+        over the source, revalidated against the source's current digest;
+        misses parse as usual and write the snapshot for next time.  The
+        same store spills answer sets, so a re-registered corpus skips the
+        first evaluation too.  Tree-backed sources bypass snapshots (the
+        tree is already in memory).
+    snapshot_bytes:
+        LRU byte budget over the snapshot directory (``None`` = unbounded),
+        enforced after each build by access-time eviction.
     """
 
     def __init__(
@@ -180,6 +209,8 @@ class DocumentStore:
         answer_cache_bytes: Optional[int] = DEFAULT_ANSWER_CACHE_BYTES,
         kernel=None,
         matrix_cache_bytes=_UNSET,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        snapshot_bytes: Optional[int] = None,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise CorpusError("max_resident must be at least 1 (or None for unbounded)")
@@ -188,6 +219,14 @@ class DocumentStore:
         self.answer_cache_bytes = answer_cache_bytes
         self.kernel = kernel
         self.matrix_cache_bytes = matrix_cache_bytes
+        self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
+        self.snapshot_bytes = snapshot_bytes
+        if snapshot_dir is None:
+            self.snapshot_store = None
+        else:
+            from repro.snapshot.store import SnapshotStore
+
+            self.snapshot_store = SnapshotStore(snapshot_dir, max_bytes=snapshot_bytes)
         self.answer_cache: Optional[AnswerCache] = (
             AnswerCache(max_bytes=answer_cache_bytes) if cache_answers else None
         )
@@ -198,6 +237,9 @@ class DocumentStore:
         self._loads = 0
         self._hits = 0
         self._evictions = 0
+        self._parses = 0
+        self._snapshot_hits = 0
+        self._snapshot_misses = 0
         self._version = 0
         self._tokens: dict[str, int] = {}
         self._next_token = 0
@@ -334,13 +376,7 @@ class DocumentStore:
                         self._resident.move_to_end(name)
                         self._hits += 1
                         return document
-                document = source.load(
-                    cache_answers=self.cache_answers,
-                    answer_cache=self.answer_cache,
-                    cache_owner=token,
-                    kernel=self.kernel,
-                    matrix_cache_bytes=self.matrix_cache_bytes,
-                )
+                document = self._materialise(source, token)
                 with self._lock:
                     if (
                         self._sources.get(name) is not source
@@ -360,6 +396,49 @@ class DocumentStore:
                         self._resident.popitem(last=False)
                         self._evictions += 1
                 return document
+
+    def _materialise(self, source: DocumentSource, token: Optional[int]) -> Document:
+        """Build one document, preferring a columnar snapshot over the source.
+
+        With a snapshot store configured, the source payload is digested
+        first (re-digested on every load, so an edited file revalidates to
+        a different address and can never be served a stale snapshot); a
+        valid snapshot yields a memmap-backed tree with its packed axis
+        relations pre-seeded, a miss parses as usual and writes the
+        snapshot for the next cold start.  Either way the resulting
+        document carries the store+digest pair so its answers spill to (and
+        load from) disk.
+        """
+        snapshot = self.snapshot_store
+        digest: Optional[str] = None
+        tree: Optional[Tree] = None
+        if snapshot is not None and source.kind != "tree":
+            digest = snapshot.digest_source(*source.spec())
+            if digest is not None:
+                tree = snapshot.load_tree(
+                    digest, matrix_cache_bytes=self.matrix_cache_bytes
+                )
+                with self._lock:
+                    if tree is not None:
+                        self._snapshot_hits += 1
+                    else:
+                        self._snapshot_misses += 1
+        if tree is None and source.kind != "tree":
+            with self._lock:
+                self._parses += 1
+        document = source.load(
+            cache_answers=self.cache_answers,
+            answer_cache=self.answer_cache,
+            cache_owner=token,
+            kernel=self.kernel,
+            matrix_cache_bytes=self.matrix_cache_bytes,
+            tree=tree,
+            snapshot_store=snapshot if digest is not None else None,
+            source_digest=digest,
+        )
+        if tree is None and digest is not None and snapshot is not None:
+            snapshot.store_tree(document.tree, digest)
+        return document
 
     def resolve(self, name_or_path: Union[str, Path]) -> Document:
         """Resolve a registered name, or register-and-load a filesystem path.
@@ -417,9 +496,31 @@ class DocumentStore:
 
     @property
     def stats(self) -> StoreStats:
-        """A snapshot of the load/hit/eviction counters."""
+        """A snapshot of the load/hit/eviction and cold-load counters."""
         with self._lock:
-            return StoreStats(loads=self._loads, hits=self._hits, evictions=self._evictions)
+            return StoreStats(
+                loads=self._loads,
+                hits=self._hits,
+                evictions=self._evictions,
+                parse_count=self._parses,
+                snapshot_hits=self._snapshot_hits,
+                snapshot_misses=self._snapshot_misses,
+            )
+
+    def snapshot_stats(self) -> Optional[dict]:
+        """The snapshot store's telemetry, or ``None`` when none is configured.
+
+        Combines the :class:`repro.snapshot.SnapshotStats` counters with
+        the current on-disk footprint and artefact counts — the byte-level
+        half of the hit/miss counters in :attr:`stats`.
+        """
+        if self.snapshot_store is None:
+            return None
+        payload = self.snapshot_store.stats.to_dict()
+        payload["total_bytes"] = self.snapshot_store.total_bytes()
+        payload.update(self.snapshot_store.file_counts())
+        payload["max_bytes"] = self.snapshot_store.max_bytes
+        return payload
 
     def matrix_cache_stats(self):
         """Aggregate matrix-cache counters over the resident documents.

@@ -128,3 +128,16 @@ class SessionClosedError(SessionError):
     def __init__(self, operation: str = "operation") -> None:
         super().__init__(f"the session is closed; cannot perform {operation}")
         self.operation = operation
+
+
+class CorpusTimeoutError(SessionError):
+    """Raised when a sync corpus run exceeds the policy's ``timeout``.
+
+    The deadline covers the whole streamed run (parse + evaluation across
+    every document), not each result individually — the sync counterpart of
+    the async surface's submission watchdog, which cancels instead.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(f"corpus run exceeded the {timeout:g} s execution timeout")
+        self.timeout = timeout

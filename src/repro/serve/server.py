@@ -90,6 +90,7 @@ class ServerStats:
     plan_cache: Optional[dict] = None
     answer_cache: Optional[dict] = None
     matrix_cache: Optional[dict] = None
+    snapshot: Optional[dict] = None
     kernel: Optional[str] = None
 
     def to_dict(self) -> dict:
@@ -107,6 +108,7 @@ class ServerStats:
             "plan_cache": self.plan_cache,
             "answer_cache": self.answer_cache,
             "matrix_cache": self.matrix_cache,
+            "snapshot": self.snapshot,
             "kernel": self.kernel,
         }
 
@@ -654,6 +656,7 @@ class CorpusServer:
                 answer_cache.stats.to_dict() if answer_cache is not None else None
             ),
             matrix_cache=self.store.matrix_cache_stats().to_dict(),
+            snapshot=self.store.snapshot_stats(),
             kernel=_bitmatrix.get_default_kernel().name,
         )
 

@@ -32,7 +32,7 @@ The pre-Session entry points (:class:`repro.api.Document` construction,
 wrappers; see the README's migration table.
 """
 
-from repro.errors import SessionClosedError, SessionError
+from repro.errors import CorpusTimeoutError, SessionClosedError, SessionError
 from repro.session.policy import (
     ANSWER_CACHE_BYTES_ENV,
     ENGINE_ENV,
@@ -42,6 +42,8 @@ from repro.session.policy import (
     MAX_WORKERS_ENV,
     PLAN_CACHE_BYTES_ENV,
     PLAN_CACHE_DIR_ENV,
+    SNAPSHOT_BYTES_ENV,
+    SNAPSHOT_DIR_ENV,
     STRATEGY_ENV,
     TIMEOUT_ENV,
     UNSET,
@@ -61,6 +63,7 @@ __all__ = [
     "CancellationToken",
     "SessionError",
     "SessionClosedError",
+    "CorpusTimeoutError",
     "ENGINE_ENV",
     "KERNEL_ENV",
     "STRATEGY_ENV",
@@ -70,5 +73,7 @@ __all__ = [
     "MATRIX_CACHE_BYTES_ENV",
     "PLAN_CACHE_DIR_ENV",
     "PLAN_CACHE_BYTES_ENV",
+    "SNAPSHOT_DIR_ENV",
+    "SNAPSHOT_BYTES_ENV",
     "TIMEOUT_ENV",
 ]

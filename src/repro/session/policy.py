@@ -50,6 +50,8 @@ ANSWER_CACHE_BYTES_ENV = "REPRO_ANSWER_CACHE_BYTES"
 MATRIX_CACHE_BYTES_ENV = "REPRO_MATRIX_CACHE_BYTES"
 PLAN_CACHE_DIR_ENV = "REPRO_PLAN_CACHE"
 PLAN_CACHE_BYTES_ENV = "REPRO_PLAN_CACHE_BYTES"
+SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
+SNAPSHOT_BYTES_ENV = "REPRO_SNAPSHOT_BYTES"
 TIMEOUT_ENV = "REPRO_TIMEOUT"
 
 _ENV_OF_FIELD = {
@@ -62,6 +64,8 @@ _ENV_OF_FIELD = {
     "matrix_cache_bytes": MATRIX_CACHE_BYTES_ENV,
     "plan_cache_dir": PLAN_CACHE_DIR_ENV,
     "plan_cache_bytes": PLAN_CACHE_BYTES_ENV,
+    "snapshot_dir": SNAPSHOT_DIR_ENV,
+    "snapshot_bytes": SNAPSHOT_BYTES_ENV,
     "timeout": TIMEOUT_ENV,
 }
 
@@ -72,6 +76,7 @@ _INT_FIELDS = frozenset(
         "answer_cache_bytes",
         "matrix_cache_bytes",
         "plan_cache_bytes",
+        "snapshot_bytes",
     }
 )
 _FLOAT_FIELDS = frozenset({"timeout"})
@@ -162,9 +167,17 @@ class ExecutionPolicy:
         persistence; compiled plans still memoise in memory per session).
     plan_cache_bytes:
         LRU byte budget of the persistent plan cache.
+    snapshot_dir:
+        Directory of the on-disk columnar snapshot store (``None`` = no
+        snapshots; documents always parse from source).  When set, document
+        stores prefer memmap-loadable snapshots over XML parsing and spill
+        first-evaluation answer sets alongside.
+    snapshot_bytes:
+        LRU byte budget of the snapshot directory (``None`` = unbounded).
     timeout:
-        Per-submission wall-clock budget in seconds for the async surface;
-        an exceeded budget cancels the submission's outstanding work.
+        Per-query-run wall-clock budget in seconds; an exceeded budget
+        cancels outstanding work (async) or raises
+        :class:`repro.errors.CorpusTimeoutError` (sync corpus runs).
     """
 
     engine: Any = UNSET
@@ -177,6 +190,8 @@ class ExecutionPolicy:
     matrix_cache_bytes: Any = UNSET
     plan_cache_dir: Any = UNSET
     plan_cache_bytes: Any = UNSET
+    snapshot_dir: Any = UNSET
+    snapshot_bytes: Any = UNSET
     timeout: Any = UNSET
 
     # ------------------------------------------------------------ composition
@@ -230,6 +245,8 @@ def _execution_defaults() -> dict[str, Any]:
         "matrix_cache_bytes": DEFAULT_MATRIX_CACHE_BYTES,
         "plan_cache_dir": None,
         "plan_cache_bytes": None,
+        "snapshot_dir": None,
+        "snapshot_bytes": None,
         "timeout": None,
     }
 

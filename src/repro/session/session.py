@@ -39,11 +39,13 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import os
+import queue as queue_module
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
 
-from repro.errors import SessionClosedError
+from repro.errors import CorpusTimeoutError, SessionClosedError
 from repro._deprecation import suppress_deprecations
 from repro.session.policy import UNSET, ExecutionPolicy, ServingPolicy
 from repro.session.tokens import CancellationToken
@@ -59,6 +61,62 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.protocol import ProtocolServer
     from repro.serve.server import CorpusServer, Submission
     from repro.trees.tree import Node, Tree
+
+
+def _stream_with_deadline(results: Iterator, timeout: float) -> Iterator:
+    """Enforce a wall-clock deadline on a streaming result iterator.
+
+    The underlying iterator is pulled on a daemon pump thread feeding a
+    bounded queue; the consumer side charges every ``get`` against one
+    monotonic deadline covering the *whole* stream.  When the deadline
+    passes — whether the producer is stuck inside one slow document or the
+    corpus is simply too large — the consumer raises
+    :class:`repro.errors.CorpusTimeoutError` and signals the pump to stop.
+    The pump polls its bounded ``put`` against the stop event, so an
+    abandoned producer cannot block forever on a queue nobody drains.
+    """
+    deadline = time.monotonic() + timeout
+    handoff: queue_module.Queue = queue_module.Queue(maxsize=4)
+    stop = threading.Event()
+    done = object()
+
+    def pump() -> None:
+        def offer(item) -> bool:
+            while not stop.is_set():
+                try:
+                    handoff.put(item, timeout=0.05)
+                    return True
+                except queue_module.Full:
+                    continue
+            return False
+
+        try:
+            for result in results:
+                if not offer((None, result)):
+                    return
+        except BaseException as error:  # noqa: BLE001 - re-raised consumer-side
+            offer((error, None))
+            return
+        offer((done, None))
+
+    thread = threading.Thread(target=pump, name="corpus-timeout-pump", daemon=True)
+    thread.start()
+    try:
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CorpusTimeoutError(timeout)
+            try:
+                marker, payload = handoff.get(timeout=remaining)
+            except queue_module.Empty:
+                raise CorpusTimeoutError(timeout) from None
+            if marker is done:
+                return
+            if marker is not None:
+                raise marker
+            yield payload
+    finally:
+        stop.set()
 
 
 class Session:
@@ -83,6 +141,12 @@ class Session:
         ``None`` to disable persistence explicitly; unset falls through to
         ``execution.plan_cache_dir`` / ``REPRO_PLAN_CACHE``.  Compiled
         plans always memoise in memory for the session's lifetime.
+    snapshot_dir / snapshot_bytes:
+        Directory (and LRU byte budget) of the on-disk columnar snapshot
+        store; unset falls through to ``execution.snapshot_dir`` /
+        ``REPRO_SNAPSHOT_DIR`` (and the ``_BYTES`` variants).  With a
+        directory set, the session's store memmaps snapshots instead of
+        re-parsing XML and spills answer sets for warm restarts.
     """
 
     def __init__(
@@ -102,6 +166,8 @@ class Session:
         timeout: Any = UNSET,
         plan_cache: Any = UNSET,
         plan_cache_bytes: Any = UNSET,
+        snapshot_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        snapshot_bytes: Any = UNSET,
     ) -> None:
         explicit: dict[str, Any] = {}
         if engine is not None:
@@ -124,6 +190,10 @@ class Session:
             explicit["timeout"] = timeout
         if plan_cache_bytes is not UNSET:
             explicit["plan_cache_bytes"] = plan_cache_bytes
+        if snapshot_dir is not None:
+            explicit["snapshot_dir"] = os.fspath(snapshot_dir)
+        if snapshot_bytes is not UNSET:
+            explicit["snapshot_bytes"] = snapshot_bytes
         base = execution if execution is not None else ExecutionPolicy()
         #: The merged execution policy (explicit args folded over ``execution``).
         self.execution: ExecutionPolicy = (
@@ -164,6 +234,14 @@ class Session:
         matrix_budget = resolve("matrix_cache_bytes")
         if matrix_budget.source in ("explicit", "policy"):
             kwargs["matrix_cache_bytes"] = matrix_budget.value
+        # The snapshot directory forwards from *any* layer, environment
+        # included: unlike the kernel/matrix knobs there is no lower layer
+        # reading REPRO_SNAPSHOT_DIR itself, so the session is the one place
+        # the env default can take effect.
+        snapshot_dir = resolve("snapshot_dir").value
+        if snapshot_dir is not None:
+            kwargs["snapshot_dir"] = snapshot_dir
+            kwargs["snapshot_bytes"] = resolve("snapshot_bytes").value
         return DocumentStore(**kwargs)
 
     def _build_plan_cache(self, plan_cache: Any) -> Optional["PlanCache"]:
@@ -405,15 +483,24 @@ class Session:
         The executor (strategy, worker pools) comes from the execution
         policy and persists across calls — repeated corpus queries reuse
         shard workers and their caches until the session closes.
+
+        When the execution policy sets a ``timeout``, the whole stream runs
+        under one wall-clock deadline: exceeding it raises
+        :class:`repro.errors.CorpusTimeoutError` on the consumer, mirroring
+        the async surface's submission watchdog.
         """
         self._ensure_open("query_corpus")
         compiled = self._compile_batch(queries)
-        return self._executor_instance().run(
+        results = self._executor_instance().run(
             compiled,
             documents,
             engine=self.execution.resolved("engine", engine),
             ordered=ordered,
         )
+        timeout = self.execution.resolved("timeout")
+        if timeout is not None:
+            return _stream_with_deadline(results, timeout)
+        return results
 
     def corpus_report(
         self,
@@ -567,7 +654,11 @@ class Session:
                 "loads": store_stats.loads,
                 "hits": store_stats.hits,
                 "evictions": store_stats.evictions,
+                "parse_count": store_stats.parse_count,
+                "snapshot_hits": store_stats.snapshot_hits,
+                "snapshot_misses": store_stats.snapshot_misses,
             },
+            "snapshot": self.store.snapshot_stats(),
             "answer_cache": (
                 answer_cache.stats.to_dict() if answer_cache is not None else None
             ),

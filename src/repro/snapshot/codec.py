@@ -1,0 +1,333 @@
+"""The columnar snapshot file format: encode once, ``np.memmap`` forever.
+
+A snapshot is the compiled form of one document: the preorder-indexed
+struct-of-arrays representation of its :class:`repro.trees.tree.Tree`
+(label ids, parent, depth, post, subtree extents) plus a label dictionary,
+with the hot packed-bitset axis relations serialised alongside (a packed
+relation is ``n²/8`` bytes — ~32 KiB at 512 nodes).  The layout is designed
+for O(1) loads: a fixed prefix, one JSON header describing every array
+(dtype, offset, shape), then a 64-byte-aligned little-endian body that
+:func:`numpy.memmap` maps without parsing or copying.  Reconstructing the
+:class:`Tree` wrapper is a single O(n) pass over the mapped columns
+(:meth:`repro.trees.tree.Tree.from_columns`); the mapped relation words are
+adopted verbatim as :class:`repro.pplbin.bitmatrix.BitsetRelation` rows.
+
+On-disk layout (format version 1)::
+
+    bytes 0..5    magic  b"RXSNAP"
+    bytes 6..7    format version  (uint16, little endian)
+    bytes 8..11   header length H (uint32, little endian)
+    bytes 12..12+H JSON header (utf-8)
+    ...padding to a 64-byte boundary...
+    body          the arrays, each at a 64-byte-aligned offset
+
+The header carries the source digest *inside* the file, so a snapshot can
+never be served for a source it was not built from — the PlanCache identity
+rule applied to documents.  ``pre`` is not stored: preorder ids are the node
+ids themselves (``pre[u] == u`` by construction).
+
+Everything here raises :class:`SnapshotError` on any malformed input;
+the store layer (:mod:`repro.snapshot.store`) turns that into
+delete-and-rebuild, never a crash or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import sys
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._config import UNSET as _UNSET
+from repro.errors import ReproError
+from repro.trees.axes import Axis, axis_relation
+from repro.trees.tree import Tree
+
+#: Bump when the layout (prefix, header schema or column set) changes
+#: incompatibly; old files then fail validation and are rebuilt.
+FORMAT_VERSION = 1
+
+MAGIC = b"RXSNAP"
+_PREFIX = struct.Struct("<6sHI")
+_ALIGN = 64
+
+#: The axis relations serialised into every snapshot: the paper's vertical
+#: navigation core, which every PPLbin plan touches first.  Sibling and
+#: derived axes stay demand-built — they are cheap closures over these.
+DEFAULT_SNAPSHOT_AXES: tuple[Axis, ...] = (
+    Axis.CHILD,
+    Axis.PARENT,
+    Axis.DESCENDANT,
+    Axis.ANCESTOR,
+)
+
+_COLUMN_DTYPES = {
+    "label_ids": "<u4",
+    "parent": "<i8",
+    "depth": "<i4",
+    "post": "<i8",
+    "subtree_end": "<i8",
+}
+
+
+class SnapshotError(ReproError):
+    """Raised for malformed, truncated or mismatched snapshot files."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ----------------------------------------------------------------- encoding
+def encode_snapshot(
+    tree: Tree,
+    digest: str,
+    *,
+    relation_axes: tuple[Axis, ...] = DEFAULT_SNAPSHOT_AXES,
+) -> bytes:
+    """Serialise ``tree`` into the columnar snapshot format.
+
+    ``digest`` is the content address of the *source* the tree was parsed
+    from; it is stored inside the header so loads can revalidate identity.
+    """
+    size = tree.size
+    label_table: list[str] = []
+    label_ids_of: dict[str, int] = {}
+    label_ids = np.empty(size, dtype=np.uint32)
+    for uid, label in enumerate(tree.labels):
+        index = label_ids_of.get(label)
+        if index is None:
+            index = len(label_table)
+            label_ids_of[label] = index
+            label_table.append(label)
+        label_ids[uid] = index
+
+    parent = np.fromiter(
+        (-1 if p is None else p for p in tree.parent), dtype=np.int64, count=size
+    )
+    columns = {
+        "label_ids": label_ids,
+        "parent": parent,
+        "depth": np.asarray(tree.depth, dtype=np.int32),
+        "post": np.asarray(tree.post, dtype=np.int64),
+        "subtree_end": np.asarray(tree.subtree_end, dtype=np.int64),
+    }
+    relations = {
+        axis.value: np.ascontiguousarray(
+            axis_relation(tree, axis, "bitset").to_bitset().words
+        )
+        for axis in relation_axes
+    }
+
+    # Lay the body out: every array at a 64-byte-aligned offset (relative
+    # to the body start, which is itself aligned), so memmap views land on
+    # cache-line boundaries.  Columns and relations live in separate header
+    # maps — "parent" names both a column and an axis.
+    column_meta: dict[str, dict] = {}
+    relation_meta: dict[str, dict] = {}
+    body_parts: list[tuple[int, np.ndarray]] = []
+    cursor = 0
+    for meta, table, dtype_of in (
+        (column_meta, columns, lambda name: _COLUMN_DTYPES[name]),
+        (relation_meta, relations, lambda name: "<u8"),
+    ):
+        for name, array in table.items():
+            cursor = _align(cursor)
+            dtype = dtype_of(name)
+            meta[name] = {"dtype": dtype, "offset": cursor, "shape": list(array.shape)}
+            part = np.ascontiguousarray(array.astype(dtype, copy=False))
+            body_parts.append((cursor, part))
+            cursor += part.nbytes
+
+    header = {
+        "format": FORMAT_VERSION,
+        "digest": digest,
+        "size": size,
+        "byteorder": "little",
+        "labels": label_table,
+        "columns": column_meta,
+        "relations": relation_meta,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body_start = _align(_PREFIX.size + len(header_bytes))
+
+    out = io.BytesIO()
+    out.write(_PREFIX.pack(MAGIC, FORMAT_VERSION, len(header_bytes)))
+    out.write(header_bytes)
+    out.write(b"\x00" * (body_start - _PREFIX.size - len(header_bytes)))
+    position = 0
+    for offset, part in body_parts:
+        out.write(b"\x00" * (offset - position))
+        out.write(part.tobytes())
+        position = offset + part.nbytes
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------- decoding
+def read_header(path: Union[str, Path]) -> dict:
+    """Parse and validate a snapshot file's header (not the body).
+
+    Raises :class:`SnapshotError` for anything malformed.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            prefix = handle.read(_PREFIX.size)
+            if len(prefix) < _PREFIX.size:
+                raise SnapshotError(f"snapshot {path.name}: truncated prefix")
+            magic, version, header_length = _PREFIX.unpack(prefix)
+            if magic != MAGIC:
+                raise SnapshotError(f"snapshot {path.name}: bad magic")
+            if version != FORMAT_VERSION:
+                raise SnapshotError(
+                    f"snapshot {path.name}: format version {version} "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            header_bytes = handle.read(header_length)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if len(header_bytes) < header_length:
+        raise SnapshotError(f"snapshot {path.name}: truncated header")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot {path.name}: header is not JSON") from exc
+    if not isinstance(header, dict) or header.get("format") != FORMAT_VERSION:
+        raise SnapshotError(f"snapshot {path.name}: header format mismatch")
+    if header.get("byteorder") != sys.byteorder:
+        raise SnapshotError(f"snapshot {path.name}: foreign byte order")
+    return header
+
+
+def _mapped_array(
+    mapped: np.ndarray, body_start: int, total: int, descriptor: dict, name: str
+) -> np.ndarray:
+    try:
+        dtype = np.dtype(descriptor["dtype"])
+        shape = tuple(int(extent) for extent in descriptor["shape"])
+        offset = body_start + int(descriptor["offset"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"snapshot array {name}: bad descriptor") from exc
+    if any(extent < 0 for extent in shape):
+        raise SnapshotError(f"snapshot array {name}: negative extent")
+    nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else 0
+    if offset < 0 or offset + nbytes > total:
+        raise SnapshotError(f"snapshot array {name}: body out of range")
+    return mapped[offset : offset + nbytes].view(dtype).reshape(shape)
+
+
+def decode_snapshot(
+    path: Union[str, Path],
+    *,
+    expected_digest: Optional[str] = None,
+    matrix_cache_bytes=_UNSET,
+) -> Tree:
+    """Load a snapshot into a :class:`Tree` by memory-mapping its body.
+
+    The packed axis relations in the file are seeded into the tree's matrix
+    cache under the bitset kernel's token, so the Theorem 2 evaluator finds
+    them without rebuilding.  ``expected_digest`` (when given) must match
+    the digest recorded inside the file — the stale-source guard.
+
+    Raises
+    ------
+    SnapshotError
+        For any malformed, truncated, version-skewed or mismatched file.
+        Never returns a structurally inconsistent tree: the columns are
+        validated (vectorised, O(n)) before the wrapper is built.
+    """
+    path = Path(path)
+    header = read_header(path)
+    if expected_digest is not None and header.get("digest") != expected_digest:
+        raise SnapshotError(
+            f"snapshot {path.name}: stale digest "
+            f"(file {str(header.get('digest'))[:12]}…, source {expected_digest[:12]}…)"
+        )
+    size = header.get("size")
+    labels_table = header.get("labels")
+    column_meta = header.get("columns")
+    relation_meta = header.get("relations")
+    if (
+        not isinstance(size, int)
+        or size < 1
+        or not isinstance(labels_table, list)
+        or not isinstance(column_meta, dict)
+        or not isinstance(relation_meta, dict)
+    ):
+        raise SnapshotError(f"snapshot {path.name}: malformed header fields")
+    try:
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot map snapshot {path}: {exc}") from exc
+    total = mapped.shape[0]
+    # The body starts after the header, aligned; take the header length from
+    # the prefix bytes (not a re-serialisation, which could differ).
+    (header_length,) = struct.unpack("<I", bytes(mapped[len(MAGIC) + 2 : _PREFIX.size]))
+    body_start = _align(_PREFIX.size + header_length)
+
+    columns = {}
+    for name in _COLUMN_DTYPES:
+        descriptor = column_meta.get(name)
+        if not isinstance(descriptor, dict):
+            raise SnapshotError(f"snapshot {path.name}: missing column {name}")
+        array = _mapped_array(mapped, body_start, total, descriptor, name)
+        if array.shape != (size,):
+            raise SnapshotError(f"snapshot {path.name}: column {name} has wrong shape")
+        columns[name] = array
+
+    # Structural validation, vectorised: random body corruption overwhelmingly
+    # fails one of these instead of producing a silently wrong tree.
+    label_ids = columns["label_ids"]
+    parent = columns["parent"]
+    subtree_end = columns["subtree_end"]
+    if label_ids.size and int(label_ids.max()) >= len(labels_table):
+        raise SnapshotError(f"snapshot {path.name}: label id out of dictionary range")
+    if int(parent[0]) != -1:
+        raise SnapshotError(f"snapshot {path.name}: root must be parentless")
+    if size > 1:
+        tail = parent[1:]
+        if int(tail.min()) < 0 or bool(
+            (tail >= np.arange(1, size, dtype=np.int64)).any()
+        ):
+            raise SnapshotError(f"snapshot {path.name}: parent ids not preorder-consistent")
+    nodes = np.arange(size, dtype=np.int64)
+    if bool((subtree_end < nodes).any()) or int(subtree_end.max()) >= size:
+        raise SnapshotError(f"snapshot {path.name}: subtree extents out of range")
+
+    if not all(isinstance(label, str) for label in labels_table):
+        raise SnapshotError(f"snapshot {path.name}: label dictionary is not all strings")
+    labels = [labels_table[index] for index in label_ids.tolist()]
+    parent_list: list = parent.tolist()
+    parent_list[0] = None
+    tree = Tree.from_columns(
+        labels=labels,
+        parent=parent_list,
+        depth=columns["depth"].tolist(),
+        post=columns["post"].tolist(),
+        subtree_end=columns["subtree_end"].tolist(),
+        matrix_cache_bytes=matrix_cache_bytes,
+    )
+
+    # Seed the packed relations straight off the mapping — no copy, no
+    # rebuild; the OS pages them in on first touch.
+    from repro.pplbin.bitmatrix import BitsetRelation, get_kernel
+
+    token = get_kernel("bitset").cache_token
+    words_per_row = (size + 63) // 64
+    cache = tree.matrix_cache()
+    for name, descriptor in relation_meta.items():
+        if not isinstance(descriptor, dict):
+            raise SnapshotError(f"snapshot {path.name}: malformed relation {name!r}")
+        try:
+            axis = Axis(name)
+        except ValueError as exc:
+            raise SnapshotError(f"snapshot {path.name}: unknown relation axis {name!r}") from exc
+        words = _mapped_array(mapped, body_start, total, descriptor, name)
+        if words.shape != (size, words_per_row):
+            raise SnapshotError(f"snapshot {path.name}: relation {name} has wrong shape")
+        cache[("axis-rel", axis, token)] = BitsetRelation(size, words)
+    return tree

@@ -37,8 +37,11 @@ from repro.errors import TreeError
 DEFAULT_MATRIX_CACHE_BYTES = 256 * 1024 * 1024
 
 #: Sentinel distinguishing "use the default budget" from an explicit None
-#: (= unbounded) in the :class:`Tree` constructor.
-_UNSET = object()
+#: (= unbounded) in the :class:`Tree` constructor — the one shared instance
+#: from :mod:`repro._config`, since :meth:`Tree.from_columns` receives it
+#: across module boundaries (the snapshot loader forwards the store's
+#: setting verbatim).
+from repro._config import UNSET as _UNSET
 
 
 def _default_cache_budget() -> Optional[int]:
@@ -426,6 +429,61 @@ class Tree:
             label_index.setdefault(label, []).append(uid)
         self._label_index = {lab: tuple(ids) for lab, ids in label_index.items()}
         self._matrix_cache = MatrixCache(matrix_cache_bytes)
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        labels: list[str],
+        parent: list[Optional[int]],
+        depth: list[int],
+        post: list[int],
+        subtree_end: list[int],
+        matrix_cache_bytes=_UNSET,
+    ) -> "Tree":
+        """Rebuild a tree directly from its columnar arrays, skipping parsing.
+
+        This is the snapshot fast path (:mod:`repro.snapshot`): the caller
+        provides the preorder-indexed columns exactly as the constructor
+        would have computed them — ``labels``, ``parent`` (``None`` at the
+        root), ``depth``, ``post`` and ``subtree_end`` — and only the
+        derived links (child lists, sibling links, label index) are rebuilt
+        here in one O(n) pass.  No structural validation happens beyond
+        what the derivation needs; snapshot loading validates the columns
+        before calling (see :func:`repro.snapshot.codec.decode_snapshot`).
+        """
+        size = len(labels)
+        if size == 0 or parent[0] is not None:
+            raise TreeError("columnar tree must have a parentless root at node 0")
+        tree = cls.__new__(cls)
+        children_of: list[list[int]] = [[] for _ in range(size)]
+        next_sibling: list[Optional[int]] = [None] * size
+        prev_sibling: list[Optional[int]] = [None] * size
+        for uid in range(1, size):
+            par = parent[uid]
+            kids = children_of[par]
+            if kids:
+                left = kids[-1]
+                next_sibling[left] = uid
+                prev_sibling[uid] = left
+            kids.append(uid)
+        tree.size = size
+        tree.labels = labels
+        tree.parent = parent
+        tree.children_of = [tuple(kids) for kids in children_of]
+        tree.next_sibling = next_sibling
+        tree.prev_sibling = prev_sibling
+        tree.depth = depth
+        tree.post = post
+        tree.subtree_end = subtree_end
+        label_index: dict[str, list[int]] = {}
+        for uid, label in enumerate(labels):
+            label_index.setdefault(label, []).append(uid)
+        tree._label_index = {lab: tuple(ids) for lab, ids in label_index.items()}
+        if matrix_cache_bytes is _UNSET:
+            matrix_cache_bytes = _default_cache_budget()
+        tree._matrix_cache = MatrixCache(matrix_cache_bytes)
+        return tree
 
     # ------------------------------------------------------------------ basic
     def nodes(self) -> range:

@@ -1,0 +1,199 @@
+"""E14 — observability overhead: the tracer must be free when it is off.
+
+The :mod:`repro.obs` span tracer instruments the hot path of every query
+(parse, translate, axis-relation build, kernel compose, cache lookups).
+Each site costs one module-global check plus a shared null context manager
+when tracing is disabled, and the acceptance bar for the subsystem is that
+this cost is invisible: with ``REPRO_TRACE`` unset, the E2 bibliography
+pair-query workload must run within 3% of a build with the instrumentation
+patched out entirely.
+
+Three passes over the same workload (fresh :class:`repro.api.Document` per
+iteration — the "combined complexity" view of E2, so translation and every
+matrix evaluation sit inside the measured region):
+
+* ``patched_out`` — ``repro.obs.trace.span`` replaced by a raw
+  null-returning function: the closest stand-in for un-instrumented code;
+* ``disabled`` — stock build, tracing off (the shipping default);
+* ``enabled`` — ``set_tracing(True)``: not gated on overhead, but the
+  captured span tree's top-level stage durations must sum to within 10%
+  of the root span's wall time (no unattributed gaps, no double counting).
+
+Run standalone to produce ``BENCH_obs.json`` in the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_e14_obs_overhead.py
+
+Set ``REPRO_BENCH_SCALE=smoke`` for the reduced CI scale.  The smoke scale
+keeps the shape but relaxes nothing: the 3% gate applies at both scales,
+with the repeat count raised so the medians are stable.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro._deprecation import suppress_deprecations
+from repro.api import Document
+from repro.obs import trace as obs_trace
+from repro.workloads.bibliography import bibliography_pair_query, generate_bibliography
+
+from bench_utils import write_bench_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
+
+#: E2 shape.  Smoke shrinks the document but raises the rounds: the gate is
+#: a ratio of best-of-series times, and many fast rounds give the minimum
+#: more chances to land on an undisturbed slice of a shared CI machine.
+BOOKS = 24 if SMOKE else 80
+ROUNDS = 15 if SMOKE else 11
+WARMUP_ROUNDS = 2
+OVERHEAD_GATE = 0.03
+STAGE_SUM_TOLERANCE = 0.10
+
+
+def _workload():
+    tree = generate_bibliography(
+        BOOKS, authors_per_book=2, titles_per_book=1, decoys_per_book=2, seed=BOOKS
+    )
+    query, variables = bibliography_pair_query()
+    return tree, query, variables
+
+
+def _fresh_document(tree) -> Document:
+    # Direct construction keeps the measured region tight (no session-layer
+    # bookkeeping in the loop); the deprecation aimed at end users is noise
+    # in a benchmark's stderr.
+    with suppress_deprecations():
+        return Document(tree)
+
+
+def _measure(tree, query, variables, rounds: int) -> tuple[list[float], int]:
+    """Median-friendly samples of the fresh-document answer path."""
+    answer_size = None
+    samples = []
+    for _ in range(WARMUP_ROUNDS):
+        _fresh_document(tree).answer(query, variables)
+    for _ in range(rounds):
+        started = time.perf_counter()
+        answers = _fresh_document(tree).answer(query, variables)
+        samples.append(time.perf_counter() - started)
+        answer_size = len(answers)
+    return samples, answer_size
+
+
+def _stats(samples: list[float]) -> dict:
+    return {
+        "median": statistics.median(samples),
+        "min": min(samples),
+        "mean": statistics.mean(samples),
+        "rounds": len(samples),
+    }
+
+
+def _null_span(name, **attrs):  # matches obs_trace.span's signature
+    return obs_trace._NULL_SPAN
+
+
+def run_scenario() -> dict:
+    tree, query, variables = _workload()
+
+    # Interleave the patched-out and disabled passes so slow drift on the
+    # host (thermal, noisy neighbours) hits both series equally.
+    patched_samples: list[float] = []
+    disabled_samples: list[float] = []
+    previous = obs_trace.set_tracing(False)
+    try:
+        answer_size = None
+        for _ in range(3):
+            original = obs_trace.span
+            obs_trace.span = _null_span
+            try:
+                samples, answer_size = _measure(tree, query, variables, ROUNDS)
+                patched_samples.extend(samples)
+            finally:
+                obs_trace.span = original
+            samples, disabled_answers = _measure(tree, query, variables, ROUNDS)
+            disabled_samples.extend(samples)
+            assert disabled_answers == answer_size
+
+        # Enabled pass: overhead is reported but not gated; the gate here is
+        # the span tree's internal consistency.
+        obs_trace.set_tracing(True)
+        enabled_samples, enabled_answers = _measure(tree, query, variables, ROUNDS)
+        assert enabled_answers == answer_size
+        report = _fresh_document(tree).report(query, variables)
+        trace_tree = report.trace
+    finally:
+        obs_trace.set_tracing(previous)
+
+    patched = _stats(patched_samples)
+    disabled = _stats(disabled_samples)
+    enabled = _stats(enabled_samples)
+    # Gate on the minimum, not the median: the instrumentation cost is a
+    # constant additive term, while everything that separates one round from
+    # another (GC, scheduler preemption, cache pollution) only ever adds
+    # time.  The fastest round of each series is therefore the cleanest
+    # view of the code's inherent cost; medians at millisecond scale still
+    # carry several percent of ambient noise.
+    disabled_overhead = disabled["min"] / patched["min"] - 1.0
+    enabled_overhead = enabled["min"] / patched["min"] - 1.0
+
+    assert trace_tree is not None, "tracing was on: the report must carry a trace"
+    wall = trace_tree["seconds"]
+    stage_sum = sum(child["seconds"] for child in trace_tree["children"])
+    stage_gap = abs(stage_sum - wall) / wall if wall else 0.0
+
+    return {
+        "config": {
+            "books": BOOKS,
+            "rounds_per_series": ROUNDS,
+            "series": 3,
+            "smoke": SMOKE,
+            "answer_size": answer_size,
+            "overhead_gate": OVERHEAD_GATE,
+            "stage_sum_tolerance": STAGE_SUM_TOLERANCE,
+        },
+        "passes": {
+            "patched_out": patched,
+            "disabled": disabled,
+            "enabled": enabled,
+        },
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "trace": {
+            "wall_seconds": wall,
+            "stage_sum_seconds": stage_sum,
+            "stage_gap": stage_gap,
+            "stages": [
+                {"name": child["name"], "seconds": child["seconds"]}
+                for child in trace_tree["children"]
+            ],
+        },
+        "ok": disabled_overhead < OVERHEAD_GATE and stage_gap <= STAGE_SUM_TOLERANCE,
+    }
+
+
+def main() -> int:
+    payload = run_scenario()
+    path = write_bench_json("obs", payload)
+    print(f"wrote {path}")
+    for label, stats in payload["passes"].items():
+        print(f"{label}: median={stats['median'] * 1e3:.3f}ms min={stats['min'] * 1e3:.3f}ms")
+    print(
+        f"disabled overhead: {payload['disabled_overhead'] * 100:+.2f}% "
+        f"(gate < {OVERHEAD_GATE * 100:.0f}%)  "
+        f"enabled overhead: {payload['enabled_overhead'] * 100:+.2f}%"
+    )
+    print(
+        f"trace: wall={payload['trace']['wall_seconds'] * 1e3:.3f}ms "
+        f"stage_sum={payload['trace']['stage_sum_seconds'] * 1e3:.3f}ms "
+        f"gap={payload['trace']['stage_gap'] * 100:.1f}% "
+        f"(tolerance {STAGE_SUM_TOLERANCE * 100:.0f}%)"
+    )
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

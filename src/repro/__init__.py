@@ -67,7 +67,7 @@ from repro.session import (
     SessionError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -38,6 +38,7 @@ from repro.hcl.ast import HclExpr
 from repro.hcl.binding import PPLbinOracle
 from repro.core.ppl import Violation, ppl_violations
 from repro.core.engine import QueryReport
+from repro.obs import trace as _trace
 from repro.api.query import Query, _build_query
 from repro.api.registry import DEFAULT_ENGINE, check_capabilities, get_engine
 
@@ -269,34 +270,43 @@ class Document:
         backend = get_engine(engine)
         compiled = self._as_query(query, variables)
         check_capabilities(backend, compiled)
-        if self._answer_cache is None:
-            return backend.answer(self, compiled)
-        # Keyed by backend.name (not the requested alias) so "ppl" and
-        # "polynomial" share one entry; capability checks stay above the
-        # cache so a miss and a hit raise identically.  The owner prefix
-        # scopes the entry to this document's *source* inside a shared
-        # corpus-wide cache (see repro.corpus.cache).
-        key = (self._cache_owner, compiled.source, compiled.variables, backend.name)
-        answers = self._answer_cache.get(key)
-        if answers is None and self._snapshot_store is not None:
-            # Spill tier: answers addressed by (source digest, plan, engine)
-            # survive process restarts; a disk hit re-seeds the memory memo.
-            plan = compiled.unparse()
-            answers = self._snapshot_store.load_answers(
-                self._source_digest, plan, compiled.variables, backend.name
-            )
-            if answers is not None:
-                self._answer_cache.put(key, answers)
-                return answers
-        if answers is None:
-            answers = backend.answer(self, compiled)
-            self._answer_cache.put(key, answers)
-            if self._snapshot_store is not None:
+        with _trace.span("query.answer", engine=backend.name) as root:
+            if _trace.enabled():
+                root.set(query=compiled.unparse())
+            if self._answer_cache is None:
+                with _trace.span("engine.answer", engine=backend.name):
+                    return backend.answer(self, compiled)
+            # Keyed by backend.name (not the requested alias) so "ppl" and
+            # "polynomial" share one entry; capability checks stay above the
+            # cache so a miss and a hit raise identically.  The owner prefix
+            # scopes the entry to this document's *source* inside a shared
+            # corpus-wide cache (see repro.corpus.cache).
+            key = (self._cache_owner, compiled.source, compiled.variables, backend.name)
+            with _trace.span("answer_cache.lookup") as lookup:
+                answers = self._answer_cache.get(key)
+                lookup.set(hit=answers is not None)
+            if answers is None and self._snapshot_store is not None:
+                # Spill tier: answers addressed by (source digest, plan, engine)
+                # survive process restarts; a disk hit re-seeds the memory memo.
                 plan = compiled.unparse()
-                self._snapshot_store.store_answers(
-                    self._source_digest, plan, compiled.variables, backend.name, answers
-                )
-        return answers
+                with _trace.span("snapshot.answers") as spill:
+                    answers = self._snapshot_store.load_answers(
+                        self._source_digest, plan, compiled.variables, backend.name
+                    )
+                    spill.set(hit=answers is not None)
+                if answers is not None:
+                    self._answer_cache.put(key, answers)
+                    return answers
+            if answers is None:
+                with _trace.span("engine.answer", engine=backend.name):
+                    answers = backend.answer(self, compiled)
+                self._answer_cache.put(key, answers)
+                if self._snapshot_store is not None:
+                    plan = compiled.unparse()
+                    self._snapshot_store.store_answers(
+                        self._source_digest, plan, compiled.variables, backend.name, answers
+                    )
+            return answers
 
     def nonempty(self, query: QueryLike, *, engine: str = DEFAULT_ENGINE) -> bool:
         """Decide non-emptiness of the query (Boolean query answering)."""
@@ -351,8 +361,12 @@ class Document:
         loop has the answers in hand).
         """
         compiled = self._as_query(query, variables)
+        trace_tree = None
         if answers is None:
+            if _trace.enabled():
+                _trace.take_last_trace()  # don't attribute an older query's trace
             answers = self.answer(compiled, engine=engine)
+            trace_tree = _trace.take_last_trace()
         if compiled.hcl is not None:
             hcl_size = compiled.hcl.size
             distinct_leaves = len({leaf.query for leaf in compiled.hcl.leaves()})
@@ -369,6 +383,7 @@ class Document:
             engine=engine,
             kernel=self.oracle.kernel.name,
             matrix_cache=self.tree.matrix_cache().stats.to_dict(),
+            trace=trace_tree,
         )
 
     # -------------------------------------------------------------------- batch

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 from repro.errors import RestrictionViolation, TranslationError
 from repro.xpath.ast import OrTest, PathExpr, PathUnion
 from repro.xpath.analysis import is_variable_free
+from repro.obs import trace as _trace
 from repro.xpath.parser import parse_path
 from repro.core.ppl import Violation, ppl_violations
 from repro.core.translate import ppl_to_hcl
@@ -222,7 +223,11 @@ def compile_query(
         If ``require_ppl`` is true and the expression violates Definition 1.
     """
     text = expression if isinstance(expression, str) else None
-    parsed = parse_path(expression) if isinstance(expression, str) else expression
+    if isinstance(expression, str):
+        with _trace.span("parse"):
+            parsed = parse_path(expression)
+    else:
+        parsed = expression
     query = _build_query(parsed, tuple(variables), text=text)
     if require_ppl:
         query.require_ppl()
@@ -244,14 +249,16 @@ def _build_query(
         if translations is not None and parsed in translations:
             hcl = translations[parsed]
         else:
-            hcl = ppl_to_hcl(parsed)
+            with _trace.span("translate", target="hcl"):
+                hcl = ppl_to_hcl(parsed)
             if translations is not None:
                 translations[parsed] = hcl
 
     pplbin: Optional[BinExpr] = None
     if is_variable_free(parsed):
         try:
-            pplbin = from_core_xpath(parsed)
+            with _trace.span("translate", target="pplbin"):
+                pplbin = from_core_xpath(parsed)
         except TranslationError:  # pragma: no cover - N($x) already excludes this
             pplbin = None
 

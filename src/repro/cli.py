@@ -105,7 +105,16 @@ from repro.api import (
 )
 from repro.session import ExecutionPolicy, ServingPolicy, Session
 
-SUBCOMMANDS = ("answer", "check", "translate", "bench", "engines", "corpus", "serve")
+SUBCOMMANDS = (
+    "answer",
+    "check",
+    "translate",
+    "bench",
+    "engines",
+    "corpus",
+    "serve",
+    "obs",
+)
 
 
 # ---------------------------------------------------------------- new parser
@@ -411,6 +420,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="comma-separated output variables, one per --query (default: none)",
+    )
+
+    obs = subparsers.add_parser(
+        "obs", help="observability commands (metrics / trace / slowlog)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics",
+        help="scrape a running server's metrics in Prometheus text format",
+    )
+    obs_metrics.add_argument("--host", default="127.0.0.1", help="server address")
+    obs_metrics.add_argument("--port", type=int, required=True, help="server port")
+    obs_metrics.add_argument(
+        "--auth", default=None, help="auth token expected by the server"
+    )
+
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="answer one query with tracing enabled and print its span tree",
+    )
+    obs_trace.add_argument("--xml", required=True, help="path to the XML document")
+    obs_trace.add_argument("--query", required=True, help="the Core XPath 2.0 expression")
+    obs_trace.add_argument("--vars", default="", help="comma-separated output variables")
+    obs_trace.add_argument("--engine", default=None, help="registry engine override")
+    add_kernel_option(obs_trace)
+    obs_trace.add_argument(
+        "--ndjson",
+        action="store_true",
+        help="emit flat NDJSON trace events instead of the indented tree",
+    )
+
+    obs_slowlog = obs_sub.add_parser(
+        "slowlog", help="print a running server's slow-query log"
+    )
+    obs_slowlog.add_argument("--host", default="127.0.0.1", help="server address")
+    obs_slowlog.add_argument("--port", type=int, required=True, help="server port")
+    obs_slowlog.add_argument(
+        "--auth", default=None, help="auth token expected by the server"
+    )
+    obs_slowlog.add_argument(
+        "--limit", type=int, default=None, help="most recent entries to print"
     )
 
     return parser
@@ -946,6 +997,83 @@ def _run_serve_warm(args) -> int:
     return 0
 
 
+def _run_obs_metrics(args) -> int:
+    import asyncio
+
+    from repro.serve import request_lines
+
+    request = {"op": "metrics", "id": 1}
+    if args.auth:
+        request["auth"] = args.auth
+
+    async def main() -> int:
+        async for line in request_lines(args.host, args.port, request):
+            if line.get("type") == "metrics":
+                sys.stdout.write(line["body"])
+                return 0
+            if line.get("type") == "error":
+                print(f"error: {line['error']}", file=sys.stderr)
+                return 1
+        print("error: no metrics response", file=sys.stderr)
+        return 1
+
+    return asyncio.run(main())
+
+
+def _run_obs_slowlog(args) -> int:
+    import asyncio
+
+    from repro.serve import request_lines
+
+    request = {"op": "slowlog", "id": 1}
+    if args.limit is not None:
+        request["limit"] = args.limit
+    if args.auth:
+        request["auth"] = args.auth
+
+    async def main() -> int:
+        async for line in request_lines(args.host, args.port, request):
+            if line.get("type") == "slowlog":
+                print(
+                    json.dumps(
+                        {"threshold": line.get("threshold"),
+                         "entries": line.get("entries", [])},
+                        indent=2,
+                    )
+                )
+                return 0
+            if line.get("type") == "error":
+                print(f"error: {line['error']}", file=sys.stderr)
+                return 1
+        print("error: no slowlog response", file=sys.stderr)
+        return 1
+
+    return asyncio.run(main())
+
+
+def _run_obs_trace(args) -> int:
+    from repro.obs import trace as obs_trace
+    from repro.session import Session
+
+    previous = obs_trace.set_tracing(True)
+    try:
+        with Session(engine=args.engine, kernel=args.kernel) as session:
+            name = session.add_file(args.xml)
+            report = session.report(name, args.query, _split_vars(args.vars))
+        tree = report.trace
+        if tree is None:
+            print("error: the query produced no trace", file=sys.stderr)
+            return 1
+        if args.ndjson:
+            sys.stdout.write(obs_trace.render_events([tree]))
+        else:
+            print(obs_trace.format_tree(tree))
+        print(f"# answers={report.answer_count}", file=sys.stderr)
+        return 0
+    finally:
+        obs_trace.set_tracing(previous)
+
+
 def _run_engines() -> int:
     from dataclasses import asdict
 
@@ -1014,6 +1142,12 @@ def _main_subcommands(arguments: list[str]) -> int:
             if args.serve_command == "stats":
                 return _run_serve_stats(args)
             return _run_serve_warm(args)
+        if args.command == "obs":
+            if args.obs_command == "metrics":
+                return _run_obs_metrics(args)
+            if args.obs_command == "slowlog":
+                return _run_obs_slowlog(args)
+            return _run_obs_trace(args)
         if args.command == "bench":
             return _run_bench(
                 args.xml,

@@ -42,7 +42,11 @@ class QueryReport:
     ``kernel`` names the relation kernel the document's oracle evaluated
     with; ``matrix_cache`` is the snapshot of the tree's byte-budgeted
     matrix-cache counters (hits/misses/evictions/bytes) after answering,
-    mirroring the AnswerCache telemetry of the corpus layer.
+    mirroring the AnswerCache telemetry of the corpus layer.  ``trace`` is
+    the per-query span tree (:meth:`repro.obs.trace.Span.to_dict`) when the
+    :mod:`repro.obs` tracer was enabled during evaluation, else ``None`` —
+    a plain nested dict, so reports pickle unchanged across the processes
+    strategy's pool boundary.
     """
 
     expression_size: int
@@ -54,6 +58,7 @@ class QueryReport:
     engine: Optional[str] = None
     kernel: Optional[str] = None
     matrix_cache: Optional[dict] = None
+    trace: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Return a plain-dict form (JSON-ready; tuples become lists)."""

@@ -45,7 +45,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro._config import UNSET as _UNSET
@@ -55,8 +55,16 @@ from repro.api.document import BatchItem, Document, iter_batch
 from repro.api.query import Query, compile_query
 from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.store import CorpusError, DocumentStore, StoreStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
 
 STRATEGIES = ("serial", "threads", "processes")
+
+#: Histogram of per-(document, query) evaluation seconds.  One name across
+#: parent and shard workers so the worker histograms merge bucket-by-bucket
+#: into the parent's (see :meth:`CorpusExecutor.metrics`).
+EVAL_HISTOGRAM = "repro_eval_seconds"
+_EVAL_HELP = "Per (document, query) evaluation time in seconds"
 
 
 def _query_spec(query: Query) -> tuple[str, tuple[str, ...]]:
@@ -111,6 +119,7 @@ def _worker_initialise(
     answer_cache_bytes: Optional[int] = None,
     cache_answers: bool = True,
     store_config: Optional[dict] = None,
+    trace: bool = False,
 ) -> None:
     # ``store_config`` carries the *resolved* kernel/matrix-budget settings
     # from the parent.  This is the config-precedence fix: workers used to
@@ -131,6 +140,17 @@ def _worker_initialise(
             store.add_file(payload, name=name)
     _WORKER["store"] = store
     _WORKER["queries"] = {}
+    registry = MetricsRegistry()
+    registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
+    _WORKER["metrics"] = registry
+    # A forked worker inherits the parent thread's span stack (the dispatch
+    # span is open while pools spawn); start from a clean slate.
+    _trace.reset_thread()
+    if trace:
+        # Tracing was on in the parent when this shard spawned; the flag
+        # ships explicitly because set_tracing() state (unlike REPRO_TRACE)
+        # does not survive a process boundary.
+        _trace.set_tracing(True)
 
 
 def _worker_query(text: str, variables: tuple[str, ...]) -> Query:
@@ -147,13 +167,21 @@ def _worker_answer(
 ) -> list[tuple[str, tuple[str, ...], frozenset, QueryReport, float]]:
     """Answer every query on one document inside the shard worker."""
     document = _WORKER["store"].get(name)
+    histogram = _WORKER["metrics"].histogram(EVAL_HISTOGRAM, _EVAL_HELP)
     results = []
     for text, variables in query_specs:
         query = _worker_query(text, variables)
+        if _trace.enabled():
+            _trace.take_last_trace()
         started = time.perf_counter()
         answers = document.answer(query, engine=engine)
         elapsed = time.perf_counter() - started
+        histogram.observe(elapsed)
         report = document.report(query, engine=engine, answers=answers)
+        if report.trace is None:
+            trace_tree = _trace.take_last_trace()
+            if trace_tree is not None:
+                report = dataclass_replace(report, trace=trace_tree)
         results.append((text, variables, answers, report, elapsed))
     return results
 
@@ -182,6 +210,12 @@ def _worker_snapshot_stats() -> Optional[dict]:
     return _WORKER["store"].snapshot_stats()
 
 
+def _worker_metrics() -> Optional[dict]:
+    """The shard worker's metrics registry, as a plain mergeable dict."""
+    registry = _WORKER.get("metrics")
+    return registry.to_dict() if registry is not None else None
+
+
 # --------------------------------------------------------------- shard pools
 class _ShardPool:
     """A single-worker process pool owning a fixed document partition."""
@@ -195,8 +229,11 @@ class _ShardPool:
         self.pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker_initialise,
+            # Tracing state is captured at spawn: pools created while the
+            # parent traces produce traced workers (fresh spawns after
+            # set_tracing won't retro-fit already-running shards).
             initargs=(specs, max_resident, answer_cache_bytes, cache_answers,
-                      store_config),
+                      store_config, _trace.enabled()),
         )
 
     def submit(self, name: str, query_specs, engine: str) -> Future:
@@ -278,6 +315,11 @@ class CorpusExecutor:
         #: ``submit_document`` may be called from several threads at once
         #: (the server offloads it from the event loop).
         self._pool_lock = threading.RLock()
+        #: Parent-side metrics: per-(document, query) evaluation histogram
+        #: for the serial/threads strategies.  The processes strategy
+        #: observes inside shard workers; :meth:`metrics` merges both.
+        self.metrics_registry = MetricsRegistry()
+        self.metrics_registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -377,9 +419,10 @@ class CorpusExecutor:
                 if shard_index is None:
                     # Discarded between the membership check and the lock.
                     raise CorpusError(f"unknown document {name!r}")
-                inner = self._shard_pool(shard_index).submit(
-                    name, query_specs, engine_name
-                )
+                with _trace.span("shard.dispatch", document=name, shard=shard_index):
+                    inner = self._shard_pool(shard_index).submit(
+                        name, query_specs, engine_name
+                    )
             outer: "Future[list[CorpusResult]]" = Future()
 
             def _forward_cancel(done: Future) -> None:
@@ -468,6 +511,30 @@ class CorpusExecutor:
                     totals[field_name] += value
         return totals
 
+    def metrics(self) -> MetricsRegistry:
+        """Merged evaluation metrics, wherever the observations happened.
+
+        Returns a fresh :class:`repro.obs.metrics.MetricsRegistry` holding
+        the parent-side histograms plus — for the processes strategy — the
+        shard workers' histograms summed bucket-by-bucket, the same way
+        :meth:`answer_cache_stats`/:meth:`snapshot_stats` aggregate their
+        counters.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.metrics_registry)
+        with self._pool_lock:
+            if self.strategy != "processes" or self._pools is None:
+                return merged
+            pools = [pool for pool in self._pools if pool is not None]
+        for pool in pools:
+            try:
+                worker = pool.pool.submit(_worker_metrics).result()
+            except RuntimeError:
+                continue  # shut down by a concurrent targeted repartition
+            if worker is not None:
+                merged.merge(worker)
+        return merged
+
     def run_report(
         self,
         queries: Union[BatchItem, Iterable[BatchItem]],
@@ -502,11 +569,19 @@ class CorpusExecutor:
     def _answer_document(
         self, name: str, document: Document, queries: Sequence[Query], engine: str
     ) -> Iterator[CorpusResult]:
+        histogram = self.metrics_registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
         for query in queries:
+            if _trace.enabled():
+                _trace.take_last_trace()
             started = time.perf_counter()
             answers = document.answer(query, engine=engine)
             elapsed = time.perf_counter() - started
+            histogram.observe(elapsed)
             report = document.report(query, engine=engine, answers=answers)
+            if report.trace is None:
+                trace_tree = _trace.take_last_trace()
+                if trace_tree is not None:
+                    report = dataclass_replace(report, trace=trace_tree)
             text, variables = _query_spec(query)
             yield CorpusResult(
                 doc_name=name,
@@ -746,9 +821,10 @@ class CorpusExecutor:
             # targeted repartition (submit_document after a store change)
             # must not shut a pool down or remap shards mid-batch.
             with self._pool_lock:
-                for index, name in enumerate(names):
-                    shard = self._shard_pool(self._shard_of[name])
-                    futures[index] = shard.submit(name, query_specs, engine)
+                with _trace.span("shard.dispatch", documents=len(names)):
+                    for index, name in enumerate(names):
+                        shard = self._shard_pool(self._shard_of[name])
+                        futures[index] = shard.submit(name, query_specs, engine)
 
             def unpack(index: int, payload) -> list[CorpusResult]:
                 name = names[index]

@@ -1,0 +1,61 @@
+"""Observability: metrics registry, span tracer, and slow-query log.
+
+``repro.obs`` is the unified telemetry substrate the serving stack builds
+on — see the README "Observability" section for metric names, the trace
+format, and a scraping example.
+
+- :mod:`repro.obs.metrics` — counters, gauges, mergeable log-bucket
+  histograms, nearest-rank ``quantile``, and a Prometheus text renderer.
+- :mod:`repro.obs.trace` — per-query span trees, off by default, enabled
+  via ``ExecutionPolicy.trace`` / ``REPRO_TRACE``.
+- :mod:`repro.obs.slowlog` — policy-driven slow-query ring buffer
+  (``ExecutionPolicy.slow_query_seconds`` / ``REPRO_SLOW_QUERY_SECONDS``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds,
+    quantile,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    TRACE_ENV,
+    Span,
+    drain_finished,
+    enabled,
+    format_tree,
+    last_trace,
+    record_span,
+    render_events,
+    reset_thread,
+    set_tracing,
+    span,
+    take_last_trace,
+    trace_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+    "quantile",
+    "SlowQueryLog",
+    "TRACE_ENV",
+    "Span",
+    "drain_finished",
+    "enabled",
+    "format_tree",
+    "last_trace",
+    "record_span",
+    "render_events",
+    "reset_thread",
+    "set_tracing",
+    "span",
+    "take_last_trace",
+    "trace_events",
+]

@@ -1,0 +1,375 @@
+"""Metrics primitives: counters, gauges, and mergeable latency histograms.
+
+The registry replaces the ad-hoc latency windows that used to live on
+:class:`repro.serve.server.CorpusServer`.  Histograms use fixed log-spaced
+bucket bounds so that two histograms observed in different processes can be
+merged bucket-by-bucket — the processes corpus strategy ships shard-worker
+histograms back to the parent exactly the way snapshot stats already
+aggregate.
+
+Everything here is plain-Python and picklable via ``to_dict``/``from_dict``
+(worker processes return dicts over the pool boundary, never live objects).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "quantile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of a **sorted** sequence.
+
+    The nearest-rank definition: the smallest value with at least
+    ``ceil(q * n)`` observations at or below it, i.e.
+    ``values[ceil(q * n) - 1]``.  The previous in-line server computation
+    indexed ``values[int(q * n)]`` which is off by one whenever ``q * n``
+    is an integer — for a 20-element window ``int(0.95 * 20) == 19`` is the
+    *maximum*, not the 95th percentile.
+    """
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile fraction must be in (0, 1], got {q}")
+    rank = math.ceil(q * len(values))
+    return values[max(0, rank - 1)]
+
+
+def default_latency_bounds() -> Tuple[float, ...]:
+    """Log-spaced (factor ``sqrt(2)``) bucket upper bounds in seconds.
+
+    Spans ~1 microsecond (``2**-20`` s) to 128 s in 55 buckets; observations
+    above the last finite bound land in the implicit ``+Inf`` bucket.  The
+    factor-``sqrt(2)`` spacing keeps histogram quantiles within one bucket
+    (at worst ~41% relative error) of the exact sorted-window quantile,
+    which is plenty for latency telemetry.
+    """
+    return tuple(2.0 ** (i / 2.0 - 20.0) for i in range(55))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "help": self.help, "value": self._value}
+
+    def merge(self, other: "Counter | dict") -> None:
+        value = other["value"] if isinstance(other, dict) else other.value
+        with self._lock:
+            self._value += value
+
+
+class Gauge:
+    """A value that can go up and down (set to the latest reading)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "help": self.help, "value": self._value}
+
+    def merge(self, other: "Gauge | dict") -> None:
+        # Gauges are last-reading values; merging sums them (the only merge
+        # the corpus layer needs is "in-flight across shards").
+        value = other["value"] if isinstance(other, dict) else other.value
+        with self._lock:
+            self._value += value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with mergeable counts.
+
+    ``bounds`` are the inclusive upper bounds of each bucket; an implicit
+    final bucket catches everything above ``bounds[-1]``.  Two histograms
+    merge iff their bounds are identical — by construction they are, since
+    every histogram in the codebase uses :func:`default_latency_bounds`
+    unless a test says otherwise.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count", "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds is not None else default_latency_bounds()
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- recording
+    def _bucket_index(self, value: float) -> int:
+        return bisect.bisect_left(self.bounds, value)
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    @property
+    def counts(self) -> List[int]:
+        return list(self._counts)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Histogram quantile: the upper bound of the nearest-rank bucket.
+
+        Returns ``None`` on an empty histogram.  The answer is exact to
+        within one bucket of the true nearest-rank quantile; values landing
+        in the overflow bucket report the observed maximum.
+        """
+        if self._count == 0:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile fraction must be in (0, 1], got {q}")
+        rank = math.ceil(q * self._count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self._max
+        return self._max  # pragma: no cover - unreachable
+
+    # -------------------------------------------------------------- merging
+    def merge(self, other: "Histogram | dict") -> None:
+        if isinstance(other, Histogram):
+            data = other.to_dict()
+        else:
+            data = other
+        if tuple(data["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        with self._lock:
+            for index, bucket_count in enumerate(data["counts"]):
+                self._counts[index] += bucket_count
+            self._sum += data["sum"]
+            self._count += data["count"]
+            other_min = data.get("min")
+            other_max = data.get("max")
+            if other_min is not None:
+                self._min = other_min if self._min is None else min(self._min, other_min)
+            if other_max is not None:
+                self._max = other_max if self._max is None else max(self._max, other_max)
+
+    # ------------------------------------------------------------ transport
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "name": self.name,
+                "help": self.help,
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls(data["name"], data.get("help", ""), bounds=data["bounds"])
+        histogram.merge(data)
+        return histogram
+
+    def summary(self) -> dict:
+        """Count/sum plus the standard latency quantiles, for stats dicts."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """A named collection of metrics with Prometheus text exposition.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create accessors so call
+    sites never race on registration; re-registering a name with a different
+    metric type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {type(existing).__name__}"
+                    )
+                return existing
+            metric = kind(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, bounds=bounds)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # ------------------------------------------------------------ transport
+    def to_dict(self) -> dict:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {metric.name: metric.to_dict() for metric in metrics}
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its ``to_dict``) into this one.
+
+        Unknown metrics are created on the fly so a worker process can
+        define histograms the parent has not observed yet.
+        """
+        data = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        for name, payload in data.items():
+            kind = payload.get("type", "counter")
+            if kind == "histogram":
+                metric = self.histogram(name, payload.get("help", ""), bounds=payload["bounds"])
+            elif kind == "gauge":
+                metric = self.gauge(name, payload.get("help", ""))
+            else:
+                metric = self.counter(name, payload.get("help", ""))
+            metric.merge(payload)
+
+    # ----------------------------------------------------------- exposition
+    def render(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            if isinstance(metric, Histogram):
+                lines.append(f"# TYPE {metric.name} histogram")
+                data = metric.to_dict()
+                cumulative = 0
+                for bound, bucket_count in zip(data["bounds"], data["counts"]):
+                    cumulative += bucket_count
+                    lines.append(
+                        f'{metric.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                    )
+                cumulative += data["counts"][-1]
+                lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{metric.name}_sum {repr(float(data['sum']))}")
+                lines.append(f"{metric.name}_count {data['count']}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {metric.name} gauge")
+                lines.append(f"{metric.name} {_format_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {metric.name} counter")
+                lines.append(f"{metric.name} {_format_value(metric.value)}")
+        return "\n".join(lines) + "\n"

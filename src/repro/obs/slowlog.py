@@ -1,0 +1,96 @@
+"""Policy-driven slow-query log.
+
+A bounded, thread-safe ring of the most recent queries that exceeded the
+``ExecutionPolicy.slow_query_seconds`` threshold (env
+``REPRO_SLOW_QUERY_SECONDS``).  Each entry carries the query text, the
+document, wall seconds, the queue-wait share when the server recorded one,
+and — when tracing was on — the span breakdown of where the time went.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Ring buffer of slow-query records; disabled when ``threshold`` is None."""
+
+    def __init__(self, threshold: Optional[float] = None, capacity: int = 64) -> None:
+        if threshold is not None and threshold < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        self.threshold = threshold
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def should_log(self, seconds: float) -> bool:
+        return self.threshold is not None and seconds >= self.threshold
+
+    def record(
+        self,
+        seconds: float,
+        query: Optional[str] = None,
+        document: Optional[str] = None,
+        queue_wait: Optional[float] = None,
+        trace: Optional[dict] = None,
+        **extra: Any,
+    ) -> Optional[dict]:
+        """Record one slow query if it clears the threshold.
+
+        Returns the stored entry (so callers can also emit it elsewhere), or
+        ``None`` when the log is disabled or the query was fast enough.
+        """
+        if not self.should_log(seconds):
+            return None
+        entry: Dict[str, Any] = {
+            "at": time.time(),
+            "seconds": seconds,
+            "threshold": self.threshold,
+            "query": query,
+            "document": document,
+        }
+        if queue_wait is not None:
+            entry["queue_wait"] = queue_wait
+        if trace is not None:
+            entry["trace"] = trace
+        entry.update(extra)
+        with self._lock:
+            if len(self._entries) == self._entries.maxlen:
+                self._dropped += 1
+            self._entries.append(entry)
+        return entry
+
+    def entries(self, limit: Optional[int] = None) -> List[dict]:
+        """Most recent entries first."""
+        with self._lock:
+            items = list(self._entries)
+        items.reverse()
+        if limit is not None:
+            items = items[:limit]
+        return items
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "size": len(self._entries),
+                "dropped": self._dropped,
+                "entries": list(self._entries),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dropped = 0

@@ -1,0 +1,282 @@
+"""Span tracer: per-query span trees with near-zero cost when disabled.
+
+Tracing follows the process-global pattern the kernel default already uses
+(`repro.pplbin.bitmatrix.set_default_kernel` + ``REPRO_KERNEL``): it is off
+unless ``REPRO_TRACE`` is truthy at import or :func:`set_tracing` flips it
+on (a :class:`repro.session.ExecutionPolicy` with ``trace=True`` does the
+latter).  When disabled, :func:`span` returns a shared no-op context
+manager — one global load, one call, no allocation — so instrumentation can
+stay inline on hot paths.
+
+Spans carry ``trace_id``/``span_id``/``parent_id``, monotonic
+(`time.perf_counter`) start/end timestamps plus a wall-clock anchor, and
+free-form attributes.  The span stack is thread-local; a span opened with
+no parent starts a new trace, and finishing it publishes the tree to the
+thread's ``last trace`` slot (picked up by ``Document.report``) and to a
+bounded process-wide deque drained by :func:`drain_finished` for NDJSON
+export.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "TRACE_ENV",
+    "enabled",
+    "set_tracing",
+    "reset_thread",
+    "span",
+    "record_span",
+    "Span",
+    "last_trace",
+    "take_last_trace",
+    "drain_finished",
+    "trace_events",
+    "render_events",
+    "format_tree",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled = os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
+
+_ids = itertools.count(1)
+_local = threading.local()
+_finished: deque = deque(maxlen=256)
+_finished_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether spans are currently being recorded (process-wide)."""
+    return _enabled
+
+
+def set_tracing(value: bool) -> bool:
+    """Enable or disable tracing process-wide; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def reset_thread() -> None:
+    """Clear this thread's span stack and last-trace slot.
+
+    Fork hygiene: a worker process forked while the parent had a span open
+    inherits that thread's stack, so every span it records would nest under
+    a phantom parent (and the root would never publish).  Worker
+    initialisers call this before recording anything.
+    """
+    _local.stack = []
+    _local.last = None
+
+
+class Span:
+    """One timed stage of a query; nests into a tree via the span stack."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "started",
+        "ended",
+        "wall_started",
+        "attrs",
+        "children",
+    )
+
+    def __init__(self, name: str, trace_id: str, parent_id: Optional[str], **attrs: Any) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = f"{next(_ids):x}"
+        self.parent_id = parent_id
+        self.started = time.perf_counter()
+        self.ended: Optional[float] = None
+        self.wall_started = time.time()
+        self.attrs: Dict[str, Any] = attrs
+        self.children: List["Span"] = []
+
+    # -------------------------------------------------------------- control
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.ended = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if self.parent_id is None:
+            _publish(self)
+        return False
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def seconds(self) -> float:
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    def to_dict(self) -> dict:
+        """Nested span-tree dict (the shape stored on ``QueryReport.trace``)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.started,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named ``name``; a no-op unless tracing is enabled."""
+    if not _enabled:
+        return _NULL_SPAN
+    stack = _stack()
+    if stack:
+        parent = stack[-1]
+        child = Span(name, parent.trace_id, parent.span_id, **attrs)
+        parent.children.append(child)
+        return child
+    return Span(name, f"{os.getpid():x}-{next(_ids):x}", None, **attrs)
+
+
+def record_span(
+    name: str,
+    started: float,
+    ended: float,
+    children: Optional[List[dict]] = None,
+    **attrs: Any,
+) -> Optional[dict]:
+    """Record an already-measured span without touching the span stack.
+
+    The asyncio server measures its request lifecycle with explicit
+    ``perf_counter`` readings (thread-local stacks interleave wrongly
+    across ``await`` points); this publishes those readings as a finished
+    trace.  ``children`` entries are ``{"name", "started", "ended"}``
+    triples.  Returns the published tree dict, or ``None`` when disabled.
+    """
+    if not _enabled:
+        return None
+    root = Span(name, f"{os.getpid():x}-{next(_ids):x}", None, **attrs)
+    root.started = started
+    root.ended = ended
+    root.wall_started = time.time() - (time.perf_counter() - started)
+    for child in children or ():
+        node = Span(child["name"], root.trace_id, root.span_id, **child.get("attrs", {}))
+        node.started = child["started"]
+        node.ended = child["ended"]
+        node.wall_started = root.wall_started + (child["started"] - started)
+        root.children.append(node)
+    _publish(root)
+    return root.to_dict()
+
+
+def _publish(root: Span) -> None:
+    tree = root.to_dict()
+    _local.last = tree
+    with _finished_lock:
+        _finished.append(tree)
+
+
+def last_trace() -> Optional[dict]:
+    """The most recent completed trace on this thread (kept until replaced)."""
+    return getattr(_local, "last", None)
+
+
+def take_last_trace() -> Optional[dict]:
+    """Return and clear this thread's most recent completed trace."""
+    tree = getattr(_local, "last", None)
+    _local.last = None
+    return tree
+
+
+def drain_finished() -> List[dict]:
+    """Drain the process-wide buffer of finished traces (all threads)."""
+    with _finished_lock:
+        trees = list(_finished)
+        _finished.clear()
+    return trees
+
+
+# ------------------------------------------------------------------- export
+def trace_events(tree: dict) -> Iterator[dict]:
+    """Flatten a span tree into one event dict per span (parents first)."""
+    pending = [tree]
+    while pending:
+        node = pending.pop(0)
+        yield {
+            "trace_id": node["trace_id"],
+            "span_id": node["span_id"],
+            "parent_id": node["parent_id"],
+            "name": node["name"],
+            "start": node["start"],
+            "seconds": node["seconds"],
+            "attrs": node["attrs"],
+        }
+        pending.extend(node["children"])
+
+
+def render_events(trees: List[dict]) -> str:
+    """NDJSON trace export: one JSON event per line, parents before children."""
+    lines = []
+    for tree in trees:
+        for event in trace_events(tree):
+            lines.append(json.dumps(event, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_tree(tree: dict, indent: int = 0) -> str:
+    """Human-readable indented rendering of a span tree (for the CLI)."""
+    pad = "  " * indent
+    attrs = ""
+    if tree["attrs"]:
+        attrs = "  " + " ".join(f"{key}={value}" for key, value in sorted(tree["attrs"].items()))
+    line = f"{pad}{tree['name']}  {tree['seconds'] * 1e3:.3f}ms{attrs}"
+    parts = [line]
+    for child in tree["children"]:
+        parts.append(format_tree(child, indent + 1))
+    return "\n".join(parts)

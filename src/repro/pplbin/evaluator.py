@@ -34,6 +34,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.errors import EvaluationError
+from repro.obs import trace as _trace
 from repro.trees.axes import axis_relation, iter_axis, label_vector
 from repro.trees.tree import Tree
 from repro.pplbin import bitmatrix as bx
@@ -174,7 +175,12 @@ def _evaluate(
     if isinstance(node, SelfStep):
         return kernel.identity(tree.size)
     if isinstance(node, BCompose):
-        return kernel.compose(recurse(node.left), recurse(node.right))
+        left = recurse(node.left)
+        right = recurse(node.right)
+        # Operands evaluate before the span opens so nested compositions
+        # don't inflate the parent's compose timing.
+        with _trace.span("kernel.compose", kernel=kernel.name):
+            return kernel.compose(left, right)
     if isinstance(node, BUnion):
         return kernel.union(recurse(node.left), recurse(node.right))
     if isinstance(node, BExcept):

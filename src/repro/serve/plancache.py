@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.api.query import Query, compile_query
+from repro.obs import trace as _trace
 
 #: Bump when the payload layout (or anything pickled inside it) changes
 #: incompatibly; old files then miss by key and are evicted by budget.
@@ -215,10 +216,13 @@ class PlanCache:
         require_ppl: bool = False,
     ) -> Query:
         """One-stop compilation through the cache: load, else compile + store."""
-        cached = self.load(expression, variables, engine)
+        with _trace.span("plan_cache.lookup") as lookup:
+            cached = self.load(expression, variables, engine)
+            lookup.set(hit=cached is not None)
         if cached is not None:
             return cached
-        query = compile_query(expression, tuple(variables), require_ppl=require_ppl)
+        with _trace.span("compile"):
+            query = compile_query(expression, tuple(variables), require_ppl=require_ppl)
         self.store(query, expression=expression, engine=engine)
         return query
 

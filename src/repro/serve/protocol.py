@@ -15,6 +15,17 @@ Requests
     A :class:`repro.serve.server.ServerStats` snapshot.
 ``{"op": "ping", "id": 3}``
     Liveness check.
+``{"op": "metrics", "id": 5}``
+    The server's telemetry in Prometheus text exposition format:
+    ``{"id": 5, "type": "metrics", "content_type":
+    "text/plain; version=0.0.4", "body": "..."}``.  Scrape by piping
+    ``repro-xpath obs metrics`` into a textfile collector, or bridge the
+    op from any exporter sidecar.
+``{"op": "slowlog", "id": 6, "limit": 10}``
+    Recent slow-query log entries (newest first; ``limit`` optional):
+    ``{"id": 6, "type": "slowlog", "threshold": ..., "entries": [...]}``.
+    Entries carry the query, document, seconds, queue wait and — when
+    tracing was on — the span breakdown.
 ``{"op": "cancel", "id": 4, "target": 1}``
     Abort the streamed submission this client submitted under id
     ``target``, mid-flight.  The cancel is mapped onto the submission's
@@ -235,6 +246,29 @@ class ProtocolServer:
                         "stats": self.server.stats.to_dict(),
                     },
                 )
+            elif op == "metrics":
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "metrics",
+                        "content_type": "text/plain; version=0.0.4",
+                        "body": self.server.metrics_text(),
+                    },
+                )
+            elif op == "slowlog":
+                limit = request.get("limit")
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "slowlog",
+                        "threshold": self.server.slowlog.threshold,
+                        "entries": self.server.slowlog.entries(limit),
+                    },
+                )
             elif op == "cancel":
                 await self._handle_cancel(request, request_id, writer, lock, connection)
             elif op == "submit":
@@ -389,8 +423,9 @@ async def request_lines(
     """Tiny NDJSON client: send one request, yield response lines until done.
 
     Yields every response object for the request's id; stops after a
-    ``done``, ``error``, ``stats`` or ``pong`` line.  Used by the CLI's
-    ``serve query`` / ``serve stats`` subcommands and handy in tests.
+    ``done``, ``error``, ``stats``, ``pong``, ``metrics`` or ``slowlog``
+    line.  Used by the CLI's ``serve query`` / ``serve stats`` /
+    ``obs metrics`` / ``obs slowlog`` subcommands and handy in tests.
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
@@ -402,7 +437,15 @@ async def request_lines(
                 return
             payload = json.loads(line)
             yield payload
-            if payload.get("type") in ("done", "error", "stats", "pong", "cancelled"):
+            if payload.get("type") in (
+                "done",
+                "error",
+                "stats",
+                "pong",
+                "cancelled",
+                "metrics",
+                "slowlog",
+            ):
                 return
     finally:
         writer.close()

@@ -30,9 +30,7 @@ mid-flight without touching the rest of the server.
 from __future__ import annotations
 
 import asyncio
-import statistics
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Iterable, Optional, Sequence, Union
 
@@ -43,9 +41,20 @@ from repro.api.query import Query, compile_query
 from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.executor import CorpusExecutor, CorpusResult
 from repro.corpus.store import CorpusError, DocumentStore
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.pplbin import bitmatrix as _bitmatrix
 from repro.serve.plancache import ANY_ENGINE, PlanCache
-from repro.session.policy import ServingPolicy
+from repro.session.policy import ExecutionPolicy, ServingPolicy
+
+#: Prometheus names of the server's two latency histograms.  ``execution``
+#: is seconds from evaluation-slot acquisition to completion of one
+#: document's jobs (the meaning the old sliding window had); ``queue_wait``
+#: is seconds from admission to slot acquisition, so overload tail growth
+#: is visible instead of hiding in front of the old measurement start.
+EXECUTION_HISTOGRAM = "repro_request_execution_seconds"
+QUEUE_WAIT_HISTOGRAM = "repro_request_queue_wait_seconds"
 
 
 class ServeError(ReproError):
@@ -68,11 +77,17 @@ _DONE = object()
 class ServerStats:
     """A telemetry snapshot of one :class:`CorpusServer`.
 
-    Latency quantiles are computed over a sliding window of recent
-    per-document evaluation latencies (seconds from slot acquisition to
-    completion of that document's jobs).  ``answer_cache`` reflects the
-    parent store's shared cache; under the process strategy the per-worker
-    caches live in the shard workers — aggregate them with the (blocking)
+    Latency quantiles come from the server's mergeable
+    :class:`repro.obs.metrics.Histogram` of per-document *execution*
+    latencies (seconds from evaluation-slot acquisition to completion of
+    that document's jobs — the same meaning the pre-obs sliding window
+    had); ``queue_wait_*`` quantiles are the separate admission-to-slot
+    histogram, so overload shows up as queue-wait tail growth instead of
+    being invisible.  ``uptime_seconds``/``stats_at`` are monotonic
+    (``time.monotonic``), so two scrapes can turn counters into rates.
+    ``answer_cache`` reflects the parent store's shared cache; under the
+    process strategy the per-worker caches live in the shard workers —
+    aggregate them with the (blocking)
     :meth:`repro.corpus.CorpusExecutor.answer_cache_stats` instead, off the
     event loop.
     """
@@ -92,6 +107,17 @@ class ServerStats:
     matrix_cache: Optional[dict] = None
     snapshot: Optional[dict] = None
     kernel: Optional[str] = None
+    p90_latency: Optional[float] = None
+    p99_latency: Optional[float] = None
+    queue_wait_p50: Optional[float] = None
+    queue_wait_p90: Optional[float] = None
+    queue_wait_p95: Optional[float] = None
+    queue_wait_p99: Optional[float] = None
+    latency: Optional[dict] = None
+    queue_wait: Optional[dict] = None
+    uptime_seconds: Optional[float] = None
+    stats_at: Optional[float] = None
+    slow_queries: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -104,7 +130,18 @@ class ServerStats:
             "queued": self.queued,
             "active_submissions": self.active_submissions,
             "p50_latency": self.p50_latency,
+            "p90_latency": self.p90_latency,
             "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p90": self.queue_wait_p90,
+            "queue_wait_p95": self.queue_wait_p95,
+            "queue_wait_p99": self.queue_wait_p99,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "uptime_seconds": self.uptime_seconds,
+            "stats_at": self.stats_at,
+            "slow_queries": self.slow_queries,
             "plan_cache": self.plan_cache,
             "answer_cache": self.answer_cache,
             "matrix_cache": self.matrix_cache,
@@ -214,7 +251,9 @@ class CorpusServer:
     stream_buffer:
         Per-submission result queue size (per-client backpressure).
     latency_window:
-        How many recent per-document latencies back the p50/p95 stats.
+        Accepted for compatibility; latency quantiles now come from
+        unbounded mergeable histograms (:mod:`repro.obs.metrics`) rather
+        than a bounded window, so the knob no longer limits anything.
     abandon_grace:
         Once the server is draining, a stream whose full queue has gone
         unread for this many seconds is treated as abandoned (consumer gone
@@ -274,7 +313,6 @@ class CorpusServer:
         max_concurrent = self.policy.max_concurrent
         max_queue = self.policy.max_queue
         stream_buffer = self.policy.stream_buffer
-        latency_window = self.policy.latency_window
         abandon_grace = self.policy.abandon_grace
         if max_concurrent < 1:
             raise ServeError("max_concurrent must be at least 1")
@@ -302,7 +340,27 @@ class CorpusServer:
                 )
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._tasks: set["asyncio.Task"] = set()
-        self._latencies: deque = deque(maxlen=latency_window)
+        #: Mergeable latency histograms (see :mod:`repro.obs.metrics`),
+        #: replacing the old bounded deque of recent latencies.
+        self.metrics_registry = MetricsRegistry()
+        self._execution_hist = self.metrics_registry.histogram(
+            EXECUTION_HISTOGRAM,
+            "Per-document execution seconds (evaluation slot to completion)",
+        )
+        self._queue_wait_hist = self.metrics_registry.histogram(
+            QUEUE_WAIT_HISTOGRAM,
+            "Per-document admission-to-evaluation-slot wait in seconds",
+        )
+        #: Slow-query log: the owning session's (so sync and async surfaces
+        #: share one log), else a fresh one with the environment-resolved
+        #: threshold (``REPRO_SLOW_QUERY_SECONDS``; ``None`` = disabled).
+        session_slowlog = getattr(session, "slowlog", None)
+        self.slowlog: SlowQueryLog = (
+            session_slowlog
+            if session_slowlog is not None
+            else SlowQueryLog(ExecutionPolicy().resolved("slow_query_seconds"))
+        )
+        self._started_monotonic = time.monotonic()
         self._draining = False
         self._closed = False
         self._next_id = 0
@@ -589,10 +647,12 @@ class CorpusServer:
         self, submission: Submission, name: str, dequeue
     ) -> list[CorpusResult]:
         """One admitted document job: wait for an evaluation slot, run off-loop."""
+        enqueued = time.perf_counter()
         async with self._semaphore:
             dequeue()
             self._in_flight += 1
             started = time.perf_counter()
+            self._queue_wait_hist.observe(started - enqueued)
             try:
                 # Off-loop: under the processes strategy, submitting can
                 # repartition shards (blocking pool spawn/shutdown and
@@ -624,19 +684,47 @@ class CorpusServer:
                 results = await asyncio.wrap_future(future)
             finally:
                 self._in_flight -= 1
-            self._latencies.append(time.perf_counter() - started)
+            finished = time.perf_counter()
+            elapsed = finished - started
+            self._execution_hist.observe(elapsed)
             self._completed += 1
+            if _trace.enabled():
+                # The request lifecycle as a trace: recorded from explicit
+                # timestamps (the thread-local span stack would interleave
+                # across await points on a shared event-loop thread).
+                _trace.record_span(
+                    "server.request",
+                    enqueued,
+                    finished,
+                    children=[
+                        {"name": "queue.wait", "started": enqueued, "ended": started},
+                        {"name": "execute", "started": started, "ended": finished},
+                    ],
+                    document=name,
+                    submission=submission.id,
+                )
+            if self.slowlog.should_log(elapsed):
+                self.slowlog.record(
+                    elapsed,
+                    query="; ".join(
+                        query.text if query.text is not None else query.unparse()
+                        for query in submission.queries
+                    ),
+                    document=name,
+                    queue_wait=started - enqueued,
+                    trace=next(
+                        (r.report.trace for r in results if r.report.trace is not None),
+                        None,
+                    ),
+                )
             return results
 
     # ---------------------------------------------------------------- telemetry
     @property
     def stats(self) -> ServerStats:
         """A :class:`ServerStats` snapshot (cheap; safe to poll from the loop)."""
-        window = sorted(self._latencies)
-        p50 = p95 = None
-        if window:
-            p50 = statistics.median(window)
-            p95 = window[min(len(window) - 1, int(0.95 * len(window)))]
+        execution = self._execution_hist
+        queue_wait = self._queue_wait_hist
         answer_cache = self.store.answer_cache
         return ServerStats(
             submitted=self._submitted,
@@ -647,8 +735,19 @@ class CorpusServer:
             in_flight=self._in_flight,
             queued=self._queued,
             active_submissions=len(self._tasks),
-            p50_latency=p50,
-            p95_latency=p95,
+            p50_latency=execution.quantile(0.50),
+            p90_latency=execution.quantile(0.90),
+            p95_latency=execution.quantile(0.95),
+            p99_latency=execution.quantile(0.99),
+            queue_wait_p50=queue_wait.quantile(0.50),
+            queue_wait_p90=queue_wait.quantile(0.90),
+            queue_wait_p95=queue_wait.quantile(0.95),
+            queue_wait_p99=queue_wait.quantile(0.99),
+            latency=execution.summary(),
+            queue_wait=queue_wait.summary(),
+            uptime_seconds=time.monotonic() - self._started_monotonic,
+            stats_at=time.monotonic(),
+            slow_queries=len(self.slowlog),
             plan_cache=(
                 self.plan_cache.stats.to_dict() if self.plan_cache is not None else None
             ),
@@ -659,5 +758,59 @@ class CorpusServer:
             snapshot=self.store.snapshot_stats(),
             kernel=_bitmatrix.get_default_kernel().name,
         )
+
+    def metrics_text(self) -> str:
+        """Render the server's telemetry in Prometheus text exposition format.
+
+        Monotonic request counters and point-in-time gauges are mirrored
+        into a fresh registry at render time (the integers on ``self`` stay
+        the source of truth); the two latency histograms are merged in
+        bucket-by-bucket.  Cheap and loop-safe, like :attr:`stats`.
+        """
+        registry = MetricsRegistry()
+        counters = {
+            "repro_server_submitted_total": (self._submitted, "Submissions admitted"),
+            "repro_server_completed_total": (self._completed, "Document jobs completed"),
+            "repro_server_rejected_total": (self._rejected, "Submissions rejected (overload)"),
+            "repro_server_cancelled_total": (self._cancelled, "Submissions cancelled"),
+            "repro_server_failed_total": (self._failed, "Submissions failed"),
+            "repro_server_slow_queries_total": (len(self.slowlog), "Slow-query log entries"),
+        }
+        for name, (value, help_text) in counters.items():
+            registry.counter(name, help_text).inc(value)
+        gauges = {
+            "repro_server_in_flight": (self._in_flight, "Documents evaluating now"),
+            "repro_server_queued": (self._queued, "Documents admitted, not started"),
+            "repro_server_active_submissions": (
+                len(self._tasks),
+                "Submissions with live producer tasks",
+            ),
+            "repro_server_uptime_seconds": (
+                time.monotonic() - self._started_monotonic,
+                "Seconds since server construction (monotonic)",
+            ),
+        }
+        for name, (value, help_text) in gauges.items():
+            registry.gauge(name, help_text).set(value)
+        cache_sources = {
+            "plan_cache": self.plan_cache.stats.to_dict() if self.plan_cache is not None else None,
+            "answer_cache": (
+                self.store.answer_cache.stats.to_dict()
+                if self.store.answer_cache is not None
+                else None
+            ),
+        }
+        for cache_name, cache_stats in cache_sources.items():
+            if cache_stats is None:
+                continue
+            for counter_name in ("hits", "misses", "evictions", "stores"):
+                value = cache_stats.get(counter_name)
+                if value is not None:
+                    registry.counter(
+                        f"repro_{cache_name}_{counter_name}_total",
+                        f"{cache_name} {counter_name}",
+                    ).inc(value)
+        registry.merge(self.metrics_registry)
+        return registry.render()
 
 

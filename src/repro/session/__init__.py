@@ -42,10 +42,12 @@ from repro.session.policy import (
     MAX_WORKERS_ENV,
     PLAN_CACHE_BYTES_ENV,
     PLAN_CACHE_DIR_ENV,
+    SLOW_QUERY_SECONDS_ENV,
     SNAPSHOT_BYTES_ENV,
     SNAPSHOT_DIR_ENV,
     STRATEGY_ENV,
     TIMEOUT_ENV,
+    TRACE_ENV,
     UNSET,
     ExecutionPolicy,
     Resolved,
@@ -76,4 +78,6 @@ __all__ = [
     "SNAPSHOT_DIR_ENV",
     "SNAPSHOT_BYTES_ENV",
     "TIMEOUT_ENV",
+    "TRACE_ENV",
+    "SLOW_QUERY_SECONDS_ENV",
 ]

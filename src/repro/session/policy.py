@@ -53,6 +53,8 @@ PLAN_CACHE_BYTES_ENV = "REPRO_PLAN_CACHE_BYTES"
 SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
 SNAPSHOT_BYTES_ENV = "REPRO_SNAPSHOT_BYTES"
 TIMEOUT_ENV = "REPRO_TIMEOUT"
+TRACE_ENV = "REPRO_TRACE"
+SLOW_QUERY_SECONDS_ENV = "REPRO_SLOW_QUERY_SECONDS"
 
 _ENV_OF_FIELD = {
     "engine": ENGINE_ENV,
@@ -67,6 +69,8 @@ _ENV_OF_FIELD = {
     "snapshot_dir": SNAPSHOT_DIR_ENV,
     "snapshot_bytes": SNAPSHOT_BYTES_ENV,
     "timeout": TIMEOUT_ENV,
+    "trace": TRACE_ENV,
+    "slow_query_seconds": SLOW_QUERY_SECONDS_ENV,
 }
 
 _INT_FIELDS = frozenset(
@@ -79,7 +83,9 @@ _INT_FIELDS = frozenset(
         "snapshot_bytes",
     }
 )
-_FLOAT_FIELDS = frozenset({"timeout"})
+_FLOAT_FIELDS = frozenset({"timeout", "slow_query_seconds"})
+_BOOL_FIELDS = frozenset({"trace"})
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 
 def _coerce_env(field: str, raw: str) -> Any:
@@ -87,9 +93,12 @@ def _coerce_env(field: str, raw: str) -> Any:
 
     For byte-budget and worker-count fields an empty string or ``0`` means
     "unbounded"/"auto" (``None``), matching the pre-existing convention of
-    ``REPRO_MATRIX_CACHE_BYTES``.
+    ``REPRO_MATRIX_CACHE_BYTES``.  Boolean fields accept ``1/true/yes/on``
+    (case-insensitive); anything else is false.
     """
     raw = raw.strip()
+    if field in _BOOL_FIELDS:
+        return raw.lower() in _TRUTHY
     if field in _INT_FIELDS:
         if not raw or raw == "0":
             return None
@@ -178,6 +187,15 @@ class ExecutionPolicy:
         Per-query-run wall-clock budget in seconds; an exceeded budget
         cancels outstanding work (async) or raises
         :class:`repro.errors.CorpusTimeoutError` (sync corpus runs).
+    trace:
+        Enable the :mod:`repro.obs.trace` span tracer (default false).
+        Like the kernel default, tracing is process-wide: a session built
+        with ``trace=True`` calls :func:`repro.obs.trace.set_tracing`.
+    slow_query_seconds:
+        Threshold of the slow-query log in seconds (``None`` = disabled).
+        Queries at or above it are recorded — with their span breakdown
+        when tracing is on — in ``Session.slowlog`` and, on servers, the
+        ``slowlog`` protocol op.
     """
 
     engine: Any = UNSET
@@ -193,6 +211,8 @@ class ExecutionPolicy:
     snapshot_dir: Any = UNSET
     snapshot_bytes: Any = UNSET
     timeout: Any = UNSET
+    trace: Any = UNSET
+    slow_query_seconds: Any = UNSET
 
     # ------------------------------------------------------------ composition
     def override(self, **explicit: Any) -> "ExecutionPolicy":
@@ -248,6 +268,8 @@ def _execution_defaults() -> dict[str, Any]:
         "snapshot_dir": None,
         "snapshot_bytes": None,
         "timeout": None,
+        "trace": False,
+        "slow_query_seconds": None,
     }
 
 
@@ -294,7 +316,9 @@ class ServingPolicy:
     stream_buffer:
         Per-submission result queue size (per-client backpressure).
     latency_window:
-        How many recent per-document latencies back the p50/p95 stats.
+        Retained for compatibility: latency quantiles now come from the
+        server's unbounded mergeable histograms (:mod:`repro.obs.metrics`)
+        rather than a bounded sliding window.
     abandon_grace:
         Seconds a full, unread stream queue survives during drain before
         being treated as abandoned and cancelled.

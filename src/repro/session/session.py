@@ -47,6 +47,8 @@ from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
 
 from repro.errors import CorpusTimeoutError, SessionClosedError
 from repro._deprecation import suppress_deprecations
+from repro.obs import trace as _trace
+from repro.obs.slowlog import SlowQueryLog
 from repro.session.policy import UNSET, ExecutionPolicy, ServingPolicy
 from repro.session.tokens import CancellationToken
 
@@ -204,6 +206,16 @@ class Session:
 
         self._lock = threading.RLock()
         self._closed = False
+        self._started_monotonic = time.monotonic()
+        #: Slow-query log (threshold from ``slow_query_seconds`` /
+        #: ``REPRO_SLOW_QUERY_SECONDS``; ``None`` disables).  Shared with
+        #: the session's server so both surfaces land in one log.
+        self.slowlog = SlowQueryLog(self.execution.resolved("slow_query_seconds"))
+        if self.execution.resolved("trace"):
+            # Tracing is process-wide (like the kernel default): enabling it
+            # here is deliberate and never un-done on close, so a second
+            # session cannot silently disable another's tracing.
+            _trace.set_tracing(True)
         self.store = store if store is not None else self._build_store()
         self._plan_cache = self._build_plan_cache(plan_cache)
         #: In-memory compiled-plan memo shared by the sync and async paths.
@@ -425,9 +437,19 @@ class Session:
         self._ensure_open("query")
         resolved = self._resolve_document(document)
         compiled = self.compile(expression, variables)
-        return resolved.answer(
+        started = time.perf_counter()
+        answers = resolved.answer(
             compiled, engine=self.execution.resolved("engine", engine)
         )
+        elapsed = time.perf_counter() - started
+        if self.slowlog.should_log(elapsed):
+            self.slowlog.record(
+                elapsed,
+                query=compiled.text if compiled.text is not None else compiled.unparse(),
+                document=document if isinstance(document, str) else None,
+                trace=_trace.last_trace() if _trace.enabled() else None,
+            )
+        return answers
 
     def report(
         self,
@@ -667,6 +689,9 @@ class Session:
                 self._plan_cache.stats.to_dict() if self._plan_cache is not None else None
             ),
             "plans_in_memory": len(self._plans),
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "stats_at": time.monotonic(),
+            "slow_queries": len(self.slowlog),
             "policy": {
                 name: {"value": resolved.value, "source": resolved.source}
                 for name, resolved in self.execution.explain().items()
@@ -676,6 +701,29 @@ class Session:
             server = self._server
         payload["server"] = server.stats.to_dict() if server is not None else None
         return payload
+
+    def metrics(self):
+        """The session's merged :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Folds the corpus executor's evaluation histograms (shard-worker
+        histograms included, under the processes strategy — this *blocks*
+        on a round-trip per live shard pool, so call it off the event loop)
+        and, when the async server exists, its latency histograms.  Render
+        with :meth:`repro.obs.metrics.MetricsRegistry.render` for
+        Prometheus text.
+        """
+        self._ensure_open("metrics")
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        with self._lock:
+            executor = self._executor
+            server = self._server
+        if executor is not None:
+            merged.merge(executor.metrics())
+        if server is not None:
+            merged.merge(server.metrics_registry)
+        return merged
 
     @property
     def plan_cache(self) -> Optional["PlanCache"]:

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro._config import UNSET as _UNSET
+from repro.obs import trace as _trace
 from repro.snapshot.codec import FORMAT_VERSION, SnapshotError, decode_snapshot, encode_snapshot
 from repro.trees.tree import Tree
 
@@ -165,9 +166,10 @@ class SnapshotStore:
                 self._tree_misses += 1
             return None
         try:
-            tree = decode_snapshot(
-                path, expected_digest=digest, matrix_cache_bytes=matrix_cache_bytes
-            )
+            with _trace.span("snapshot.load", digest=digest[:12]):
+                tree = decode_snapshot(
+                    path, expected_digest=digest, matrix_cache_bytes=matrix_cache_bytes
+                )
         except SnapshotError:
             self._drop_invalid(path)
             with self._lock:

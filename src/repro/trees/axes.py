@@ -24,6 +24,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import TreeError
+from repro.obs import trace as _trace
 from repro.trees.tree import Tree
 
 
@@ -207,9 +208,10 @@ def axis_relation(tree: Tree, axis: Axis, kernel=None):
     cached = cache.get(key)
     if cached is not None:
         return cached
-    relation = resolved.from_rows(
-        tree.size, (list(iter_axis(tree, axis, node)) for node in tree.nodes())
-    )
+    with _trace.span("axis.relation", axis=axis.value, kernel=resolved.name):
+        relation = resolved.from_rows(
+            tree.size, (list(iter_axis(tree, axis, node)) for node in tree.nodes())
+        )
     cache[key] = relation
     return relation
 

@@ -15,6 +15,10 @@ matrix evaluation sit inside the measured region):
 * ``patched_out`` — ``repro.obs.trace.span`` replaced by a raw
   null-returning function: the closest stand-in for un-instrumented code;
 * ``disabled`` — stock build, tracing off (the shipping default);
+* ``sampled`` — ``set_trace_sample(0.01)``: always-on sampled tracing at
+  the recommended production rate.  Sampling records every span (the head
+  decision only gates ring publication), so this pass pays the full
+  span-allocation cost; it must stay within 5% of the disabled pass;
 * ``enabled`` — ``set_tracing(True)``: not gated on overhead, but the
   captured span tree's top-level stage durations must sum to within 10%
   of the root span's wall time (no unattributed gaps, no double counting).
@@ -50,6 +54,8 @@ BOOKS = 24 if SMOKE else 80
 ROUNDS = 15 if SMOKE else 11
 WARMUP_ROUNDS = 2
 OVERHEAD_GATE = 0.03
+SAMPLED_RATE = 0.01
+SAMPLED_GATE = 0.05
 STAGE_SUM_TOLERANCE = 0.10
 
 
@@ -99,11 +105,13 @@ def _null_span(name, **attrs):  # matches obs_trace.span's signature
 def run_scenario() -> dict:
     tree, query, variables = _workload()
 
-    # Interleave the patched-out and disabled passes so slow drift on the
-    # host (thermal, noisy neighbours) hits both series equally.
+    # Interleave the patched-out, disabled and sampled passes so slow drift
+    # on the host (thermal, noisy neighbours) hits every series equally.
     patched_samples: list[float] = []
     disabled_samples: list[float] = []
+    sampled_samples: list[float] = []
     previous = obs_trace.set_tracing(False)
+    previous_sample = obs_trace.set_trace_sample(0.0)
     try:
         answer_size = None
         for _ in range(3):
@@ -117,6 +125,15 @@ def run_scenario() -> dict:
             samples, disabled_answers = _measure(tree, query, variables, ROUNDS)
             disabled_samples.extend(samples)
             assert disabled_answers == answer_size
+            obs_trace.set_trace_sample(SAMPLED_RATE)
+            try:
+                samples, sampled_answers = _measure(tree, query, variables, ROUNDS)
+                sampled_samples.extend(samples)
+            finally:
+                obs_trace.set_trace_sample(0.0)
+                obs_trace.take_last_trace()
+                obs_trace.drain_finished()
+            assert sampled_answers == answer_size
 
         # Enabled pass: overhead is reported but not gated; the gate here is
         # the span tree's internal consistency.
@@ -127,9 +144,11 @@ def run_scenario() -> dict:
         trace_tree = report.trace
     finally:
         obs_trace.set_tracing(previous)
+        obs_trace.set_trace_sample(previous_sample)
 
     patched = _stats(patched_samples)
     disabled = _stats(disabled_samples)
+    sampled = _stats(sampled_samples)
     enabled = _stats(enabled_samples)
     # Gate on the minimum, not the median: the instrumentation cost is a
     # constant additive term, while everything that separates one round from
@@ -138,6 +157,7 @@ def run_scenario() -> dict:
     # view of the code's inherent cost; medians at millisecond scale still
     # carry several percent of ambient noise.
     disabled_overhead = disabled["min"] / patched["min"] - 1.0
+    sampled_overhead = sampled["min"] / disabled["min"] - 1.0
     enabled_overhead = enabled["min"] / patched["min"] - 1.0
 
     assert trace_tree is not None, "tracing was on: the report must carry a trace"
@@ -153,14 +173,18 @@ def run_scenario() -> dict:
             "smoke": SMOKE,
             "answer_size": answer_size,
             "overhead_gate": OVERHEAD_GATE,
+            "sampled_rate": SAMPLED_RATE,
+            "sampled_gate": SAMPLED_GATE,
             "stage_sum_tolerance": STAGE_SUM_TOLERANCE,
         },
         "passes": {
             "patched_out": patched,
             "disabled": disabled,
+            "sampled": sampled,
             "enabled": enabled,
         },
         "disabled_overhead": disabled_overhead,
+        "sampled_overhead": sampled_overhead,
         "enabled_overhead": enabled_overhead,
         "trace": {
             "wall_seconds": wall,
@@ -171,7 +195,11 @@ def run_scenario() -> dict:
                 for child in trace_tree["children"]
             ],
         },
-        "ok": disabled_overhead < OVERHEAD_GATE and stage_gap <= STAGE_SUM_TOLERANCE,
+        "ok": (
+            disabled_overhead < OVERHEAD_GATE
+            and sampled_overhead < SAMPLED_GATE
+            and stage_gap <= STAGE_SUM_TOLERANCE
+        ),
     }
 
 
@@ -184,6 +212,8 @@ def main() -> int:
     print(
         f"disabled overhead: {payload['disabled_overhead'] * 100:+.2f}% "
         f"(gate < {OVERHEAD_GATE * 100:.0f}%)  "
+        f"sampled@{SAMPLED_RATE} overhead vs disabled: "
+        f"{payload['sampled_overhead'] * 100:+.2f}% (gate < {SAMPLED_GATE * 100:.0f}%)  "
         f"enabled overhead: {payload['enabled_overhead'] * 100:+.2f}%"
     )
     print(

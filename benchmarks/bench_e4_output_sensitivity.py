@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import PPLEngine
+from repro.api import as_document
 from repro.workloads.bibliography import bibliography_pair_query, generate_bibliography
 
 from bench_utils import run_once
@@ -38,7 +38,7 @@ def test_answer_size_sweep(benchmark, profile):
         seed=1,
     )
     query, variables = bibliography_pair_query()
-    engine = PPLEngine(document)
+    engine = as_document(document)
     engine.answer(query, variables)  # warm caches so only |A|-dependent work varies
 
     answers = run_once(benchmark, engine.answer, query, variables)
@@ -56,7 +56,7 @@ def test_selectivity_sweep(benchmark, selectivity):
         20, num_attributes=4, missing_probability=selectivity, decoys_per_restaurant=0, seed=3
     )
     query, variables = restaurant_query(4)
-    engine = PPLEngine(document)
+    engine = as_document(document)
     engine.answer(query, variables)
 
     answers = run_once(benchmark, engine.answer, query, variables)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import PPLEngine
+from repro.api import as_document
 from repro.workloads.restaurants import generate_restaurants, restaurant_query
 
 from bench_utils import run_once
@@ -28,7 +28,7 @@ def test_tuple_width_scaling(benchmark, width):
     query, variables = restaurant_query(width)
 
     def answer():
-        return PPLEngine(document).answer(query, variables)
+        return as_document(document).answer(query, variables)
 
     answers = run_once(benchmark, answer)
     benchmark.extra_info["tuple_width"] = width

@@ -28,11 +28,14 @@ Set ``REPRO_BENCH_SCALE=smoke`` to shrink the grid for CI.
 from __future__ import annotations
 
 import os
+import time
 from functools import lru_cache
 
 import pytest
 
+from repro.obs import calibrate as obs_calibrate
 from repro.trees.generators import random_tree
+from repro.pplbin import bitmatrix
 from repro.pplbin import matrix as bm
 from repro.pplbin.bitmatrix import KERNEL_NAMES
 from repro.pplbin.evaluator import MatmulKernel, evaluate_relation
@@ -126,6 +129,84 @@ def test_triple_loop_product(benchmark, size):
 
     relation = run_single(benchmark, evaluate)
     _record(benchmark, relation, size, "sparse", "naive-triple-loop")
+
+
+#: Calibrated-adaptive acceptance: the whole-grid adaptive time may exceed
+#: the best single fixed kernel by at most this factor.
+CALIBRATED_ADAPTIVE_MARGIN = 1.15
+CALIBRATION_SIZES = (48, 64, 96) if SMOKE else (96, 192, 320)
+CALIBRATION_DENSITIES = (2.0, 8.0) if SMOKE else (2.0, 8.0, 32.0, 128.0)
+FIXED_KERNELS = ("dense", "bitset", "sparse")
+
+
+def test_calibrated_adaptive_tracks_best_fixed_kernel(benchmark):
+    """Acceptance: with a freshly fitted profile, adaptive stays competitive.
+
+    Fits cost-model constants from a controlled compose workload on *this*
+    machine (``repro.obs.calibrate``), applies them, then times the full
+    (size, query) grid under every fixed kernel and under ``adaptive``.
+    The adaptive kernel's whole-grid time must stay within 15% of the best
+    fixed kernel's — the cost model, recalibrated from observed spans, must
+    still be steering representation choice correctly.
+    """
+    profile = obs_calibrate.calibrate(
+        sizes=CALIBRATION_SIZES,
+        per_node_densities=CALIBRATION_DENSITIES,
+        repeats=1 if SMOKE else 3,
+        seed=9,
+    )
+    assert profile["constants"], "the controlled grid must fit at least one constant"
+
+    cells = [(size, kind) for size in KERNEL_SIZES for kind in ("sparse", "dense")]
+    rounds = 2 if SMOKE else 5
+
+    def grid_seconds(kernel: str) -> float:
+        total = 0.0
+        for size, kind in cells:
+            tree = _tree(size)
+            expression = parse_pplbin(QUERIES[kind])
+            evaluate_relation(tree, expression, kernel=kernel, use_cache=False)  # warm
+            best = None
+            for _ in range(rounds):
+                started = time.perf_counter()
+                relation = evaluate_relation(
+                    tree, expression, kernel=kernel, use_cache=False
+                )
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            assert relation.pairs() == _reference_pairs(size, kind)
+            total += best
+        return total
+
+    bitmatrix.set_cost_constants(profile["constants"])
+    try:
+        fixed = {kernel: grid_seconds(kernel) for kernel in FIXED_KERNELS}
+        adaptive_seconds = grid_seconds("adaptive")
+
+        def evaluate():  # the recorded measurement: one calibrated adaptive pass
+            for size, kind in cells:
+                evaluate_relation(
+                    _tree(size), parse_pplbin(QUERIES[kind]), kernel="adaptive",
+                    use_cache=False,
+                )
+
+        run_once(benchmark, evaluate, rounds=1 if SMOKE else 3)
+    finally:
+        bitmatrix.set_cost_constants(None)
+
+    best_kernel = min(fixed, key=fixed.get)
+    ratio = adaptive_seconds / fixed[best_kernel]
+    benchmark.extra_info["calibration_constants"] = profile["constants"]
+    benchmark.extra_info["calibration_samples"] = profile["samples"]
+    benchmark.extra_info["fixed_grid_seconds"] = fixed
+    benchmark.extra_info["adaptive_grid_seconds"] = adaptive_seconds
+    benchmark.extra_info["best_fixed_kernel"] = best_kernel
+    benchmark.extra_info["adaptive_vs_best_fixed"] = ratio
+    benchmark.extra_info["margin"] = CALIBRATED_ADAPTIVE_MARGIN
+    assert ratio <= CALIBRATED_ADAPTIVE_MARGIN, (
+        f"calibrated adaptive ran {ratio:.2f}x the best fixed kernel "
+        f"({best_kernel}); margin is {CALIBRATED_ADAPTIVE_MARGIN}"
+    )
 
 
 @pytest.mark.parametrize("size", TRIPLE_LOOP_SIZES)

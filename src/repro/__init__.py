@@ -29,7 +29,8 @@ Typical usage — the :mod:`repro.api` facade::
     )
 
 The seed-era entry points (``answer``, ``compile_query``, ``PPLEngine``)
-remain available as thin shims over the facade.
+were removed in 1.5.0, two minor releases after their 1.2 deprecation —
+see the migration table in the README for the replacements.
 """
 
 from repro.errors import (
@@ -47,7 +48,7 @@ from repro.errors import (
 )
 from repro.trees import Node, Tree, tree_from_xml, tree_to_xml
 from repro.xpath import parse_path, NaiveEngine
-from repro.core import PPLEngine, answer, compile_query, CompiledQuery, is_ppl, check_ppl
+from repro.core import is_ppl, check_ppl
 from repro.api import (
     Document,
     Query,
@@ -67,7 +68,7 @@ from repro.session import (
     SessionError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -84,10 +85,6 @@ __all__ = [
     "tree_to_xml",
     "parse_path",
     "NaiveEngine",
-    "PPLEngine",
-    "answer",
-    "compile_query",
-    "CompiledQuery",
     "is_ppl",
     "check_ppl",
     "Document",

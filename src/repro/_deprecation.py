@@ -3,14 +3,16 @@
 PR 5 consolidated the three parallel front doors — per-document
 :class:`repro.api.Document` calls, the batch :class:`repro.corpus`
 executor and the async :class:`repro.serve` server — behind one
-:class:`repro.session.Session`.  The old entry points keep working, but
-*direct* use emits a :class:`DeprecationWarning` pointing at the Session
-equivalent.
+:class:`repro.session.Session`.  Release 1.5.0 then *removed* the seed-era
+shims (``repro.answer``, the legacy ``compile_query``, ``PPLEngine``) and
+the construction warnings on ``CorpusExecutor``/``CorpusServer``.  What
+remains shimmed is the tail: direct :class:`Document` construction,
+``answer_batch`` and the ``as_document`` adoption path still work but emit
+a :class:`DeprecationWarning` pointing at the Session equivalent.
 
-The subtlety this module exists for: the Session (and the document store,
-and the server) build those same objects *internally* — a store
-materialising a :class:`Document`, a session spawning a
-:class:`CorpusServer` — and internal construction must stay silent, both to
+The subtlety this module exists for: the Session and the document store
+build those same objects *internally* — a store materialising a
+:class:`Document` — and internal construction must stay silent, both to
 keep the warning signal meaningful and so the ``examples/`` CI job can run
 the ported code paths under ``-W error::DeprecationWarning``.  Internal
 call sites wrap construction in :func:`suppress_deprecations`; everything
@@ -56,7 +58,8 @@ def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
     if _suppressed():
         return
     warnings.warn(
-        f"{old} is deprecated and will be removed two releases after 1.2; "
+        f"{old} is deprecated and will be removed in a future release "
+        "(1.5.0 already removed the seed-era entry points); "
         f"use {new} instead (see the README 'Session API' migration table)",
         DeprecationWarning,
         stacklevel=stacklevel,

@@ -30,8 +30,10 @@ loop over queries                                ``Document(tree).answer_many(qu
 loop over documents                              ``answer_batch(docs, query)``
 ===============================================  ===============================================
 
-The old entry points keep working as thin deprecation shims
-(:mod:`repro.core.api`, :mod:`repro.core.engine`), all delegating here.
+The seed-era shims (``repro.answer``, the legacy ``compile_query`` with its
+``CompiledQuery.run``, ``PPLEngine`` and the whole ``repro.core.api``
+module) were removed in 1.5.0 — the left column above is what old code
+looked like, not something that still imports.
 
 Typical usage::
 

@@ -25,6 +25,7 @@ which was keyed by ``id(tree)`` and grew without bound.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
@@ -359,13 +360,25 @@ class Document:
         Pass ``answers`` to report on an already-computed answer set without
         re-evaluating (used by the CLI ``bench`` subcommand, whose timing
         loop has the answers in hand).
+
+        When the report evaluates (``answers`` not given), it also collects
+        the per-query resource-accounting block on ``QueryReport.cost``:
+        evaluation seconds, compose/row-union op counts and matrix bytes
+        allocated (deltas of the process-wide kernel counters and this
+        tree's matrix cache — best-effort under concurrent evaluation on
+        other threads), plus matrix/answer-cache hit/miss deltas and
+        snapshot answer hits.
         """
         compiled = self._as_query(query, variables)
         trace_tree = None
+        cost = None
         if answers is None:
             if _trace.enabled():
                 _trace.take_last_trace()  # don't attribute an older query's trace
+            meter = self.cost_meter()
+            started = time.perf_counter()
             answers = self.answer(compiled, engine=engine)
+            cost = meter.finish(time.perf_counter() - started)
             trace_tree = _trace.take_last_trace()
         if compiled.hcl is not None:
             hcl_size = compiled.hcl.size
@@ -384,7 +397,21 @@ class Document:
             kernel=self.oracle.kernel.name,
             matrix_cache=self.tree.matrix_cache().stats.to_dict(),
             trace=trace_tree,
+            cost=cost,
         )
+
+    def cost_meter(self) -> "_CostMeter":
+        """Start a per-query resource-accounting capture on this document.
+
+        Returns a meter snapshotting the process-wide kernel op counters,
+        this tree's matrix-cache counters and (when configured) the
+        answer-cache/snapshot counters; ``meter.finish(seconds)`` returns
+        the cost-block dict of deltas stored on ``QueryReport.cost``.  The
+        corpus executor wraps its own timed ``answer`` calls with this so
+        every surface reports the same block; deltas are best-effort when
+        other threads evaluate concurrently on the same process.
+        """
+        return _CostMeter(self)
 
     # -------------------------------------------------------------------- batch
     def answer_many(
@@ -420,6 +447,54 @@ class Document:
                 )
             return query
         return self.compile(query, tuple(variables or ()), require_ppl=False)
+
+
+class _CostMeter:
+    """Before-counters for one query's cost block (see ``Document.cost_meter``)."""
+
+    __slots__ = ("_document", "_bitmatrix", "_ops", "_matrix", "_answer", "_snapshot")
+
+    def __init__(self, document: Document) -> None:
+        from repro.pplbin import bitmatrix as _bitmatrix
+
+        self._document = document
+        self._bitmatrix = _bitmatrix
+        self._ops = _bitmatrix.counters()
+        self._matrix = document.tree.matrix_cache().stats
+        self._answer = (
+            document._answer_cache.stats if document._answer_cache is not None else None
+        )
+        self._snapshot = (
+            document._snapshot_store.stats
+            if document._snapshot_store is not None
+            else None
+        )
+
+    def finish(self, seconds: float) -> dict:
+        """The cost block: deltas of every counter since the meter started."""
+        document = self._document
+        ops = self._bitmatrix.counters()
+        matrix = document.tree.matrix_cache().stats
+        cost = {
+            "seconds": seconds,
+            "compose_ops": ops["full_compose"] - self._ops["full_compose"],
+            "row_union_ops": ops["row_union"] - self._ops["row_union"],
+            "relations_built": ops["relations_built"] - self._ops["relations_built"],
+            # Net growth of the tree's matrix cache: bytes this query left
+            # resident (evictions it triggered subtract, so this is a
+            # footprint delta, not a gross-allocation count).
+            "matrix_bytes": max(0, matrix.current_bytes - self._matrix.current_bytes),
+            "matrix_cache_hits": matrix.hits - self._matrix.hits,
+            "matrix_cache_misses": matrix.misses - self._matrix.misses,
+        }
+        if self._answer is not None:
+            answer = document._answer_cache.stats
+            cost["answer_cache_hits"] = answer.hits - self._answer.hits
+            cost["answer_cache_misses"] = answer.misses - self._answer.misses
+        if self._snapshot is not None:
+            snapshot = document._snapshot_store.stats
+            cost["snapshot_hits"] = snapshot.answer_hits - self._snapshot.answer_hits
+        return cost
 
 
 # --------------------------------------------------------------- tree adoption

@@ -369,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="max concurrently streaming submissions per connection",
     )
+    serve_run.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        help="also serve the HTTP observability endpoint "
+        "(/metrics /healthz /slowlog.json /traces.ndjson) on this port "
+        "(0 = kernel-assigned; default: REPRO_OBS_PORT, else off)",
+    )
     add_kernel_option(serve_run)
 
     serve_query = serve_sub.add_parser(
@@ -423,7 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs = subparsers.add_parser(
-        "obs", help="observability commands (metrics / trace / slowlog)"
+        "obs", help="observability commands (metrics / trace / slowlog / calibrate)"
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -462,6 +470,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_slowlog.add_argument(
         "--limit", type=int, default=None, help="most recent entries to print"
+    )
+
+    obs_calibrate = obs_sub.add_parser(
+        "calibrate",
+        help="fit the kernel cost model from traced compose spans and "
+        "write a calibration profile",
+    )
+    obs_calibrate.add_argument(
+        "--out",
+        default=None,
+        help="write the fitted profile JSON here (loadable via "
+        "REPRO_COST_PROFILE); default: print only",
+    )
+    obs_calibrate.add_argument(
+        "--sizes",
+        default="96,192,320",
+        help="comma-separated matrix sizes of the controlled workload",
+    )
+    obs_calibrate.add_argument(
+        "--densities",
+        default="2,8,32,128",
+        help="comma-separated successors-per-node densities",
+    )
+    obs_calibrate.add_argument(
+        "--repeats", type=int, default=3, help="composes per cell (default 3)"
+    )
+    obs_calibrate.add_argument(
+        "--seed", type=int, default=0, help="seed of the random relations"
     )
 
     return parser
@@ -841,6 +877,7 @@ def _run_serve_run(args) -> int:
         max_queue=args.max_queue,
         auth_token=args.auth_token,
         max_submissions_per_client=args.client_quota,
+        obs_port=args.obs_port,
     )
     _apply_kernel(args.kernel)
     session_kwargs: dict = {
@@ -872,6 +909,14 @@ def _run_serve_run(args) -> int:
                 file=sys.stderr,
                 flush=True,
             )
+            obs_http = getattr(session.server(), "obs_http", None)
+            if obs_http is not None:
+                print(
+                    f"observability endpoint on http://{obs_http.host}:{obs_http.port} "
+                    "(/metrics /healthz /slowlog.json /traces.ndjson)",
+                    file=sys.stderr,
+                    flush=True,
+                )
             try:
                 async with tcp:
                     await tcp.serve_forever()
@@ -1074,6 +1119,30 @@ def _run_obs_trace(args) -> int:
         obs_trace.set_tracing(previous)
 
 
+def _run_obs_calibrate(args) -> int:
+    from repro.obs import calibrate as obs_calibrate
+
+    sizes = [int(text) for text in _split_vars(args.sizes)]
+    densities = [float(text) for text in _split_vars(args.densities)]
+    profile = obs_calibrate.calibrate(
+        sizes=sizes,
+        per_node_densities=densities,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.out:
+        obs_calibrate.save_profile(args.out, profile)
+        profile["path"] = args.out
+    print(json.dumps(profile, indent=2, sort_keys=True))
+    if not profile["constants"]:
+        print(
+            "error: no representation collected enough points to fit",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_engines() -> int:
     from dataclasses import asdict
 
@@ -1147,6 +1216,8 @@ def _main_subcommands(arguments: list[str]) -> int:
                 return _run_obs_metrics(args)
             if args.obs_command == "slowlog":
                 return _run_obs_slowlog(args)
+            if args.obs_command == "calibrate":
+                return _run_obs_calibrate(args)
             return _run_obs_trace(args)
         if args.command == "bench":
             return _run_bench(

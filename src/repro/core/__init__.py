@@ -6,17 +6,19 @@ This package ties together the substrates:
   (what makes a Core XPath 2.0 expression a PPL expression).
 * :mod:`~repro.core.translate` — the Fig. 7 translation PPL → HCL⁻(PPLbin)
   and its converse (Proposition 5).
-* :mod:`~repro.core.engine` — :class:`PPLEngine`, the end-to-end polynomial
-  n-ary query answering pipeline of Theorem 1 (now a thin shim over the
-  ``"polynomial"`` backend of :mod:`repro.api`).
-* :mod:`~repro.core.api` — deprecation shims for the seed's convenience
-  functions; new code should use :mod:`repro.api` directly.
+* :mod:`~repro.core.engine` — :class:`QueryReport`, the diagnostics block of
+  the end-to-end polynomial answering pipeline of Theorem 1 (the pipeline
+  itself runs behind the ``"polynomial"`` backend of :mod:`repro.api`).
+
+The seed-era shims that used to live here (``PPLEngine``, the legacy
+``compile_query``/``CompiledQuery``, ``repro.answer``) were removed in
+1.5.0; use :class:`repro.api.Document`, :func:`repro.api.compile_query` and
+:class:`repro.session.Session` — see the README migration table.
 """
 
 from repro.core.ppl import PPL_CONDITIONS, check_ppl, is_ppl, ppl_violations
 from repro.core.translate import hcl_to_ppl, ppl_to_hcl
-from repro.core.engine import PPLEngine
-from repro.core.api import CompiledQuery, answer, compile_query
+from repro.core.engine import QueryReport
 
 __all__ = [
     "PPL_CONDITIONS",
@@ -25,8 +27,5 @@ __all__ = [
     "ppl_violations",
     "ppl_to_hcl",
     "hcl_to_ppl",
-    "PPLEngine",
-    "compile_query",
-    "CompiledQuery",
-    "answer",
+    "QueryReport",
 ]

@@ -1,13 +1,7 @@
-"""The end-to-end polynomial query engine of Theorem 1 (deprecation shim).
+"""Query diagnostics for the polynomial engine of Theorem 1.
 
-.. deprecated::
-    :class:`PPLEngine` is kept for backwards compatibility; new code should
-    use :class:`repro.api.Document`, which owns the same shared state and
-    additionally dispatches to every registered backend.  See the migration
-    table in :mod:`repro.api`.
-
-The pipeline (now driven by the ``"polynomial"`` engine of the registry)
-answers n-ary PPL queries on a fixed tree in time
+The pipeline itself (now driven by the ``"polynomial"`` engine of the
+registry) answers n-ary PPL queries on a fixed tree in time
 ``O(|P| |t|^3  +  n |P| |t|^2 |A|)``:
 
 1. parse the Core XPath 2.0 expression (if given as text),
@@ -21,18 +15,18 @@ answers n-ary PPL queries on a fixed tree in time
 
 Steps 5 and 6 share a single :class:`repro.hcl.binding.PPLbinOracle`, whose
 matrices are cached on the tree, so answering several queries against the
-same document reuses the per-axis and per-leaf work.
+same document reuses the per-axis and per-leaf work.  The entry points live
+on :class:`repro.api.Document` and :class:`repro.session.Session`; this
+module holds the :class:`QueryReport` those surfaces hand back.  (The
+``PPLEngine`` shim that used to live here was removed in 1.5.0 — see the
+migration table in the README.)
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Optional, Sequence
-
-from repro.trees.tree import Tree
-from repro.xpath.ast import PathExpr
-from repro.hcl.ast import HclExpr
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -44,9 +38,13 @@ class QueryReport:
     matrix-cache counters (hits/misses/evictions/bytes) after answering,
     mirroring the AnswerCache telemetry of the corpus layer.  ``trace`` is
     the per-query span tree (:meth:`repro.obs.trace.Span.to_dict`) when the
-    :mod:`repro.obs` tracer was enabled during evaluation, else ``None`` —
-    a plain nested dict, so reports pickle unchanged across the processes
-    strategy's pool boundary.
+    :mod:`repro.obs` tracer was recording during evaluation, else ``None``
+    — a plain nested dict, so reports pickle unchanged across the processes
+    strategy's pool boundary.  ``cost`` is the per-query resource-accounting
+    block (evaluation seconds, compose/row-union op counts, matrix bytes
+    allocated, matrix/answer-cache hits and misses, snapshot hit) collected
+    by :meth:`repro.api.Document.report`; the corpus and serving layers
+    aggregate it into labelled metrics and per-client totals.
     """
 
     expression_size: int
@@ -59,6 +57,7 @@ class QueryReport:
     kernel: Optional[str] = None
     matrix_cache: Optional[dict] = None
     trace: Optional[dict] = None
+    cost: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Return a plain-dict form (JSON-ready; tuples become lists)."""
@@ -70,69 +69,3 @@ class QueryReport:
     def to_json(self, **kwargs) -> str:
         """Return the report as a JSON object string."""
         return json.dumps(self.to_dict(), **kwargs)
-
-
-class PPLEngine:
-    """Answer n-ary PPL queries on a fixed tree in polynomial time.
-
-    .. deprecated:: use :class:`repro.api.Document` — this class is now a
-        thin wrapper delegating every call to a private document and the
-        ``"polynomial"`` registry backend.
-    """
-
-    name = "ppl-polynomial"
-
-    def __init__(self, tree: Tree) -> None:
-        from repro._deprecation import suppress_deprecations, warn_deprecated
-        from repro.api.document import Document
-
-        warn_deprecated("PPLEngine(tree)", "Session.query(...) / Session.document(...)")
-        with suppress_deprecations():
-            self._document = Document(tree)
-        self.tree = tree
-        self.oracle = self._document.oracle
-        self._answerer = self._document.answerer
-
-    @property
-    def _translation_cache(self) -> dict[PathExpr, HclExpr]:
-        """The document's HCL translation cache (kept for compatibility)."""
-        return self._document._translations
-
-    # ----------------------------------------------------------- public API
-    def answer(
-        self, expression: PathExpr | str, variables: Sequence[str]
-    ) -> frozenset[tuple[int, ...]]:
-        """Return the answer set ``q_{P,x}(t)`` of a PPL query.
-
-        Parameters
-        ----------
-        expression:
-            A PPL expression — Core XPath 2.0 concrete syntax or AST.
-        variables:
-            The output variable tuple ``x1 ... xn`` (without ``$`` sigils).
-
-        Raises
-        ------
-        ParseError
-            If the concrete syntax cannot be parsed.
-        RestrictionViolation
-            If the expression violates Definition 1.
-        """
-        return self._document.answer(expression, variables)
-
-    def nonempty(self, expression: PathExpr | str) -> bool:
-        """Decide non-emptiness of the query (Boolean query answering)."""
-        return self._document.nonempty(expression)
-
-    def pairs(self, expression: PathExpr | str) -> frozenset[tuple[int, int]]:
-        """Evaluate a *variable-free* PPL expression as a binary query.
-
-        Dispatches through the engine registry (the ``"polynomial"``
-        backend's binary path), matching the paper's ``q^bin_P`` for PPLbin
-        expressions.
-        """
-        return self._document.pairs(expression)
-
-    def report(self, expression: PathExpr | str, variables: Sequence[str]) -> QueryReport:
-        """Answer the query and return sizing diagnostics along with the count."""
-        return self._document.report(expression, variables)

@@ -49,7 +49,6 @@ from dataclasses import dataclass, replace as dataclass_replace
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro._config import UNSET as _UNSET
-from repro._deprecation import suppress_deprecations, warn_deprecated
 from repro.core.engine import QueryReport
 from repro.api.document import BatchItem, Document, iter_batch
 from repro.api.query import Query, compile_query
@@ -60,11 +59,43 @@ from repro.obs.metrics import MetricsRegistry
 
 STRATEGIES = ("serial", "threads", "processes")
 
-#: Histogram of per-(document, query) evaluation seconds.  One name across
-#: parent and shard workers so the worker histograms merge bucket-by-bucket
-#: into the parent's (see :meth:`CorpusExecutor.metrics`).
+#: Histogram of per-(document, query) evaluation seconds, labelled by
+#: ``(engine, strategy)``.  One family name across parent and shard workers
+#: so label-identical worker series merge bucket-by-bucket into the
+#: parent's (see :meth:`CorpusExecutor.metrics`).
 EVAL_HISTOGRAM = "repro_eval_seconds"
 _EVAL_HELP = "Per (document, query) evaluation time in seconds"
+
+#: Counter families aggregated from per-query ``QueryReport.cost`` blocks
+#: (see :meth:`repro.api.Document.report`), labelled by ``(engine,
+#: strategy)``: cost-block field -> (family name, HELP text).
+COST_COUNTERS = {
+    "compose_ops": ("repro_compose_ops_total", "PPLbin compose operations"),
+    "row_union_ops": ("repro_row_union_ops_total", "PPLbin row-union operations"),
+    "relations_built": ("repro_relations_built_total", "PPLbin relations materialised"),
+    "matrix_bytes": (
+        "repro_matrix_bytes_total",
+        "Matrix-cache bytes left resident by query evaluation",
+    ),
+    "matrix_cache_hits": ("repro_matrix_cache_hits_total", "Matrix-cache hits"),
+    "matrix_cache_misses": ("repro_matrix_cache_misses_total", "Matrix-cache misses"),
+    "answer_cache_hits": ("repro_answer_cache_hits_total", "Answer-cache hits"),
+    "answer_cache_misses": ("repro_answer_cache_misses_total", "Answer-cache misses"),
+    "snapshot_hits": ("repro_snapshot_answer_hits_total", "Snapshot answer-set hits"),
+}
+
+
+def observe_cost(
+    registry: MetricsRegistry, cost: Optional[dict], *, engine: str, strategy: str
+) -> None:
+    """Fold one query's resource-accounting block into labelled counters."""
+    if not cost:
+        return
+    labels = {"engine": engine, "strategy": strategy}
+    for field, (family, help_text) in COST_COUNTERS.items():
+        value = cost.get(field)
+        if value:
+            registry.counter(family, help_text, labels=labels).inc(value)
 
 
 def _query_spec(query: Query) -> tuple[str, tuple[str, ...]]:
@@ -120,6 +151,7 @@ def _worker_initialise(
     cache_answers: bool = True,
     store_config: Optional[dict] = None,
     trace: bool = False,
+    trace_sample: float = 0.0,
 ) -> None:
     # ``store_config`` carries the *resolved* kernel/matrix-budget settings
     # from the parent.  This is the config-precedence fix: workers used to
@@ -140,9 +172,7 @@ def _worker_initialise(
             store.add_file(payload, name=name)
     _WORKER["store"] = store
     _WORKER["queries"] = {}
-    registry = MetricsRegistry()
-    registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
-    _WORKER["metrics"] = registry
+    _WORKER["metrics"] = MetricsRegistry()
     # A forked worker inherits the parent thread's span stack (the dispatch
     # span is open while pools spawn); start from a clean slate.
     _trace.reset_thread()
@@ -151,6 +181,10 @@ def _worker_initialise(
         # ships explicitly because set_tracing() state (unlike REPRO_TRACE)
         # does not survive a process boundary.
         _trace.set_tracing(True)
+    if trace_sample:
+        # Sampling replicates the same way, and separately: a sampled-only
+        # parent must produce sampled-only workers, not fully traced ones.
+        _trace.set_trace_sample(trace_sample)
 
 
 def _worker_query(text: str, variables: tuple[str, ...]) -> Query:
@@ -167,21 +201,29 @@ def _worker_answer(
 ) -> list[tuple[str, tuple[str, ...], frozenset, QueryReport, float]]:
     """Answer every query on one document inside the shard worker."""
     document = _WORKER["store"].get(name)
-    histogram = _WORKER["metrics"].histogram(EVAL_HISTOGRAM, _EVAL_HELP)
+    registry = _WORKER["metrics"]
+    histogram = registry.histogram(
+        EVAL_HISTOGRAM, _EVAL_HELP, labels={"engine": engine, "strategy": "processes"}
+    )
     results = []
     for text, variables in query_specs:
         query = _worker_query(text, variables)
         if _trace.enabled():
             _trace.take_last_trace()
+        meter = document.cost_meter()
         started = time.perf_counter()
         answers = document.answer(query, engine=engine)
         elapsed = time.perf_counter() - started
+        cost = meter.finish(elapsed)
         histogram.observe(elapsed)
         report = document.report(query, engine=engine, answers=answers)
+        changes: dict = {"cost": cost}
         if report.trace is None:
             trace_tree = _trace.take_last_trace()
             if trace_tree is not None:
-                report = dataclass_replace(report, trace=trace_tree)
+                changes["trace"] = trace_tree
+        report = dataclass_replace(report, **changes)
+        observe_cost(registry, cost, engine=engine, strategy="processes")
         results.append((text, variables, answers, report, elapsed))
     return results
 
@@ -230,10 +272,12 @@ class _ShardPool:
             max_workers=1,
             initializer=_worker_initialise,
             # Tracing state is captured at spawn: pools created while the
-            # parent traces produce traced workers (fresh spawns after
-            # set_tracing won't retro-fit already-running shards).
+            # parent traces (or samples) produce matching workers — fresh
+            # spawns after set_tracing/set_trace_sample won't retro-fit
+            # already-running shards.  The two knobs ship separately so a
+            # sampled-only parent never produces fully traced workers.
             initargs=(specs, max_resident, answer_cache_bytes, cache_answers,
-                      store_config, _trace.enabled()),
+                      store_config, _trace.tracing_enabled(), _trace.sample_rate()),
         )
 
     def submit(self, name: str, query_specs, engine: str) -> Future:
@@ -276,11 +320,6 @@ class CorpusExecutor:
         engine: str = DEFAULT_ENGINE,
         kernel=None,
     ) -> None:
-        warn_deprecated(
-            "constructing CorpusExecutor directly",
-            "repro.session.Session (session.query_corpus / session.corpus_report, "
-            "with strategy and workers on the ExecutionPolicy)",
-        )
         if strategy not in STRATEGIES:
             raise CorpusError(
                 f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}"
@@ -315,11 +354,11 @@ class CorpusExecutor:
         #: ``submit_document`` may be called from several threads at once
         #: (the server offloads it from the event loop).
         self._pool_lock = threading.RLock()
-        #: Parent-side metrics: per-(document, query) evaluation histogram
-        #: for the serial/threads strategies.  The processes strategy
-        #: observes inside shard workers; :meth:`metrics` merges both.
+        #: Parent-side metrics: per-(document, query) evaluation histograms
+        #: and cost counters for the serial/threads strategies, labelled by
+        #: (engine, strategy).  The processes strategy observes inside shard
+        #: workers; :meth:`metrics` merges both.
         self.metrics_registry = MetricsRegistry()
-        self.metrics_registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -569,19 +608,30 @@ class CorpusExecutor:
     def _answer_document(
         self, name: str, document: Document, queries: Sequence[Query], engine: str
     ) -> Iterator[CorpusResult]:
-        histogram = self.metrics_registry.histogram(EVAL_HISTOGRAM, _EVAL_HELP)
+        histogram = self.metrics_registry.histogram(
+            EVAL_HISTOGRAM,
+            _EVAL_HELP,
+            labels={"engine": engine, "strategy": self.strategy},
+        )
         for query in queries:
             if _trace.enabled():
                 _trace.take_last_trace()
+            meter = document.cost_meter()
             started = time.perf_counter()
             answers = document.answer(query, engine=engine)
             elapsed = time.perf_counter() - started
+            cost = meter.finish(elapsed)
             histogram.observe(elapsed)
             report = document.report(query, engine=engine, answers=answers)
+            changes: dict = {"cost": cost}
             if report.trace is None:
                 trace_tree = _trace.take_last_trace()
                 if trace_tree is not None:
-                    report = dataclass_replace(report, trace=trace_tree)
+                    changes["trace"] = trace_tree
+            report = dataclass_replace(report, **changes)
+            observe_cost(
+                self.metrics_registry, cost, engine=engine, strategy=self.strategy
+            )
             text, variables = _query_spec(query)
             yield CorpusResult(
                 doc_name=name,
@@ -899,10 +949,9 @@ def answer_corpus(
     this helper tears its worker pools (and their caches) down when the
     iterator is exhausted.
     """
-    with suppress_deprecations():
-        executor = CorpusExecutor(
-            store, strategy=strategy, max_workers=max_workers, engine=engine
-        )
+    executor = CorpusExecutor(
+        store, strategy=strategy, max_workers=max_workers, engine=engine
+    )
 
     def generate() -> Iterator[CorpusResult]:
         try:

@@ -1,15 +1,24 @@
-"""Observability: metrics registry, span tracer, and slow-query log.
+"""Observability: metrics, tracing, slow-query log, exposition, calibration.
 
 ``repro.obs`` is the unified telemetry substrate the serving stack builds
 on — see the README "Observability" section for metric names, the trace
 format, and a scraping example.
 
-- :mod:`repro.obs.metrics` — counters, gauges, mergeable log-bucket
-  histograms, nearest-rank ``quantile``, and a Prometheus text renderer.
-- :mod:`repro.obs.trace` — per-query span trees, off by default, enabled
-  via ``ExecutionPolicy.trace`` / ``REPRO_TRACE``.
+- :mod:`repro.obs.metrics` — labelled counters, gauges, mergeable
+  log-bucket histograms, nearest-rank ``quantile``, and a Prometheus text
+  renderer.
+- :mod:`repro.obs.trace` — per-query span trees, off by default; full
+  tracing via ``ExecutionPolicy.trace`` / ``REPRO_TRACE``, probabilistic
+  head sampling via ``ExecutionPolicy.trace_sample`` /
+  ``REPRO_TRACE_SAMPLE``.
 - :mod:`repro.obs.slowlog` — policy-driven slow-query ring buffer
-  (``ExecutionPolicy.slow_query_seconds`` / ``REPRO_SLOW_QUERY_SECONDS``).
+  (``ExecutionPolicy.slow_query_seconds`` / ``REPRO_SLOW_QUERY_SECONDS``)
+  whose entries carry span-tree exemplars.
+- :mod:`repro.obs.http` — stdlib HTTP exposition (``/metrics``,
+  ``/healthz``, ``/slowlog.json``, ``/traces.ndjson``) behind
+  ``ServingPolicy.obs_port`` / ``REPRO_OBS_PORT``.
+- :mod:`repro.obs.calibrate` — fits the kernel cost model's ns constants
+  from recorded ``kernel.compose`` spans (``REPRO_COST_PROFILE``).
 """
 
 from repro.obs.metrics import (
@@ -19,23 +28,38 @@ from repro.obs.metrics import (
     MetricsRegistry,
     default_latency_bounds,
     quantile,
+    series_key,
 )
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import (
     TRACE_ENV,
+    TRACE_SAMPLE_ENV,
     Span,
     drain_finished,
     enabled,
+    finished_traces,
     format_tree,
     last_trace,
     record_span,
     render_events,
     reset_thread,
+    sample_rate,
+    set_trace_sample,
     set_tracing,
     span,
     take_last_trace,
     trace_events,
 )
+from repro.obs.http import OBS_PORT_ENV, ObsHTTPServer
+from repro.obs.calibrate import (
+    fit_constants,
+    load_profile,
+    samples_from_traces,
+    save_profile,
+)
+# NOTE: the ``calibrate()`` entry point is deliberately not re-exported at
+# package level: ``from repro.obs import calibrate`` must keep resolving to
+# the *submodule* (re-exporting the function would shadow it).
 
 __all__ = [
     "Counter",
@@ -44,18 +68,29 @@ __all__ = [
     "MetricsRegistry",
     "default_latency_bounds",
     "quantile",
+    "series_key",
     "SlowQueryLog",
     "TRACE_ENV",
+    "TRACE_SAMPLE_ENV",
     "Span",
     "drain_finished",
     "enabled",
+    "finished_traces",
     "format_tree",
     "last_trace",
     "record_span",
     "render_events",
     "reset_thread",
+    "sample_rate",
+    "set_trace_sample",
     "set_tracing",
     "span",
     "take_last_trace",
     "trace_events",
+    "OBS_PORT_ENV",
+    "ObsHTTPServer",
+    "fit_constants",
+    "load_profile",
+    "samples_from_traces",
+    "save_profile",
 ]

@@ -1,0 +1,156 @@
+"""Stdlib-only HTTP exposition for metrics, health, slow queries, traces.
+
+A scrape endpoint that needs no NDJSON client: a
+:class:`ThreadingHTTPServer` on a daemon thread serving
+
+- ``/metrics`` — the registry's Prometheus text format
+  (``text/plain; version=0.0.4``),
+- ``/healthz`` — liveness JSON (``{"status": "ok", ...}``),
+- ``/slowlog.json`` — the slow-query log with span-tree exemplars,
+- ``/traces.ndjson`` — drains the sampled-trace ring as NDJSON events
+  (each scrape returns traces finished since the previous one).
+
+Off by default; enabled by ``ServingPolicy.obs_port`` or the
+``REPRO_OBS_PORT`` environment variable (``CorpusServer`` starts it, and
+``repro-xpath serve run --obs-port`` exposes it on the CLI).  Port 0 asks
+the kernel for a free port — read it back from :attr:`ObsHTTPServer.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs import trace as _trace
+from repro.obs.slowlog import SlowQueryLog
+
+__all__ = ["OBS_PORT_ENV", "ObsHTTPServer"]
+
+OBS_PORT_ENV = "REPRO_OBS_PORT"
+
+#: Prometheus text exposition content type.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsHTTPServer:
+    """Serve observability read endpoints from a daemon thread.
+
+    ``metrics_text`` is a zero-argument callable returning the Prometheus
+    text body (so the owner can assemble fresh gauges per scrape);
+    ``health`` optionally returns extra liveness fields; ``slowlog`` is the
+    shared :class:`~repro.obs.slowlog.SlowQueryLog` ring, if any.
+    """
+
+    def __init__(
+        self,
+        metrics_text: Callable[[], str],
+        *,
+        slowlog: Optional[SlowQueryLog] = None,
+        health: Optional[Callable[[], dict]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics_text = metrics_text
+        self._slowlog = slowlog
+        self._health = health
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> int:
+        """Bind and start serving; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        owner = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass  # scrapes must not spam stderr
+
+            def do_GET(self) -> None:
+                owner._handle(self)
+
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def close(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    # ------------------------------------------------------------- handlers
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self._metrics_text().encode("utf-8")
+                self._respond(request, 200, METRICS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                payload = {"status": "ok"}
+                if self._health is not None:
+                    payload.update(self._health())
+                body = (json.dumps(payload) + "\n").encode("utf-8")
+                self._respond(request, 200, "application/json", body)
+            elif path == "/slowlog.json":
+                payload = (
+                    self._slowlog.to_dict()
+                    if self._slowlog is not None
+                    else {"threshold": None, "size": 0, "dropped": 0, "entries": []}
+                )
+                body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+                self._respond(request, 200, "application/json", body)
+            elif path == "/traces.ndjson":
+                body = _trace.render_events(_trace.drain_finished()).encode("utf-8")
+                self._respond(request, 200, "application/x-ndjson", body)
+            else:
+                body = b"not found\n"
+                self._respond(request, 404, "text/plain", body)
+        except Exception as error:  # a scrape must never kill the thread
+            body = (json.dumps({"error": str(error)}) + "\n").encode("utf-8")
+            try:
+                self._respond(request, 500, "application/json", body)
+            except OSError:
+                pass  # client went away mid-response
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler, status: int, content_type: str, body: bytes
+    ) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)

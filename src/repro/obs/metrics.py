@@ -1,4 +1,4 @@
-"""Metrics primitives: counters, gauges, and mergeable latency histograms.
+"""Metrics primitives: labelled counters, gauges, and mergeable histograms.
 
 The registry replaces the ad-hoc latency windows that used to live on
 :class:`repro.serve.server.CorpusServer`.  Histograms use fixed log-spaced
@@ -6,6 +6,14 @@ bucket bounds so that two histograms observed in different processes can be
 merged bucket-by-bucket — the processes corpus strategy ships shard-worker
 histograms back to the parent exactly the way snapshot stats already
 aggregate.
+
+Metrics form **families**: every metric has a name, and a family may fan
+out into series distinguished by a label set (``engine``, ``kernel``,
+``representation``, ``strategy``, ``op``, ...).  The registry keys series
+on ``(name, sorted(labels))`` so merges across the process-pool boundary
+line up label-identical series and create disjoint ones for label sets the
+parent has not observed yet.  A family's metric type (counter vs gauge vs
+histogram) must be consistent across all of its series.
 
 Everything here is plain-Python and picklable via ``to_dict``/``from_dict``
 (worker processes return dicts over the pool boundary, never live objects).
@@ -16,7 +24,7 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "quantile",
@@ -25,7 +33,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_latency_bounds",
+    "series_key",
 ]
+
+LabelItems = Tuple[Tuple[str, str], ...]
 
 
 def quantile(values: Sequence[float], q: float) -> float:
@@ -58,14 +69,52 @@ def default_latency_bounds() -> Tuple[float, ...]:
     return tuple(2.0 ** (i / 2.0 - 20.0) for i in range(55))
 
 
+def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    """Normalise a label mapping to the canonical sorted items tuple."""
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        value = labels[key]
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise TypeError("metric labels must be str -> str")
+        items.append((key, value))
+    return tuple(items)
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping per the Prometheus exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_string(items: LabelItems) -> str:
+    return ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in items)
+
+
+def series_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """The registry's stable transport key for one series of a family."""
+    items = labels if isinstance(labels, tuple) else _label_items(labels)
+    if not items:
+        return name
+    return f"{name}{{{_label_string(items)}}}"
+
+
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter (one series of a family)."""
 
-    __slots__ = ("name", "help", "_value", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels: LabelItems = _label_items(labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -80,7 +129,10 @@ class Counter:
         return self._value
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "name": self.name, "help": self.help, "value": self._value}
+        payload = {"type": "counter", "name": self.name, "help": self.help, "value": self._value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def merge(self, other: "Counter | dict") -> None:
         value = other["value"] if isinstance(other, dict) else other.value
@@ -91,11 +143,14 @@ class Counter:
 class Gauge:
     """A value that can go up and down (set to the latest reading)."""
 
-    __slots__ = ("name", "help", "_value", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels: LabelItems = _label_items(labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -116,7 +171,10 @@ class Gauge:
         return self._value
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "name": self.name, "help": self.help, "value": self._value}
+        payload = {"type": "gauge", "name": self.name, "help": self.help, "value": self._value}
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def merge(self, other: "Gauge | dict") -> None:
         # Gauges are last-reading values; merging sums them (the only merge
@@ -136,17 +194,32 @@ class Histogram:
     unless a test says otherwise.
     """
 
-    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count", "_min", "_max", "_lock")
+    __slots__ = (
+        "name",
+        "help",
+        "labels",
+        "bounds",
+        "_counts",
+        "_sum",
+        "_count",
+        "_min",
+        "_max",
+        "_lock",
+    )
 
     def __init__(
         self,
         name: str,
         help: str = "",
         bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = name
         self.help = help
-        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds is not None else default_latency_bounds()
+        self.labels: LabelItems = _label_items(labels)
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else default_latency_bounds()
+        )
         if list(self.bounds) != sorted(self.bounds):
             raise ValueError("histogram bounds must be sorted ascending")
         self._counts = [0] * (len(self.bounds) + 1)  # +1 for the +Inf bucket
@@ -238,7 +311,7 @@ class Histogram:
     # ------------------------------------------------------------ transport
     def to_dict(self) -> dict:
         with self._lock:
-            return {
+            payload = {
                 "type": "histogram",
                 "name": self.name,
                 "help": self.help,
@@ -249,10 +322,18 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
             }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "Histogram":
-        histogram = cls(data["name"], data.get("help", ""), bounds=data["bounds"])
+        histogram = cls(
+            data["name"],
+            data.get("help", ""),
+            bounds=data["bounds"],
+            labels=data.get("labels"),
+        )
         histogram.merge(data)
         return histogram
 
@@ -279,97 +360,154 @@ def _format_value(value: float) -> str:
 
 
 class MetricsRegistry:
-    """A named collection of metrics with Prometheus text exposition.
+    """A collection of metric families with Prometheus text exposition.
 
     ``counter``/``gauge``/``histogram`` are get-or-create accessors so call
-    sites never race on registration; re-registering a name with a different
-    metric type raises.
+    sites never race on registration; they take an optional ``labels``
+    mapping selecting one series of the family.  Re-registering a family
+    name with a different metric type raises — across *all* label sets, so
+    a family cannot be half counter, half histogram.
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._kinds: Dict[str, type] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, kind, name: str, help: str, **kwargs):
+    def _get_or_create(
+        self, kind, name: str, help: str, labels: Optional[Mapping[str, str]], **kwargs
+    ):
+        items = _label_items(labels)
         with self._lock:
-            existing = self._metrics.get(name)
+            registered = self._kinds.get(name)
+            if registered is not None and registered is not kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {registered.__name__}"
+                )
+            existing = self._metrics.get((name, items))
             if existing is not None:
-                if not isinstance(existing, kind):
-                    raise ValueError(
-                        f"metric {name!r} already registered as {type(existing).__name__}"
-                    )
                 return existing
-            metric = kind(name, help, **kwargs)
-            self._metrics[name] = metric
+            metric = kind(name, help, labels=dict(items) if items else None, **kwargs)
+            self._metrics[(name, items)] = metric
+            self._kinds[name] = kind
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
 
     def histogram(
-        self, name: str, help: str = "", bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, bounds=bounds)
+        return self._get_or_create(Histogram, name, help, labels, bounds=bounds)
 
-    def get(self, name: str):
-        return self._metrics.get(name)
+    def get(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        """One series by family name and label set (``None`` if absent)."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    def series(self, name: str) -> List[object]:
+        """Every series of one family, in sorted label order."""
+        with self._lock:
+            keys = sorted(key for key in self._metrics if key[0] == name)
+        return [self._metrics[key] for key in keys]
 
     def names(self) -> List[str]:
+        """Sorted family names (each may hold several labelled series)."""
         with self._lock:
-            return sorted(self._metrics)
+            return sorted({name for name, _ in self._metrics})
 
     # ------------------------------------------------------------ transport
     def to_dict(self) -> dict:
+        """Picklable payload keyed by series (``name`` or ``name{labels}``)."""
         with self._lock:
-            metrics = list(self._metrics.values())
-        return {metric.name: metric.to_dict() for metric in metrics}
+            metrics = list(self._metrics.items())
+        return {
+            series_key(name, items): metric.to_dict() for (name, items), metric in metrics
+        }
 
     def merge(self, other: "MetricsRegistry | dict") -> None:
         """Fold another registry (or its ``to_dict``) into this one.
 
-        Unknown metrics are created on the fly so a worker process can
-        define histograms the parent has not observed yet.
+        Unknown series are created on the fly so a worker process can
+        define label sets (or whole families) the parent has not observed
+        yet — families whose series carry different label sets merge into
+        disjoint series, never an error.  Payload values carry their own
+        ``name``/``labels``, so both the current series-keyed form and the
+        pre-label name-keyed form are accepted.
         """
         data = other.to_dict() if isinstance(other, MetricsRegistry) else other
-        for name, payload in data.items():
+        for key, payload in data.items():
+            name = payload.get("name", key)
+            labels = payload.get("labels")
             kind = payload.get("type", "counter")
             if kind == "histogram":
-                metric = self.histogram(name, payload.get("help", ""), bounds=payload["bounds"])
+                metric = self.histogram(
+                    name, payload.get("help", ""), bounds=payload["bounds"], labels=labels
+                )
             elif kind == "gauge":
-                metric = self.gauge(name, payload.get("help", ""))
+                metric = self.gauge(name, payload.get("help", ""), labels=labels)
             else:
-                metric = self.counter(name, payload.get("help", ""))
+                metric = self.counter(name, payload.get("help", ""), labels=labels)
             metric.merge(payload)
 
     # ----------------------------------------------------------- exposition
     def render(self) -> str:
-        """Render every metric in the Prometheus text exposition format."""
+        """Render every family in the Prometheus text exposition format.
+
+        One ``# HELP``/``# TYPE`` pair per family, then one sample line per
+        series with its label string.  HELP text escapes backslashes and
+        newlines; label values additionally escape double quotes.
+        """
         lines: List[str] = []
         with self._lock:
-            metrics = [self._metrics[name] for name in sorted(self._metrics)]
-        for metric in metrics:
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            if isinstance(metric, Histogram):
-                lines.append(f"# TYPE {metric.name} histogram")
-                data = metric.to_dict()
-                cumulative = 0
-                for bound, bucket_count in zip(data["bounds"], data["counts"]):
-                    cumulative += bucket_count
-                    lines.append(
-                        f'{metric.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-                    )
-                cumulative += data["counts"][-1]
-                lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
-                lines.append(f"{metric.name}_sum {repr(float(data['sum']))}")
-                lines.append(f"{metric.name}_count {data['count']}")
-            elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {metric.name} gauge")
-                lines.append(f"{metric.name} {_format_value(metric.value)}")
+            keys = sorted(self._metrics)
+            families: Dict[str, List[object]] = {}
+            for name, items in keys:
+                families.setdefault(name, []).append(self._metrics[(name, items)])
+        for name in sorted(families):
+            group = families[name]
+            help_text = next((metric.help for metric in group if metric.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            first = group[0]
+            if isinstance(first, Histogram):
+                lines.append(f"# TYPE {name} histogram")
+            elif isinstance(first, Gauge):
+                lines.append(f"# TYPE {name} gauge")
             else:
-                lines.append(f"# TYPE {metric.name} counter")
-                lines.append(f"{metric.name} {_format_value(metric.value)}")
+                lines.append(f"# TYPE {name} counter")
+            for metric in group:
+                label_string = _label_string(metric.labels)
+                if isinstance(metric, Histogram):
+                    data = metric.to_dict()
+                    cumulative = 0
+                    for bound, bucket_count in zip(data["bounds"], data["counts"]):
+                        cumulative += bucket_count
+                        bucket_labels = _merge_label_strings(
+                            label_string, f'le="{_format_value(bound)}"'
+                        )
+                        lines.append(f"{name}_bucket{{{bucket_labels}}} {cumulative}")
+                    cumulative += data["counts"][-1]
+                    bucket_labels = _merge_label_strings(label_string, 'le="+Inf"')
+                    lines.append(f"{name}_bucket{{{bucket_labels}}} {cumulative}")
+                    suffix = f"{{{label_string}}}" if label_string else ""
+                    lines.append(f"{name}_sum{suffix} {repr(float(data['sum']))}")
+                    lines.append(f"{name}_count{suffix} {data['count']}")
+                else:
+                    suffix = f"{{{label_string}}}" if label_string else ""
+                    lines.append(f"{name}{suffix} {_format_value(metric.value)}")
         return "\n".join(lines) + "\n"
+
+
+def _merge_label_strings(base: str, extra: str) -> str:
+    return f"{base},{extra}" if base else extra

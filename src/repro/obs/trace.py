@@ -8,13 +8,23 @@ latter).  When disabled, :func:`span` returns a shared no-op context
 manager — one global load, one call, no allocation — so instrumentation can
 stay inline on hot paths.
 
+Between "off" and "everything" sits **sampled always-on tracing**:
+:func:`set_trace_sample` (``ExecutionPolicy.trace_sample`` /
+``REPRO_TRACE_SAMPLE``) records spans for *every* query but makes a
+probabilistic head-sampling decision at each trace root.  Sampled traces
+are published to the bounded in-memory ring (:func:`drain_finished` /
+``/traces.ndjson``); unsampled traces still land in the thread's
+``last trace`` slot, so the slow-query log can attach the full span tree
+as an exemplar even for queries the sampler skipped.  ``trace=True``
+remains "sample everything".
+
 Spans carry ``trace_id``/``span_id``/``parent_id``, monotonic
 (`time.perf_counter`) start/end timestamps plus a wall-clock anchor, and
 free-form attributes.  The span stack is thread-local; a span opened with
 no parent starts a new trace, and finishing it publishes the tree to the
-thread's ``last trace`` slot (picked up by ``Document.report``) and to a
-bounded process-wide deque drained by :func:`drain_finished` for NDJSON
-export.
+thread's ``last trace`` slot (picked up by ``Document.report``) and — when
+the head-sampling decision kept it — to a bounded process-wide deque
+drained by :func:`drain_finished` for NDJSON export.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -29,8 +40,12 @@ from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
     "TRACE_ENV",
+    "TRACE_SAMPLE_ENV",
     "enabled",
+    "tracing_enabled",
+    "sample_rate",
     "set_tracing",
+    "set_trace_sample",
     "reset_thread",
     "span",
     "record_span",
@@ -38,17 +53,34 @@ __all__ = [
     "last_trace",
     "take_last_trace",
     "drain_finished",
+    "finished_traces",
     "trace_events",
     "render_events",
     "format_tree",
 ]
 
 TRACE_ENV = "REPRO_TRACE"
+TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
-_enabled = os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
 
+def _parse_sample(text: Optional[str]) -> float:
+    if not text:
+        return 0.0
+    try:
+        rate = float(text)
+    except ValueError:
+        return 0.0
+    return min(max(rate, 0.0), 1.0)
+
+
+_enabled = os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
+_sample = _parse_sample(os.environ.get(TRACE_SAMPLE_ENV, "").strip())
+#: Whether spans are being recorded at all — full tracing *or* sampling.
+_active = _enabled or _sample > 0.0
+
+_random = random.random
 _ids = itertools.count(1)
 _local = threading.local()
 _finished: deque = deque(maxlen=256)
@@ -56,15 +88,50 @@ _finished_lock = threading.Lock()
 
 
 def enabled() -> bool:
-    """Whether spans are currently being recorded (process-wide)."""
+    """Whether spans are currently being recorded (process-wide).
+
+    True under full tracing *and* under sampled tracing — sampling records
+    every query's spans (the head-sampling decision only gates publication
+    to the finished-trace ring).
+    """
+    return _active
+
+
+def tracing_enabled() -> bool:
+    """Whether *full* tracing is on (the sampling state is not included).
+
+    Distinct from :func:`enabled` so code that must replicate the tracer's
+    state across a process boundary (the corpus executor's shard-worker
+    initargs) can ship the two knobs separately instead of collapsing a
+    sampled parent into a fully-traced worker.
+    """
     return _enabled
 
 
+def sample_rate() -> float:
+    """The current head-sampling rate in [0, 1] (0 unless sampling is on)."""
+    return _sample
+
+
 def set_tracing(value: bool) -> bool:
-    """Enable or disable tracing process-wide; returns the previous state."""
-    global _enabled
+    """Enable or disable full tracing process-wide; returns the previous state."""
+    global _enabled, _active
     previous = _enabled
     _enabled = bool(value)
+    _active = _enabled or _sample > 0.0
+    return previous
+
+
+def set_trace_sample(rate: Optional[float]) -> float:
+    """Set the head-sampling rate process-wide; returns the previous rate.
+
+    ``None`` or 0 turns sampling off; rates are clamped to [0, 1].  A rate
+    of 1.0 publishes every trace, like ``set_tracing(True)``.
+    """
+    global _sample, _active
+    previous = _sample
+    _sample = min(max(float(rate), 0.0), 1.0) if rate is not None else 0.0
+    _active = _enabled or _sample > 0.0
     return previous
 
 
@@ -95,6 +162,7 @@ class Span:
         "trace_id",
         "span_id",
         "parent_id",
+        "sampled",
         "started",
         "ended",
         "wall_started",
@@ -107,6 +175,7 @@ class Span:
         self.trace_id = trace_id
         self.span_id = f"{next(_ids):x}"
         self.parent_id = parent_id
+        self.sampled = True
         self.started = time.perf_counter()
         self.ended: Optional[float] = None
         self.wall_started = time.time()
@@ -146,6 +215,7 @@ class Span:
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "sampled": self.sampled,
             "start": self.started,
             "seconds": self.seconds,
             "attrs": dict(self.attrs),
@@ -171,17 +241,25 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _sampled() -> bool:
+    """The head-sampling decision for a new trace root."""
+    return _enabled or _random() < _sample
+
+
 def span(name: str, **attrs: Any):
     """Open a span named ``name``; a no-op unless tracing is enabled."""
-    if not _enabled:
+    if not _active:
         return _NULL_SPAN
     stack = _stack()
     if stack:
         parent = stack[-1]
         child = Span(name, parent.trace_id, parent.span_id, **attrs)
+        child.sampled = parent.sampled
         parent.children.append(child)
         return child
-    return Span(name, f"{os.getpid():x}-{next(_ids):x}", None, **attrs)
+    root = Span(name, f"{os.getpid():x}-{next(_ids):x}", None, **attrs)
+    root.sampled = _sampled()
+    return root
 
 
 def record_span(
@@ -199,31 +277,39 @@ def record_span(
     trace.  ``children`` entries are ``{"name", "started", "ended"}``
     triples.  Returns the published tree dict, or ``None`` when disabled.
     """
-    if not _enabled:
+    if not _active:
         return None
     root = Span(name, f"{os.getpid():x}-{next(_ids):x}", None, **attrs)
+    root.sampled = _sampled()
     root.started = started
     root.ended = ended
     root.wall_started = time.time() - (time.perf_counter() - started)
     for child in children or ():
         node = Span(child["name"], root.trace_id, root.span_id, **child.get("attrs", {}))
+        node.sampled = root.sampled
         node.started = child["started"]
         node.ended = child["ended"]
         node.wall_started = root.wall_started + (child["started"] - started)
         root.children.append(node)
-    _publish(root)
-    return root.to_dict()
+    return _publish(root)
 
 
-def _publish(root: Span) -> None:
+def _publish(root: Span) -> dict:
     tree = root.to_dict()
     _local.last = tree
-    with _finished_lock:
-        _finished.append(tree)
+    if root.sampled:
+        with _finished_lock:
+            _finished.append(tree)
+    return tree
 
 
 def last_trace() -> Optional[dict]:
-    """The most recent completed trace on this thread (kept until replaced)."""
+    """The most recent completed trace on this thread (kept until replaced).
+
+    Under sampled tracing this is set for *every* traced query, sampled or
+    not — it is the tail-capture hook the slow-query log uses to attach
+    span-tree exemplars to queries the head sampler skipped.
+    """
     return getattr(_local, "last", None)
 
 
@@ -235,10 +321,19 @@ def take_last_trace() -> Optional[dict]:
 
 
 def drain_finished() -> List[dict]:
-    """Drain the process-wide buffer of finished traces (all threads)."""
+    """Drain the process-wide ring of sampled finished traces (all threads)."""
     with _finished_lock:
         trees = list(_finished)
         _finished.clear()
+    return trees
+
+
+def finished_traces(limit: Optional[int] = None) -> List[dict]:
+    """Non-destructive snapshot of the sampled-trace ring, oldest first."""
+    with _finished_lock:
+        trees = list(_finished)
+    if limit is not None:
+        trees = trees[-limit:]
     return trees
 
 

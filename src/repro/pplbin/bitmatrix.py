@@ -68,6 +68,10 @@ __all__ = [
     "union_rows",
     "counters",
     "reset_counters",
+    "COST_PROFILE_ENV",
+    "cost_constants",
+    "set_cost_constants",
+    "load_cost_profile",
 ]
 
 #: Environment variable selecting the process-wide default kernel; read once
@@ -414,10 +418,13 @@ def relation_from_rows(size: int, rows: Iterable[Iterable[int]]) -> SparseRelati
 
 
 # -------------------------------------------------------------- cost model
-#: Machine constants behind the representation choice, in nanoseconds.  They
-#: were calibrated against the E9 grid on commodity x86 with numpy 2.x and
-#: only need to be right within a factor of ~2 — the regimes they separate
-#: differ by orders of magnitude.
+#: Built-in machine constants behind the representation choice, in
+#: nanoseconds.  They were calibrated against the E9 grid on commodity x86
+#: with numpy 2.x and only need to be right within a factor of ~2 — the
+#: regimes they separate differ by orders of magnitude.  A fitted profile
+#: (``REPRO_COST_PROFILE`` / :func:`load_cost_profile`, produced by
+#: :mod:`repro.obs.calibrate` from observed ``kernel.compose`` spans)
+#: overrides them per machine.
 BLAS_NS_PER_CELL = 0.02  # float32 matmul, per n^3 cell
 WORD_NS = 4.0  # per uint64 word in the packed row reduce
 ROW_OVERHEAD_NS = 2000.0  # per-row numpy call overhead of the packed product
@@ -430,17 +437,83 @@ CONVERT_ROW_NS = 300.0  # per row of a split-into-rows conversion
 #: packing nor successor sets can pay for their own call overhead.
 SMALL_SIZE = 128
 
+#: Environment variable naming a calibration-profile JSON to load at import.
+COST_PROFILE_ENV = "REPRO_COST_PROFILE"
+
+_DEFAULT_COST = {
+    "BLAS_NS_PER_CELL": BLAS_NS_PER_CELL,
+    "WORD_NS": WORD_NS,
+    "ROW_OVERHEAD_NS": ROW_OVERHEAD_NS,
+    "SPARSE_ELEMENT_NS": SPARSE_ELEMENT_NS,
+    "CELL_NS": CELL_NS,
+    "CONVERT_ELEMENT_NS": CONVERT_ELEMENT_NS,
+    "CONVERT_ROW_NS": CONVERT_ROW_NS,
+}
+
+#: The active constants the estimators read — defaults unless a profile
+#: overrode them.
+_COST = dict(_DEFAULT_COST)
+
+
+def cost_constants() -> dict:
+    """The cost-model constants currently in effect (a copy)."""
+    return dict(_COST)
+
+
+def set_cost_constants(overrides: Optional[dict] = None) -> None:
+    """Override cost-model constants process-wide; ``None`` restores defaults.
+
+    Unknown keys and non-positive values are ignored — a partial or
+    damaged profile can only ever move known constants, never corrupt the
+    model's shape.
+    """
+    global _COST
+    merged = dict(_DEFAULT_COST)
+    if overrides:
+        for key, value in overrides.items():
+            if key in _DEFAULT_COST:
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    continue
+                if value > 0.0:
+                    merged[key] = value
+    _COST = merged
+
+
+def load_cost_profile(path: str) -> dict:
+    """Load a :mod:`repro.obs.calibrate` profile JSON and apply its constants.
+
+    Returns the constants now in effect.  Raises ``OSError``/``ValueError``
+    on unreadable or malformed files (the import-time environment hook
+    swallows those; explicit calls see them).
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        profile = json.load(handle)
+    if not isinstance(profile, dict):
+        raise ValueError(f"not a calibration profile: {path!r}")
+    constants = profile.get("constants", profile)
+    if not isinstance(constants, dict):
+        raise ValueError(f"not a calibration profile: {path!r}")
+    set_cost_constants(constants)
+    return cost_constants()
+
 
 def estimate_conversion_ns(rep_from: str, rep_to: str, size: int, nnz: int) -> float:
     """Predicted cost of converting one operand between representations."""
     if rep_from == rep_to:
         return 0.0
+    cost = _COST
     cells = float(size) * size
     if {rep_from, rep_to} == {"dense", "bitset"}:
-        return CELL_NS * cells  # packbits / unpackbits
+        return cost["CELL_NS"] * cells  # packbits / unpackbits
     if rep_from == "sparse":
-        return CONVERT_ELEMENT_NS * nnz + CONVERT_ROW_NS  # one concatenate + scatter
-    return CELL_NS * cells + CONVERT_ROW_NS * size  # nonzero scan + per-row split
+        # One concatenate + scatter.
+        return cost["CONVERT_ELEMENT_NS"] * nnz + cost["CONVERT_ROW_NS"]
+    # Nonzero scan + per-row split.
+    return cost["CELL_NS"] * cells + cost["CONVERT_ROW_NS"] * size
 
 
 def estimate_compose_ns(
@@ -458,17 +531,21 @@ def estimate_compose_ns(
     hundred nodes a per-row conversion rivals the product itself, so a
     representation-blind choice picks wrong.
     """
+    cost = _COST
     if representation == "dense":
-        base = BLAS_NS_PER_CELL * float(size) ** 3
+        base = cost["BLAS_NS_PER_CELL"] * float(size) ** 3
         needs = ("dense", "dense")
     elif representation == "bitset":
-        base = ROW_OVERHEAD_NS * size + WORD_NS * left_nnz * _word_count(size)
+        base = (
+            cost["ROW_OVERHEAD_NS"] * size
+            + cost["WORD_NS"] * left_nnz * _word_count(size)
+        )
         # The packed product walks left rows as indices (dense or sparse both
         # work directly) and reduces packed right rows.
         needs = ("dense" if left_rep == "bitset" else (left_rep or "dense"), "bitset")
     elif representation == "sparse":
         touched = left_nnz + (left_nnz * right_nnz / size if size else 0.0)
-        base = SPARSE_ELEMENT_NS * touched
+        base = cost["SPARSE_ELEMENT_NS"] * touched
         needs = ("sparse", "sparse")
     else:
         raise ValueError(f"unknown representation {representation!r}")
@@ -477,6 +554,17 @@ def estimate_compose_ns(
     if right_rep is not None:
         base += estimate_conversion_ns(right_rep, needs[1], size, right_nnz)
     return base
+
+
+# Apply a profile named in the environment once at import; a missing or
+# corrupt file must never break import (the baked-in defaults still work).
+_profile_path = os.environ.get(COST_PROFILE_ENV, "").strip()
+if _profile_path:
+    try:
+        load_cost_profile(_profile_path)
+    except (OSError, ValueError):
+        pass
+del _profile_path
 
 
 def choose_compose(

@@ -179,7 +179,22 @@ def _evaluate(
         right = recurse(node.right)
         # Operands evaluate before the span opens so nested compositions
         # don't inflate the parent's compose timing.
-        with _trace.span("kernel.compose", kernel=kernel.name):
+        if not _trace.enabled():
+            with _trace.span("kernel.compose", kernel=kernel.name):
+                return kernel.compose(left, right)
+        # Tracing/sampling active: attribute the span with the cost model's
+        # own predictors so repro.obs.calibrate can regress observed
+        # durations against them.  The attrs are computed only on this
+        # branch — span kwargs evaluate eagerly, and nnz() on a cold
+        # operand is not free.
+        with _trace.span(
+            "kernel.compose",
+            kernel=kernel.name,
+            representation=kernel._compose_algorithm(left, right),
+            n=left.size,
+            left_nnz=left.nnz(),
+            right_nnz=right.nnz(),
+        ):
             return kernel.compose(left, right)
     if isinstance(node, BUnion):
         return kernel.union(recurse(node.left), recurse(node.right))

@@ -91,6 +91,20 @@ class UnauthorizedError(ReproError):
     """Request refused: missing or wrong ``auth`` token."""
 
 
+def _client_of(writer: "asyncio.StreamWriter") -> Optional[str]:
+    """The connection's peer as a ``host:port`` string for cost attribution.
+
+    A stdio transport (``serve stdio``) has no peername; ``None`` lets the
+    server fall back to its ``"anonymous"`` bucket.
+    """
+    peer = writer.get_extra_info("peername")
+    if not peer:
+        return None
+    if isinstance(peer, (tuple, list)) and len(peer) >= 2:
+        return f"{peer[0]}:{peer[1]}"
+    return str(peer)
+
+
 def _error_kind(error: Exception) -> str:
     if isinstance(error, UnauthorizedError):
         return "unauthorized"
@@ -362,6 +376,7 @@ class ProtocolServer:
                 request.get("docs"),
                 engine=request.get("engine"),
                 ordered=bool(request.get("ordered", True)),
+                client=_client_of(writer),
             )
         except BaseException:
             connection.tokens.pop(request_id, None)

@@ -30,11 +30,11 @@ mid-flight without touching the rest of the server.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Iterable, Optional, Sequence, Union
 
-from repro._deprecation import suppress_deprecations, warn_deprecated
 from repro.errors import ReproError
 from repro.api.document import BatchItem, iter_batch
 from repro.api.query import Query, compile_query
@@ -42,6 +42,7 @@ from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.executor import CorpusExecutor, CorpusResult
 from repro.corpus.store import CorpusError, DocumentStore
 from repro.obs import trace as _trace
+from repro.obs.http import OBS_PORT_ENV, ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.pplbin import bitmatrix as _bitmatrix
@@ -118,6 +119,10 @@ class ServerStats:
     uptime_seconds: Optional[float] = None
     stats_at: Optional[float] = None
     slow_queries: int = 0
+    #: Per-client resource-accounting totals: client identity -> summed
+    #: ``QueryReport.cost`` fields plus ``queries`` (cost blocks folded in)
+    #: and ``queue_wait`` (seconds of admission-to-slot wait).
+    cost_per_client: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -147,6 +152,7 @@ class ServerStats:
             "matrix_cache": self.matrix_cache,
             "snapshot": self.snapshot,
             "kernel": self.kernel,
+            "cost_per_client": self.cost_per_client,
         }
 
 
@@ -167,6 +173,9 @@ class Submission:
     doc_names: tuple[str, ...]
     engine: str
     ordered: bool
+    #: Client identity for per-client resource accounting (the protocol
+    #: layer passes the connection's peer; ``None`` = anonymous).
+    client: Optional[str] = None
     cancelled: bool = False
     _queue: Optional["asyncio.Queue"] = field(repr=False, default=None)
     _task: Optional["asyncio.Task"] = field(repr=False, default=None)
@@ -271,10 +280,13 @@ class CorpusServer:
         session's shared plan memo, so a plan compiled on the sync path is
         the same object this server streams from.
 
-    .. deprecated::
-        Constructing a server directly (without a session) is deprecated;
-        use :meth:`repro.session.Session.astream` /
-        :meth:`repro.session.Session.protocol`.
+    When the serving policy sets ``obs_port`` (or, failing that, the
+    ``REPRO_OBS_PORT`` environment variable names a port), the server also
+    starts the stdlib HTTP observability endpoint
+    (:class:`repro.obs.http.ObsHTTPServer` — ``/metrics``, ``/healthz``,
+    ``/slowlog.json``, ``/traces.ndjson``) on construction and stops it on
+    :meth:`aclose`/:meth:`close_nowait`; the bound port is
+    ``server.obs_http.port``.
     """
 
     def __init__(
@@ -294,12 +306,6 @@ class CorpusServer:
         policy: Optional[ServingPolicy] = None,
         session=None,
     ) -> None:
-        if session is None:
-            warn_deprecated(
-                "constructing CorpusServer directly",
-                "repro.session.Session (session.astream / session.aquery / "
-                "session.protocol)",
-            )
         base = policy if policy is not None else ServingPolicy()
         #: The effective serving policy: explicit arguments folded over
         #: ``policy`` (the protocol layer reads auth/quota/size-limit from it).
@@ -334,10 +340,9 @@ class CorpusServer:
         if executor is not None:
             self.executor = executor
         else:
-            with suppress_deprecations():
-                self.executor = CorpusExecutor(
-                    store, strategy=strategy, max_workers=max_workers, engine=engine
-                )
+            self.executor = CorpusExecutor(
+                store, strategy=strategy, max_workers=max_workers, engine=engine
+            )
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._tasks: set["asyncio.Task"] = set()
         #: Mergeable latency histograms (see :mod:`repro.obs.metrics`),
@@ -371,6 +376,33 @@ class CorpusServer:
         self._failed = 0
         self._in_flight = 0
         self._queued = 0
+        #: Per-client resource-accounting totals: client identity (the
+        #: protocol layer's connection peer, ``"anonymous"`` otherwise) ->
+        #: summed ``QueryReport.cost`` fields plus queries/queue_wait.
+        self._cost_totals: dict[str, dict] = {}
+        #: The stdlib HTTP observability endpoint, when ``policy.obs_port``
+        #: (or ``REPRO_OBS_PORT``) asked for one; ``None`` otherwise.
+        self.obs_http: Optional[ObsHTTPServer] = None
+        obs_port = self.policy.obs_port
+        if obs_port is None:
+            raw = os.environ.get(OBS_PORT_ENV, "").strip()
+            if raw:
+                try:
+                    obs_port = int(raw)
+                except ValueError:
+                    obs_port = None
+        if obs_port is not None:
+            self.obs_http = ObsHTTPServer(
+                self.metrics_text,
+                slowlog=self.slowlog,
+                health=lambda: {
+                    "documents": len(self.store),
+                    "in_flight": self._in_flight,
+                    "draining": self._draining,
+                },
+                port=obs_port,
+            )
+            self.obs_http.start()
 
     # ---------------------------------------------------------------- lifecycle
     async def __aenter__(self) -> "CorpusServer":
@@ -391,6 +423,8 @@ class CorpusServer:
             return
         await self.drain()
         self._closed = True
+        if self.obs_http is not None:
+            self.obs_http.close()
         if self._own_executor:
             self.executor.close()
 
@@ -406,6 +440,8 @@ class CorpusServer:
         """
         self._draining = True
         self._closed = True
+        if self.obs_http is not None:
+            self.obs_http.close()
 
     # --------------------------------------------------------------- submission
     def compile(
@@ -441,11 +477,15 @@ class CorpusServer:
         *,
         engine: Optional[str] = None,
         ordered: bool = True,
+        client: Optional[str] = None,
     ) -> Submission:
         """Admit a query batch; returns a :class:`Submission` stream.
 
         Compilation (including plan-cache disk traffic) runs off the event
         loop; admission is checked after it, atomically with scheduling.
+        ``client`` names the submitting client for the per-client cost
+        totals on :attr:`stats` (the protocol layer passes the connection
+        peer).
 
         Raises
         ------
@@ -494,6 +534,7 @@ class CorpusServer:
             doc_names=names,
             engine=engine if engine is not None else self.engine,
             ordered=ordered,
+            client=client,
         )
         submission._queue = asyncio.Queue(maxsize=self.stream_buffer)
         # Admission slots are reserved *now*, synchronously with the check
@@ -688,6 +729,7 @@ class CorpusServer:
             elapsed = finished - started
             self._execution_hist.observe(elapsed)
             self._completed += 1
+            self._account_costs(submission, results, started - enqueued)
             if _trace.enabled():
                 # The request lifecycle as a trace: recorded from explicit
                 # timestamps (the thread-local span stack would interleave
@@ -718,6 +760,30 @@ class CorpusServer:
                     ),
                 )
             return results
+
+    def _account_costs(
+        self, submission: Submission, results: list[CorpusResult], queue_wait: float
+    ) -> None:
+        """Fold one document job's cost blocks into the per-client totals.
+
+        The labelled *metric* aggregation of the same blocks happens in the
+        corpus executor (every strategy observes where it evaluates); this
+        is the attribution side — which client spent what — that metrics
+        label sets are too coarse for.
+        """
+        client = submission.client if submission.client is not None else "anonymous"
+        totals = self._cost_totals.setdefault(
+            client, {"queries": 0, "queue_wait": 0.0}
+        )
+        totals["queue_wait"] += queue_wait
+        for result in results:
+            cost = result.report.cost
+            if not cost:
+                continue
+            totals["queries"] += 1
+            for cost_field, value in cost.items():
+                if isinstance(value, (int, float)):
+                    totals[cost_field] = totals.get(cost_field, 0) + value
 
     # ---------------------------------------------------------------- telemetry
     @property
@@ -757,6 +823,11 @@ class CorpusServer:
             matrix_cache=self.store.matrix_cache_stats().to_dict(),
             snapshot=self.store.snapshot_stats(),
             kernel=_bitmatrix.get_default_kernel().name,
+            cost_per_client=(
+                {client: dict(totals) for client, totals in self._cost_totals.items()}
+                if self._cost_totals
+                else None
+            ),
         )
 
     def metrics_text(self) -> str:
@@ -811,6 +882,13 @@ class CorpusServer:
                         f"{cache_name} {counter_name}",
                     ).inc(value)
         registry.merge(self.metrics_registry)
+        # The executor's parent-side registry carries the labelled latency
+        # and cost-counter series for work evaluated in this process
+        # (threads/serial strategies, and the parent's share otherwise).
+        # Deliberately NOT ``executor.metrics()``: that round-trips every
+        # shard worker and would block the event loop mid-scrape.  Worker
+        # series are reachable via ``Session.metrics()`` off the loop.
+        registry.merge(self.executor.metrics_registry)
         return registry.render()
 
 

@@ -54,6 +54,7 @@ SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
 SNAPSHOT_BYTES_ENV = "REPRO_SNAPSHOT_BYTES"
 TIMEOUT_ENV = "REPRO_TIMEOUT"
 TRACE_ENV = "REPRO_TRACE"
+TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
 SLOW_QUERY_SECONDS_ENV = "REPRO_SLOW_QUERY_SECONDS"
 
 _ENV_OF_FIELD = {
@@ -70,6 +71,7 @@ _ENV_OF_FIELD = {
     "snapshot_bytes": SNAPSHOT_BYTES_ENV,
     "timeout": TIMEOUT_ENV,
     "trace": TRACE_ENV,
+    "trace_sample": TRACE_SAMPLE_ENV,
     "slow_query_seconds": SLOW_QUERY_SECONDS_ENV,
 }
 
@@ -83,7 +85,7 @@ _INT_FIELDS = frozenset(
         "snapshot_bytes",
     }
 )
-_FLOAT_FIELDS = frozenset({"timeout", "slow_query_seconds"})
+_FLOAT_FIELDS = frozenset({"timeout", "trace_sample", "slow_query_seconds"})
 _BOOL_FIELDS = frozenset({"trace"})
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
@@ -191,6 +193,14 @@ class ExecutionPolicy:
         Enable the :mod:`repro.obs.trace` span tracer (default false).
         Like the kernel default, tracing is process-wide: a session built
         with ``trace=True`` calls :func:`repro.obs.trace.set_tracing`.
+    trace_sample:
+        Probabilistic head-sampling rate in ``[0, 1]`` for always-on
+        tracing (``None``/``0`` = off).  Unlike ``trace=True`` (sample
+        everything), only this fraction of query roots is published to the
+        bounded in-memory trace ring — but every query's span tree is still
+        captured thread-locally, so slow-query-log entries carry a full
+        exemplar even for unsampled queries.  Applied process-wide via
+        :func:`repro.obs.trace.set_trace_sample`.
     slow_query_seconds:
         Threshold of the slow-query log in seconds (``None`` = disabled).
         Queries at or above it are recorded — with their span breakdown
@@ -212,6 +222,7 @@ class ExecutionPolicy:
     snapshot_bytes: Any = UNSET
     timeout: Any = UNSET
     trace: Any = UNSET
+    trace_sample: Any = UNSET
     slow_query_seconds: Any = UNSET
 
     # ------------------------------------------------------------ composition
@@ -269,6 +280,7 @@ def _execution_defaults() -> dict[str, Any]:
         "snapshot_bytes": None,
         "timeout": None,
         "trace": False,
+        "trace_sample": None,
         "slow_query_seconds": None,
     }
 
@@ -330,6 +342,14 @@ class ServingPolicy:
         unbounded); exceeding it is a typed ``overloaded`` rejection.
     max_request_bytes:
         NDJSON request-line size limit (the stream reader's buffer bound).
+    obs_port:
+        TCP port of the stdlib HTTP observability endpoint
+        (``/metrics``, ``/healthz``, ``/slowlog.json``, ``/traces.ndjson``)
+        the server starts alongside the NDJSON protocol; ``None`` = no
+        endpoint, ``0`` = bind an ephemeral port.  This is the one serving
+        knob with an environment fallback — ``REPRO_OBS_PORT`` is read at
+        server/CLI start when the field is ``None``, because scrape targets
+        are deployment configuration in a way admission limits are not.
     """
 
     max_concurrent: int = 4
@@ -340,6 +360,7 @@ class ServingPolicy:
     auth_token: Optional[str] = None
     max_submissions_per_client: Optional[int] = None
     max_request_bytes: int = 16 * 1024 * 1024
+    obs_port: Optional[int] = None
 
     def override(self, **explicit: Any) -> "ServingPolicy":
         """Return a policy with the given specified fields replaced."""

@@ -216,6 +216,11 @@ class Session:
             # here is deliberate and never un-done on close, so a second
             # session cannot silently disable another's tracing.
             _trace.set_tracing(True)
+        sample = self.execution.resolved("trace_sample")
+        if sample is not None and sample > 0:
+            # Same process-wide contract as ``trace``: sampling set here is
+            # never reset on close.
+            _trace.set_trace_sample(sample)
         self.store = store if store is not None else self._build_store()
         self._plan_cache = self._build_plan_cache(plan_cache)
         #: In-memory compiled-plan memo shared by the sync and async paths.
@@ -478,18 +483,17 @@ class Session:
 
                 resolve = self.execution.resolve
                 kernel = resolve("kernel")
-                with suppress_deprecations():
-                    self._executor = CorpusExecutor(
-                        self.store,
-                        strategy=resolve("strategy").value,
-                        max_workers=resolve("max_workers").value,
-                        engine=resolve("engine").value,
-                        kernel=(
-                            kernel.value
-                            if kernel.source in ("explicit", "policy")
-                            else None
-                        ),
-                    )
+                self._executor = CorpusExecutor(
+                    self.store,
+                    strategy=resolve("strategy").value,
+                    max_workers=resolve("max_workers").value,
+                    engine=resolve("engine").value,
+                    kernel=(
+                        kernel.value
+                        if kernel.source in ("explicit", "policy")
+                        else None
+                    ),
+                )
             return self._executor
 
     def query_corpus(
@@ -556,15 +560,14 @@ class Session:
             if self._server is None:
                 from repro.serve.server import CorpusServer
 
-                with suppress_deprecations():
-                    self._server = CorpusServer(
-                        self.store,
-                        executor=self._executor_instance(),
-                        engine=self.execution.resolved("engine"),
-                        plan_cache=self._plan_cache,
-                        policy=self.serving,
-                        session=self,
-                    )
+                self._server = CorpusServer(
+                    self.store,
+                    executor=self._executor_instance(),
+                    engine=self.execution.resolved("engine"),
+                    plan_cache=self._plan_cache,
+                    policy=self.serving,
+                    session=self,
+                )
             return self._server
 
     def cancellation_token(self) -> CancellationToken:

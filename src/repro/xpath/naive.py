@@ -93,8 +93,9 @@ def naive_answer(
 class NaiveEngine:
     """Object-style facade over the naive evaluation functions.
 
-    Mirrors the interface of :class:`repro.core.engine.PPLEngine` so that the
-    two engines can be swapped in benchmarks and tests.
+    Mirrors the answering interface of :class:`repro.api.Document` so that
+    the exponential and polynomial paths can be swapped in benchmarks and
+    tests.
     """
 
     name = "naive-core-xpath-2.0"

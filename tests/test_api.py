@@ -298,26 +298,34 @@ def test_query_report_to_dict_and_json(paper_bib):
     assert json.loads(report.to_json()) == data
 
 
-# ------------------------------------------------- PPLEngine.pairs regression
-def test_pplengine_pairs_goes_through_registry(paper_bib):
-    """Regression: variable-free binary queries via the old PPLEngine entry."""
-    from repro.core.engine import PPLEngine
-
+# ------------------------------------------------- Document.pairs regression
+def test_document_pairs_goes_through_registry(paper_bib):
+    """Regression: variable-free binary queries answer like the semantics."""
     for text in (
         "descendant::book/child::author",
         "child::book[child::price]",
         "descendant::*[not(child::*)]",
     ):
         expected = evaluate_path(paper_bib, parse_path(text), {})
-        assert PPLEngine(paper_bib).pairs(text) == expected
         assert Document(paper_bib).pairs(text) == expected
 
 
-def test_pplengine_pairs_rejects_variables(paper_bib):
-    from repro.core.engine import PPLEngine
-
+def test_document_pairs_rejects_variables(paper_bib):
     with pytest.raises(EngineCapabilityError):
-        PPLEngine(paper_bib).pairs("descendant::author[. is $x]")
+        Document(paper_bib).pairs("descendant::author[. is $x]")
+
+
+def test_seed_era_entry_points_are_gone():
+    """The 1.5.0 removal: no PPLEngine, no repro.core.api, no repro.answer."""
+    import repro
+    import repro.core.engine
+
+    assert not hasattr(repro, "answer")
+    assert not hasattr(repro, "compile_query")
+    assert not hasattr(repro, "PPLEngine")
+    assert not hasattr(repro.core.engine, "PPLEngine")
+    with pytest.raises(ImportError):
+        import repro.core.api  # noqa: F401
 
 
 # ------------------------------------------------------------------------- CLI

@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import ParseError, RestrictionViolation, TranslationError
 from repro.trees.generators import random_tree
-from repro.core.api import CompiledQuery, answer, compile_query
-from repro.core.engine import PPLEngine
+from repro.api import Document, Query, answer, compile_query
 from repro.core.ppl import PPL_CONDITIONS, check_ppl, is_ppl, ppl_violations
 from repro.core.translate import hcl_to_ppl, ppl_to_hcl
 from repro.hcl.ast import HVar, Leaf
@@ -122,58 +121,58 @@ def test_hcl_to_ppl_variable():
     assert hcl_to_ppl(HVar("x")).unparse() == ".[. is $x]"
 
 
-# -------------------------------------------------------------- PPL engine
-def test_engine_matches_naive_on_paper_example(paper_bib):
+# ------------------------------------------------------------ Document engine
+def test_document_matches_naive_on_paper_example(paper_bib):
     query = "descendant::book[child::author[. is $y] and child::title[. is $z]]"
-    engine = PPLEngine(paper_bib)
-    assert engine.answer(query, ["y", "z"]) == NaiveEngine(paper_bib).answer(
+    document = Document(paper_bib)
+    assert document.answer(query, ["y", "z"]) == NaiveEngine(paper_bib).answer(
         query, ["y", "z"]
     )
 
 
-def test_engine_accepts_ast_and_caches_translation(paper_bib):
-    engine = PPLEngine(paper_bib)
+def test_document_accepts_ast_and_caches_translation(paper_bib):
+    document = Document(paper_bib)
     parsed = parse_path("descendant::author[. is $x]")
-    first = engine.answer(parsed, ["x"])
-    second = engine.answer(parsed, ["x"])
+    first = document.answer(parsed, ["x"])
+    second = document.answer(parsed, ["x"])
     assert first == second
-    assert len(engine._translation_cache) == 1
+    assert len(document._translations) == 1
 
 
-def test_engine_nonempty(paper_bib):
-    engine = PPLEngine(paper_bib)
-    assert engine.nonempty("descendant::price[. is $x]")
-    assert not engine.nonempty("descendant::zzz[. is $x]")
+def test_document_nonempty(paper_bib):
+    document = Document(paper_bib)
+    assert document.nonempty("descendant::price[. is $x]")
+    assert not document.nonempty("descendant::zzz[. is $x]")
 
 
-def test_engine_pairs_for_variable_free_query(paper_bib):
-    engine = PPLEngine(paper_bib)
-    pairs = engine.pairs("descendant::book/child::author")
+def test_document_pairs_for_variable_free_query(paper_bib):
+    document = Document(paper_bib)
+    pairs = document.pairs("descendant::book/child::author")
     assert all(paper_bib.labels[target] == "author" for _, target in pairs)
     assert all(source == 0 for source, _ in pairs)
 
 
-def test_engine_report(paper_bib):
-    engine = PPLEngine(paper_bib)
+def test_document_report(paper_bib):
+    document = Document(paper_bib)
     query = "descendant::book[child::author[. is $y] and child::title[. is $z]]"
-    report = engine.report(query, ["y", "z"])
+    report = document.report(query, ["y", "z"])
     assert report.answer_count == 3
     assert report.expression_size == parse_path(query).size
     assert report.distinct_leaves >= 2
     assert report.variables == ("y", "z")
 
 
-def test_engine_rejects_non_ppl(paper_bib):
+def test_document_rejects_non_ppl(paper_bib):
     with pytest.raises(RestrictionViolation):
-        PPLEngine(paper_bib).answer("for $x in child::a return .", ["x"])
+        Document(paper_bib).answer("for $x in child::a return .", ["x"])
 
 
-def test_engine_parse_errors_propagate(paper_bib):
+def test_document_parse_errors_propagate(paper_bib):
     with pytest.raises(ParseError):
-        PPLEngine(paper_bib).answer("child::", ["x"])
+        Document(paper_bib).answer("child::", ["x"])
 
 
-def test_engine_matches_naive_on_random_documents():
+def test_document_matches_naive_on_random_documents():
     queries = [
         ("descendant::a[. is $x]", ["x"]),
         ("descendant::*[child::a[. is $x] and child::b[. is $y]]", ["x", "y"]),
@@ -182,10 +181,10 @@ def test_engine_matches_naive_on_random_documents():
     ]
     for seed in (5, 6):
         tree = random_tree(9, seed=seed)
-        engine = PPLEngine(tree)
+        document = Document(tree)
         naive = NaiveEngine(tree)
         for text, variables in queries:
-            assert engine.answer(text, variables) == naive.answer(text, variables), (
+            assert document.answer(text, variables) == naive.answer(text, variables), (
                 seed,
                 text,
             )
@@ -201,11 +200,11 @@ def test_compile_query_runs_on_multiple_documents(paper_bib, generated_bib):
     compiled = compile_query(
         "descendant::book[child::author[. is $y] and child::title[. is $z]]", ["y", "z"]
     )
-    assert isinstance(compiled, CompiledQuery)
+    assert isinstance(compiled, Query)
     assert compiled.arity == 2
-    for document in (paper_bib, generated_bib):
-        assert compiled.run(document) == naive_answer(
-            document, compiled.source, ["y", "z"]
+    for tree in (paper_bib, generated_bib):
+        assert Document(tree).answer(compiled) == naive_answer(
+            tree, compiled.source, ["y", "z"]
         )
 
 

@@ -10,7 +10,8 @@ These exercise the full pipelines the paper describes:
 * documents travelling through XML serialisation and the binary encoding.
 """
 
-from repro import NaiveEngine, PPLEngine, answer, compile_query
+from repro import NaiveEngine
+from repro.api import answer, as_document, compile_query
 from repro.fo import fo_answer, fo_to_core_xpath, parse_fo
 from repro.hardness import random_3cnf, reduce_sat_to_xpath
 from repro.hcl import Atom, ConjunctiveQuery, yannakakis_answer
@@ -34,7 +35,7 @@ def test_paper_introduction_pipeline():
     document = generate_bibliography(5, authors_per_book=2, titles_per_book=2, seed=0)
     query, variables = bibliography_pair_query()
 
-    polynomial = PPLEngine(document).answer(query, variables)
+    polynomial = as_document(document).answer(query, variables)
     exponential = NaiveEngine(document).answer(query, variables)
     assert polynomial == exponential
     assert len(polynomial) == 5 * 2 * 2
@@ -42,13 +43,13 @@ def test_paper_introduction_pipeline():
     # The answers survive an XML round trip (node identifiers are stable
     # because serialisation preserves document order).
     reloaded = tree_from_xml(tree_to_xml(document))
-    assert PPLEngine(reloaded).answer(query, variables) == polynomial
+    assert as_document(reloaded).answer(query, variables) == polynomial
 
 
 def test_restaurant_pipeline_medium_width():
     document = generate_restaurants(5, num_attributes=4, missing_probability=0.3, seed=3)
     query, variables = restaurant_query(4)
-    polynomial = PPLEngine(document).answer(query, variables)
+    polynomial = as_document(document).answer(query, variables)
     # The naive engine would enumerate |t|^4 assignments here (~20k): still
     # feasible, and it must agree.
     exponential = NaiveEngine(document).answer(query, variables)
@@ -60,7 +61,7 @@ def test_fo_to_xpath_to_answers_round_trip():
     phi = parse_fo("lab[book](b) and ch(b,y) and lab[author](y)")
     via_fo = fo_answer(document, phi, ["b", "y"])
     via_xpath = NaiveEngine(document).answer(fo_to_core_xpath(phi), ["b", "y"])
-    via_ppl = PPLEngine(document).answer(
+    via_ppl = as_document(document).answer(
         "descendant::book[. is $b]/child::author[. is $y]", ["b", "y"]
     )
     assert via_fo == via_xpath == via_ppl
@@ -78,7 +79,7 @@ def test_acq_three_way_agreement():
         acq, {author: oracle.pairs(author), title: oracle.pairs(title)}, list(document.nodes())
     )
     fig8 = answer_hcl(document, acq_to_hcl(acq, chstar=reach, invert=invert), ["y", "z"], oracle)
-    ppl = PPLEngine(document).answer(
+    ppl = as_document(document).answer(
         "descendant::book[child::author[. is $y] and child::title[. is $z]]", ["y", "z"]
     )
     assert yann == fig8 == ppl
@@ -95,7 +96,7 @@ def test_binary_encoding_preserves_query_answers():
     document = generate_bibliography(2, authors_per_book=1, seed=8)
     roundtripped = binary_decode(binary_encode(document, pad=True))
     query, variables = bibliography_pair_query()
-    assert PPLEngine(roundtripped).answer(query, variables) == PPLEngine(document).answer(
+    assert as_document(roundtripped).answer(query, variables) == as_document(document).answer(
         query, variables
     )
 
@@ -104,7 +105,9 @@ def test_compiled_query_across_documents_matches_per_document_engines():
     compiled = compile_query(*bibliography_pair_query())
     for books in (1, 3, 6):
         document = generate_bibliography(books, authors_per_book=1, seed=books)
-        assert compiled.run(document) == answer(document, *bibliography_pair_query())
+        assert as_document(document).answer(compiled) == answer(
+            document, *bibliography_pair_query()
+        )
 
 
 def test_answer_sets_scale_with_answer_size_not_candidate_space():
@@ -113,13 +116,13 @@ def test_answer_sets_scale_with_answer_size_not_candidate_space():
     narrow = generate_bibliography(8, authors_per_book=1, titles_per_book=1, decoys_per_book=3, seed=1)
     wide = generate_bibliography(8, authors_per_book=3, titles_per_book=2, decoys_per_book=0, seed=1)
     query, variables = bibliography_pair_query()
-    assert len(PPLEngine(narrow).answer(query, variables)) == 8
-    assert len(PPLEngine(wide).answer(query, variables)) == 8 * 6
+    assert len(as_document(narrow).answer(query, variables)) == 8
+    assert len(as_document(wide).answer(query, variables)) == 8 * 6
 
 
 def test_engine_reuse_across_many_queries():
     document = generate_bibliography(3, authors_per_book=2, seed=12)
-    engine = PPLEngine(document)
+    engine = as_document(document)
     naive = NaiveEngine(document)
     queries = [
         ("descendant::author[. is $x]", ["x"]),

@@ -9,6 +9,7 @@ fast; hypothesis' shrinking then produces minimal counterexamples on failure.
 from __future__ import annotations
 
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -25,7 +26,7 @@ from repro.hcl.answering import answer_hcl
 from repro.hcl.ast import hcl_naive_answer
 from repro.hcl.binding import PPLbinOracle
 from repro.hcl.sharing import normalize, shared_variables
-from repro.core.engine import PPLEngine
+from repro.api import as_document
 from repro.core.ppl import is_ppl
 from repro.core.translate import hcl_to_ppl, ppl_to_hcl
 from repro.workloads.query_gen import (
@@ -171,7 +172,7 @@ def test_generated_ppl_expressions_answer_like_naive(
         expr_size, num_variables=num_vars, seed=expr_seed
     )
     assert is_ppl(expression)
-    fast = PPLEngine(tree).answer(expression, variables)
+    fast = as_document(tree).answer(expression, variables)
     slow = NaiveEngine(tree).answer(expression, variables)
     assert fast == slow
 
@@ -201,3 +202,92 @@ def test_fig7_roundtrip_preserves_answers(size, tree_seed, expr_size, num_vars, 
     back = hcl_to_ppl(ppl_to_hcl(expression))
     naive = NaiveEngine(tree)
     assert naive.answer(back, variables) == naive.answer(expression, variables)
+
+
+# ----------------------------------------------------- labelled metric merging
+#: A small closed vocabulary keeps label sets colliding often enough that
+#: both the "same series merges" and the "disjoint series coexist" branches
+#: are exercised.
+label_sets = st.dictionaries(
+    st.sampled_from(["engine", "strategy", "kernel", "op"]),
+    st.sampled_from(["polynomial", "naive", "serial", "processes", "dense"]),
+    max_size=3,
+)
+samples = st.lists(
+    st.floats(min_value=1e-6, max_value=50.0, allow_nan=False), min_size=0, max_size=30
+)
+
+
+@_SETTINGS
+@given(st.lists(st.tuples(label_sets, samples), min_size=1, max_size=6))
+def test_merged_labelled_histograms_equal_one_histogram_per_series(shards):
+    """Merging shard registries ≡ observing each series' samples in one place.
+
+    Models the processes-strategy pool boundary: every shard worker observes
+    into its own registry (several label sets per family), ships ``to_dict``
+    payloads to the parent, and the merged family must be indistinguishable
+    from one registry that saw every sample directly — per series, for
+    counts, sums and every quantile.
+    """
+    from collections import defaultdict
+
+    from repro.obs import Histogram, MetricsRegistry
+
+    merged = MetricsRegistry()
+    by_series = defaultdict(list)
+    for labels, values in shards:
+        worker = MetricsRegistry()
+        histogram = worker.histogram("repro_eval_seconds", "Eval", labels=labels)
+        for value in values:
+            histogram.observe(value)
+            by_series[tuple(sorted(labels.items()))].append(value)
+        merged.merge(worker.to_dict())
+
+    assert len(merged.series("repro_eval_seconds")) == len(
+        {tuple(sorted(labels.items())) for labels, _ in shards}
+    )
+    for items, values in by_series.items():
+        reference = Histogram("repro_eval_seconds")
+        for value in values:
+            reference.observe(value)
+        series = merged.get("repro_eval_seconds", dict(items))
+        assert series is not None
+        assert series.count == reference.count
+        assert series.counts == reference.counts
+        assert series.sum == pytest.approx(reference.sum)
+        if values:
+            for q in (0.5, 0.9, 0.99):
+                assert series.quantile(q) == reference.quantile(q)
+
+
+@_SETTINGS
+@given(label_sets, label_sets, samples, samples)
+def test_mismatched_label_sets_merge_into_disjoint_series(
+    left_labels, right_labels, left_values, right_values
+):
+    """A worker using label sets the parent never saw must extend, not raise."""
+    from repro.obs import MetricsRegistry
+
+    parent = MetricsRegistry()
+    left = parent.histogram("repro_eval_seconds", "Eval", labels=left_labels)
+    for value in left_values:
+        left.observe(value)
+    worker = MetricsRegistry()
+    right = worker.histogram("repro_eval_seconds", "Eval", labels=right_labels)
+    for value in right_values:
+        right.observe(value)
+
+    parent.merge(worker)  # never raises, whatever the label sets
+
+    if left_labels == right_labels:
+        assert len(parent.series("repro_eval_seconds")) == 1
+        assert parent.get("repro_eval_seconds", left_labels).count == len(
+            left_values
+        ) + len(right_values)
+    else:
+        assert len(parent.series("repro_eval_seconds")) == 2
+        assert parent.get("repro_eval_seconds", left_labels).count == len(left_values)
+        assert parent.get("repro_eval_seconds", right_labels).count == len(right_values)
+    # The family renders: every series line carries its own label string.
+    text = parent.render()
+    assert text.count("# TYPE repro_eval_seconds histogram") == 1

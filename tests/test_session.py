@@ -587,28 +587,28 @@ class TestDeprecationShims:
         with pytest.warns(DeprecationWarning, match="query_corpus"):
             answer_batch([Tree(Node("a"))], MONADIC_QUERY, ["x"])
 
-    def test_corpus_executor_warns(self):
+    def test_corpus_executor_construction_is_silent(self):
+        # 1.5.0 dropped the construction warning: building an executor
+        # directly is a supported embedding, not a legacy path.
         store = DocumentStore()
         store.add_xml("d", "<a/>")
-        with pytest.warns(DeprecationWarning, match="Session"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
             executor = CorpusExecutor(store)
         executor.close()
 
-    def test_corpus_server_warns_without_session(self):
+    def test_corpus_server_construction_is_silent(self):
         store = DocumentStore()
         store.add_xml("d", "<a/>")
-        with pytest.warns(DeprecationWarning, match="Session"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
             CorpusServer(store, strategy="serial")
 
-    def test_legacy_core_entry_points_warn(self, paper_bib):
+    def test_seed_era_entry_points_removed(self):
         import repro
 
-        with pytest.warns(DeprecationWarning, match="Session.query"):
-            repro.answer(paper_bib, MONADIC_QUERY, ["x"])
-        with pytest.warns(DeprecationWarning, match="Session.compile"):
-            repro.compile_query(MONADIC_QUERY, ["x"])
-        with pytest.warns(DeprecationWarning, match="Session"):
-            repro.PPLEngine(paper_bib)
+        for name in ("answer", "compile_query", "PPLEngine"):
+            assert not hasattr(repro, name)
 
     def test_session_paths_do_not_warn(self):
         async def body():

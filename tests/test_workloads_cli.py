@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.core.engine import PPLEngine
+from repro.api import as_document
 from repro.core.ppl import is_ppl
 from repro.xpath.naive import NaiveEngine
 from repro.xpath.analysis import contains_for_loop
@@ -40,7 +40,7 @@ def test_generate_bibliography_shape():
 def test_bibliography_answer_size_is_predictable():
     document = generate_bibliography(4, authors_per_book=3, titles_per_book=2, seed=1)
     query, variables = bibliography_pair_query()
-    answers = PPLEngine(document).answer(query, variables)
+    answers = as_document(document).answer(query, variables)
     assert len(answers) == 4 * 3 * 2
 
 
@@ -69,7 +69,7 @@ def test_forloop_variant_selects_same_pairs():
 def test_triples_query(paper_bib):
     query, variables = book_author_title_triples_query()
     assert is_ppl(query)
-    answers = PPLEngine(paper_bib).answer(query, variables)
+    answers = as_document(paper_bib).answer(query, variables)
     assert len(answers) == 3
     for book, author, title in answers:
         assert paper_bib.labels[book] == "book"
@@ -91,7 +91,7 @@ def test_restaurant_query_answer_count_matches_complete_restaurants():
     )
     query, variables = restaurant_query(3)
     assert is_ppl(query)
-    answers = PPLEngine(document).answer(query, variables)
+    answers = as_document(document).answer(query, variables)
     complete = 0
     for restaurant in document.nodes_with_label("restaurant"):
         child_labels = {document.labels[child] for child in document.children(restaurant)}
@@ -104,7 +104,7 @@ def test_restaurant_query_with_restaurant_binds_element():
     document = generate_restaurants(2, num_attributes=2, seed=1)
     query, variables = restaurant_query_with_restaurant(2)
     assert variables[0] == "r"
-    answers = PPLEngine(document).answer(query, variables)
+    answers = as_document(document).answer(query, variables)
     assert all(document.labels[row[0]] == "restaurant" for row in answers)
 
 
@@ -135,7 +135,7 @@ def test_random_ppl_expression_is_ppl():
 def test_random_ppl_expression_matches_naive(tiny_tree):
     for seed in range(4):
         expression, variables = random_ppl_expression(6, num_variables=1, seed=seed)
-        fast = PPLEngine(tiny_tree).answer(expression, variables)
+        fast = as_document(tiny_tree).answer(expression, variables)
         slow = NaiveEngine(tiny_tree).answer(expression, variables)
         assert fast == slow, expression.unparse()
 

@@ -1,0 +1,185 @@
+"""E15 — fault recovery: supervised shard pools must be cheap to crash.
+
+The scenario is the robustness PR's acceptance bar: the same corpus
+workload run twice under the ``processes`` strategy — once fault-free, once
+with the deterministic fault harness (:mod:`repro.faults`) injecting worker
+crashes — and the recovery machinery (pool respawn, backoff, re-dispatch)
+must keep both *correctness* and *throughput*:
+
+* **byte-identical answers** — recovery may cost time, never results;
+* **throughput gate** — with a ~1% per-evaluation crash rate plus one
+  guaranteed first-incarnation crash, documents-per-second must stay at or
+  above ``THROUGHPUT_GATE`` (70%) of the fault-free run;
+* **recovery-latency gate** — every supervised recovery (crash detection to
+  pool resumed) must complete within ``RECOVERY_GATE_SECONDS`` (2s).
+
+The crash schedule is seeded, so a given scale replays the same firing
+pattern every run — a failed gate reproduces deterministically.
+
+Run standalone to produce ``BENCH_faults.json`` in the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_e15_fault_recovery.py
+
+Set ``REPRO_BENCH_SCALE=smoke`` for the reduced CI scale.  The smoke scale
+shrinks the corpus and round count but relaxes neither gate.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro import faults
+from repro.corpus import CorpusExecutor, DocumentStore
+from repro.workloads import generate_corpus, write_corpus
+from repro.workloads.bibliography import bibliography_pair_query
+
+from bench_utils import write_bench_json
+
+SMOKE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke"
+
+#: Smoke keeps the shape but must stay large enough that one pool respawn
+#: (a fixed ~10ms cost plus re-evaluating the killed worker's in-flight
+#: shard) amortises against the measured run — a sub-100ms baseline would
+#: gate on noise, not on the recovery machinery.
+NUM_DOCUMENTS = 8 if SMOKE else 24
+BASE_BOOKS = 40 if SMOKE else 60
+ROUNDS = 20 if SMOKE else 10
+WORKERS = 2
+SEED = 23
+CRASH_RATE = 0.01
+#: One guaranteed crash (first incarnation of doc003's worker) on top of
+#: the rate, so the recovery-latency gate always has a sample to measure.
+SCHEDULE = (
+    f"worker_crash,match=doc003,site=worker,epoch=0;"
+    f"worker_crash,site=worker,rate={CRASH_RATE},seed={SEED}"
+)
+THROUGHPUT_GATE = 0.70
+RECOVERY_GATE_SECONDS = 2.0
+
+QUERY, VARIABLES = bibliography_pair_query()
+
+
+def run_pass(directory: str, *, faulted: bool) -> dict:
+    """One cold sweep of ROUNDS query rounds; returns timing + answers."""
+    if faulted:
+        faults.install(SCHEDULE)
+    else:
+        faults.clear()
+    # Answer caching off: with memoised answers the warm rounds cost
+    # microseconds and the wall clock measures only fixed overheads, so the
+    # throughput ratio would gate on scheduler noise.  Uncached rounds do
+    # work proportional to the corpus, which is what crash recovery must
+    # amortise against.
+    store = DocumentStore.from_directory(directory, cache_answers=False)
+    answers: dict = {}
+    round_seconds = []
+    started = time.perf_counter()
+    with CorpusExecutor(
+        store,
+        strategy="processes",
+        max_workers=WORKERS,
+        max_worker_restarts=64,
+        restart_backoff=0.01,
+    ) as executor:
+        for _ in range(ROUNDS):
+            round_started = time.perf_counter()
+            for result in executor.run([(QUERY, VARIABLES)]):
+                if result.error is not None:
+                    raise AssertionError(
+                        f"unexpected error record for {result.doc_name}: "
+                        f"{result.error_kind}"
+                    )
+                answers[(result.doc_name, result.query)] = result.answers
+            round_seconds.append(time.perf_counter() - round_started)
+        stats = executor.fault_stats()
+    wall = time.perf_counter() - started
+    faults.clear()
+    documents = NUM_DOCUMENTS * ROUNDS
+    return {
+        "faulted": faulted,
+        "wall_seconds": wall,
+        "round_seconds": round_seconds,
+        "documents_evaluated": documents,
+        "throughput_docs_per_second": documents / wall,
+        "fault_stats": stats,
+        "answers": answers,
+    }
+
+
+def run_scenario() -> dict:
+    with tempfile.TemporaryDirectory() as directory:
+        corpus = generate_corpus(
+            NUM_DOCUMENTS, base=BASE_BOOKS, skew=0.25, seed=SEED, decoys_per_book=2
+        )
+        write_corpus(directory, corpus)
+        baseline = run_pass(directory, faulted=False)
+        faulted = run_pass(directory, faulted=True)
+
+    agreement = baseline["answers"] == faulted["answers"]
+    throughput_ratio = (
+        faulted["throughput_docs_per_second"]
+        / baseline["throughput_docs_per_second"]
+    )
+    recoveries = faulted["fault_stats"]["recoveries"]
+    recovery_seconds = [
+        entry["resumed"] - entry["detected"] for entry in recoveries
+    ]
+    worst_recovery = max(recovery_seconds, default=None)
+
+    for single in (baseline, faulted):
+        del single["answers"]  # not JSON-serialisable (frozensets), huge
+
+    ok = (
+        agreement
+        and faulted["fault_stats"]["worker_restarts"] >= 1
+        and throughput_ratio >= THROUGHPUT_GATE
+        and worst_recovery is not None
+        and worst_recovery < RECOVERY_GATE_SECONDS
+    )
+    return {
+        "config": {
+            "documents": NUM_DOCUMENTS,
+            "base_books": BASE_BOOKS,
+            "rounds": ROUNDS,
+            "workers": WORKERS,
+            "crash_rate": CRASH_RATE,
+            "schedule": SCHEDULE,
+            "smoke": SMOKE,
+            "throughput_gate": THROUGHPUT_GATE,
+            "recovery_gate_seconds": RECOVERY_GATE_SECONDS,
+        },
+        "baseline": baseline,
+        "faulted": faulted,
+        "agreement": agreement,
+        "throughput_ratio": throughput_ratio,
+        "recovery_seconds": recovery_seconds,
+        "worst_recovery_seconds": worst_recovery,
+        "ok": ok,
+    }
+
+
+def main() -> int:
+    payload = run_scenario()
+    path = write_bench_json("faults", payload)
+    print(f"wrote {path}")
+    print(
+        f"baseline: {payload['baseline']['throughput_docs_per_second']:.1f} docs/s  "
+        f"faulted: {payload['faulted']['throughput_docs_per_second']:.1f} docs/s  "
+        f"ratio={payload['throughput_ratio'] * 100:.1f}% "
+        f"(gate >= {THROUGHPUT_GATE * 100:.0f}%)"
+    )
+    stats = payload["faulted"]["fault_stats"]
+    print(
+        f"restarts={stats['worker_restarts']} retries={stats['retries']} "
+        f"quarantined={stats['quarantined']} "
+        f"worst_recovery={payload['worst_recovery_seconds']:.3f}s "
+        f"(gate < {RECOVERY_GATE_SECONDS:.0f}s)"
+    )
+    print(f"agreement={payload['agreement']} ok={payload['ok']}")
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,10 +34,13 @@ see the migration table in the README for the replacements.
 """
 
 from repro.errors import (
+    DocumentQuarantinedError,
     EngineCapabilityError,
     EngineError,
     EvaluationError,
+    FaultInjectedError,
     NotAcyclicError,
+    ObsPortInUseError,
     ParseError,
     ReproError,
     RestrictionViolation,
@@ -45,6 +48,7 @@ from repro.errors import (
     TreeError,
     UnboundVariableError,
     UnknownEngineError,
+    WorkerCrashError,
 )
 from repro.trees import Node, Tree, tree_from_xml, tree_to_xml
 from repro.xpath import parse_path, NaiveEngine
@@ -68,7 +72,7 @@ from repro.session import (
     SessionError,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -105,4 +109,8 @@ __all__ = [
     "EngineError",
     "UnknownEngineError",
     "EngineCapabilityError",
+    "DocumentQuarantinedError",
+    "FaultInjectedError",
+    "WorkerCrashError",
+    "ObsPortInUseError",
 ]

@@ -892,11 +892,37 @@ def _run_serve_run(args) -> int:
     session = _corpus_session(args, **session_kwargs)
 
     async def main() -> int:
+        import signal
+
         async with session:
             tcp = await session.protocol().serve_tcp(args.host, args.port)
             port = tcp.sockets[0].getsockname()[1]
             from repro.pplbin.bitmatrix import get_default_kernel
 
+            # Graceful drain on SIGTERM/SIGINT: stop accepting connections,
+            # let in-flight submissions finish (session.aclose drains the
+            # server), and log the drain outcome.  Installed before the
+            # "serving ..." banner so a supervisor reacting to the banner
+            # cannot outrace the handlers.  Platforms without
+            # add_signal_handler (Windows loops) keep the KeyboardInterrupt
+            # fallback below.
+            stop = asyncio.Event()
+            received: list[str] = []
+            loop = asyncio.get_running_loop()
+
+            def _request_stop(name: str) -> None:
+                received.append(name)
+                stop.set()
+
+            installed: list[int] = []
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, _request_stop, signal.Signals(signum).name
+                    )
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
             kernel_name = session.execution.resolved("kernel")
             if kernel_name is None:
                 kernel_name = get_default_kernel().name
@@ -919,9 +945,33 @@ def _run_serve_run(args) -> int:
                 )
             try:
                 async with tcp:
-                    await tcp.serve_forever()
+                    if installed:
+                        # serve_tcp is already accepting; wait for a signal.
+                        await stop.wait()
+                    else:
+                        await tcp.serve_forever()
             except asyncio.CancelledError:
                 pass
+            finally:
+                for signum in installed:
+                    try:
+                        loop.remove_signal_handler(signum)
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        pass
+            if received:
+                server = session.server()
+                in_flight = server.stats.in_flight + server.stats.queued
+                drain_started = time.perf_counter()
+                await session.aclose()
+                drained_stats = server.stats
+                print(
+                    f"received {received[0]}: drained {in_flight} in-flight "
+                    f"document(s) in {time.perf_counter() - drain_started:.3f}s "
+                    f"({drained_stats.completed} completed, "
+                    f"{drained_stats.failed} failed); shutting down",
+                    file=sys.stderr,
+                    flush=True,
+                )
         return 0
 
     try:

@@ -31,15 +31,37 @@ list, so aggregation, early exit and pipelining all work without holding a
 corpus worth of answer sets.  With ``ordered=True`` (the default) results
 arrive in deterministic store order regardless of completion order; with
 ``ordered=False`` they arrive as soon as any worker finishes.
+
+Fault tolerance
+---------------
+The processes strategy is *supervised*: a worker death
+(``BrokenProcessPool`` — OOM kill, native segfault, pickling explosion)
+no longer aborts the stream.  The shard's supervisor attributes the crash
+to the document that was being evaluated, respawns the pool with
+exponential backoff + jitter under a per-shard restart budget
+(``max_worker_restarts``), re-dispatches the in-flight documents, and
+quarantines a document that kills its worker twice
+(:class:`repro.errors.DocumentQuarantinedError` appears as a typed error
+record in the stream).  A shard that exhausts its restart budget trips a
+circuit breaker and falls back to in-process serial evaluation — degraded,
+but available.  Transient per-document failures retry up to ``max_retries``
+times with ``retry_backoff`` exponential delays; a *final* failure is
+dispatched per ``on_error``: ``"raise"`` (default), ``"record"`` (typed
+error records, partial-results semantics) or ``"skip"``.  Every recovery
+action increments a labelled metric (``repro_worker_restarts_total``,
+``repro_retries_total``, ``repro_quarantined_total``) and the named fault
+points of :mod:`repro.faults` make all of it deterministically testable.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -48,16 +70,38 @@ from concurrent.futures import (
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from repro import faults
 from repro._config import UNSET as _UNSET
 from repro.core.engine import QueryReport
 from repro.api.document import BatchItem, Document, iter_batch
 from repro.api.query import Query, compile_query
 from repro.api.registry import DEFAULT_ENGINE
 from repro.corpus.store import CorpusError, DocumentStore, StoreStats
+from repro.errors import DocumentQuarantinedError
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
 STRATEGIES = ("serial", "threads", "processes")
+
+#: ``on_error`` dispositions for a document whose failure is final.
+ON_ERROR_MODES = ("raise", "record", "skip")
+
+#: How many worker deaths a single document may cause before it is
+#: quarantined for the life of the executor.
+QUARANTINE_AFTER = 2
+
+#: Recovery metric families (labels in parentheses): worker-pool respawns
+#: (``strategy``), per-document retry attempts (``reason`` = exception type
+#: name), quarantined documents, and shards degraded to in-process serial
+#: evaluation.
+WORKER_RESTARTS_COUNTER = "repro_worker_restarts_total"
+RETRIES_COUNTER = "repro_retries_total"
+QUARANTINED_COUNTER = "repro_quarantined_total"
+DEGRADED_GAUGE = "repro_degraded_shards"
+_RESTARTS_HELP = "Shard worker pools respawned after a worker death"
+_RETRIES_HELP = "Per-document retry attempts after a transient failure"
+_QUARANTINED_HELP = "Documents quarantined after repeatedly killing workers"
+_DEGRADED_HELP = "Shards degraded to in-process serial evaluation"
 
 #: Histogram of per-(document, query) evaluation seconds, labelled by
 #: ``(engine, strategy)``.  One family name across parent and shard workers
@@ -121,14 +165,27 @@ class CorpusResult:
 
     while the full answer set, timing and query text stay available as
     attributes.
+
+    Under ``on_error="record"`` (and always for quarantined documents) a
+    document whose failure is final yields *error records* instead of
+    aborting the stream: one record per query with ``error``/``error_kind``
+    set, an empty answer set and ``report=None``.  Check :attr:`ok` before
+    touching the report on streams that opted into partial results.
     """
 
     doc_name: str
-    report: QueryReport
+    report: Optional[QueryReport]
     query: str
     variables: tuple[str, ...]
     answers: frozenset[tuple[int, ...]]
     seconds: float
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this is a real answer (False: typed error record)."""
+        return self.error is None
 
     def __iter__(self):
         yield self.doc_name
@@ -152,6 +209,8 @@ def _worker_initialise(
     store_config: Optional[dict] = None,
     trace: bool = False,
     trace_sample: float = 0.0,
+    faults_payload=None,
+    worker_epoch: int = 0,
 ) -> None:
     # ``store_config`` carries the *resolved* kernel/matrix-budget settings
     # from the parent.  This is the config-precedence fix: workers used to
@@ -185,6 +244,10 @@ def _worker_initialise(
         # Sampling replicates the same way, and separately: a sampled-only
         # parent must produce sampled-only workers, not fully traced ones.
         _trace.set_trace_sample(trace_sample)
+    # The fault plan ships explicitly (never inherited): each worker
+    # incarnation starts with fresh firing counters, flagged as sacrificial
+    # (worker_crash exits the process) at its shard's respawn epoch.
+    faults.install_payload(faults_payload, epoch=worker_epoch)
 
 
 def _worker_query(text: str, variables: tuple[str, ...]) -> Query:
@@ -196,18 +259,33 @@ def _worker_query(text: str, variables: tuple[str, ...]) -> Query:
     return query
 
 
-def _worker_answer(
-    name: str, query_specs: Sequence[tuple[str, tuple[str, ...]]], engine: str
+def _evaluate_document(
+    document: Document,
+    queries: Sequence[Query],
+    engine: str,
+    registry: MetricsRegistry,
+    strategy: str,
+    *,
+    site: str,
+    key: str,
 ) -> list[tuple[str, tuple[str, ...], frozenset, QueryReport, float]]:
-    """Answer every query on one document inside the shard worker."""
-    document = _WORKER["store"].get(name)
-    registry = _WORKER["metrics"]
+    """Answer every query on one document, wherever the document lives.
+
+    The one evaluation loop shared by the shard workers, the serial and
+    threads strategies, and the degraded in-parent fallback — identical
+    code on every path is what makes "byte-identical answers across
+    strategies" a structural property rather than a test assertion.  The
+    :mod:`repro.faults` points bracket it: ``worker_crash``/``slow_query``
+    fire before the first evaluation (where an arriving dispatch would
+    die), ``pickle_error`` after the last (where result marshalling would).
+    """
+    faults.trip("worker_crash", key=key, site=site)
+    faults.trip("slow_query", key=key, site=site)
     histogram = registry.histogram(
-        EVAL_HISTOGRAM, _EVAL_HELP, labels={"engine": engine, "strategy": "processes"}
+        EVAL_HISTOGRAM, _EVAL_HELP, labels={"engine": engine, "strategy": strategy}
     )
     results = []
-    for text, variables in query_specs:
-        query = _worker_query(text, variables)
+    for query in queries:
         if _trace.enabled():
             _trace.take_last_trace()
         meter = document.cost_meter()
@@ -223,9 +301,28 @@ def _worker_answer(
             if trace_tree is not None:
                 changes["trace"] = trace_tree
         report = dataclass_replace(report, **changes)
-        observe_cost(registry, cost, engine=engine, strategy="processes")
+        observe_cost(registry, cost, engine=engine, strategy=strategy)
+        text, variables = _query_spec(query)
         results.append((text, variables, answers, report, elapsed))
+    faults.trip("pickle_error", key=key, site=site)
     return results
+
+
+def _worker_answer(
+    name: str, query_specs: Sequence[tuple[str, tuple[str, ...]]], engine: str
+) -> list[tuple[str, tuple[str, ...], frozenset, QueryReport, float]]:
+    """Answer every query on one document inside the shard worker."""
+    document = _WORKER["store"].get(name)
+    queries = [_worker_query(text, variables) for text, variables in query_specs]
+    return _evaluate_document(
+        document,
+        queries,
+        engine,
+        _WORKER["metrics"],
+        "processes",
+        site="worker",
+        key=name,
+    )
 
 
 def _worker_stats() -> tuple[int, int, int, int, int, int]:
@@ -259,16 +356,83 @@ def _worker_metrics() -> Optional[dict]:
 
 
 # --------------------------------------------------------------- shard pools
-class _ShardPool:
-    """A single-worker process pool owning a fixed document partition."""
+class _Job:
+    """One in-flight document dispatch, tracked across worker incarnations."""
 
-    def __init__(self, doc_names: Sequence[str], specs: dict[str, tuple[str, str]],
-                 max_resident: Optional[int],
-                 answer_cache_bytes: Optional[int] = None,
-                 cache_answers: bool = True,
-                 store_config: Optional[dict] = None) -> None:
+    __slots__ = ("seq", "name", "query_specs", "engine", "outer", "inner", "attempts")
+
+    def __init__(self, name: str, query_specs, engine: str) -> None:
+        self.seq = 0
+        self.name = name
+        self.query_specs = query_specs
+        self.engine = engine
+        self.outer: Future = Future()
+        self.inner: Optional[Future] = None
+        self.attempts = 0
+
+
+def _resolve_job(outer: Future, *, result=None, error: Optional[BaseException] = None) -> None:
+    """Resolve a job's outer future, losing races with cancellation cleanly."""
+    if not outer.set_running_or_notify_cancel():
+        return
+    if error is not None:
+        outer.set_exception(error)
+    else:
+        outer.set_result(result)
+
+
+class _ShardPool:
+    """A supervised single-worker process pool owning a fixed partition.
+
+    ``submit`` returns a long-lived *outer* future decoupled from any one
+    ``ProcessPoolExecutor`` future: when the worker dies, every pending
+    job's inner future breaks with ``BrokenProcessPool``, and the
+    supervisor thread — after attributing the crash to the earliest
+    submitted (i.e. running) job — respawns the pool under the restart
+    budget and re-submits the survivors against the new worker, the outer
+    futures none the wiser.  Ordinary (picklable) failures consume the
+    per-document retry budget with exponential backoff instead.  Once the
+    restart budget is spent the shard trips its circuit breaker
+    (``degraded``) and every job runs serially in the parent process.
+    """
+
+    def __init__(
+        self,
+        executor: "CorpusExecutor",
+        shard_index: int,
+        doc_names: Sequence[str],
+        specs: dict[str, tuple[str, str]],
+        max_resident: Optional[int],
+        answer_cache_bytes: Optional[int] = None,
+        cache_answers: bool = True,
+        store_config: Optional[dict] = None,
+    ) -> None:
+        self.executor = executor
+        self.shard_index = shard_index
         self.doc_names = tuple(doc_names)
-        self.pool = ProcessPoolExecutor(
+        self._spawn_args = (
+            specs, max_resident, answer_cache_bytes, cache_answers, store_config,
+        )
+        #: Worker incarnation number, shipped to :func:`faults.mark_worker`
+        #: so seeded schedules can target "the first worker only".
+        self.epoch = 0
+        self.restarts = 0
+        self.degraded = False
+        self._closed = False
+        # Reentrant: ``add_done_callback`` on an already-done future runs
+        # the callback inline, which would deadlock a plain lock.
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._jobs: dict[int, _Job] = {}
+        self._dead: dict[int, _Job] = {}
+        self._recovering = False
+        self.pool = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        specs, max_resident, answer_cache_bytes, cache_answers, store_config = (
+            self._spawn_args
+        )
+        return ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker_initialise,
             # Tracing state is captured at spawn: pools created while the
@@ -277,14 +441,213 @@ class _ShardPool:
             # already-running shards.  The two knobs ship separately so a
             # sampled-only parent never produces fully traced workers.
             initargs=(specs, max_resident, answer_cache_bytes, cache_answers,
-                      store_config, _trace.tracing_enabled(), _trace.sample_rate()),
+                      store_config, _trace.tracing_enabled(), _trace.sample_rate(),
+                      faults.payload(), self.epoch),
         )
 
+    # ------------------------------------------------------------- submission
     def submit(self, name: str, query_specs, engine: str) -> Future:
-        return self.pool.submit(_worker_answer, name, query_specs, engine)
+        job = _Job(name, query_specs, engine)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot schedule new futures after shutdown")
+            self._seq += 1
+            job.seq = self._seq
+            self._jobs[job.seq] = job
 
+        def _forward_cancel(done: Future, job: _Job = job) -> None:
+            # Cancelling the outer future should pull the work out of the
+            # shard queue too, not leave the worker evaluating documents
+            # for an aborted submission.
+            if done.cancelled():
+                with self._lock:
+                    self._jobs.pop(job.seq, None)
+                    inner = job.inner
+                if inner is not None:
+                    inner.cancel()
+
+        job.outer.add_done_callback(_forward_cancel)
+        self._submit_inner(job)
+        return job.outer
+
+    def _submit_inner(self, job: _Job) -> None:
+        """(Re-)dispatch one job to the current worker (or degraded path)."""
+        with self._lock:
+            if self._closed:
+                self._jobs.pop(job.seq, None)
+                job.outer.cancel()
+                return
+            if job.outer.cancelled() or job.seq not in self._jobs:
+                return
+            if self.degraded:
+                degraded = True
+            else:
+                degraded = False
+                try:
+                    inner = self.pool.submit(
+                        _worker_answer, job.name, job.query_specs, job.engine
+                    )
+                except BrokenExecutor:
+                    # Pool already broken (burst of deaths): park the job
+                    # for the supervisor round in flight.
+                    self._mark_dead_locked(job)
+                    return
+                job.inner = inner
+                inner.add_done_callback(
+                    lambda finished, job=job: self._on_inner_done(job, finished)
+                )
+        if degraded:
+            self._submit_degraded(job)
+
+    def _on_inner_done(self, job: _Job, inner: Future) -> None:
+        if inner.cancelled():
+            with self._lock:
+                self._jobs.pop(job.seq, None)
+            job.outer.cancel()
+            return
+        error = inner.exception()
+        if error is None:
+            with self._lock:
+                self._jobs.pop(job.seq, None)
+            _resolve_job(job.outer, result=inner.result())
+            return
+        if isinstance(error, BrokenExecutor):
+            with self._lock:
+                if self._closed:
+                    self._jobs.pop(job.seq, None)
+                    job.outer.cancel()
+                    return
+                self._mark_dead_locked(job)
+            return
+        # Ordinary failure: the worker survived, the document did not.
+        job.attempts += 1
+        if job.attempts <= self.executor.max_retries:
+            self.executor._record_retry(type(error).__name__)
+            delay = self.executor.retry_backoff * (2 ** (job.attempts - 1))
+            timer = threading.Timer(delay, self._submit_inner, args=(job,))
+            timer.daemon = True
+            timer.start()
+            return
+        with self._lock:
+            self._jobs.pop(job.seq, None)
+        _resolve_job(job.outer, error=error)
+
+    def _mark_dead_locked(self, job: _Job) -> None:
+        """Park a crash-orphaned job and ensure one supervisor is running."""
+        self._dead[job.seq] = job
+        if not self._recovering:
+            self._recovering = True
+            threading.Thread(
+                target=self._recover,
+                name=f"shard-{self.shard_index}-supervisor",
+                daemon=True,
+            ).start()
+
+    # ------------------------------------------------------------- supervision
+    def _recover(self) -> None:
+        """Supervisor loop: backoff, respawn, re-dispatch, quarantine."""
+        executor = self.executor
+        while True:
+            with self._lock:
+                if not self._dead:
+                    self._recovering = False
+                    return
+                # The earliest submitted pending job is the one the
+                # single worker was evaluating when it died.
+                culprit_seq = min(self._dead)
+            detected = time.perf_counter()
+            # Exponential backoff with jitter before touching the pool; the
+            # sleep also lets the burst of broken-future callbacks land so
+            # one respawn covers all of them.
+            delay = executor.restart_backoff * (2 ** min(self.restarts, 6))
+            delay = min(delay + random.uniform(0.0, delay / 2.0), 5.0)
+            time.sleep(delay)
+            with self._lock:
+                if self._closed:
+                    dead = list(self._dead.values())
+                    self._dead.clear()
+                    self._recovering = False
+                    for job in dead:
+                        self._jobs.pop(job.seq, None)
+                        job.outer.cancel()
+                    return
+                dead = [self._dead[seq] for seq in sorted(self._dead)]
+                self._dead.clear()
+            culprit = dead[0] if dead and dead[0].seq == culprit_seq else None
+            redispatch = list(dead)
+            if culprit is not None:
+                crashes = executor._note_crash(culprit.name)
+                if crashes >= QUARANTINE_AFTER:
+                    executor._quarantine(culprit.name, crashes)
+                    redispatch.remove(culprit)
+                    with self._lock:
+                        self._jobs.pop(culprit.seq, None)
+                    _resolve_job(
+                        culprit.outer,
+                        error=DocumentQuarantinedError(culprit.name, crashes),
+                    )
+            if self.restarts >= executor.max_worker_restarts:
+                self._trip_breaker(redispatch)
+                continue
+            with self._lock:
+                old = self.pool
+                self.epoch += 1
+                self.pool = self._spawn()
+            old.shutdown(wait=False, cancel_futures=True)
+            self.restarts += 1
+            executor._record_restart(
+                self.shard_index,
+                restart=self.restarts,
+                detected=detected,
+                resumed=time.perf_counter(),
+                culprit=culprit.name if culprit is not None else None,
+            )
+            for job in redispatch:
+                self._submit_inner(job)
+
+    def _trip_breaker(self, jobs: Sequence[_Job]) -> None:
+        """Degrade the shard: evaluate in-parent instead of respawning."""
+        with self._lock:
+            first = not self.degraded
+            self.degraded = True
+            pool = self.pool
+        if first:
+            self.executor._record_degraded(self.shard_index)
+            pool.shutdown(wait=False, cancel_futures=True)
+        for job in jobs:
+            self._submit_degraded(job)
+
+    def _submit_degraded(self, job: _Job) -> None:
+        inner = self.executor._dispatch().submit(
+            self.executor._evaluate_in_parent, job.name, job.query_specs, job.engine
+        )
+        job.inner = inner
+
+        def _finish(finished: Future, job: _Job = job) -> None:
+            with self._lock:
+                self._jobs.pop(job.seq, None)
+            if finished.cancelled():
+                job.outer.cancel()
+                return
+            error = finished.exception()
+            if error is not None:
+                _resolve_job(job.outer, error=error)
+            else:
+                _resolve_job(job.outer, result=finished.result())
+
+        inner.add_done_callback(_finish)
+
+    # --------------------------------------------------------------- teardown
     def shutdown(self) -> None:
-        self.pool.shutdown(wait=True, cancel_futures=True)
+        with self._lock:
+            self._closed = True
+            jobs = list(self._jobs.values())
+            self._jobs.clear()
+            self._dead.clear()
+            pool = self.pool
+        pool.shutdown(wait=True, cancel_futures=True)
+        for job in jobs:
+            job.outer.cancel()
 
 
 # ----------------------------------------------------------------- executor
@@ -305,6 +668,15 @@ class CorpusExecutor:
         sharding is observable even on one-core machines.
     engine:
         Default registry engine for :meth:`run` (overridable per call).
+    max_retries / retry_backoff / on_error:
+        Per-document retry budget, exponential-backoff base and final-
+        failure disposition (see the module docstring's fault-tolerance
+        section).  ``None`` means the built-in default (0 / 0.05 /
+        ``"raise"``), so the session layer can pass resolved policy values
+        straight through.
+    max_worker_restarts / restart_backoff:
+        Per-shard worker-respawn budget and backoff base for the
+        supervised processes strategy (defaults 3 / 0.1).
 
     The executor is a context manager; ``"processes"`` keeps its shard pools
     (and therefore the per-worker document caches) alive across :meth:`run`
@@ -319,10 +691,21 @@ class CorpusExecutor:
         max_workers: Optional[int] = None,
         engine: str = DEFAULT_ENGINE,
         kernel=None,
+        max_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        on_error: Optional[str] = None,
+        max_worker_restarts: Optional[int] = None,
+        restart_backoff: Optional[float] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise CorpusError(
                 f"unknown strategy {strategy!r}; expected one of {', '.join(STRATEGIES)}"
+            )
+        on_error = on_error or "raise"
+        if on_error not in ON_ERROR_MODES:
+            raise CorpusError(
+                f"unknown on_error mode {on_error!r}; "
+                f"expected one of {', '.join(ON_ERROR_MODES)}"
             )
         self.store = store
         self.strategy = strategy
@@ -359,6 +742,41 @@ class CorpusExecutor:
         #: (engine, strategy).  The processes strategy observes inside shard
         #: workers; :meth:`metrics` merges both.
         self.metrics_registry = MetricsRegistry()
+        # ------------------------------------------------- fault tolerance
+        self.max_retries = int(max_retries) if max_retries else 0
+        self.retry_backoff = 0.05 if retry_backoff is None else float(retry_backoff)
+        self.on_error = on_error
+        self.max_worker_restarts = (
+            3 if max_worker_restarts is None else int(max_worker_restarts)
+        )
+        self.restart_backoff = (
+            0.1 if restart_backoff is None else float(restart_backoff)
+        )
+        self._fault_lock = threading.Lock()
+        #: Worker deaths attributed per document (supervised processes).
+        self._crash_counts: dict[str, int] = {}
+        #: Documents quarantined after :data:`QUARANTINE_AFTER` crashes.
+        self.quarantined: set[str] = set()
+        self._degraded_shards: set[int] = set()
+        self._restart_total = 0
+        self._retry_total = 0
+        #: Supervisor recovery log: perf_counter stamps bracketing each
+        #: respawn, for stats and the E15 recovery-latency gate.
+        self._recovery_log: list[dict] = []
+        # Eager family registration so exposition shows explicit zeros
+        # before the first incident.
+        self._restarts_counter = self.metrics_registry.counter(
+            WORKER_RESTARTS_COUNTER, _RESTARTS_HELP, labels={"strategy": strategy}
+        )
+        self._quarantined_counter = self.metrics_registry.counter(
+            QUARANTINED_COUNTER, _QUARANTINED_HELP
+        )
+        self._degraded_gauge = self.metrics_registry.gauge(
+            DEGRADED_GAUGE, _DEGRADED_HELP
+        )
+        #: Parent-side compiled-query cache for the degraded fallback path
+        #: (specs arrive pre-serialised from the shard dispatch).
+        self._spec_queries: dict[tuple[str, tuple[str, ...]], Query] = {}
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -458,10 +876,15 @@ class CorpusExecutor:
                 if shard_index is None:
                     # Discarded between the membership check and the lock.
                     raise CorpusError(f"unknown document {name!r}")
-                with _trace.span("shard.dispatch", document=name, shard=shard_index):
-                    inner = self._shard_pool(shard_index).submit(
-                        name, query_specs, engine_name
-                    )
+                if name in self.quarantined:
+                    inner = self._quarantined_future(name)
+                else:
+                    with _trace.span(
+                        "shard.dispatch", document=name, shard=shard_index
+                    ):
+                        inner = self._shard_pool(shard_index).submit(
+                            name, query_specs, engine_name
+                        )
             outer: "Future[list[CorpusResult]]" = Future()
 
             def _forward_cancel(done: Future) -> None:
@@ -483,7 +906,13 @@ class CorpusExecutor:
                     return
                 error = finished.exception()
                 if error is not None:
-                    outer.set_exception(error)
+                    records = self._document_error_records(
+                        name, query_specs, engine_name, error
+                    )
+                    if records is None:
+                        outer.set_exception(error)
+                    else:
+                        outer.set_result(records)
                     return
                 outer.set_result(
                     [
@@ -520,6 +949,178 @@ class CorpusExecutor:
                     max_workers=width, thread_name_prefix="corpus-dispatch"
                 )
             return self._dispatch_pool
+
+    # ------------------------------------------------------- fault tolerance
+    def _record_retry(self, reason: str) -> None:
+        self.metrics_registry.counter(
+            RETRIES_COUNTER, _RETRIES_HELP, labels={"reason": reason}
+        ).inc()
+        with self._fault_lock:
+            self._retry_total += 1
+
+    def _note_crash(self, name: str) -> int:
+        """Attribute one worker death to ``name``; returns its crash count."""
+        with self._fault_lock:
+            self._crash_counts[name] = self._crash_counts.get(name, 0) + 1
+            return self._crash_counts[name]
+
+    def _quarantine(self, name: str, crashes: int) -> None:
+        with self._fault_lock:
+            if name in self.quarantined:
+                return
+            self.quarantined.add(name)
+        self._quarantined_counter.inc()
+        _trace.record_span(
+            "pool.quarantine",
+            time.perf_counter(),
+            time.perf_counter(),
+            document=name,
+            crashes=crashes,
+        )
+
+    def _record_restart(
+        self,
+        shard_index: int,
+        *,
+        restart: int,
+        detected: float,
+        resumed: float,
+        culprit: Optional[str],
+    ) -> None:
+        self._restarts_counter.inc()
+        with self._fault_lock:
+            self._restart_total += 1
+            self._recovery_log.append(
+                {
+                    "shard": shard_index,
+                    "restart": restart,
+                    "detected": detected,
+                    "resumed": resumed,
+                    "backoff_seconds": resumed - detected,
+                    "culprit": culprit,
+                }
+            )
+        _trace.record_span(
+            "pool.restart",
+            detected,
+            resumed,
+            shard=shard_index,
+            restart=restart,
+            culprit=culprit or "",
+        )
+
+    def _record_degraded(self, shard_index: int) -> None:
+        with self._fault_lock:
+            self._degraded_shards.add(shard_index)
+            count = len(self._degraded_shards)
+        self._degraded_gauge.set(count)
+        _trace.record_span(
+            "pool.degraded",
+            time.perf_counter(),
+            time.perf_counter(),
+            shard=shard_index,
+        )
+
+    @property
+    def degraded_shard_count(self) -> int:
+        """Shards whose circuit breaker tripped (serving serially in-parent)."""
+        with self._fault_lock:
+            return len(self._degraded_shards)
+
+    def fault_stats(self) -> dict:
+        """Supervision counters: restarts, retries, quarantine, degradation."""
+        with self._fault_lock:
+            return {
+                "worker_restarts": self._restart_total,
+                "retries": self._retry_total,
+                "quarantined": sorted(self.quarantined),
+                "degraded_shards": sorted(self._degraded_shards),
+                "crashes": dict(self._crash_counts),
+                "recoveries": [dict(entry) for entry in self._recovery_log],
+            }
+
+    def _retry_document(self, name: str, evaluate):
+        """Run ``evaluate`` under the per-document retry budget."""
+        attempt = 0
+        while True:
+            try:
+                return evaluate()
+            except Exception as error:  # noqa: BLE001 — budget decides
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                self._record_retry(type(error).__name__)
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _evaluate_in_parent(self, name: str, query_specs, engine: str):
+        """Degraded-shard fallback: the worker's evaluation, in-process.
+
+        Same payload shape as :func:`_worker_answer` so the supervised
+        outer futures cannot tell which side of the breaker served them.
+        """
+        queries = []
+        for text, variables in query_specs:
+            key = (text, tuple(variables))
+            query = self._spec_queries.get(key)
+            if query is None:
+                query = compile_query(text, tuple(variables), require_ppl=False)
+                self._spec_queries[key] = query
+            queries.append(query)
+        document = self.store.get(name)
+        return self._retry_document(
+            name,
+            lambda: _evaluate_document(
+                document,
+                queries,
+                engine,
+                self.metrics_registry,
+                "processes",
+                site="degraded",
+                key=name,
+            ),
+        )
+
+    def _document_error_records(
+        self, name: str, query_specs, engine: str, error: BaseException
+    ) -> Optional[list[CorpusResult]]:
+        """Typed error records for a final failure, or ``None`` to re-raise.
+
+        Quarantine always records (the whole point is not aborting the
+        stream); otherwise ``on_error`` decides: ``"record"`` yields one
+        error record per query, ``"skip"`` yields nothing, ``"raise"``
+        returns ``None`` so the caller propagates.
+        """
+        if not isinstance(error, DocumentQuarantinedError):
+            if self.on_error == "raise":
+                return None
+            if self.on_error == "skip":
+                self.metrics_registry.counter(
+                    "repro_documents_skipped_total",
+                    "Documents dropped by on_error=skip after a final failure",
+                    labels={"kind": type(error).__name__},
+                ).inc()
+                return []
+        return [
+            CorpusResult(
+                doc_name=name,
+                report=None,
+                query=text,
+                variables=tuple(variables),
+                answers=frozenset(),
+                seconds=0.0,
+                error=str(error),
+                error_kind=type(error).__name__,
+            )
+            for text, variables in query_specs
+        ]
+
+    def _quarantined_future(self, name: str) -> Future:
+        """A pre-failed future for a document already in quarantine."""
+        future: Future = Future()
+        with self._fault_lock:
+            crashes = self._crash_counts.get(name, QUARANTINE_AFTER)
+        future.set_exception(DocumentQuarantinedError(name, crashes))
+        return future
 
     def answer_cache_stats(self) -> Optional[dict]:
         """Aggregate answer-cache counters, wherever the caches live.
@@ -608,31 +1209,34 @@ class CorpusExecutor:
     def _answer_document(
         self, name: str, document: Document, queries: Sequence[Query], engine: str
     ) -> Iterator[CorpusResult]:
-        histogram = self.metrics_registry.histogram(
-            EVAL_HISTOGRAM,
-            _EVAL_HELP,
-            labels={"engine": engine, "strategy": self.strategy},
-        )
-        for query in queries:
-            if _trace.enabled():
-                _trace.take_last_trace()
-            meter = document.cost_meter()
-            started = time.perf_counter()
-            answers = document.answer(query, engine=engine)
-            elapsed = time.perf_counter() - started
-            cost = meter.finish(elapsed)
-            histogram.observe(elapsed)
-            report = document.report(query, engine=engine, answers=answers)
-            changes: dict = {"cost": cost}
-            if report.trace is None:
-                trace_tree = _trace.take_last_trace()
-                if trace_tree is not None:
-                    changes["trace"] = trace_tree
-            report = dataclass_replace(report, **changes)
-            observe_cost(
-                self.metrics_registry, cost, engine=engine, strategy=self.strategy
+        """One document's results, under the retry budget and ``on_error``.
+
+        Evaluation is buffered per document (not streamed per query) so a
+        retry never re-yields a query the consumer already saw — the unit
+        of retry and the unit of failure are the same.
+        """
+        try:
+            payload = self._retry_document(
+                name,
+                lambda: _evaluate_document(
+                    document,
+                    queries,
+                    engine,
+                    self.metrics_registry,
+                    self.strategy,
+                    site=self.strategy,
+                    key=name,
+                ),
             )
-            text, variables = _query_spec(query)
+        except Exception as error:  # noqa: BLE001 — on_error decides
+            records = self._document_error_records(
+                name, [_query_spec(query) for query in queries], engine, error
+            )
+            if records is None:
+                raise
+            yield from records
+            return
+        for text, variables, answers, report, elapsed in payload:
             yield CorpusResult(
                 doc_name=name,
                 report=report,
@@ -765,6 +1369,8 @@ class CorpusExecutor:
                 shard_names = self._shard_names[shard_index]
                 specs = {name: self.store.source_spec(name) for name in shard_names}
                 pool = _ShardPool(
+                    self,
+                    shard_index,
                     shard_names,
                     specs,
                     self.store.max_resident,
@@ -873,6 +1479,9 @@ class CorpusExecutor:
             with self._pool_lock:
                 with _trace.span("shard.dispatch", documents=len(names)):
                     for index, name in enumerate(names):
+                        if name in self.quarantined:
+                            futures[index] = self._quarantined_future(name)
+                            continue
                         shard = self._shard_pool(self._shard_of[name])
                         futures[index] = shard.submit(name, query_specs, engine)
 
@@ -890,7 +1499,15 @@ class CorpusExecutor:
                     for text, variables, answers, report, elapsed in payload
                 ]
 
-            yield from _stream(futures, ordered, unpack)
+            def on_error(index: int, error: BaseException) -> list[CorpusResult]:
+                records = self._document_error_records(
+                    names[index], query_specs, engine, error
+                )
+                if records is None:
+                    raise error
+                return records
+
+            yield from _stream(futures, ordered, unpack, on_error)
 
         return generate()
 
@@ -912,26 +1529,36 @@ class CorpusExecutor:
 
 
 def _stream(
-    futures: dict[int, Future], ordered: bool, unpack=None
+    futures: dict[int, Future], ordered: bool, unpack=None, on_error=None
 ) -> Iterator[CorpusResult]:
     """Yield per-document result lists from indexed futures, streaming.
 
     With ``ordered`` the next document in index order is yielded as soon as
-    it (and everything before it) is done; otherwise documents are yielded in
-    completion order.  Worker exceptions propagate to the consumer.
+    it (and everything before it) is done; otherwise documents are yielded
+    in completion order.  A future that fails goes through ``on_error``
+    (which returns substitute error records, or re-raises) when given;
+    without it worker exceptions propagate to the consumer.
     """
+
+    def results_of(index: int, future: Future):
+        try:
+            payload = future.result()
+        except Exception as error:  # noqa: BLE001 — on_error decides
+            if on_error is None:
+                raise
+            return on_error(index, error)
+        return unpack(index, payload) if unpack else payload
+
     if ordered:
         for index in sorted(futures):
-            payload = futures[index].result()
-            yield from unpack(index, payload) if unpack else payload
+            yield from results_of(index, futures[index])
     else:
         remaining = {future: index for index, future in futures.items()}
         while remaining:
             done, _ = wait(list(remaining), return_when=FIRST_COMPLETED)
             for future in done:
                 index = remaining.pop(future)
-                payload = future.result()
-                yield from unpack(index, payload) if unpack else payload
+                yield from results_of(index, future)
 
 
 def answer_corpus(

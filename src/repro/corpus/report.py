@@ -20,7 +20,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class CorpusEntry:
-    """One (document, query) outcome inside a corpus report."""
+    """One (document, query) outcome inside a corpus report.
+
+    ``error``/``error_kind`` are set for typed error records (a document
+    whose final failure was recorded under ``on_error="record"`` or by
+    quarantine); such entries carry no engine/tree data and count zero
+    answers.
+    """
 
     doc_name: str
     query: str
@@ -29,9 +35,11 @@ class CorpusEntry:
     answer_count: int
     tree_size: Optional[int]
     seconds: float
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "doc_name": self.doc_name,
             "query": self.query,
             "variables": list(self.variables),
@@ -40,6 +48,10 @@ class CorpusEntry:
             "tree_size": self.tree_size,
             "seconds": self.seconds,
         }
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["error_kind"] = self.error_kind
+        return payload
 
 
 @dataclass(frozen=True)
@@ -93,10 +105,16 @@ class CorpusReport:
                 doc_name=result.doc_name,
                 query=result.query,
                 variables=result.variables,
-                engine=result.report.engine,
-                answer_count=result.report.answer_count,
-                tree_size=result.report.tree_size,
+                engine=result.report.engine if result.report is not None else None,
+                answer_count=(
+                    result.report.answer_count if result.report is not None else 0
+                ),
+                tree_size=(
+                    result.report.tree_size if result.report is not None else None
+                ),
                 seconds=result.seconds,
+                error=getattr(result, "error", None),
+                error_kind=getattr(result, "error_kind", None),
             )
             for result in results
         )
@@ -130,6 +148,11 @@ class CorpusReport:
         """Sum of per-result evaluation times (excludes load/dispatch)."""
         return sum(entry.seconds for entry in self.entries)
 
+    @property
+    def error_count(self) -> int:
+        """Entries that are typed error records rather than answers."""
+        return sum(1 for entry in self.entries if entry.error is not None)
+
     def per_document(self) -> dict[str, dict]:
         """Per-document rollup: results, answers, seconds, tree size."""
         rollup: dict[str, dict] = {}
@@ -152,6 +175,7 @@ class CorpusReport:
             "documents": self.document_count,
             "queries": self.query_count,
             "results": len(self.entries),
+            "errors": self.error_count,
             "total_answers": self.total_answers,
             "total_seconds": self.total_seconds,
             "wall_seconds": self.wall_seconds,

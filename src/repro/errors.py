@@ -141,3 +141,78 @@ class CorpusTimeoutError(SessionError):
     def __init__(self, timeout: float) -> None:
         super().__init__(f"corpus run exceeded the {timeout:g} s execution timeout")
         self.timeout = timeout
+
+
+class DocumentQuarantinedError(ReproError):
+    """Raised for a document that repeatedly killed its shard worker.
+
+    The supervised process strategy attributes each worker death to the
+    document that was being evaluated; after the second fatal dispatch the
+    document is quarantined so a poison document cannot consume the whole
+    restart budget.  The error appears as a typed *error record* in the
+    result stream (never a stream abort), regardless of ``on_error``.
+
+    Attributes
+    ----------
+    doc_name:
+        The quarantined document.
+    crashes:
+        How many worker deaths were attributed to it.
+    """
+
+    def __init__(self, doc_name: str, crashes: int) -> None:
+        super().__init__(
+            f"document {doc_name!r} killed its shard worker {crashes} times "
+            "and is quarantined for the life of this executor"
+        )
+        self.doc_name = doc_name
+        self.crashes = crashes
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed :mod:`repro.faults` fault point.
+
+    Deliberately *not* a subclass of the error the point simulates: chaos
+    tests distinguish injected failures from organic ones by type.
+
+    Attributes
+    ----------
+    point:
+        The fault point that fired (e.g. ``"corrupt_read"``).
+    key:
+        The call-site key (document name, snapshot digest, ...).
+    """
+
+    def __init__(self, point: str, key: str = "") -> None:
+        detail = f" at {key!r}" if key else ""
+        super().__init__(f"injected fault {point!r}{detail}")
+        self.point = point
+        self.key = key
+
+
+class WorkerCrashError(FaultInjectedError):
+    """An injected ``worker_crash`` tripped outside a sacrificial process.
+
+    Inside a shard worker the harness exits the process (a real worker
+    death, exercising supervision); in the parent — serial and threads
+    strategies — it raises this instead, exercising the retry path.
+    """
+
+
+class ObsPortInUseError(ReproError):
+    """The observability HTTP endpoint could not bind its port.
+
+    Attributes
+    ----------
+    host / port:
+        The requested bind address.  ``obs_port=0`` (ephemeral) remains the
+        escape hatch when a fixed port may be contended.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(
+            f"observability HTTP port {port} on {host} is already in use "
+            "(another exporter running? use obs_port=0 for an ephemeral port)"
+        )
+        self.host = host
+        self.port = port

@@ -18,15 +18,17 @@ the kernel for a free port — read it back from :attr:`ObsHTTPServer.port`.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
+from repro.errors import ObsPortInUseError
 from repro.obs import trace as _trace
 from repro.obs.slowlog import SlowQueryLog
 
-__all__ = ["OBS_PORT_ENV", "ObsHTTPServer"]
+__all__ = ["OBS_PORT_ENV", "ObsHTTPServer", "ObsPortInUseError"]
 
 OBS_PORT_ENV = "REPRO_OBS_PORT"
 
@@ -62,7 +64,11 @@ class ObsHTTPServer:
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> int:
-        """Bind and start serving; returns the bound port."""
+        """Bind and start serving; returns the bound port.
+
+        Raises :class:`repro.errors.ObsPortInUseError` when the requested
+        fixed port is already bound (``port=0`` can never collide).
+        """
         if self._httpd is not None:
             return self.port
         owner = self
@@ -74,7 +80,14 @@ class ObsHTTPServer:
             def do_GET(self) -> None:
                 owner._handle(self)
 
-        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), _Handler
+            )
+        except OSError as error:
+            if error.errno == errno.EADDRINUSE:
+                raise ObsPortInUseError(self._host, self._requested_port) from error
+            raise
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

@@ -47,6 +47,8 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import faults
+
 __all__ = [
     "Relation",
     "DenseRelation",
@@ -667,6 +669,7 @@ class Kernel:
     def compose(self, left: Relation, right: Relation) -> Relation:
         """Boolean matrix product ``left . right``."""
         _count("full_compose")
+        faults.trip("slow_query", site="compose")
         algorithm = self._compose_algorithm(left, right)
         if algorithm == "dense":
             return _compose_dense(left, right)

@@ -40,7 +40,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro import faults
 from repro.api.query import Query, compile_query
+from repro.errors import FaultInjectedError
 from repro.obs import trace as _trace
 
 #: Bump when the payload layout (or anything pickled inside it) changes
@@ -134,7 +136,14 @@ class PlanCache:
         """
         path = self.path_for(expression, variables, engine)
         try:
+            faults.trip("corrupt_read", key=expression, site="plan_cache")
             blob = path.read_bytes()
+        except FaultInjectedError:
+            # Injected read corruption: a miss (recompile), but the file on
+            # disk is fine — don't unlink it like organic corruption below.
+            with self._lock:
+                self._misses += 1
+            return None
         except OSError:
             with self._lock:
                 self._misses += 1

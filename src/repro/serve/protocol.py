@@ -15,6 +15,11 @@ Requests
     A :class:`repro.serve.server.ServerStats` snapshot.
 ``{"op": "ping", "id": 3}``
     Liveness check.
+``{"op": "health", "id": 7}``
+    Health probe mirroring the HTTP ``/healthz`` payload: ``{"id": 7,
+    "type": "health", "status": "ok"|"degraded", "documents": ...,
+    "in_flight": ..., "draining": ...}`` plus a ``faults`` block while any
+    shard pool is running degraded.
 ``{"op": "metrics", "id": 5}``
     The server's telemetry in Prometheus text exposition format:
     ``{"id": 5, "type": "metrics", "content_type":
@@ -271,6 +276,16 @@ class ProtocolServer:
                         "body": self.server.metrics_text(),
                     },
                 )
+            elif op == "health":
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "id": request_id,
+                        "type": "health",
+                        **self.server._health_payload(),
+                    },
+                )
             elif op == "slowlog":
                 limit = request.get("limit")
                 await self._send(
@@ -460,6 +475,7 @@ async def request_lines(
                 "cancelled",
                 "metrics",
                 "slowlog",
+                "health",
             ):
                 return
     finally:

@@ -123,6 +123,10 @@ class ServerStats:
     #: ``QueryReport.cost`` fields plus ``queries`` (cost blocks folded in)
     #: and ``queue_wait`` (seconds of admission-to-slot wait).
     cost_per_client: Optional[dict] = None
+    #: Fault-tolerance telemetry from the executor
+    #: (:meth:`repro.corpus.CorpusExecutor.fault_stats`): worker restarts,
+    #: retries, quarantined documents, degraded shards, recovery timings.
+    faults: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -153,6 +157,7 @@ class ServerStats:
             "snapshot": self.snapshot,
             "kernel": self.kernel,
             "cost_per_client": self.cost_per_client,
+            "faults": self.faults,
         }
 
 
@@ -395,14 +400,29 @@ class CorpusServer:
             self.obs_http = ObsHTTPServer(
                 self.metrics_text,
                 slowlog=self.slowlog,
-                health=lambda: {
-                    "documents": len(self.store),
-                    "in_flight": self._in_flight,
-                    "draining": self._draining,
-                },
+                health=self._health_payload,
                 port=obs_port,
             )
             self.obs_http.start()
+
+    def _health_payload(self) -> dict:
+        """Liveness fields for ``/healthz`` (and the protocol's health op).
+
+        ``status`` flips from ``"ok"`` to ``"degraded"`` while any shard
+        pool has tripped its circuit breaker into in-process serial
+        fallback; the fault-telemetry block rides along so an operator can
+        see restarts/quarantines from the probe alone.
+        """
+        degraded = self.executor.degraded_shard_count
+        payload = {
+            "status": "degraded" if degraded > 0 else "ok",
+            "documents": len(self.store),
+            "in_flight": self._in_flight,
+            "draining": self._draining,
+        }
+        if degraded:
+            payload["faults"] = self.executor.fault_stats()
+        return payload
 
     # ---------------------------------------------------------------- lifecycle
     async def __aenter__(self) -> "CorpusServer":
@@ -828,6 +848,7 @@ class CorpusServer:
                 if self._cost_totals
                 else None
             ),
+            faults=self.executor.fault_stats(),
         )
 
     def metrics_text(self) -> str:

@@ -56,6 +56,11 @@ TIMEOUT_ENV = "REPRO_TIMEOUT"
 TRACE_ENV = "REPRO_TRACE"
 TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
 SLOW_QUERY_SECONDS_ENV = "REPRO_SLOW_QUERY_SECONDS"
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+ON_ERROR_ENV = "REPRO_ON_ERROR"
+MAX_WORKER_RESTARTS_ENV = "REPRO_MAX_WORKER_RESTARTS"
+RESTART_BACKOFF_ENV = "REPRO_RESTART_BACKOFF"
 
 _ENV_OF_FIELD = {
     "engine": ENGINE_ENV,
@@ -73,6 +78,11 @@ _ENV_OF_FIELD = {
     "trace": TRACE_ENV,
     "trace_sample": TRACE_SAMPLE_ENV,
     "slow_query_seconds": SLOW_QUERY_SECONDS_ENV,
+    "max_retries": MAX_RETRIES_ENV,
+    "retry_backoff": RETRY_BACKOFF_ENV,
+    "on_error": ON_ERROR_ENV,
+    "max_worker_restarts": MAX_WORKER_RESTARTS_ENV,
+    "restart_backoff": RESTART_BACKOFF_ENV,
 }
 
 _INT_FIELDS = frozenset(
@@ -83,10 +93,17 @@ _INT_FIELDS = frozenset(
         "matrix_cache_bytes",
         "plan_cache_bytes",
         "snapshot_bytes",
+        "max_retries",
+        "max_worker_restarts",
     }
 )
-_FLOAT_FIELDS = frozenset({"timeout", "trace_sample", "slow_query_seconds"})
+_FLOAT_FIELDS = frozenset(
+    {"timeout", "trace_sample", "slow_query_seconds", "retry_backoff", "restart_backoff"}
+)
 _BOOL_FIELDS = frozenset({"trace"})
+#: Integer fields where ``0`` is a real value (no retries / no restarts),
+#: not the "unbounded/auto" convention of the byte-budget fields.
+_ZERO_MEANS_ZERO = frozenset({"max_retries", "max_worker_restarts"})
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 
@@ -95,14 +112,15 @@ def _coerce_env(field: str, raw: str) -> Any:
 
     For byte-budget and worker-count fields an empty string or ``0`` means
     "unbounded"/"auto" (``None``), matching the pre-existing convention of
-    ``REPRO_MATRIX_CACHE_BYTES``.  Boolean fields accept ``1/true/yes/on``
-    (case-insensitive); anything else is false.
+    ``REPRO_MATRIX_CACHE_BYTES``; the retry/restart budgets treat ``0`` as
+    a literal zero (retries and respawns disabled).  Boolean fields accept
+    ``1/true/yes/on`` (case-insensitive); anything else is false.
     """
     raw = raw.strip()
     if field in _BOOL_FIELDS:
         return raw.lower() in _TRUTHY
     if field in _INT_FIELDS:
-        if not raw or raw == "0":
+        if not raw or (raw == "0" and field not in _ZERO_MEANS_ZERO):
             return None
         return int(raw)
     if field in _FLOAT_FIELDS:
@@ -206,6 +224,30 @@ class ExecutionPolicy:
         Queries at or above it are recorded — with their span breakdown
         when tracing is on — in ``Session.slowlog`` and, on servers, the
         ``slowlog`` protocol op.
+    max_retries:
+        How many times a transiently failing *document* is retried before
+        its failure is final (default 0: first error is final, matching the
+        pre-supervision behaviour).  Applies to every strategy; under
+        ``processes`` a crash-and-redispatch consumes the supervisor's
+        restart budget, not this one.
+    retry_backoff:
+        Base of the exponential retry delay in seconds (attempt *n* sleeps
+        ``retry_backoff * 2**(n-1)``; default 0.05).
+    on_error:
+        What a *final* per-document failure does to the stream:
+        ``"raise"`` (default — propagate, aborting the stream),
+        ``"record"`` (yield typed error records with empty answer sets and
+        keep streaming: partial-results semantics) or ``"skip"`` (drop the
+        document silently, counted in metrics).  Quarantined documents
+        always surface as error records, whatever this is set to.
+    max_worker_restarts:
+        Per-shard budget of worker-pool respawns under the ``processes``
+        strategy (default 3).  A shard that exhausts it trips the circuit
+        breaker: its documents fall back to in-process serial evaluation
+        and health reports ``degraded``.
+    restart_backoff:
+        Base of the exponential respawn delay in seconds, with jitter
+        (default 0.1).
     """
 
     engine: Any = UNSET
@@ -224,6 +266,11 @@ class ExecutionPolicy:
     trace: Any = UNSET
     trace_sample: Any = UNSET
     slow_query_seconds: Any = UNSET
+    max_retries: Any = UNSET
+    retry_backoff: Any = UNSET
+    on_error: Any = UNSET
+    max_worker_restarts: Any = UNSET
+    restart_backoff: Any = UNSET
 
     # ------------------------------------------------------------ composition
     def override(self, **explicit: Any) -> "ExecutionPolicy":
@@ -282,6 +329,11 @@ def _execution_defaults() -> dict[str, Any]:
         "trace": False,
         "trace_sample": None,
         "slow_query_seconds": None,
+        "max_retries": 0,
+        "retry_backoff": 0.05,
+        "on_error": "raise",
+        "max_worker_restarts": 3,
+        "restart_backoff": 0.1,
     }
 
 

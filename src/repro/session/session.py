@@ -138,6 +138,10 @@ class Session:
     engine, kernel, strategy, max_workers, max_resident, cache_answers,
     answer_cache_bytes, matrix_cache_bytes, timeout:
         Explicit overrides folded *over* ``execution`` (explicit > policy).
+    max_retries, retry_backoff, on_error, max_worker_restarts, restart_backoff:
+        Fault-tolerance overrides (retry budget and backoff for transient
+        per-document failures, error-record/skip policy, and the supervised
+        shard-pool restart budget), folded over ``execution`` likewise.
     plan_cache:
         A :class:`repro.serve.PlanCache`, a directory path for one, or
         ``None`` to disable persistence explicitly; unset falls through to
@@ -170,6 +174,11 @@ class Session:
         plan_cache_bytes: Any = UNSET,
         snapshot_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
         snapshot_bytes: Any = UNSET,
+        max_retries: Any = UNSET,
+        retry_backoff: Any = UNSET,
+        on_error: Optional[str] = None,
+        max_worker_restarts: Any = UNSET,
+        restart_backoff: Any = UNSET,
     ) -> None:
         explicit: dict[str, Any] = {}
         if engine is not None:
@@ -196,6 +205,16 @@ class Session:
             explicit["snapshot_dir"] = os.fspath(snapshot_dir)
         if snapshot_bytes is not UNSET:
             explicit["snapshot_bytes"] = snapshot_bytes
+        if max_retries is not UNSET:
+            explicit["max_retries"] = max_retries
+        if retry_backoff is not UNSET:
+            explicit["retry_backoff"] = retry_backoff
+        if on_error is not None:
+            explicit["on_error"] = on_error
+        if max_worker_restarts is not UNSET:
+            explicit["max_worker_restarts"] = max_worker_restarts
+        if restart_backoff is not UNSET:
+            explicit["restart_backoff"] = restart_backoff
         base = execution if execution is not None else ExecutionPolicy()
         #: The merged execution policy (explicit args folded over ``execution``).
         self.execution: ExecutionPolicy = (
@@ -493,6 +512,11 @@ class Session:
                         if kernel.source in ("explicit", "policy")
                         else None
                     ),
+                    max_retries=resolve("max_retries").value,
+                    retry_backoff=resolve("retry_backoff").value,
+                    on_error=resolve("on_error").value,
+                    max_worker_restarts=resolve("max_worker_restarts").value,
+                    restart_backoff=resolve("restart_backoff").value,
                 )
             return self._executor
 
@@ -702,7 +726,11 @@ class Session:
         }
         with self._lock:
             server = self._server
+            executor = self._executor
         payload["server"] = server.stats.to_dict() if server is not None else None
+        payload["faults"] = (
+            executor.fault_stats() if executor is not None else None
+        )
         return payload
 
     def metrics(self):

@@ -30,7 +30,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro import faults
 from repro._config import UNSET as _UNSET
+from repro.errors import FaultInjectedError
 from repro.obs import trace as _trace
 from repro.snapshot.codec import FORMAT_VERSION, SnapshotError, decode_snapshot, encode_snapshot
 from repro.trees.tree import Tree
@@ -166,6 +168,14 @@ class SnapshotStore:
                 self._tree_misses += 1
             return None
         try:
+            faults.trip("corrupt_read", key=digest, site="snapshot")
+        except FaultInjectedError:
+            # Injected read corruption: report a miss (caller reparses) but
+            # leave the healthy file alone, unlike organic damage below.
+            with self._lock:
+                self._tree_misses += 1
+            return None
+        try:
             with _trace.span("snapshot.load", digest=digest[:12]):
                 tree = decode_snapshot(
                     path, expected_digest=digest, matrix_cache_bytes=matrix_cache_bytes
@@ -196,7 +206,13 @@ class SnapshotStore:
         """Return the spilled answer set, or ``None`` on miss or damage."""
         path = self.answer_path(digest, plan, variables, engine)
         try:
+            faults.trip("corrupt_read", key=digest, site="snapshot")
             blob = path.read_bytes()
+        except FaultInjectedError:
+            # Injected corruption: miss without unlinking the healthy file.
+            with self._lock:
+                self._answer_misses += 1
+            return None
         except OSError:
             with self._lock:
                 self._answer_misses += 1

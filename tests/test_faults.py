@@ -1,0 +1,568 @@
+"""Chaos suite for the fault-tolerant execution tier.
+
+Exercises the deterministic fault harness (:mod:`repro.faults`) end to end:
+spec/schedule parsing and replayability, the named fault points in the
+storage layers (plan cache, snapshot store), the supervised shard pools
+(worker kill mid-stream, quarantine after repeated crashes, circuit-breaker
+degradation to in-process evaluation), the retry budget, the
+``on_error="record"|"skip"`` policies — plus the satellites: the typed
+``ObsPortInUseError`` bind failure, the ``serve run`` SIGTERM graceful
+drain, and the health surfaces reporting ``degraded``.
+
+Every chaos scenario asserts *answer equality with a fault-free serial
+baseline* where answers survive: recovery must never change results, only
+latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.api import compile_query
+from repro.corpus import CorpusError, CorpusExecutor, DocumentStore
+from repro.errors import (
+    DocumentQuarantinedError,
+    FaultInjectedError,
+    ObsPortInUseError,
+    WorkerCrashError,
+)
+from repro.faults import FaultPlanError, FaultSpec, parse_plan, parse_spec
+from repro.obs.http import ObsHTTPServer
+from repro.serve import CorpusServer, PlanCache, request_lines
+from repro.session import ExecutionPolicy, Session
+from repro.snapshot import SnapshotStore
+from repro.workloads import generate_corpus, write_corpus
+from repro.workloads.bibliography import bibliography_pair_query
+
+PAIR_QUERY, PAIR_VARS = bibliography_pair_query()
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """Every test starts and ends disarmed, with env state forgotten."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("faults-corpus")
+    corpus = generate_corpus(6, base=5, skew=0.4, seed=11, decoys_per_book=2)
+    write_corpus(directory, corpus)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(corpus_dir):
+    """Fault-free answers, the ground truth every chaos run must match."""
+    store = DocumentStore.from_directory(corpus_dir)
+    with CorpusExecutor(store, strategy="serial") as executor:
+        return {
+            (r.doc_name, r.query): r.answers
+            for r in executor.run([(PAIR_QUERY, PAIR_VARS)])
+        }
+
+
+def run_processes(corpus_dir, **kwargs):
+    """One processes-strategy sweep; returns (results, fault_stats)."""
+    store = DocumentStore.from_directory(corpus_dir)
+    with CorpusExecutor(
+        store, strategy="processes", max_workers=2, **kwargs
+    ) as executor:
+        results = list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+        stats = executor.fault_stats()
+    return results, stats
+
+
+# ------------------------------------------------------------ spec parsing
+class TestFaultPlanParsing:
+    def test_spec_defaults(self):
+        spec = parse_spec("worker_crash")
+        assert spec == FaultSpec(point="worker_crash")
+        assert spec.match == "*" and spec.site == "*"
+        assert spec.times is None and spec.rate == 1.0 and spec.epoch is None
+
+    def test_spec_fields(self):
+        spec = parse_spec(
+            "slow_query,match=doc0*,site=worker,times=3,rate=0.5,seed=7,delay=0.01,epoch=1"
+        )
+        assert spec.match == "doc0*" and spec.site == "worker"
+        assert spec.times == 3 and spec.rate == 0.5 and spec.seed == 7
+        assert spec.delay == 0.01 and spec.epoch == 1
+
+    def test_multi_spec_schedule(self):
+        plan = parse_plan("worker_crash,match=doc003 ; slow_query,rate=0.25,seed=3")
+        assert [spec.point for spec in plan] == ["worker_crash", "slow_query"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode",  # unknown point
+            "worker_crash,bogus=1",  # unknown field
+            "worker_crash,times=lots",  # unparseable value
+            "worker_crash,rate=1.5",  # out-of-range rate
+        ],
+    )
+    def test_bad_schedules_raise_typed_error(self, bad):
+        with pytest.raises(FaultPlanError):
+            parse_plan(bad)
+
+    def test_rate_decisions_replay_deterministically(self):
+        def firing_pattern():
+            plan = faults.FaultPlan(parse_plan("corrupt_read,rate=0.3,seed=42"))
+            return [
+                plan.decide("corrupt_read", f"k{i}", "snapshot", 0) is not None
+                for i in range(64)
+            ]
+
+        first, second = firing_pattern(), firing_pattern()
+        assert first == second
+        assert any(first) and not all(first)  # a real 0.3-rate mix
+
+
+# ------------------------------------------------------------- trip points
+class TestTrip:
+    def test_disarmed_trip_is_a_no_op(self):
+        faults.clear()
+        faults.trip("worker_crash", key="anything", site="worker")
+        assert not faults.active()
+
+    def test_worker_crash_in_parent_raises(self):
+        faults.install("worker_crash,match=doc003")
+        with pytest.raises(WorkerCrashError):
+            faults.trip("worker_crash", key="doc003", site="serial")
+        faults.trip("worker_crash", key="doc001", site="serial")  # no match
+
+    def test_corrupt_read_and_pickle_error_raise_typed(self):
+        faults.install("corrupt_read;pickle_error")
+        with pytest.raises(FaultInjectedError):
+            faults.trip("corrupt_read", key="x", site="snapshot")
+        with pytest.raises(FaultInjectedError):
+            faults.trip("pickle_error", key="x", site="worker")
+
+    def test_slow_query_sleeps_for_delay(self):
+        faults.install("slow_query,delay=0.05")
+        started = time.perf_counter()
+        faults.trip("slow_query", site="compose")
+        assert time.perf_counter() - started >= 0.04
+
+    def test_times_budget_caps_firings(self):
+        faults.install("corrupt_read,times=2")
+        fired = 0
+        for _ in range(5):
+            try:
+                faults.trip("corrupt_read", site="snapshot")
+            except FaultInjectedError:
+                fired += 1
+        assert fired == 2
+        assert faults.plan_stats()["total_fired"] == 2
+
+    def test_epoch_filter(self):
+        faults.install("worker_crash,epoch=1")
+        faults.trip("worker_crash", site="serial")  # epoch 0: silent
+        faults.mark_worker(epoch=1)
+        faults._IN_WORKER = False  # keep the raise path, not os._exit
+        with pytest.raises(WorkerCrashError):
+            faults.trip("worker_crash", site="worker")
+
+    def test_env_arming(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "slow_query,delay=0.001")
+        faults.reset()
+        assert faults.active()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        faults.reset()
+        assert not faults.active()
+
+
+# ------------------------------------------------------- storage fallbacks
+class TestStorageFaultPoints:
+    def test_plan_cache_injected_corruption_misses_without_unlink(self, tmp_path):
+        cache = PlanCache(tmp_path)
+        query = compile_query(PAIR_QUERY, PAIR_VARS, require_ppl=False)
+        cache.store(query, expression=PAIR_QUERY)
+        faults.install("corrupt_read,site=plan_cache")
+        assert cache.load(PAIR_QUERY, PAIR_VARS) is None
+        assert len(cache) == 1  # the healthy file survives
+        assert cache.stats.misses == 1 and cache.stats.invalid == 0
+        faults.clear()
+        reloaded = cache.load(PAIR_QUERY, PAIR_VARS)
+        assert reloaded is not None and reloaded.unparse() == query.unparse()
+
+    def test_snapshot_injected_corruption_misses_without_unlink(self, tmp_path, paper_bib):
+        store = SnapshotStore(tmp_path)
+        digest = store.digest_bytes(b"payload")
+        store.store_tree(paper_bib, digest)
+        faults.install("corrupt_read,site=snapshot")
+        assert store.load_tree(digest) is None
+        assert store.has_tree(digest)  # still on disk
+        assert store.stats.invalid == 0
+        faults.clear()
+        assert store.load_tree(digest) is not None
+
+
+# ---------------------------------------------------------- chaos: recovery
+class TestSupervisedPools:
+    def test_worker_kill_mid_stream_recovers_byte_identical(
+        self, corpus_dir, serial_baseline
+    ):
+        # Crash only the first incarnation of whichever worker owns doc003:
+        # the supervisor respawns the pool and re-dispatches, so the stream
+        # completes with exactly the fault-free answers.
+        faults.install("worker_crash,match=doc003,site=worker,epoch=0")
+        results, stats = run_processes(corpus_dir)
+        answers = {(r.doc_name, r.query): r.answers for r in results}
+        assert answers == serial_baseline
+        assert stats["worker_restarts"] >= 1
+        assert stats["quarantined"] == []
+        assert stats["recoveries"], "recovery latency must be logged"
+        for entry in stats["recoveries"]:
+            assert entry["resumed"] >= entry["detected"]
+
+    def test_restart_metric_is_labelled_by_strategy(self, corpus_dir):
+        faults.install("worker_crash,match=doc003,site=worker,epoch=0")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(store, strategy="processes", max_workers=2) as executor:
+            list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+            rendered = executor.metrics_registry.render()
+        assert 'repro_worker_restarts_total{strategy="processes"}' in rendered
+        assert "repro_quarantined_total" in rendered
+
+    def test_repeated_crasher_is_quarantined_not_fatal(
+        self, corpus_dir, serial_baseline
+    ):
+        # doc003 kills its worker on *every* incarnation: after two kills
+        # the supervisor quarantines it — one typed error record per query,
+        # stream completes, every other answer still byte-identical.
+        faults.install("worker_crash,match=doc003,site=worker")
+        results, stats = run_processes(corpus_dir)
+        assert "doc003" in stats["quarantined"]
+        errors = [r for r in results if r.error is not None]
+        assert [r.doc_name for r in errors] == ["doc003"]
+        assert errors[0].error_kind == "DocumentQuarantinedError"
+        assert not errors[0].ok and errors[0].answers == frozenset()
+        survivors = {
+            (r.doc_name, r.query): r.answers for r in results if r.error is None
+        }
+        expected = {
+            key: value for key, value in serial_baseline.items() if key[0] != "doc003"
+        }
+        assert survivors == expected
+
+    def test_quarantined_document_rejects_resubmission(self, corpus_dir):
+        faults.install("worker_crash,match=doc003,site=worker")
+        store = DocumentStore.from_directory(corpus_dir)
+        query = compile_query(PAIR_QUERY, PAIR_VARS, require_ppl=False)
+        with CorpusExecutor(store, strategy="processes", max_workers=2) as executor:
+            list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+            assert "doc003" in executor.quarantined
+            future = executor.submit_document("doc003", [query])
+            results = future.result(timeout=30)
+            assert all(r.error_kind == "DocumentQuarantinedError" for r in results)
+
+    def test_breaker_degrades_to_in_process_evaluation(
+        self, corpus_dir, serial_baseline
+    ):
+        # Every worker incarnation dies instantly; with a zero restart
+        # budget the breaker trips on the first crash (before any document
+        # reaches the quarantine threshold) and the shards fall back to
+        # in-parent serial evaluation (site="degraded", where the schedule
+        # does not fire).
+        faults.install("worker_crash,site=worker")
+        results, stats = run_processes(
+            corpus_dir, max_worker_restarts=0, restart_backoff=0.01
+        )
+        assert stats["degraded_shards"], "breaker must have tripped"
+        answers = {(r.doc_name, r.query): r.answers for r in results}
+        assert answers == serial_baseline
+
+    def test_degraded_executor_reports_through_session_stats(self, corpus_dir):
+        faults.install("worker_crash,site=worker")
+        with Session(
+            store=DocumentStore.from_directory(corpus_dir),
+            strategy="processes",
+            max_workers=2,
+            max_worker_restarts=0,
+            restart_backoff=0.01,
+        ) as session:
+            list(session.query_corpus([(PAIR_QUERY, PAIR_VARS)]))
+            payload = session.stats()
+        assert payload["faults"]["degraded_shards"]
+        assert payload["faults"]["worker_restarts"] == 0
+
+
+# ----------------------------------------------------------- retry policy
+class TestRetryPolicy:
+    def test_transient_failure_retries_within_budget(self, corpus_dir, serial_baseline):
+        # One injected marshalling failure: with max_retries=1 the second
+        # attempt succeeds and the caller never sees the fault.
+        faults.install("pickle_error,match=doc002,site=serial,times=1")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(
+            store, strategy="serial", max_retries=1, retry_backoff=0.001
+        ) as executor:
+            results = list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+            stats = executor.fault_stats()
+        answers = {(r.doc_name, r.query): r.answers for r in results}
+        assert answers == serial_baseline
+        assert stats["retries"] == 1
+
+    def test_retry_metric_carries_reason_label(self, corpus_dir):
+        faults.install("pickle_error,match=doc002,site=serial,times=1")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(
+            store, strategy="serial", max_retries=1, retry_backoff=0.001
+        ) as executor:
+            list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+            rendered = executor.metrics_registry.render()
+        assert 'repro_retries_total{reason="FaultInjectedError"}' in rendered
+
+    def test_exhausted_budget_raises_by_default(self, corpus_dir):
+        faults.install("pickle_error,match=doc002,site=serial")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(
+            store, strategy="serial", max_retries=1, retry_backoff=0.001
+        ) as executor:
+            with pytest.raises(FaultInjectedError):
+                list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+
+    def test_invalid_on_error_mode_is_typed(self, corpus_dir):
+        store = DocumentStore.from_directory(corpus_dir)
+        with pytest.raises(CorpusError):
+            CorpusExecutor(store, strategy="serial", on_error="explode")
+
+
+# ------------------------------------------------------- on_error policies
+class TestOnErrorPolicies:
+    def test_record_turns_final_failures_into_error_records(
+        self, corpus_dir, serial_baseline
+    ):
+        faults.install("pickle_error,match=doc002,site=serial")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(store, strategy="serial", on_error="record") as executor:
+            results = list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+        by_doc = {r.doc_name: r for r in results}
+        assert by_doc["doc002"].error_kind == "FaultInjectedError"
+        assert {
+            (r.doc_name, r.query): r.answers for r in results if r.error is None
+        } == {k: v for k, v in serial_baseline.items() if k[0] != "doc002"}
+
+    def test_skip_drops_the_document_silently(self, corpus_dir):
+        faults.install("pickle_error,match=doc002,site=serial")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(store, strategy="serial", on_error="skip") as executor:
+            results = list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+            rendered = executor.metrics_registry.render()
+        assert sorted(r.doc_name for r in results) == [
+            f"doc{i:03d}" for i in range(6) if i != 2
+        ]
+        assert 'repro_documents_skipped_total{kind="FaultInjectedError"}' in rendered
+
+    def test_error_records_fold_into_corpus_report(self, corpus_dir):
+        faults.install("pickle_error,match=doc002,site=serial")
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(store, strategy="serial", on_error="record") as executor:
+            report = executor.run_report([(PAIR_QUERY, PAIR_VARS)])
+        assert report.error_count == 1
+        payload = report.to_dict()
+        assert payload["errors"] == 1
+        flagged = [e for e in payload["entries"] if "error" in e]
+        assert flagged and flagged[0]["error_kind"] == "FaultInjectedError"
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        crashers=st.sets(st.integers(min_value=0, max_value=5), max_size=4),
+        rate_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_record_never_drops_or_duplicates_a_document(
+        self, corpus_dir, crashers, rate_seed
+    ):
+        """Under any injected-failure pattern, ``on_error="record"`` yields
+        exactly one result per (document, query) — failed ones as typed
+        error records, never missing, never doubled."""
+        faults.reset()
+        schedule = ";".join(
+            f"pickle_error,match=doc{i:03d},site=serial" for i in sorted(crashers)
+        )
+        schedule = ";".join(
+            part
+            for part in (schedule, f"slow_query,rate=0.2,seed={rate_seed},delay=0.001")
+            if part
+        )
+        faults.install(schedule)
+        store = DocumentStore.from_directory(corpus_dir)
+        with CorpusExecutor(
+            store, strategy="serial", on_error="record", max_retries=0
+        ) as executor:
+            results = list(executor.run([(PAIR_QUERY, PAIR_VARS)]))
+        names = sorted(r.doc_name for r in results)
+        assert names == [f"doc{i:03d}" for i in range(6)]
+        failed = {r.doc_name for r in results if r.error is not None}
+        assert failed == {f"doc{i:03d}" for i in crashers}
+        faults.reset()
+
+
+# -------------------------------------------------------- policy precedence
+class TestPolicyKnobs:
+    def test_env_resolution_and_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "4")
+        monkeypatch.setenv("REPRO_ON_ERROR", "record")
+        monkeypatch.setenv("REPRO_MAX_WORKER_RESTARTS", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
+        policy = ExecutionPolicy()
+        assert policy.resolved("max_retries") == 4
+        assert policy.resolved("on_error") == "record"
+        # "0" means a literal zero restart budget, not "unset".
+        assert policy.resolved("max_worker_restarts") == 0
+        assert policy.resolved("retry_backoff") == 0.25
+        explicit = ExecutionPolicy(max_retries=1, on_error="skip")
+        assert explicit.resolved("max_retries") == 1
+        assert explicit.resolved("on_error") == "skip"
+
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.resolved("max_retries") == 0
+        assert policy.resolved("retry_backoff") == 0.05
+        assert policy.resolved("on_error") == "raise"
+        assert policy.resolved("max_worker_restarts") == 3
+        assert policy.resolved("restart_backoff") == 0.1
+
+    def test_session_threads_knobs_into_executor(self, corpus_dir):
+        with Session(
+            store=DocumentStore.from_directory(corpus_dir),
+            strategy="serial",
+            max_retries=2,
+            on_error="record",
+            retry_backoff=0.01,
+        ) as session:
+            executor = session._executor_instance()
+            assert executor.max_retries == 2
+            assert executor.on_error == "record"
+            assert executor.retry_backoff == 0.01
+
+
+# ------------------------------------------------------------ health & obs
+class TestHealthSurfaces:
+    def test_healthz_reports_degraded(self, corpus_dir):
+        faults.install("worker_crash,site=worker")
+
+        async def scenario():
+            store = DocumentStore.from_directory(corpus_dir)
+            executor = CorpusExecutor(
+                store,
+                strategy="processes",
+                max_workers=2,
+                max_worker_restarts=0,
+                restart_backoff=0.01,
+            )
+            server = CorpusServer(store, executor=executor)
+            try:
+                assert server._health_payload()["status"] == "ok"
+                query = compile_query(PAIR_QUERY, PAIR_VARS, require_ppl=False)
+                submission = await server.submit([query])
+                async for _ in submission:
+                    pass
+                payload = server._health_payload()
+                assert payload["status"] == "degraded"
+                assert payload["faults"]["degraded_shards"]
+            finally:
+                await server.aclose()
+            stats = server.stats.to_dict()
+            assert stats["faults"]["degraded_shards"]
+
+        asyncio.run(scenario())
+
+    def test_protocol_health_op(self, corpus_dir):
+        async def scenario():
+            store = DocumentStore.from_directory(corpus_dir)
+            async with Session(store=store, strategy="serial") as session:
+                tcp = await session.protocol().serve_tcp("127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                lines = [
+                    line
+                    async for line in request_lines(
+                        "127.0.0.1", port, {"op": "health", "id": 9}
+                    )
+                ]
+                tcp.close()
+                await tcp.wait_closed()
+            assert lines[-1]["type"] == "health"
+            assert lines[-1]["status"] == "ok"
+            assert lines[-1]["id"] == 9
+
+        asyncio.run(scenario())
+
+    def test_obs_port_in_use_is_typed_with_port_number(self):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            server = ObsHTTPServer(lambda: "", port=port)
+            with pytest.raises(ObsPortInUseError) as caught:
+                server.start()
+            assert caught.value.port == port
+            assert str(port) in str(caught.value)
+            assert "obs_port=0" in str(caught.value)
+        finally:
+            blocker.close()
+
+    def test_obs_port_zero_still_binds(self):
+        with ObsHTTPServer(lambda: "ok") as server:
+            assert server.port > 0
+
+
+# -------------------------------------------------------- signal-drain CLI
+class TestServeRunSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_triggers_graceful_drain(self, corpus_dir, signum, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env.pop("REPRO_FAULTS", None)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "run",
+                "--dir",
+                str(corpus_dir),
+                "--port",
+                "0",
+            ],
+            cwd="/root/repo",
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            assert "serving 6 documents" in banner
+            process.send_signal(signum)
+            process.wait(timeout=30)
+            remainder = process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert process.returncode == 0
+        assert f"received {signal.Signals(signum).name}" in remainder
+        assert "drained" in remainder and "shutting down" in remainder

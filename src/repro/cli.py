@@ -411,6 +411,133 @@ def build_parser() -> argparse.ArgumentParser:
         "--auth", default=None, help="auth token expected by the server"
     )
 
+    serve_cluster = serve_sub.add_parser(
+        "cluster",
+        help="shared-nothing serving cluster (run / status) over one public port",
+    )
+    serve_cluster_sub = serve_cluster.add_subparsers(
+        dest="serve_cluster_command", required=True
+    )
+
+    cluster_run = serve_cluster_sub.add_parser(
+        "run",
+        help="supervise N member processes with cost-aware placement and "
+        "concurrency autotune",
+    )
+    cluster_run.add_argument(
+        "--dir", required=True, help="directory holding the corpus XML files"
+    )
+    cluster_run.add_argument(
+        "--pattern", default="*.xml", help="glob selecting corpus files (default *.xml)"
+    )
+    cluster_run.add_argument("--host", default="127.0.0.1", help="bind address")
+    cluster_run.add_argument(
+        "--port", type=int, default=8723, help="shared public TCP port (0 = kernel-assigned)"
+    )
+    cluster_run.add_argument(
+        "--members",
+        type=int,
+        default=None,
+        help="member process count (default: ServingPolicy.cluster_members, "
+        "then REPRO_CLUSTER_MEMBERS, then 2)",
+    )
+    cluster_run.add_argument(
+        "--placement",
+        default=None,
+        choices=("cost", "round_robin"),
+        help="shard placement strategy (default: REPRO_CLUSTER_PLACEMENT, then cost)",
+    )
+    autotune_group = cluster_run.add_mutually_exclusive_group()
+    autotune_group.add_argument(
+        "--autotune",
+        action="store_true",
+        default=None,
+        help="force per-member concurrency autotune on",
+    )
+    autotune_group.add_argument(
+        "--no-autotune",
+        dest="autotune",
+        action="store_false",
+        help="force per-member concurrency autotune off "
+        "(default: REPRO_CLUSTER_AUTOTUNE, then on)",
+    )
+    cluster_run.add_argument(
+        "--move-budget",
+        type=int,
+        default=4,
+        help="max load-smoothing document moves per placement re-plan (default 4)",
+    )
+    cluster_run.add_argument(
+        "--strategy",
+        default=None,
+        choices=("serial", "threads", "processes"),
+        help="executor strategy inside each member (default threads)",
+    )
+    cluster_run.add_argument(
+        "--workers", type=int, default=None, help="per-member worker-pool width"
+    )
+    cluster_run.add_argument(
+        "--engine", default=None, help=f"registry engine (default {DEFAULT_ENGINE})"
+    )
+    cluster_run.add_argument(
+        "--plan-cache",
+        default=None,
+        help="shared persistent compiled-plan cache directory",
+    )
+    cluster_run.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="shared on-disk snapshot directory for warm member starts",
+    )
+    cluster_run.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="initial per-member evaluation concurrency (autotune adjusts it)",
+    )
+    cluster_run.add_argument(
+        "--max-queue", type=int, default=None, help="per-member admission bound"
+    )
+    cluster_run.add_argument(
+        "--auth-token",
+        default=None,
+        help="require this token in the 'auth' field of every NDJSON request",
+    )
+    cluster_run.add_argument(
+        "--target-p95",
+        type=float,
+        default=0.050,
+        help="autotune's p95 queue-wait target in seconds (default 0.050)",
+    )
+    cluster_run.add_argument(
+        "--control-interval",
+        type=float,
+        default=1.0,
+        help="seconds between supervisor scrape/tune ticks (default 1.0)",
+    )
+    cluster_run.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        help="serve the merged HTTP observability endpoint "
+        "(/metrics /healthz /cluster.json) on this port "
+        "(0 = kernel-assigned; default: REPRO_OBS_PORT, else off)",
+    )
+    add_kernel_option(cluster_run)
+
+    cluster_status = serve_cluster_sub.add_parser(
+        "status", help="print a running cluster's /cluster.json status"
+    )
+    cluster_status.add_argument(
+        "--host", default="127.0.0.1", help="supervisor observability address"
+    )
+    cluster_status.add_argument(
+        "--port",
+        type=int,
+        required=True,
+        help="supervisor observability port (serve cluster run --obs-port)",
+    )
+
     serve_warm = serve_sub.add_parser(
         "warm", help="compile queries into a plan cache ahead of serving"
     )
@@ -982,6 +1109,90 @@ def _run_serve_run(args) -> int:
         return 0
 
 
+def _run_serve_cluster_run(args) -> int:
+    import signal
+
+    from repro.cluster import ClusterSupervisor
+
+    serving = ServingPolicy().override(
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        auth_token=args.auth_token,
+    )
+    _apply_kernel(args.kernel)
+    supervisor = ClusterSupervisor(
+        args.dir,
+        pattern=args.pattern,
+        host=args.host,
+        port=args.port,
+        members=args.members,
+        placement=args.placement,
+        autotune=args.autotune,
+        move_budget=args.move_budget,
+        serving=serving,
+        engine=args.engine,
+        strategy=args.strategy,
+        max_workers=args.workers,
+        kernel=args.kernel,
+        plan_cache_dir=args.plan_cache,
+        snapshot_dir=args.snapshot_dir,
+        obs_port=args.obs_port,
+        control_interval=args.control_interval,
+        target_p95=args.target_p95,
+    )
+    previous = {
+        signum: signal.signal(signum, lambda *_: supervisor.request_stop())
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        supervisor.start()
+        status = supervisor.status()
+        print(
+            f"cluster of {supervisor.member_count} member(s) serving "
+            f"{status['documents']} documents on "
+            f"{supervisor.host}:{supervisor.port} "
+            f"(placement={supervisor.placement_strategy}, "
+            f"autotune={'on' if supervisor.autotune_enabled else 'off'}, "
+            f"reuseport={'yes' if supervisor.reuseport_active else 'shared-listener'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        if supervisor.obs_http is not None:
+            print(
+                f"observability endpoint on "
+                f"http://{supervisor.obs_http.host}:{supervisor.obs_http.port} "
+                "(/metrics /healthz /cluster.json)",
+                file=sys.stderr,
+                flush=True,
+            )
+        supervisor.run_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down cluster", file=sys.stderr, flush=True)
+        supervisor.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def _run_serve_cluster_status(args) -> int:
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/cluster.json"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            payload = json.load(response)
+    except OSError as error:
+        print(f"cannot reach {url}: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(json.dumps(payload, indent=2))
+    except BrokenPipeError:
+        pass  # piped into head & co: the truncated view is the point
+    return 0
+
+
 def _run_serve_query(args) -> int:
     import asyncio
 
@@ -1260,6 +1471,10 @@ def _main_subcommands(arguments: list[str]) -> int:
                 return _run_serve_query(args)
             if args.serve_command == "stats":
                 return _run_serve_stats(args)
+            if args.serve_command == "cluster":
+                if args.serve_cluster_command == "run":
+                    return _run_serve_cluster_run(args)
+                return _run_serve_cluster_status(args)
             return _run_serve_warm(args)
         if args.command == "obs":
             if args.obs_command == "metrics":

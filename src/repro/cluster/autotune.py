@@ -1,0 +1,224 @@
+"""Per-member concurrency autotune: AIMD on windowed p95 queue wait.
+
+Each member caps in-flight document evaluations with a semaphore of
+``max_concurrent`` permits (:meth:`CorpusServer.set_max_concurrent` resizes
+it live).  The supervisor tunes that cap per member from two signals it
+already scrapes through ``cluster.describe``:
+
+- the **queue-wait histogram** — how long accepted submissions sat waiting
+  for a permit.  The *lifetime* histogram is too sluggish a signal (an
+  overload burst stays visible in its p95 for the rest of the process
+  lifetime), so :class:`HistogramWindow` diffs consecutive bucket-count
+  snapshots and computes quantiles over just the observations that landed
+  between two scrapes;
+- the **queue depth** — how many submissions are waiting right now.
+
+The controller is AIMD, the same shape TCP congestion control uses and for
+the same reason: the cost surface is asymmetric.  Raising the cap past the
+point of diminishing returns degrades *everyone's* tail latency (more
+interleaving, more GIL/page-cache pressure), so we probe upward additively
+— +1 when the member is clearly under-loaded (waiters queued, p95 wait
+comfortably under target) — and back off multiplicatively (×0.5) the
+moment the windowed p95 crosses the target.  Clamped to
+``[min_concurrent, max_concurrent]``; windows with too few observations
+make no decision at all rather than a noisy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+#: Default p95 queue-wait target, seconds.  Queue wait is pure overhead —
+#: time an accepted query spends not running — so the target is tight.
+DEFAULT_TARGET_P95 = 0.050
+
+#: Ignore windows with fewer observations than this: a p95 over three
+#: samples is a coin flip, and AIMD reacts badly to coin flips.
+MIN_WINDOW_COUNT = 8
+
+
+class HistogramWindow:
+    """Windowed quantiles from consecutive histogram ``to_dict`` snapshots.
+
+    Feed it the serialized histogram each scrape; it returns quantiles over
+    only the observations recorded since the previous feed.  Bucket bounds
+    come from the payload itself, so the window tracks whatever bounds the
+    member was built with.  A counter regression (member restarted — its
+    histogram reset to zero) resyncs the baseline instead of producing
+    negative bucket counts.
+    """
+
+    def __init__(self) -> None:
+        self._bounds: Optional[tuple[float, ...]] = None
+        self._counts: Optional[list[int]] = None
+
+    def update(self, payload: Mapping) -> Optional["WindowStats"]:
+        """Fold one snapshot; return the delta-window stats, or None.
+
+        None means "no usable window": first feed, malformed payload,
+        bounds changed (member rebuilt differently), or counter regression.
+        """
+        try:
+            bounds = tuple(float(b) for b in payload["bounds"])
+            counts = [int(c) for c in payload["counts"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if len(counts) != len(bounds) + 1:
+            return None
+        previous_bounds, previous_counts = self._bounds, self._counts
+        self._bounds, self._counts = bounds, counts
+        if previous_bounds != bounds or previous_counts is None:
+            return None
+        delta = [now - before for now, before in zip(counts, previous_counts)]
+        if any(d < 0 for d in delta):
+            return None  # restart: this snapshot becomes the new baseline
+        return WindowStats(bounds=bounds, counts=tuple(delta))
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Bucketed observations from one scrape window."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile as an upper bucket bound (None if empty).
+
+        The overflow bucket has no upper bound; it reports the largest
+        finite bound (an under-estimate, but a monotone one — good enough
+        to trip an AIMD threshold).
+        """
+        total = self.count
+        if total == 0:
+            return None
+        rank = max(1, int(q * total + 0.999999))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1] if self.bounds else None
+        return self.bounds[-1] if self.bounds else None
+
+
+@dataclass(frozen=True)
+class TuneDecision:
+    """One controller step: the cap to apply and why."""
+
+    member_id: str
+    old_value: int
+    new_value: int
+    reason: str
+    p95: Optional[float] = None
+
+    @property
+    def changed(self) -> bool:
+        return self.new_value != self.old_value
+
+
+class AIMDController:
+    """Additive-increase / multiplicative-decrease cap controller."""
+
+    def __init__(
+        self,
+        *,
+        target_p95: float = DEFAULT_TARGET_P95,
+        min_concurrent: int = 1,
+        max_concurrent: int = 64,
+        increase: int = 1,
+        decrease: float = 0.5,
+        min_window: int = MIN_WINDOW_COUNT,
+    ) -> None:
+        if min_concurrent < 1:
+            raise ValueError("min_concurrent must be at least 1")
+        if max_concurrent < min_concurrent:
+            raise ValueError("max_concurrent must be >= min_concurrent")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        self.target_p95 = target_p95
+        self.min_concurrent = min_concurrent
+        self.max_concurrent = max_concurrent
+        self.increase = increase
+        self.decrease = decrease
+        self.min_window = min_window
+        self._windows: dict[str, HistogramWindow] = {}
+
+    def _clamp(self, value: int) -> int:
+        return max(self.min_concurrent, min(self.max_concurrent, value))
+
+    def decide(
+        self,
+        member_id: str,
+        *,
+        current: int,
+        queue_wait: Optional[Mapping],
+        queue_depth: int,
+    ) -> TuneDecision:
+        """One control step for one member.
+
+        ``queue_wait`` is the member's queue-wait histogram ``to_dict``
+        payload from this scrape (None if the member was unreachable —
+        the controller holds).
+        """
+        held = TuneDecision(member_id, current, current, "hold")
+        if queue_wait is None:
+            return held
+        window = self._windows.setdefault(member_id, HistogramWindow())
+        stats = window.update(queue_wait)
+        if stats is None:
+            return TuneDecision(member_id, current, current, "no-window")
+        if stats.count < self.min_window:
+            # Too quiet to judge; drift back toward having headroom only
+            # if we are pinned at the floor with work visibly queued.
+            if queue_depth > 0 and current < self.max_concurrent:
+                return TuneDecision(
+                    member_id,
+                    current,
+                    self._clamp(current + self.increase),
+                    "queued-idle",
+                )
+            return TuneDecision(member_id, current, current, "quiet", stats.quantile(0.95))
+        p95 = stats.quantile(0.95)
+        if p95 is not None and p95 > self.target_p95:
+            return TuneDecision(
+                member_id,
+                current,
+                self._clamp(int(current * self.decrease)),
+                "backoff",
+                p95,
+            )
+        if queue_depth > 0:
+            return TuneDecision(
+                member_id,
+                current,
+                self._clamp(current + self.increase),
+                "probe",
+                p95,
+            )
+        return TuneDecision(member_id, current, current, "steady", p95)
+
+    def forget(self, member_id: str) -> None:
+        """Drop a member's window (it died; the respawn starts fresh)."""
+        self._windows.pop(member_id, None)
+
+
+def merge_windows(stats: Sequence[Optional[WindowStats]]) -> Optional[WindowStats]:
+    """Sum compatible windows (cluster-wide view); None if none usable."""
+    usable = [s for s in stats if s is not None]
+    if not usable:
+        return None
+    bounds = usable[0].bounds
+    counts = [0] * (len(bounds) + 1)
+    for window in usable:
+        if window.bounds != bounds:
+            continue  # mixed bounds: skip rather than mis-bucket
+        for index, value in enumerate(window.counts):
+            counts[index] += value
+    return WindowStats(bounds=bounds, counts=tuple(counts))

@@ -1,0 +1,101 @@
+"""At-least-once cluster client: resubmit on coordinator death, de-dupe.
+
+The cluster's internal fault handling makes a *member* crash invisible to
+clients (the coordinator falls back to local evaluation), but a crashing
+*coordinator* takes its client connections with it — the half of the story
+only the client can finish.  :func:`submit_retry` finishes it: it submits,
+and when the stream dies before its ``done`` line (connection reset, typed
+``overloaded``/``closed`` rejection during a respawn window, or the
+connection simply closing), it reconnects — landing on any live member,
+that's what the shared port is for — and submits again with exponential
+backoff.
+
+At-least-once delivery is turned into exactly-once *results* by keying
+every result line on ``(doc, query, variables)``: answers are
+deterministic, so lines replayed by a retry overwrite byte-identical
+entries instead of duplicating them.  The benchmark's chaos leg and the
+member-kill test both count on this accounting to prove "zero lost
+accepted queries".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serve.protocol import request_lines
+
+#: Error kinds worth retrying: transient by construction.  ``bad-request``
+#: and ``unauthorized`` are deterministic and retried never.
+RETRYABLE_KINDS = ("overloaded", "closed")
+
+
+class ClusterClientError(ReproError):
+    """Submission failed permanently (non-retryable error or budget spent)."""
+
+
+def result_key(line: dict) -> tuple:
+    """The de-duplication key of one result line."""
+    return (
+        line.get("doc"),
+        line.get("query"),
+        tuple(line.get("variables") or ()),
+    )
+
+
+async def submit_retry(
+    host: str,
+    port: int,
+    request: dict,
+    *,
+    attempts: int = 6,
+    backoff: float = 0.2,
+) -> dict:
+    """Submit with at-least-once retry; returns de-duplicated results.
+
+    ``request`` is a protocol submit request (``op``/``id`` are filled in
+    here).  Returns ``{"results": {key: line}, "attempts": n,
+    "retries": n-1}`` once some attempt's stream reaches its ``done`` line.
+    Result lines accumulate *across* attempts — work a dying coordinator
+    already delivered is kept, and replays overwrite identical entries.
+
+    Raises :class:`ClusterClientError` on a non-retryable error line or
+    when the attempt budget is spent.
+    """
+    results: dict[tuple, dict] = {}
+    last_error: Optional[str] = None
+    for attempt in range(attempts):
+        if attempt:
+            await asyncio.sleep(backoff * (2 ** (attempt - 1)))
+        payload = dict(request)
+        payload["op"] = "submit"
+        payload["id"] = attempt
+        finished = False
+        try:
+            async for line in request_lines(host, port, payload):
+                kind = line.get("type")
+                if kind == "result":
+                    results[result_key(line)] = line
+                elif kind == "done":
+                    finished = True
+                elif kind == "error":
+                    last_error = line.get("error")
+                    if line.get("kind") not in RETRYABLE_KINDS:
+                        raise ClusterClientError(
+                            f"submission refused: {last_error}"
+                        )
+        except (ConnectionError, OSError, EOFError, json.JSONDecodeError) as error:
+            last_error = str(error)
+            continue
+        if finished:
+            return {
+                "results": results,
+                "attempts": attempt + 1,
+                "retries": attempt,
+            }
+    raise ClusterClientError(
+        f"submission failed after {attempts} attempts"
+        + (f" (last error: {last_error})" if last_error else "")
+    )

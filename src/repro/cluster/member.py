@@ -1,0 +1,495 @@
+"""The cluster member process: one Session-backed server plus scatter logic.
+
+A member is a full, shared-nothing serving process: its own
+:class:`repro.session.Session` (store, executor pools, plan memo) over the
+same corpus directory, persistent plan cache and snapshot directory as its
+siblings.  What makes it *cluster-aware* is a routing table — the
+supervisor's placement, broadcast via the ``cluster.place`` control op —
+and a protocol subclass that scatters corpus-wide submissions across
+document owners.
+
+Topology (see :mod:`repro.cluster` for the full picture):
+
+- every member accepts **client** connections on the shared public port
+  (its own ``SO_REUSEPORT`` socket, or a duplicated single listener in
+  fallback mode), so whichever member the kernel hands a connection to
+  becomes that submission's *coordinator*;
+- every member also listens on a private **internal** port (ephemeral,
+  reported to the supervisor through the ready pipe) used for the
+  supervisor's control ops and for peer-to-peer relays;
+- a coordinator splits a submission by document ownership: its own
+  documents evaluate locally, each remote group is relayed to its owner as
+  a ``"scope": "local"`` submit (the marker stops the peer from
+  re-scattering), and all result lines stream back to the client over the
+  one connection, in completion order, tagged with ``"member"``.
+
+Fault model: every member registers the *entire* corpus (placement limits
+what it evaluates, not what it holds), so when a relay's peer dies
+mid-stream the coordinator re-evaluates the not-yet-delivered remainder
+locally — an accepted submission never loses documents to a member crash.
+A dying *coordinator* drops its client connections; recovering that is the
+client's job (:func:`repro.cluster.client.submit_retry` resubmits and
+de-duplicates).  The ``member_crash`` fault point
+(``REPRO_FAULTS="member_crash,match=member-1,times=1,epoch=0"``) trips at
+the top of submission handling, so chaos runs kill a member exactly where
+it hurts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import faults
+from repro.corpus.store import CorpusError
+from repro.obs.http import OBS_PORT_ENV
+from repro.serve.protocol import (
+    READ_LIMIT,
+    ProtocolServer,
+    _client_of,
+    _submit_items,
+    request_lines,
+)
+from repro.session.policy import ServingPolicy
+from repro.session.session import Session
+
+
+@dataclass(frozen=True)
+class MemberConfig:
+    """Everything a member process needs, in picklable form."""
+
+    member_id: str
+    #: Respawn generation, 0 for the first spawn.  Becomes the process's
+    #: fault epoch (``repro.faults.mark_worker``), so chaos schedules can
+    #: target "the first incarnation only" and let respawns survive.
+    incarnation: int
+    corpus_dir: str
+    pattern: str = "*.xml"
+    #: Host of the internal control/relay listener (and of peers).
+    internal_host: str = "127.0.0.1"
+    serving: ServingPolicy = field(default_factory=ServingPolicy)
+    engine: Optional[str] = None
+    strategy: Optional[str] = None
+    max_workers: Optional[int] = None
+    kernel: Optional[str] = None
+    plan_cache_dir: Optional[str] = None
+    snapshot_dir: Optional[str] = None
+
+
+class ClusterMember:
+    """The member-local cluster state: identity plus the routing table."""
+
+    def __init__(self, config: MemberConfig) -> None:
+        self.config = config
+        self.member_id = config.member_id
+        self.incarnation = config.incarnation
+        #: member id -> (host, internal port) of every member, self included.
+        self.routing: dict[str, tuple[str, int]] = {}
+        #: document -> owning member id.
+        self.owner_of: dict[str, str] = {}
+        self.placement_version = 0
+        #: Relay fallbacks taken, per unreachable peer (telemetry).
+        self.fallbacks: dict[str, int] = {}
+
+    def apply_placement(self, placement: dict, version: Optional[int] = None) -> int:
+        """Install a supervisor-broadcast routing table; returns owned count.
+
+        ``placement`` maps member id to ``{"addr": [host, port],
+        "documents": [...]}``.  Replaced wholesale — the supervisor owns
+        the table; the member only reads it.
+        """
+        routing: dict[str, tuple[str, int]] = {}
+        owner_of: dict[str, str] = {}
+        for member_id, entry in placement.items():
+            addr = entry.get("addr")
+            if addr:
+                routing[str(member_id)] = (str(addr[0]), int(addr[1]))
+            for name in entry.get("documents", ()):
+                owner_of[str(name)] = str(member_id)
+        self.routing = routing
+        self.owner_of = owner_of
+        self.placement_version = (
+            int(version) if version is not None else self.placement_version + 1
+        )
+        return sum(1 for owner in owner_of.values() if owner == self.member_id)
+
+    def has_placement(self) -> bool:
+        return bool(self.owner_of)
+
+    def owned(self) -> list[str]:
+        return sorted(
+            name for name, owner in self.owner_of.items() if owner == self.member_id
+        )
+
+    def note_fallback(self, peer: str) -> None:
+        self.fallbacks[peer] = self.fallbacks.get(peer, 0) + 1
+
+
+class MemberProtocol(ProtocolServer):
+    """The base NDJSON protocol plus scatter-gather and ``cluster.*`` ops."""
+
+    def __init__(self, server, *, session, member: ClusterMember) -> None:
+        super().__init__(
+            server,
+            session=session,
+            extensions={
+                "cluster.place": self._op_place,
+                "cluster.tune": self._op_tune,
+                "cluster.describe": self._op_describe,
+            },
+        )
+        self.member = member
+
+    async def handle_connection(self, reader, writer) -> None:
+        try:
+            await super().handle_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop shutdown (SIGTERM drain) cancels live connection handlers;
+            # finishing quietly here keeps asyncio's done-callback from
+            # logging every one of them as an unretrieved exception.
+            return
+
+    # ----------------------------------------------------------- control ops
+    async def _op_place(self, request: dict) -> dict:
+        """Install a placement broadcast (and adopt newly-appeared files)."""
+        placement = request.get("placement")
+        if not isinstance(placement, dict):
+            raise ValueError("cluster.place needs a 'placement' object")
+        if request.get("rescan"):
+            # The supervisor saw new corpus files; register them before the
+            # routing table starts pointing submissions at them.
+            self.server.store.add_directory(
+                self.member.config.corpus_dir, self.member.config.pattern
+            )
+        owned = self.member.apply_placement(placement, request.get("version"))
+        return {
+            "ok": True,
+            "member_id": self.member.member_id,
+            "owned": owned,
+            "version": self.member.placement_version,
+        }
+
+    async def _op_tune(self, request: dict) -> dict:
+        """Apply an autotune decision: resize the evaluation semaphore."""
+        if "max_concurrent" not in request:
+            raise ValueError("cluster.tune needs 'max_concurrent'")
+        old = self.server.set_max_concurrent(int(request["max_concurrent"]))
+        return {
+            "ok": True,
+            "member_id": self.member.member_id,
+            "old": old,
+            "max_concurrent": self.server.max_concurrent,
+        }
+
+    async def _op_describe(self, request: dict) -> dict:
+        """The supervisor's scrape: stats, metrics, costs, health, identity.
+
+        Loop-safe and cheap: the metrics payload is the server's own
+        ``/metrics`` snapshot — request counters, gauges, latency
+        histograms and the registries living in this process; shard-worker
+        round-trips are deliberately avoided mid-scrape.
+        """
+        registry = self.server.metrics_snapshot()
+        return {
+            "member_id": self.member.member_id,
+            "incarnation": self.member.incarnation,
+            "pid": os.getpid(),
+            "placement_version": self.member.placement_version,
+            "owned": len(self.member.owned()),
+            "max_concurrent": self.server.max_concurrent,
+            "stats": self.server.stats.to_dict(),
+            "metrics": registry.to_dict(),
+            "doc_latencies": self.server.doc_latencies(),
+            "health": self.server._health_payload(),
+            "fallbacks": dict(self.member.fallbacks),
+        }
+
+    # --------------------------------------------------------------- scatter
+    async def _handle_submit(
+        self, request, request_id, writer, lock, connection
+    ) -> None:
+        faults.trip(
+            "member_crash", key=self.member.member_id, site="member.submit"
+        )
+        if request.get("scope") == "local" or not self.member.has_placement():
+            # A peer relay (never re-scatter), or no placement yet (serve
+            # everything locally — a one-member cluster, or the window
+            # before the first broadcast).
+            await super()._handle_submit(request, request_id, writer, lock, connection)
+            return
+        await self._handle_scatter(request, request_id, writer, lock, connection)
+
+    async def _handle_scatter(
+        self, request, request_id, writer, lock, connection
+    ) -> None:
+        """Coordinate one corpus-wide submission across document owners."""
+        items = _submit_items(request)
+        docs = request.get("docs")
+        names = list(docs) if docs is not None else sorted(self.server.store.names())
+        for name in names:
+            if name not in self.server.store:
+                raise CorpusError(f"unknown document {name!r}")
+        if request_id in connection.tokens:
+            raise ValueError(
+                f"submission id {request_id!r} is already in use on this "
+                "connection; wait for its 'done' line or pick another id"
+            )
+        quota = self.policy.max_submissions_per_client
+        if quota is not None and len(connection.tokens) >= quota:
+            from repro.serve.server import ServerOverloadedError
+
+            raise ServerOverloadedError(
+                f"per-client submission quota reached "
+                f"({len(connection.tokens)} active, limit {quota})"
+            )
+        groups: dict[str, list[str]] = {}
+        for name in names:
+            owner = self.member.owner_of.get(name, self.member.member_id)
+            if owner not in self.member.routing:
+                owner = self.member.member_id  # unknown peer: serve it here
+            groups.setdefault(owner, []).append(name)
+        local_names = groups.pop(self.member.member_id, [])
+
+        engine = request.get("engine")
+        ordered = bool(request.get("ordered", True))
+        counters = {"delivered": 0, "fallbacks": 0, "cancelled": False}
+        token = self._new_token()
+        connection.tokens[request_id] = token
+        loop = asyncio.get_running_loop()
+        tasks: list[asyncio.Task] = []
+
+        async def run_local(submission) -> None:
+            async for result in submission:
+                await self._send_result(
+                    writer, lock, request_id, self.member.member_id, result
+                )
+                counters["delivered"] += 1
+            if submission.cancelled:
+                counters["cancelled"] = True
+
+        try:
+            local_submission = None
+            if local_names:
+                local_submission = await self.server.submit(
+                    items,
+                    local_names,
+                    engine=engine,
+                    ordered=ordered,
+                    client=_client_of(writer),
+                )
+                token.on_cancel(local_submission.cancel)
+                tasks.append(asyncio.create_task(run_local(local_submission)))
+            for owner, owned_names in sorted(groups.items()):
+                tasks.append(
+                    asyncio.create_task(
+                        self._relay(
+                            owner,
+                            owned_names,
+                            request,
+                            request_id,
+                            writer,
+                            lock,
+                            counters,
+                        )
+                    )
+                )
+
+            def _cancel_tasks() -> None:
+                counters["cancelled"] = True
+                for task in tasks:
+                    task.cancel()
+
+            token.on_cancel(
+                lambda: loop.call_soon_threadsafe(_cancel_tasks)
+            )
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, asyncio.CancelledError):
+                    counters["cancelled"] = True
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+        finally:
+            connection.tokens.pop(request_id, None)
+        await self._send(
+            writer,
+            lock,
+            {
+                "id": request_id,
+                "type": "done",
+                "results": counters["delivered"],
+                "cancelled": counters["cancelled"],
+                "fallbacks": counters["fallbacks"],
+            },
+        )
+
+    async def _send_result(
+        self, writer, lock, request_id, member_id: str, result
+    ) -> None:
+        await self._send(
+            writer,
+            lock,
+            {
+                "id": request_id,
+                "type": "result",
+                "doc": result.doc_name,
+                "query": result.query,
+                "variables": list(result.variables),
+                "answers": sorted(list(answer) for answer in result.answers),
+                "count": len(result.answers),
+                "seconds": result.seconds,
+                "member": member_id,
+            },
+        )
+
+    async def _relay(
+        self,
+        owner: str,
+        names: list[str],
+        request: dict,
+        request_id,
+        writer,
+        lock,
+        counters: dict,
+    ) -> None:
+        """Stream one owner's document group from the peer, or fall back.
+
+        De-duplication on fallback: result lines already delivered from the
+        peer before it died are remembered by (document, query) and not
+        re-sent — answers are deterministic, so the suppressed re-evaluation
+        is byte-identical to what the client already has.
+        """
+        host, port = self.member.routing[owner]
+        relay_request: dict = {
+            "op": "submit",
+            "id": 0,
+            "scope": "local",
+            "docs": list(names),
+        }
+        for key in ("query", "vars", "queries", "engine", "ordered"):
+            if key in request:
+                relay_request[key] = request[key]
+        if self.policy.auth_token is not None:
+            relay_request["auth"] = self.policy.auth_token
+        seen: set[tuple] = set()
+        complete = False
+        try:
+            async for payload in request_lines(host, port, relay_request):
+                kind = payload.get("type")
+                if kind == "result":
+                    seen.add((payload.get("doc"), payload.get("query")))
+                    forwarded = dict(payload)
+                    forwarded["id"] = request_id
+                    forwarded["member"] = owner
+                    await self._send(writer, lock, forwarded)
+                    counters["delivered"] += 1
+                elif kind == "done":
+                    if payload.get("cancelled"):
+                        counters["cancelled"] = True
+                    complete = True
+        except (ConnectionError, OSError, EOFError, json.JSONDecodeError):
+            complete = False
+        if complete or counters["cancelled"]:
+            return
+        # The peer died (or refused) mid-group: evaluate the remainder
+        # locally.  Every member holds the full corpus, so an accepted
+        # submission never loses documents to a member crash.
+        counters["fallbacks"] += 1
+        self.member.note_fallback(owner)
+        items = _submit_items(request)
+        submission = await self.server.submit(
+            items,
+            names,
+            engine=request.get("engine"),
+            ordered=bool(request.get("ordered", True)),
+            client=_client_of(writer),
+        )
+        async for result in submission:
+            if (result.doc_name, result.query) in seen:
+                continue
+            await self._send_result(writer, lock, request_id, self.member.member_id, result)
+            counters["delivered"] += 1
+        if submission.cancelled:
+            counters["cancelled"] = True
+
+
+# ------------------------------------------------------------- process entry
+def member_main(config: MemberConfig, client_sock: socket.socket, ready_conn) -> None:
+    """Entry point of one member process (multiprocessing target).
+
+    ``client_sock`` is the shared public listener (this member's
+    ``SO_REUSEPORT`` socket, or the duplicated single listener in fallback
+    mode); ``ready_conn`` is the supervisor's end of the ready handshake —
+    the member sends its internal port and pid once both listeners are up,
+    then closes it.
+    """
+    # The supervisor owns the HTTP observability endpoint; a member must
+    # not race its siblings for REPRO_OBS_PORT.
+    os.environ.pop(OBS_PORT_ENV, None)
+    faults.install_from_env()
+    faults.mark_worker(epoch=config.incarnation)
+    try:
+        asyncio.run(_member_async_main(config, client_sock, ready_conn))
+    except KeyboardInterrupt:
+        pass
+
+
+async def _member_async_main(
+    config: MemberConfig, client_sock: socket.socket, ready_conn
+) -> None:
+    session_kwargs: dict = {}
+    if config.plan_cache_dir is not None:
+        # Omitted otherwise: an explicit None would *disable* the session's
+        # REPRO_PLAN_CACHE fallthrough instead of deferring to it.
+        session_kwargs["plan_cache"] = config.plan_cache_dir
+    session = Session(
+        serving=config.serving,
+        engine=config.engine,
+        kernel=config.kernel,
+        strategy=config.strategy,
+        max_workers=config.max_workers,
+        snapshot_dir=config.snapshot_dir,
+        **session_kwargs,
+    )
+    try:
+        session.add_directory(config.corpus_dir, config.pattern)
+        server = session.server()
+        member = ClusterMember(config)
+        protocol = MemberProtocol(server, session=session, member=member)
+        limit = config.serving.max_request_bytes or READ_LIMIT
+        internal = await asyncio.start_server(
+            protocol.handle_connection, config.internal_host, 0, limit=limit
+        )
+        public = await asyncio.start_server(
+            protocol.handle_connection, sock=client_sock, limit=limit
+        )
+        internal_port = internal.sockets[0].getsockname()[1]
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        ready_conn.send(
+            {
+                "member_id": config.member_id,
+                "incarnation": config.incarnation,
+                "pid": os.getpid(),
+                "internal_port": internal_port,
+            }
+        )
+        ready_conn.close()
+        await stop.wait()
+        public.close()
+        internal.close()
+        await public.wait_closed()
+        await internal.wait_closed()
+    finally:
+        await session.aclose()

@@ -1,0 +1,294 @@
+"""Cost-aware shard placement: who owns which document, and when to move.
+
+The cluster's unit of work is the document: every query against a document
+is evaluated by exactly one member (its *owner*), so balancing the cluster
+means balancing the summed per-document cost across members.  Three pieces:
+
+:class:`CostModel`
+    Per-document cost estimates.  Before any traffic, the prior is the
+    document's source size in bytes (tree size is roughly proportional,
+    and reading a byte count is free — no parse).  Once members report
+    measured execution latencies (``CorpusServer.doc_latencies`` via the
+    ``cluster.describe`` op), an EWMA of observed mean seconds replaces
+    the prior for that document, and the observed seconds-per-byte rate
+    re-scales the prior of documents that have not been measured yet —
+    so one hot document's measurements improve every cold estimate.
+
+:func:`greedy_partition`
+    LPT (longest-processing-time) greedy balanced partitioning: documents
+    sorted by descending cost, each assigned to the currently least-loaded
+    member.  Classic 4/3-approximation of the optimal makespan — more than
+    good enough for costs that are themselves estimates.
+
+:func:`rebalance`
+    Incremental re-planning under a *bounded move budget*.  Moving a
+    document invalidates the owner's warm caches (resident tree, answer
+    cache, matrix cache), so placement churn is itself a cost: orphaned
+    documents (new, or owned by a vanished/draining member) are re-homed
+    for free, but load-smoothing moves of already-placed documents are
+    capped by ``move_budget`` per re-plan.  The supervisor calls this on
+    every placement tick; a stable cluster converges to zero moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+#: Placement strategy names accepted by the supervisor / ServingPolicy.
+STRATEGIES = ("cost", "round_robin")
+
+#: Default cap on load-smoothing document moves per re-plan.
+DEFAULT_MOVE_BUDGET = 4
+
+#: EWMA weight of a new latency observation against the running estimate.
+EWMA_ALPHA = 0.3
+
+
+class CostModel:
+    """Per-document cost estimates blending size priors with measurements."""
+
+    def __init__(self, *, alpha: float = EWMA_ALPHA) -> None:
+        self.alpha = alpha
+        self._size_bytes: dict[str, float] = {}
+        self._observed: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ feeds
+    def set_size(self, name: str, size_bytes: float) -> None:
+        """Register (or refresh) a document's size prior."""
+        self._size_bytes[name] = max(1.0, float(size_bytes))
+
+    def forget(self, name: str) -> None:
+        """Drop a discarded document from both tables."""
+        self._size_bytes.pop(name, None)
+        self._observed.pop(name, None)
+
+    def observe(self, name: str, mean_seconds: float) -> None:
+        """Fold one member-reported mean execution latency into the EWMA."""
+        if mean_seconds <= 0:
+            return
+        current = self._observed.get(name)
+        if current is None:
+            self._observed[name] = float(mean_seconds)
+        else:
+            self._observed[name] = (
+                self.alpha * float(mean_seconds) + (1.0 - self.alpha) * current
+            )
+
+    def observe_report(self, latencies: Mapping[str, Mapping]) -> None:
+        """Fold a ``CorpusServer.doc_latencies()`` payload (one member's)."""
+        for name, entry in latencies.items():
+            try:
+                self.observe(name, float(entry["mean_seconds"]))
+            except (KeyError, TypeError, ValueError):
+                continue  # a malformed member payload must never poison placement
+
+    # -------------------------------------------------------------- estimates
+    def _seconds_per_byte(self) -> Optional[float]:
+        """Median observed seconds-per-byte, for re-scaling cold priors."""
+        rates = sorted(
+            self._observed[name] / self._size_bytes[name]
+            for name in self._observed
+            if name in self._size_bytes
+        )
+        if not rates:
+            return None
+        return rates[len(rates) // 2]
+
+    def cost(self, name: str) -> float:
+        """The current cost estimate of one document (arbitrary units)."""
+        observed = self._observed.get(name)
+        if observed is not None:
+            return observed
+        size = self._size_bytes.get(name, 1.0)
+        rate = self._seconds_per_byte()
+        return size * rate if rate is not None else size
+
+    def costs(self, names: Iterable[str]) -> dict[str, float]:
+        return {name: self.cost(name) for name in names}
+
+    def observed_count(self) -> int:
+        return len(self._observed)
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """One re-plan outcome: the new assignment plus what moved and why."""
+
+    #: member id -> documents it owns (sorted for determinism).
+    assignments: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: (document, from member or None, to member) for every relocation.
+    moves: tuple[tuple[str, Optional[str], str], ...] = ()
+    #: Load-smoothing moves skipped because the budget ran out.
+    deferred: int = 0
+
+    def owner_of(self) -> dict[str, str]:
+        """The inverse map: document -> owning member."""
+        return {
+            name: member
+            for member, names in self.assignments.items()
+            for name in names
+        }
+
+    def loads(self, costs: Mapping[str, float]) -> dict[str, float]:
+        return {
+            member: sum(costs.get(name, 1.0) for name in names)
+            for member, names in self.assignments.items()
+        }
+
+    def to_dict(self, costs: Optional[Mapping[str, float]] = None) -> dict:
+        payload = {
+            "assignments": {
+                member: list(names) for member, names in self.assignments.items()
+            },
+            "moves": [list(move) for move in self.moves],
+            "deferred": self.deferred,
+        }
+        if costs is not None:
+            payload["loads"] = self.loads(costs)
+        return payload
+
+
+def greedy_partition(
+    costs: Mapping[str, float], members: Sequence[str]
+) -> PlacementPlan:
+    """LPT greedy balanced partitioning of documents over members."""
+    if not members:
+        raise ValueError("cannot place documents on zero members")
+    loads = {member: 0.0 for member in members}
+    assignment: dict[str, list[str]] = {member: [] for member in members}
+    # Descending cost, name tiebreak: deterministic for equal-cost corpora.
+    for name in sorted(costs, key=lambda n: (-costs[n], n)):
+        target = min(members, key=lambda m: (loads[m], m))
+        assignment[target].append(name)
+        loads[target] += costs[name]
+    return PlacementPlan(
+        assignments={m: tuple(sorted(names)) for m, names in assignment.items()}
+    )
+
+
+def round_robin_partition(
+    names: Sequence[str], members: Sequence[str]
+) -> PlacementPlan:
+    """Cost-blind striping, for comparison and as the explicit fallback."""
+    if not members:
+        raise ValueError("cannot place documents on zero members")
+    assignment: dict[str, list[str]] = {member: [] for member in members}
+    for index, name in enumerate(sorted(names)):
+        assignment[members[index % len(members)]].append(name)
+    return PlacementPlan(
+        assignments={m: tuple(sorted(names)) for m, names in assignment.items()}
+    )
+
+
+def rebalance(
+    current: Mapping[str, Sequence[str]],
+    costs: Mapping[str, float],
+    members: Sequence[str],
+    *,
+    move_budget: int = DEFAULT_MOVE_BUDGET,
+    drain: Iterable[str] = (),
+) -> PlacementPlan:
+    """Re-plan placement incrementally, moving at most ``move_budget`` docs.
+
+    Parameters
+    ----------
+    current:
+        The placement in effect (member -> owned documents).
+    costs:
+        Cost estimates for every document that should be placed.  Documents
+        present here but not in ``current`` are *new* (added to the store);
+        documents in ``current`` but absent here were discarded.
+    members:
+        The live member set.  Documents owned by a member no longer listed
+        are orphaned and re-homed for free (the member is gone — there is
+        no cache warmth left to preserve).
+    move_budget:
+        Cap on load-smoothing relocations of already-placed documents.
+        Orphan/new-document assignment is never counted against it.
+    drain:
+        Members to bleed (degraded): their documents are treated as
+        half-orphaned — moving them off *does* consume budget (the member
+        still serves, just slowly), highest-cost documents first.
+    """
+    members = list(members)
+    if not members:
+        raise ValueError("cannot place documents on zero members")
+    drain_set = set(drain) & set(members)
+    alive = {member: [] for member in members}
+    orphaned: list[str] = []
+    placed: set[str] = set()
+    for member, names in current.items():
+        for name in names:
+            if name not in costs or name in placed:
+                continue  # discarded (or duplicated upstream): drop
+            placed.add(name)
+            if member in alive:
+                alive[member].append(name)
+            else:
+                orphaned.append(name)
+    orphaned.extend(name for name in costs if name not in placed)
+
+    loads = {
+        member: sum(costs[name] for name in names)
+        for member, names in alive.items()
+    }
+    moves: list[tuple[str, Optional[str], str]] = []
+
+    def receivers() -> list[str]:
+        pool = [m for m in members if m not in drain_set] or members
+        return pool
+
+    # 1. Re-home orphans (new documents, vanished members): free.
+    for name in sorted(orphaned, key=lambda n: (-costs[n], n)):
+        target = min(receivers(), key=lambda m: (loads[m], m))
+        alive[target].append(name)
+        loads[target] += costs[name]
+        moves.append((name, None, target))
+
+    budget = max(0, int(move_budget))
+    deferred = 0
+
+    # 2. Bleed draining members, costliest documents first, under budget.
+    for member in sorted(drain_set):
+        for name in sorted(alive[member], key=lambda n: (-costs[n], n)):
+            candidates = [m for m in members if m not in drain_set]
+            if not candidates:
+                break
+            if budget <= 0:
+                deferred += 1
+                continue
+            target = min(candidates, key=lambda m: (loads[m], m))
+            alive[member].remove(name)
+            alive[target].append(name)
+            loads[member] -= costs[name]
+            loads[target] += costs[name]
+            moves.append((name, member, target))
+            budget -= 1
+
+    # 3. Load smoothing: shift documents from the most- to the least-loaded
+    #    member while it strictly improves the spread, under budget.
+    while budget > 0:
+        heavy = max(members, key=lambda m: (loads[m], m))
+        light = min(members, key=lambda m: (loads[m], m))
+        gap = loads[heavy] - loads[light]
+        if gap <= 0 or not alive[heavy]:
+            break
+        # The largest document that still shrinks the gap when moved
+        # (cost < gap); moving anything bigger would just swap roles.
+        movable = [name for name in alive[heavy] if costs[name] < gap]
+        if not movable:
+            break
+        name = max(movable, key=lambda n: (costs[n], n))
+        alive[heavy].remove(name)
+        alive[light].append(name)
+        loads[heavy] -= costs[name]
+        loads[light] += costs[name]
+        moves.append((name, heavy, light))
+        budget -= 1
+
+    return PlacementPlan(
+        assignments={m: tuple(sorted(names)) for m, names in alive.items()},
+        moves=tuple(moves),
+        deferred=deferred,
+    )

@@ -1039,6 +1039,27 @@ class CorpusExecutor:
                 "recoveries": [dict(entry) for entry in self._recovery_log],
             }
 
+    def quarantined_by_shard(self) -> dict[str, list[str]]:
+        """The quarantined-document *list*, grouped by owning shard.
+
+        Keys are shard indices as strings (JSON object keys; ``"-1"`` for
+        documents without a current shard assignment — non-``processes``
+        strategies, or a document discarded after quarantine).  Health
+        payloads include this unconditionally so a cluster supervisor can
+        migrate poisoned documents specifically rather than inferring from
+        the flat count.
+        """
+        with self._fault_lock:
+            quarantined = sorted(self.quarantined)
+        if not quarantined:
+            return {}
+        with self._pool_lock:
+            shard_of = dict(self._shard_of)
+        grouped: dict[str, list[str]] = {}
+        for name in quarantined:
+            grouped.setdefault(str(shard_of.get(name, -1)), []).append(name)
+        return grouped
+
     def _retry_document(self, name: str, evaluate):
         """Run ``evaluate`` under the per-document retry budget."""
         attempt = 0

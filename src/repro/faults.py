@@ -26,6 +26,17 @@ Fault points
 ``pickle_error``
     Raises :class:`repro.errors.FaultInjectedError` after evaluation, where
     result marshalling would fail.
+``member_crash``
+    Simulated cluster-member death: the process exits immediately with
+    :data:`KILL_EXIT_CODE`, wherever it is (members are top-level serving
+    processes, not pool workers).  Tripped by the cluster member protocol
+    per handled submission with ``key=<member id>`` and
+    ``site=member.submit``, so ``REPRO_FAULTS="member_crash,
+    match=member-1,times=1"`` kills exactly one member exactly once —
+    respawned incarnations are distinguished by ``epoch`` (the supervisor
+    marks each incarnation, so a default ``epoch=0``-less spec with
+    ``times=1`` still fires once *per incarnation*; add ``epoch=0`` to
+    crash only the first).
 
 Schedules
 ---------
@@ -64,7 +75,7 @@ from repro.errors import FaultInjectedError, ReproError, WorkerCrashError
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: The recognised fault points.
-POINTS = ("worker_crash", "slow_query", "corrupt_read", "pickle_error")
+POINTS = ("worker_crash", "slow_query", "corrupt_read", "pickle_error", "member_crash")
 
 #: Exit status used by an injected worker crash, distinguishable in core
 #: dumps / CI logs from a python traceback exit.
@@ -282,6 +293,11 @@ def trip(point: str, key: str = "", site: str = "") -> None:
     spec = plan.decide(point, key, site, _EPOCH)
     if spec is None:
         return
+    if point == "member_crash":
+        # A cluster member is a top-level serving process: an injected
+        # member kill is always a hard exit, exactly what SIGKILL or an
+        # OOM kill looks like to the supervisor and to connected clients.
+        os._exit(KILL_EXIT_CODE)
     if point == "worker_crash":
         if _IN_WORKER:
             # A real, unceremonious death: no cleanup handlers, no pickled

@@ -8,7 +8,9 @@ A scrape endpoint that needs no NDJSON client: a
 - ``/healthz`` — liveness JSON (``{"status": "ok", ...}``),
 - ``/slowlog.json`` — the slow-query log with span-tree exemplars,
 - ``/traces.ndjson`` — drains the sampled-trace ring as NDJSON events
-  (each scrape returns traces finished since the previous one).
+  (each scrape returns traces finished since the previous one),
+- ``/cluster.json`` — cluster topology/placement/autotune status, when the
+  owner is a :class:`repro.cluster.ClusterSupervisor` (404 otherwise).
 
 Off by default; enabled by ``ServingPolicy.obs_port`` or the
 ``REPRO_OBS_PORT`` environment variable (``CorpusServer`` starts it, and
@@ -42,7 +44,10 @@ class ObsHTTPServer:
     ``metrics_text`` is a zero-argument callable returning the Prometheus
     text body (so the owner can assemble fresh gauges per scrape);
     ``health`` optionally returns extra liveness fields; ``slowlog`` is the
-    shared :class:`~repro.obs.slowlog.SlowQueryLog` ring, if any.
+    shared :class:`~repro.obs.slowlog.SlowQueryLog` ring, if any;
+    ``cluster`` optionally returns the ``/cluster.json`` payload (a
+    cluster supervisor passes its status snapshot — without it the path
+    404s, so a plain server's endpoint is unchanged).
     """
 
     def __init__(
@@ -51,12 +56,14 @@ class ObsHTTPServer:
         *,
         slowlog: Optional[SlowQueryLog] = None,
         health: Optional[Callable[[], dict]] = None,
+        cluster: Optional[Callable[[], dict]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._metrics_text = metrics_text
         self._slowlog = slowlog
         self._health = health
+        self._cluster = cluster
         self._host = host
         self._requested_port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -148,6 +155,9 @@ class ObsHTTPServer:
             elif path == "/traces.ndjson":
                 body = _trace.render_events(_trace.drain_finished()).encode("utf-8")
                 self._respond(request, 200, "application/x-ndjson", body)
+            elif path == "/cluster.json" and self._cluster is not None:
+                body = (json.dumps(self._cluster()) + "\n").encode("utf-8")
+                self._respond(request, 200, "application/json", body)
             else:
                 body = b"not found\n"
                 self._respond(request, 404, "text/plain", body)

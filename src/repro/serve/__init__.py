@@ -13,6 +13,9 @@ fourth layer of the stack, strictly on top of the previous three::
     repro.corpus                               DocumentStore + CorpusExecutor
     repro.serve                                asyncio front end + plan cache
 
+(:mod:`repro.cluster` scales this layer across processes: N member
+servers behind one public port with cost-aware document placement.)
+
 Request path
 ------------
 

@@ -96,6 +96,19 @@ class UnauthorizedError(ReproError):
     """Request refused: missing or wrong ``auth`` token."""
 
 
+def _submit_items(request: dict) -> list[tuple[str, tuple[str, ...]]]:
+    """The (expression, variables) pairs of a submit request.
+
+    Shared with the cluster member protocol, which re-parses the same
+    request shape before scattering it across shard owners.
+    """
+    if "queries" in request:
+        return [(text, tuple(variables)) for text, variables in request["queries"]]
+    if "query" in request:
+        return [(request["query"], tuple(request.get("vars", ())))]
+    raise ValueError("submit needs 'query' or 'queries'")
+
+
 def _client_of(writer: "asyncio.StreamWriter") -> Optional[str]:
     """The connection's peer as a ``host:port`` string for cost attribution.
 
@@ -147,10 +160,16 @@ class ProtocolServer:
     session can observe and fire the same tokens.
     """
 
-    def __init__(self, server: CorpusServer, *, session=None) -> None:
+    def __init__(self, server: CorpusServer, *, session=None, extensions=None) -> None:
         self.server = server
         self.session = session if session is not None else getattr(server, "session", None)
         self.policy: ServingPolicy = getattr(server, "policy", None) or ServingPolicy()
+        #: Extra ops: ``op name -> async callable(request dict) -> payload
+        #: dict``; the reply line is the payload under ``{"id": ...,
+        #: "type": <op>}``.  This is how the cluster member protocol mounts
+        #: its ``cluster.*`` control ops without the base protocol knowing
+        #: about clustering.  Auth applies to extension ops like any other.
+        self.extensions: dict = dict(extensions or {})
 
     def _new_token(self) -> CancellationToken:
         if self.session is not None:
@@ -302,6 +321,11 @@ class ProtocolServer:
                 await self._handle_cancel(request, request_id, writer, lock, connection)
             elif op == "submit":
                 await self._handle_submit(request, request_id, writer, lock, connection)
+            elif op in self.extensions:
+                payload = await self.extensions[op](request)
+                await self._send(
+                    writer, lock, {"id": request_id, "type": op, **payload}
+                )
             else:
                 raise ValueError(f"unknown op {op!r}")
         except asyncio.CancelledError:
@@ -357,14 +381,7 @@ class ProtocolServer:
         lock: "asyncio.Lock",
         connection: "_Connection",
     ) -> None:
-        if "queries" in request:
-            items = [
-                (text, tuple(variables)) for text, variables in request["queries"]
-            ]
-        elif "query" in request:
-            items = [(request["query"], tuple(request.get("vars", ())))]
-        else:
-            raise ValueError("submit needs 'query' or 'queries'")
+        items = _submit_items(request)
         if request_id in connection.tokens:
             # A reused id would overwrite the live submission's token (and
             # the first stream's cleanup would then delete the second's),
@@ -452,10 +469,12 @@ async def request_lines(
 ) -> AsyncIterator[dict]:
     """Tiny NDJSON client: send one request, yield response lines until done.
 
-    Yields every response object for the request's id; stops after a
-    ``done``, ``error``, ``stats``, ``pong``, ``metrics`` or ``slowlog``
-    line.  Used by the CLI's ``serve query`` / ``serve stats`` /
-    ``obs metrics`` / ``obs slowlog`` subcommands and handy in tests.
+    Yields every response object for the request's id; stops after the
+    first non-``result`` line (``done``, ``error``, ``stats``, ``pong``,
+    ``metrics``, ``slowlog``, a ``cluster.*`` reply, ...).  Used by the
+    CLI's ``serve query`` / ``serve stats`` / ``obs metrics`` /
+    ``obs slowlog`` subcommands, the cluster member's peer relay, and
+    handy in tests.
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
@@ -467,16 +486,11 @@ async def request_lines(
                 return
             payload = json.loads(line)
             yield payload
-            if payload.get("type") in (
-                "done",
-                "error",
-                "stats",
-                "pong",
-                "cancelled",
-                "metrics",
-                "slowlog",
-                "health",
-            ):
+            # Every response is terminal except the streamed "result" lines
+            # of a submission (which end with "done"/"error").  Keyed on the
+            # one non-terminal type so extension ops (``cluster.*``) are
+            # covered without enumeration.
+            if payload.get("type") != "result":
                 return
     finally:
         writer.close()

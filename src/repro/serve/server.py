@@ -349,7 +349,17 @@ class CorpusServer:
                 store, strategy=strategy, max_workers=max_workers, engine=engine
             )
         self._semaphore: Optional[asyncio.Semaphore] = None
+        #: Evaluation slots to retire instead of release (see
+        #: :meth:`set_max_concurrent`): a concurrency *decrease* cannot take
+        #: permits back from jobs already holding them, so the next acquirers
+        #: consume this debt by keeping their permit unreleased.
+        self._concurrency_debt = 0
         self._tasks: set["asyncio.Task"] = set()
+        #: Per-document execution telemetry for cost-aware placement:
+        #: ``name -> [count, total_execution_seconds]``.  Bounded by corpus
+        #: size; exported by :meth:`doc_latencies` (the cluster supervisor's
+        #: measured-cost feed).
+        self._doc_latency: dict[str, list] = {}
         #: Mergeable latency histograms (see :mod:`repro.obs.metrics`),
         #: replacing the old bounded deque of recent latencies.
         self.metrics_registry = MetricsRegistry()
@@ -412,6 +422,12 @@ class CorpusServer:
         pool has tripped its circuit breaker into in-process serial
         fallback; the fault-telemetry block rides along so an operator can
         see restarts/quarantines from the probe alone.
+
+        ``quarantined`` is always present: the per-shard quarantined
+        *document list* (shard index, as a string key, to sorted names —
+        empty dict when nothing is quarantined), so a cluster supervisor
+        can migrate poisoned documents specifically instead of re-placing
+        a whole member's shard blindly.
         """
         degraded = self.executor.degraded_shard_count
         payload = {
@@ -419,10 +435,55 @@ class CorpusServer:
             "documents": len(self.store),
             "in_flight": self._in_flight,
             "draining": self._draining,
+            "quarantined": self.executor.quarantined_by_shard(),
         }
         if degraded:
             payload["faults"] = self.executor.fault_stats()
         return payload
+
+    def set_max_concurrent(self, value: int) -> int:
+        """Resize the evaluation semaphore at runtime; returns the old width.
+
+        The cluster supervisor's AIMD autotune calls this between scrapes.
+        An increase releases fresh permits immediately; a decrease is
+        recorded as *debt* — jobs currently evaluating keep their permits,
+        and the next acquirers retire permits instead of starting, so the
+        width converges without ever cancelling running work.  Loop-safe:
+        must be called from the server's event loop (the protocol layer's
+        ``cluster.tune`` op does).
+        """
+        value = int(value)
+        if value < 1:
+            raise ServeError("max_concurrent must be at least 1")
+        old = self.max_concurrent
+        if value == old:
+            return old
+        self.max_concurrent = value
+        self.policy = self.policy.override(max_concurrent=value)
+        if self._semaphore is not None:
+            if value > old:
+                grant = value - old
+                # New permits first pay down outstanding debt, then open
+                # real slots.
+                settled = min(self._concurrency_debt, grant)
+                self._concurrency_debt -= settled
+                for _ in range(grant - settled):
+                    self._semaphore.release()
+            else:
+                self._concurrency_debt += old - value
+        return old
+
+    async def _acquire_slot(self) -> None:
+        """Acquire one evaluation slot, retiring permits owed as debt."""
+        while True:
+            await self._semaphore.acquire()
+            if self._concurrency_debt > 0:
+                # This permit is retired, not released: the semaphore's
+                # effective width just shrank by one.  Single-threaded on
+                # the loop, so no race against set_max_concurrent.
+                self._concurrency_debt -= 1
+                continue
+            return
 
     # ---------------------------------------------------------------- lifecycle
     async def __aenter__(self) -> "CorpusServer":
@@ -709,7 +770,8 @@ class CorpusServer:
     ) -> list[CorpusResult]:
         """One admitted document job: wait for an evaluation slot, run off-loop."""
         enqueued = time.perf_counter()
-        async with self._semaphore:
+        await self._acquire_slot()
+        try:
             dequeue()
             self._in_flight += 1
             started = time.perf_counter()
@@ -748,6 +810,9 @@ class CorpusServer:
             finished = time.perf_counter()
             elapsed = finished - started
             self._execution_hist.observe(elapsed)
+            latency = self._doc_latency.setdefault(name, [0, 0.0])
+            latency[0] += 1
+            latency[1] += elapsed
             self._completed += 1
             self._account_costs(submission, results, started - enqueued)
             if _trace.enabled():
@@ -780,6 +845,8 @@ class CorpusServer:
                     ),
                 )
             return results
+        finally:
+            self._semaphore.release()
 
     def _account_costs(
         self, submission: Submission, results: list[CorpusResult], queue_wait: float
@@ -806,6 +873,24 @@ class CorpusServer:
                     totals[cost_field] = totals.get(cost_field, 0) + value
 
     # ---------------------------------------------------------------- telemetry
+    def doc_latencies(self) -> dict[str, dict]:
+        """Per-document observed execution cost: ``name -> {count, seconds,
+        mean_seconds}``.
+
+        This is the measured half of the cluster supervisor's cost model
+        (tree size is the prior): a member ships it on ``cluster.describe``
+        and the supervisor folds it into placement decisions.  Cheap and
+        loop-safe.
+        """
+        return {
+            name: {
+                "count": count,
+                "seconds": total,
+                "mean_seconds": total / count if count else 0.0,
+            }
+            for name, (count, total) in self._doc_latency.items()
+        }
+
     @property
     def stats(self) -> ServerStats:
         """A :class:`ServerStats` snapshot (cheap; safe to poll from the loop)."""
@@ -852,12 +937,18 @@ class CorpusServer:
         )
 
     def metrics_text(self) -> str:
-        """Render the server's telemetry in Prometheus text exposition format.
+        """Render the server's telemetry in Prometheus text exposition format."""
+        return self.metrics_snapshot().render()
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """The server's telemetry as one freshly-merged registry.
 
         Monotonic request counters and point-in-time gauges are mirrored
-        into a fresh registry at render time (the integers on ``self`` stay
-        the source of truth); the two latency histograms are merged in
-        bucket-by-bucket.  Cheap and loop-safe, like :attr:`stats`.
+        into a fresh registry at snapshot time (the integers on ``self``
+        stay the source of truth); the two latency histograms are merged
+        in bucket-by-bucket.  Cheap and loop-safe, like :attr:`stats` —
+        this is both what ``/metrics`` renders and what a cluster member
+        ships to its supervisor on ``cluster.describe``.
         """
         registry = MetricsRegistry()
         counters = {
@@ -910,6 +1001,6 @@ class CorpusServer:
         # shard worker and would block the event loop mid-scrape.  Worker
         # series are reachable via ``Session.metrics()`` off the loop.
         registry.merge(self.executor.metrics_registry)
-        return registry.render()
+        return registry
 
 

@@ -62,6 +62,16 @@ ON_ERROR_ENV = "REPRO_ON_ERROR"
 MAX_WORKER_RESTARTS_ENV = "REPRO_MAX_WORKER_RESTARTS"
 RESTART_BACKOFF_ENV = "REPRO_RESTART_BACKOFF"
 
+#: Cluster-mode environment fallbacks.  Like ``REPRO_OBS_PORT``, these are
+#: deployment configuration rather than admission behaviour, so they are the
+#: (only) serving knobs read from the environment — at *supervisor/CLI
+#: start*, when the matching :class:`ServingPolicy` field is ``None``,
+#: under the usual explicit > policy > env > default precedence (see
+#: :func:`resolve_cluster_field`).
+CLUSTER_MEMBERS_ENV = "REPRO_CLUSTER_MEMBERS"
+CLUSTER_PLACEMENT_ENV = "REPRO_CLUSTER_PLACEMENT"
+CLUSTER_AUTOTUNE_ENV = "REPRO_CLUSTER_AUTOTUNE"
+
 _ENV_OF_FIELD = {
     "engine": ENGINE_ENV,
     "kernel": KERNEL_ENV,
@@ -398,10 +408,27 @@ class ServingPolicy:
         TCP port of the stdlib HTTP observability endpoint
         (``/metrics``, ``/healthz``, ``/slowlog.json``, ``/traces.ndjson``)
         the server starts alongside the NDJSON protocol; ``None`` = no
-        endpoint, ``0`` = bind an ephemeral port.  This is the one serving
-        knob with an environment fallback — ``REPRO_OBS_PORT`` is read at
-        server/CLI start when the field is ``None``, because scrape targets
-        are deployment configuration in a way admission limits are not.
+        endpoint, ``0`` = bind an ephemeral port.  Like the cluster fields
+        below, this is a serving knob with an environment fallback —
+        ``REPRO_OBS_PORT`` is read at server/CLI start when the field is
+        ``None``, because scrape targets are deployment configuration in a
+        way admission limits are not.
+    cluster_members:
+        Member-process count of the shared-nothing serving cluster
+        (:class:`repro.cluster.ClusterSupervisor`); ``None`` falls through
+        to ``REPRO_CLUSTER_MEMBERS``, then the supervisor's default.
+        Cluster topology is deployment configuration (the same argument as
+        ``obs_port``), hence the env fallback.
+    placement:
+        Shard-placement strategy of the cluster supervisor: ``"cost"``
+        (greedy balanced partitioning over measured per-document cost,
+        the default) or ``"round_robin"``; ``None`` falls through to
+        ``REPRO_CLUSTER_PLACEMENT``.
+    autotune:
+        Whether the supervisor autotunes each member's ``max_concurrent``
+        (AIMD on the windowed p95 queue wait); ``None`` falls through to
+        ``REPRO_CLUSTER_AUTOTUNE`` (``1/true/yes/on``), then the default
+        (on).
     """
 
     max_concurrent: int = 4
@@ -413,6 +440,9 @@ class ServingPolicy:
     max_submissions_per_client: Optional[int] = None
     max_request_bytes: int = 16 * 1024 * 1024
     obs_port: Optional[int] = None
+    cluster_members: Optional[int] = None
+    placement: Optional[str] = None
+    autotune: Optional[bool] = None
 
     def override(self, **explicit: Any) -> "ServingPolicy":
         """Return a policy with the given specified fields replaced."""
@@ -420,3 +450,47 @@ class ServingPolicy:
             name: value for name, value in explicit.items() if value is not None
         }
         return dataclasses.replace(self, **changes) if changes else self
+
+
+#: Environment variable and coercion of each cluster-mode serving field.
+_CLUSTER_ENV_OF_FIELD = {
+    "cluster_members": (CLUSTER_MEMBERS_ENV, "int"),
+    "placement": (CLUSTER_PLACEMENT_ENV, "str"),
+    "autotune": (CLUSTER_AUTOTUNE_ENV, "bool"),
+}
+
+
+def resolve_cluster_field(
+    policy: Optional[ServingPolicy],
+    field: str,
+    explicit: Any = None,
+    default: Any = None,
+) -> Resolved:
+    """Resolve one cluster serving knob: explicit > policy > env > default.
+
+    The cluster fields are the serving knobs with a documented environment
+    fallback (``REPRO_CLUSTER_*``) — cluster topology is deployment
+    configuration, like ``REPRO_OBS_PORT`` scrape targets.  Resolution
+    happens once, at supervisor/CLI start, never ambiently per request.
+    """
+    if field not in _CLUSTER_ENV_OF_FIELD:
+        raise ValueError(f"unknown cluster serving field {field!r}")
+    if explicit is not None and explicit is not UNSET:
+        return Resolved(explicit, "explicit")
+    policy_value = getattr(policy, field, None) if policy is not None else None
+    if policy_value is not None:
+        return Resolved(policy_value, "policy")
+    env_name, kind = _CLUSTER_ENV_OF_FIELD[field]
+    raw = os.environ.get(env_name)
+    if raw is not None and raw.strip():
+        raw = raw.strip()
+        if kind == "int":
+            try:
+                return Resolved(int(raw), "env")
+            except ValueError:
+                pass  # malformed deployment config: fall through to default
+        elif kind == "bool":
+            return Resolved(raw.lower() in _TRUTHY, "env")
+        else:
+            return Resolved(raw, "env")
+    return Resolved(default, "default")

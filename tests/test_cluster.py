@@ -1,0 +1,666 @@
+"""Tests for the shared-nothing serving cluster (`repro.cluster`).
+
+Unit layers first — cost model, LPT/round-robin partitioning, bounded-move
+rebalancing, histogram-window quantiles, the AIMD controller, the tolerant
+cross-process metrics merge, and the member-local routing table — then
+process-spawning integration tests: a two-member cluster whose answers are
+byte-identical to a serial single-process baseline, a member hard-killed
+mid-run with zero lost accepted queries, and the single-listener fallback
+(``reuseport=False``) serving correctly behind its logged warning.
+
+The async client calls run through plain ``asyncio.run`` (no pytest-asyncio
+in the environment).  Integration tests use short control intervals and
+generous deadlines so they stay robust on loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+
+import pytest
+
+from repro.cluster import (
+    AIMDController,
+    ClusterMember,
+    ClusterSupervisor,
+    CostModel,
+    HistogramWindow,
+    MemberConfig,
+    UNREACHABLE_METRIC,
+    WindowStats,
+    greedy_partition,
+    merge_member_metrics,
+    rebalance,
+    result_key,
+    round_robin_partition,
+    submit_retry,
+)
+from repro.cluster.client import ClusterClientError
+from repro.corpus import CorpusExecutor, DocumentStore
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import request_lines
+from repro.trees.xml_io import tree_to_xml
+from repro.workloads.bibliography import generate_bibliography
+
+BOOLEAN_QUERY = "descendant::book[child::author and child::title]"
+PAIR_QUERY = "descendant::book[child::author[. is $y] and child::title[. is $z]]"
+PAIR_VARS = ("y", "z")
+
+
+def run(coroutine):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """Six small bibliography documents on disk, ``doc000.xml``..."""
+    for index in range(6):
+        tree = generate_bibliography(2 + index % 3, seed=index)
+        (tmp_path / f"doc{index:03d}.xml").write_text(tree_to_xml(tree))
+    return tmp_path
+
+
+def serial_baseline(corpus_dir, query, variables=(), engine="polynomial"):
+    """Reference answers from the plain single-process serial executor."""
+    store = DocumentStore()
+    store.add_directory(str(corpus_dir), "*.xml")
+    with CorpusExecutor(store, strategy="serial", engine=engine) as executor:
+        return {
+            (result.doc_name, result.query): sorted(
+                list(answer) for answer in result.answers
+            )
+            for result in executor.run((query, tuple(variables)))
+        }
+
+
+# =====================================================================
+# Cost model
+# =====================================================================
+
+
+class TestCostModel:
+    def test_size_prior_before_any_observation(self):
+        model = CostModel()
+        model.set_size("a", 1000.0)
+        model.set_size("b", 4000.0)
+        assert model.cost("b") == pytest.approx(4.0 * model.cost("a"))
+
+    def test_observation_replaces_prior_and_ewma_smooths(self):
+        model = CostModel(alpha=0.5)
+        model.set_size("a", 1000.0)
+        model.observe("a", 0.10)
+        assert model.cost("a") == pytest.approx(0.10)
+        model.observe("a", 0.20)
+        assert model.cost("a") == pytest.approx(0.15)  # 0.5*0.2 + 0.5*0.1
+
+    def test_observed_rate_rescales_cold_priors(self):
+        # One measured document teaches the model seconds-per-byte; the
+        # unmeasured document's estimate moves onto the same scale.
+        model = CostModel()
+        model.set_size("hot", 1000.0)
+        model.set_size("cold", 2000.0)
+        model.observe("hot", 0.5)  # 5e-4 s/byte
+        assert model.cost("cold") == pytest.approx(2000.0 * 5e-4)
+
+    def test_malformed_member_report_is_ignored(self):
+        model = CostModel()
+        model.set_size("a", 100.0)
+        model.observe_report(
+            {
+                "a": {"mean_seconds": 0.25},
+                "b": {"mean_seconds": "not a number"},
+                "c": "garbage",
+                "d": {},
+            }
+        )
+        assert model.observed_count() == 1
+        assert model.cost("a") == pytest.approx(0.25)
+
+    def test_forget_drops_both_tables(self):
+        model = CostModel()
+        model.set_size("a", 100.0)
+        model.observe("a", 0.5)
+        model.forget("a")
+        assert model.observed_count() == 0
+        assert model.cost("a") == 1.0  # back to the unknown-document floor
+
+    def test_nonpositive_observation_ignored(self):
+        model = CostModel()
+        model.observe("a", 0.0)
+        model.observe("a", -1.0)
+        assert model.observed_count() == 0
+
+
+# =====================================================================
+# Partitioning and rebalancing
+# =====================================================================
+
+
+class TestPartitioning:
+    def test_lpt_balances_skewed_costs(self):
+        costs = {"big": 10.0, "mid": 6.0, "small1": 3.0, "small2": 3.0, "small3": 4.0}
+        plan = greedy_partition(costs, ["m0", "m1"])
+        loads = plan.loads(costs)
+        assert set(plan.owner_of()) == set(costs)
+        assert abs(loads["m0"] - loads["m1"]) <= 4.0  # LPT: near-balanced
+
+    def test_equal_costs_are_deterministic(self):
+        costs = {f"doc{i}": 1.0 for i in range(7)}
+        first = greedy_partition(costs, ["m0", "m1", "m2"])
+        second = greedy_partition(costs, ["m0", "m1", "m2"])
+        assert first.assignments == second.assignments
+
+    def test_round_robin_stripes_sorted_names(self):
+        plan = round_robin_partition(["c", "a", "b", "d"], ["m0", "m1"])
+        assert plan.assignments == {"m0": ("a", "c"), "m1": ("b", "d")}
+
+    def test_zero_members_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_partition({"a": 1.0}, [])
+        with pytest.raises(ValueError):
+            round_robin_partition(["a"], [])
+
+
+class TestRebalance:
+    COSTS = {f"doc{i}": float(1 + i) for i in range(6)}
+
+    def test_stable_cluster_converges_to_zero_moves(self):
+        plan = greedy_partition(self.COSTS, ["m0", "m1"])
+        again = rebalance(plan.assignments, self.COSTS, ["m0", "m1"])
+        assert again.moves == ()
+        assert again.assignments == plan.assignments
+
+    def test_orphans_from_vanished_member_rehomed_for_free(self):
+        plan = greedy_partition(self.COSTS, ["m0", "m1", "m2"])
+        # m2 vanished entirely; its documents must all land somewhere even
+        # with a zero move budget (orphan re-homing is never budgeted).
+        after = rebalance(
+            plan.assignments, self.COSTS, ["m0", "m1"], move_budget=0
+        )
+        assert set(after.owner_of()) == set(self.COSTS)
+        orphan_moves = [move for move in after.moves if move[1] is None]
+        assert len(orphan_moves) == len(plan.assignments["m2"])
+
+    def test_new_documents_are_placed(self):
+        plan = greedy_partition(self.COSTS, ["m0", "m1"])
+        grown = dict(self.COSTS, extra=9.0)
+        after = rebalance(plan.assignments, grown, ["m0", "m1"], move_budget=0)
+        assert "extra" in after.owner_of()
+
+    def test_discarded_documents_are_dropped(self):
+        plan = greedy_partition(self.COSTS, ["m0", "m1"])
+        shrunk = {k: v for k, v in self.COSTS.items() if k != "doc5"}
+        after = rebalance(plan.assignments, shrunk, ["m0", "m1"])
+        assert "doc5" not in after.owner_of()
+
+    def test_drain_bleeds_under_budget_and_defers_the_rest(self):
+        plan = greedy_partition(self.COSTS, ["m0", "m1"])
+        drained_docs = plan.assignments["m1"]
+        after = rebalance(
+            plan.assignments,
+            self.COSTS,
+            ["m0", "m1"],
+            move_budget=1,
+            drain=["m1"],
+        )
+        bled = [move for move in after.moves if move[1] == "m1"]
+        assert len(bled) == 1
+        assert after.deferred == len(drained_docs) - 1
+        # The costliest drained document goes first.
+        costliest = max(drained_docs, key=lambda n: self.COSTS[n])
+        assert bled[0][0] == costliest
+
+    def test_load_smoothing_is_budget_bounded(self):
+        lopsided = {"m0": tuple(self.COSTS), "m1": ()}
+        after = rebalance(lopsided, self.COSTS, ["m0", "m1"], move_budget=2)
+        smoothing = [move for move in after.moves if move[1] == "m0"]
+        assert 0 < len(smoothing) <= 2
+        loads = after.loads(self.COSTS)
+        assert loads["m1"] > 0  # the spread strictly improved
+
+
+# =====================================================================
+# Histogram windows and the AIMD controller
+# =====================================================================
+
+
+def histogram_payload(bounds, counts):
+    return {"bounds": list(bounds), "counts": list(counts)}
+
+
+class TestHistogramWindow:
+    BOUNDS = (0.01, 0.05, 0.25)
+
+    def test_first_feed_yields_no_window(self):
+        window = HistogramWindow()
+        assert window.update(histogram_payload(self.BOUNDS, [1, 0, 0, 0])) is None
+
+    def test_delta_between_snapshots(self):
+        window = HistogramWindow()
+        window.update(histogram_payload(self.BOUNDS, [1, 2, 0, 0]))
+        stats = window.update(histogram_payload(self.BOUNDS, [4, 2, 1, 0]))
+        assert stats is not None
+        assert stats.counts == (3, 0, 1, 0)
+        assert stats.count == 4
+
+    def test_counter_regression_resyncs_baseline(self):
+        # The member restarted: its histogram reset to zero.  The window
+        # must not produce negative counts — and the reset snapshot becomes
+        # the new baseline so the next delta is valid again.
+        window = HistogramWindow()
+        window.update(histogram_payload(self.BOUNDS, [5, 5, 0, 0]))
+        assert window.update(histogram_payload(self.BOUNDS, [1, 0, 0, 0])) is None
+        stats = window.update(histogram_payload(self.BOUNDS, [2, 1, 0, 0]))
+        assert stats is not None
+        assert stats.counts == (1, 1, 0, 0)
+
+    def test_malformed_and_mismatched_payloads(self):
+        window = HistogramWindow()
+        assert window.update({}) is None
+        assert window.update({"bounds": [0.1], "counts": "nope"}) is None
+        assert window.update(histogram_payload((0.1,), [1, 0])) is None
+        # Bounds changed mid-flight: no window, new baseline.
+        assert window.update(histogram_payload((0.5,), [1, 0])) is None
+
+    def test_quantiles(self):
+        stats = WindowStats(bounds=self.BOUNDS, counts=(90, 5, 4, 1))
+        assert stats.quantile(0.5) == pytest.approx(0.01)
+        assert stats.quantile(0.95) == pytest.approx(0.05)
+        # Overflow bucket reports the largest finite bound.
+        top = WindowStats(bounds=self.BOUNDS, counts=(0, 0, 0, 10))
+        assert top.quantile(0.95) == pytest.approx(0.25)
+        empty = WindowStats(bounds=self.BOUNDS, counts=(0, 0, 0, 0))
+        assert empty.quantile(0.95) is None
+
+
+class TestAIMDController:
+    BOUNDS = (0.01, 0.05, 0.25)
+
+    def make(self, **kwargs):
+        kwargs.setdefault("target_p95", 0.05)
+        kwargs.setdefault("max_concurrent", 16)
+        return AIMDController(**kwargs)
+
+    def feed(self, controller, member, counts, *, current, depth=0):
+        """Baseline-then-delta: two snapshots so the second is a window."""
+        controller.decide(
+            member,
+            current=current,
+            queue_wait=histogram_payload(self.BOUNDS, [0] * 4),
+            queue_depth=0,
+        )
+        return controller.decide(
+            member,
+            current=current,
+            queue_wait=histogram_payload(self.BOUNDS, counts),
+            queue_depth=depth,
+        )
+
+    def test_unreachable_member_holds(self):
+        decision = self.make().decide("m", current=4, queue_wait=None, queue_depth=3)
+        assert decision.reason == "hold"
+        assert not decision.changed
+
+    def test_backoff_on_high_p95_is_multiplicative(self):
+        # 20 observations all in the overflow bucket: p95 far over target.
+        decision = self.feed(self.make(), "m", [0, 0, 0, 20], current=8)
+        assert decision.reason == "backoff"
+        assert decision.new_value == 4
+
+    def test_backoff_clamps_at_floor(self):
+        decision = self.feed(self.make(), "m", [0, 0, 0, 20], current=1)
+        assert decision.new_value == 1
+
+    def test_probe_when_queued_and_under_target(self):
+        decision = self.feed(self.make(), "m", [20, 0, 0, 0], current=4, depth=2)
+        assert decision.reason == "probe"
+        assert decision.new_value == 5
+
+    def test_probe_clamps_at_ceiling(self):
+        controller = self.make(max_concurrent=4)
+        decision = self.feed(controller, "m", [20, 0, 0, 0], current=4, depth=2)
+        assert decision.new_value == 4
+
+    def test_steady_when_under_target_and_no_queue(self):
+        decision = self.feed(self.make(), "m", [20, 0, 0, 0], current=4, depth=0)
+        assert decision.reason == "steady"
+        assert not decision.changed
+
+    def test_thin_window_makes_no_decision_unless_queued(self):
+        quiet = self.feed(self.make(), "m", [2, 0, 0, 0], current=4, depth=0)
+        assert quiet.reason == "quiet"
+        assert not quiet.changed
+        nudged = self.feed(self.make(), "m2", [2, 0, 0, 0], current=4, depth=3)
+        assert nudged.reason == "queued-idle"
+        assert nudged.new_value == 5
+
+    def test_forget_resets_the_window(self):
+        controller = self.make()
+        self.feed(controller, "m", [0, 0, 0, 20], current=8)
+        controller.forget("m")
+        first = controller.decide(
+            "m",
+            current=8,
+            queue_wait=histogram_payload(self.BOUNDS, [0, 0, 0, 25]),
+            queue_depth=0,
+        )
+        assert first.reason == "no-window"
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AIMDController(min_concurrent=0)
+        with pytest.raises(ValueError):
+            AIMDController(min_concurrent=4, max_concurrent=2)
+        with pytest.raises(ValueError):
+            AIMDController(decrease=1.5)
+
+
+# =====================================================================
+# Tolerant cross-process metrics merge (satellite: dead member mid-scrape)
+# =====================================================================
+
+
+class TestMergeMemberMetrics:
+    def good_payload(self, value):
+        registry = MetricsRegistry()
+        registry.counter("repro_server_submissions_total", "submissions").inc(value)
+        return {"metrics": registry.to_dict()}
+
+    def test_merges_healthy_members(self):
+        merged, unreachable = merge_member_metrics(
+            {"member-0": self.good_payload(3), "member-1": self.good_payload(4)}
+        )
+        assert unreachable == 0
+        assert merged.get("repro_server_submissions_total").value == 7
+
+    def test_dead_member_counts_unreachable_not_crash(self):
+        merged, unreachable = merge_member_metrics(
+            {"member-0": self.good_payload(3), "member-1": None}
+        )
+        assert unreachable == 1
+        assert merged.get("repro_server_submissions_total").value == 3
+
+    def test_partial_and_garbage_payloads_are_tolerated(self):
+        # Everything a member dying mid-write can produce: a non-dict, a
+        # payload without metrics, metric values of the wrong shape, and
+        # histogram bounds that no longer match a sibling's.
+        registry = MetricsRegistry()
+        registry.histogram("repro_wait", "w", bounds=[0.1, 0.5]).observe(0.2)
+        mismatched = MetricsRegistry()
+        mismatched.histogram("repro_wait", "w", bounds=[9.0]).observe(0.2)
+        merged, unreachable = merge_member_metrics(
+            {
+                "member-0": {"metrics": registry.to_dict()},
+                "member-1": "not even a dict",
+                "member-2": {"stats": {}},
+                "member-3": {"metrics": {"repro_wait": 42}},
+                "member-4": {"metrics": mismatched.to_dict()},
+            }
+        )
+        assert unreachable == 4
+        assert merged.get("repro_wait").count == 1
+
+    def test_empty_scrape(self):
+        merged, unreachable = merge_member_metrics({})
+        assert unreachable == 0
+        assert merged.to_dict() == {}
+
+
+# =====================================================================
+# Member routing table
+# =====================================================================
+
+
+class TestClusterMember:
+    def make_member(self, member_id="member-0"):
+        return ClusterMember(
+            MemberConfig(member_id=member_id, incarnation=0, corpus_dir=".")
+        )
+
+    def placement(self):
+        return {
+            "member-0": {"addr": ["127.0.0.1", 9001], "documents": ["a", "b"]},
+            "member-1": {"addr": ["127.0.0.1", 9002], "documents": ["c"]},
+        }
+
+    def test_apply_placement(self):
+        member = self.make_member()
+        owned = member.apply_placement(self.placement(), version=3)
+        assert owned == 2
+        assert member.owned() == ["a", "b"]
+        assert member.owner_of["c"] == "member-1"
+        assert member.routing["member-1"] == ("127.0.0.1", 9002)
+        assert member.placement_version == 3
+        assert member.has_placement()
+
+    def test_placement_is_replaced_wholesale(self):
+        member = self.make_member()
+        member.apply_placement(self.placement(), version=1)
+        member.apply_placement(
+            {"member-0": {"addr": ["127.0.0.1", 9001], "documents": ["z"]}},
+            version=2,
+        )
+        assert member.owned() == ["z"]
+        assert "c" not in member.owner_of
+        assert "member-1" not in member.routing
+
+    def test_fallback_accounting(self):
+        member = self.make_member()
+        member.note_fallback("member-1")
+        member.note_fallback("member-1")
+        assert member.fallbacks == {"member-1": 2}
+
+
+# =====================================================================
+# Client-side retry accounting
+# =====================================================================
+
+
+class TestResultKey:
+    def test_key_shape(self):
+        line = {"doc": "d", "query": "q", "variables": ["x"], "answers": []}
+        assert result_key(line) == ("d", "q", ("x",))
+        assert result_key({"doc": "d", "query": "q"}) == ("d", "q", ())
+
+
+# =====================================================================
+# Integration: real clusters over real processes
+# =====================================================================
+
+
+def wait_until(predicate, *, timeout=30.0, interval=0.1, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def cluster_submit(supervisor, request, **kwargs):
+    return run(
+        submit_retry("127.0.0.1", supervisor.port, dict(request), **kwargs)
+    )
+
+
+class TestClusterIntegration:
+    def test_answers_match_serial_baseline(self, corpus_dir):
+        baseline = serial_baseline(corpus_dir, BOOLEAN_QUERY)
+        with ClusterSupervisor(
+            corpus_dir, members=2, control_interval=0.25
+        ) as supervisor:
+            reply = cluster_submit(
+                supervisor, {"query": BOOLEAN_QUERY, "engine": "polynomial"}
+            )
+            status = supervisor.status()
+
+        assert reply["retries"] == 0
+        got = {
+            (key[0], key[1]): line["answers"]
+            for key, line in reply["results"].items()
+        }
+        assert got == baseline  # byte-identical answers, all six documents
+
+        # Both members own a disjoint, complete share of the corpus.
+        assignments = status["placement"]["assignments"]
+        assert set(assignments) == {"member-0", "member-1"}
+        owned = [name for names in assignments.values() for name in names]
+        assert sorted(owned) == sorted({key[0] for key in baseline})
+        served_by = {line["member"] for line in reply["results"].values()}
+        assert served_by  # every line is attributed to a member
+
+        # The status payload carries the documented surfaces.
+        assert status["documents"] == 6
+        assert status["placement"]["strategy"] == "cost"
+        assert status["autotune"]["enabled"] is True
+        assert isinstance(status["members_unreachable_total"], int)
+        assert status["health"]["status"] in ("ok", "degraded")
+        assert "quarantined" in status["health"]
+
+    def test_variable_queries_scatter_identically(self, corpus_dir):
+        baseline = serial_baseline(corpus_dir, PAIR_QUERY, PAIR_VARS)
+        with ClusterSupervisor(
+            corpus_dir, members=2, control_interval=0.25
+        ) as supervisor:
+            reply = cluster_submit(
+                supervisor,
+                {
+                    "query": PAIR_QUERY,
+                    "vars": list(PAIR_VARS),
+                    "engine": "polynomial",
+                },
+            )
+        got = {
+            (key[0], key[1]): line["answers"]
+            for key, line in reply["results"].items()
+        }
+        assert got == baseline
+
+    def test_health_op_reports_quarantined_document_list(self, corpus_dir):
+        # Satellite: the NDJSON health op (like /healthz) must always carry
+        # the per-shard quarantined-document list, not just a count.
+        with ClusterSupervisor(
+            corpus_dir, members=1, control_interval=0.5
+        ) as supervisor:
+
+            async def probe():
+                async for line in request_lines(
+                    "127.0.0.1", supervisor.port, {"op": "health", "id": 1}
+                ):
+                    return line
+
+            payload = run(probe())
+        assert payload["type"] == "health"
+        assert payload["status"] == "ok"
+        assert payload["quarantined"] == {}
+
+    def test_metrics_text_merges_members_and_supervisor_counters(self, corpus_dir):
+        with ClusterSupervisor(
+            corpus_dir, members=2, control_interval=0.2
+        ) as supervisor:
+            cluster_submit(supervisor, {"query": BOOLEAN_QUERY})
+            wait_until(
+                lambda: "repro_server_submitted_total" in supervisor.metrics_text(),
+                timeout=15.0,
+                message="a member scrape to land",
+            )
+            text = supervisor.metrics_text()
+        assert UNREACHABLE_METRIC in text
+        assert "repro_cluster_members 2" in text
+        assert "repro_cluster_members_alive 2" in text
+
+    def test_member_kill_recovers_with_zero_lost_queries(self, corpus_dir):
+        baseline = serial_baseline(corpus_dir, BOOLEAN_QUERY)
+        expected_keys = {(doc, query, ()) for doc, query in baseline}
+        with ClusterSupervisor(
+            corpus_dir, members=2, control_interval=0.2
+        ) as supervisor:
+            request = {"query": BOOLEAN_QUERY, "engine": "polynomial"}
+            assert set(cluster_submit(supervisor, request)["results"]) == expected_keys
+
+            assert supervisor.kill_member("member-1")
+            # Submissions during the outage window must still return every
+            # document: the coordinator falls back locally for the dead
+            # peer's share, and a killed coordinator is retried client-side.
+            for _ in range(6):
+                reply = cluster_submit(supervisor, request, attempts=8)
+                assert set(reply["results"]) == expected_keys
+
+            wait_until(
+                lambda: supervisor.status()["members"]["member-1"]["alive"],
+                message="member-1 to respawn",
+            )
+            status = supervisor.status()
+            assert status["members"]["member-1"]["incarnation"] >= 1
+            assert status["members"]["member-1"]["restarts"] >= 1
+            # And the reborn member serves again.
+            assert set(cluster_submit(supervisor, request)["results"]) == expected_keys
+
+    def test_single_listener_fallback_warns_and_serves(self, corpus_dir, caplog):
+        # Satellite: platforms without SO_REUSEPORT degrade to one shared
+        # listener with a logged warning — never a bind error.
+        baseline = serial_baseline(corpus_dir, BOOLEAN_QUERY)
+        with caplog.at_level(logging.WARNING, logger="repro.cluster"):
+            supervisor = ClusterSupervisor(
+                corpus_dir, members=2, reuseport=False, control_interval=0.5
+            )
+            supervisor.start()
+        try:
+            assert supervisor.reuseport_active is False
+            assert any(
+                "single shared listener" in record.getMessage()
+                for record in caplog.records
+            )
+            reply = cluster_submit(
+                supervisor, {"query": BOOLEAN_QUERY, "engine": "polynomial"}
+            )
+            got = {
+                (key[0], key[1]): line["answers"]
+                for key, line in reply["results"].items()
+            }
+            assert got == baseline
+        finally:
+            supervisor.stop()
+
+    def test_cluster_knob_env_precedence(self, corpus_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_MEMBERS", "3")
+        monkeypatch.setenv("REPRO_CLUSTER_PLACEMENT", "round_robin")
+        monkeypatch.setenv("REPRO_CLUSTER_AUTOTUNE", "0")
+        from_env = ClusterSupervisor(corpus_dir)
+        assert from_env.member_count == 3
+        assert from_env.placement_strategy == "round_robin"
+        assert from_env.autotune_enabled is False
+        # Explicit arguments beat the environment.
+        explicit = ClusterSupervisor(
+            corpus_dir, members=1, placement="cost", autotune=True
+        )
+        assert explicit.member_count == 1
+        assert explicit.placement_strategy == "cost"
+        assert explicit.autotune_enabled is True
+
+    def test_bogus_configuration_rejected(self, tmp_path):
+        from repro.cluster import ClusterError
+
+        with pytest.raises(ClusterError):
+            ClusterSupervisor(tmp_path, members=0)
+        with pytest.raises(ClusterError):
+            ClusterSupervisor(tmp_path, placement="alphabetical")
+        with pytest.raises(ClusterError):
+            ClusterSupervisor(tmp_path, members=1).start()  # empty corpus
+
+    def test_retry_budget_exhaustion_raises(self):
+        # Nothing listens on this port: every attempt fails, and the error
+        # names the budget instead of dumping a raw socket traceback.
+        with pytest.raises(ClusterClientError, match="after 2 attempts"):
+            run(
+                submit_retry(
+                    "127.0.0.1",
+                    1,  # reserved port, connection refused
+                    {"query": BOOLEAN_QUERY},
+                    attempts=2,
+                    backoff=0.01,
+                )
+            )

@@ -60,6 +60,7 @@ from repro.cluster.supervisor import (
     UNREACHABLE_METRIC,
     control_request,
     merge_member_metrics,
+    queue_wait_histogram,
 )
 
 __all__ = [
@@ -84,6 +85,7 @@ __all__ = [
     "greedy_partition",
     "member_main",
     "merge_member_metrics",
+    "queue_wait_histogram",
     "rebalance",
     "result_key",
     "round_robin_partition",

@@ -46,8 +46,10 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import faults
+from repro.cluster.client import result_key
 from repro.corpus.store import CorpusError
 from repro.obs.http import OBS_PORT_ENV
+from repro.serve.server import QUEUE_WAIT_HISTOGRAM
 from repro.serve.protocol import (
     READ_LIMIT,
     ProtocolServer,
@@ -195,6 +197,7 @@ class MemberProtocol(ProtocolServer):
         round-trips are deliberately avoided mid-scrape.
         """
         registry = self.server.metrics_snapshot()
+        queue_wait = registry.get(QUEUE_WAIT_HISTOGRAM)
         return {
             "member_id": self.member.member_id,
             "incarnation": self.member.incarnation,
@@ -203,6 +206,10 @@ class MemberProtocol(ProtocolServer):
             "owned": len(self.member.owned()),
             "max_concurrent": self.server.max_concurrent,
             "stats": self.server.stats.to_dict(),
+            # The *raw* histogram (bounds + bucket counts), not a quantile
+            # summary: the supervisor's HistogramWindow diffs consecutive
+            # bucket snapshots, so this is the field the autotune feeds on.
+            "queue_wait_hist": queue_wait.to_dict() if queue_wait is not None else None,
             "metrics": registry.to_dict(),
             "doc_latencies": self.server.doc_latencies(),
             "health": self.server._health_payload(),
@@ -364,9 +371,12 @@ class MemberProtocol(ProtocolServer):
         """Stream one owner's document group from the peer, or fall back.
 
         De-duplication on fallback: result lines already delivered from the
-        peer before it died are remembered by (document, query) and not
-        re-sent — answers are deterministic, so the suppressed re-evaluation
-        is byte-identical to what the client already has.
+        peer before it died are remembered by (document, query, variables) —
+        the same identity :func:`repro.cluster.client.result_key` uses, so a
+        submission carrying one query text under several variable tuples
+        keeps every distinct line — and not re-sent; answers are
+        deterministic, so the suppressed re-evaluation is byte-identical to
+        what the client already has.
         """
         host, port = self.member.routing[owner]
         relay_request: dict = {
@@ -386,7 +396,7 @@ class MemberProtocol(ProtocolServer):
             async for payload in request_lines(host, port, relay_request):
                 kind = payload.get("type")
                 if kind == "result":
-                    seen.add((payload.get("doc"), payload.get("query")))
+                    seen.add(result_key(payload))
                     forwarded = dict(payload)
                     forwarded["id"] = request_id
                     forwarded["member"] = owner
@@ -414,7 +424,7 @@ class MemberProtocol(ProtocolServer):
             client=_client_of(writer),
         )
         async for result in submission:
-            if (result.doc_name, result.query) in seen:
+            if (result.doc_name, result.query, tuple(result.variables)) in seen:
                 continue
             await self._send_result(writer, lock, request_id, self.member.member_id, result)
             counters["delivered"] += 1

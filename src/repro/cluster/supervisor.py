@@ -102,8 +102,12 @@ def merge_member_metrics(
     payload without a usable ``metrics`` dict, or a metrics dict the
     registry rejects (truncated mid-write, histogram bounds mismatch) all
     count that member as unreachable for this scrape and contribute
-    nothing.  Returns the merged registry and the unreachable count;
-    never raises for malformed member data.
+    nothing.  Each member merges atomically: the payload is folded into a
+    trial registry first, so a family that fails partway through (say the
+    second histogram's bounds mismatch, after its counters merged fine)
+    cannot leave half a member's series in the result.  Returns the merged
+    registry and the unreachable count; never raises for malformed member
+    data.
     """
     registry = MetricsRegistry()
     unreachable = 0
@@ -115,11 +119,38 @@ def merge_member_metrics(
         if not isinstance(metrics, dict):
             unreachable += 1
             continue
+        trial = MetricsRegistry()
         try:
-            registry.merge(metrics)
+            trial.merge(registry)
+            trial.merge(metrics)
         except Exception:  # noqa: BLE001 - any poisoned payload counts, only
             unreachable += 1
+            continue
+        registry = trial
     return registry, unreachable
+
+
+def queue_wait_histogram(payload: Optional[dict]) -> Optional[dict]:
+    """The raw queue-wait histogram (bounds + counts) of one describe payload.
+
+    This is the autotune's input: :class:`~repro.cluster.autotune.
+    HistogramWindow` needs bucket snapshots to diff, not the quantile
+    summary ``stats.queue_wait`` carries.  Prefers the member's dedicated
+    ``queue_wait_hist`` field, falling back to the
+    ``repro_request_queue_wait_seconds`` series inside the ``metrics``
+    dict; returns ``None`` when neither is usable (unreachable member, or
+    a payload from before the histogram saw traffic).
+    """
+    if not isinstance(payload, dict):
+        return None
+    candidates = [payload.get("queue_wait_hist")]
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict):
+        candidates.append(metrics.get("repro_request_queue_wait_seconds"))
+    for hist in candidates:
+        if isinstance(hist, dict) and "bounds" in hist and "counts" in hist:
+            return hist
+    return None
 
 
 @dataclass
@@ -239,7 +270,13 @@ class ClusterSupervisor:
         self._unreachable_total = 0
         self._tune_log: list[dict] = []
         self._merged_registry = MetricsRegistry()
-        self._lock = threading.Lock()
+        #: Guards everything the obs HTTP thread reads while the control
+        #: thread mutates: the plan (+ version/moves), the known-file map,
+        #: the cost model, per-member handle fields, the merged registry
+        #: and the tune log.  Reentrant so ``status()`` can nest
+        #: ``_health_payload()`` under one acquisition.  Never held across
+        #: member I/O (spawn, control sockets) — only around state flips.
+        self._lock = threading.RLock()
         self._stop = threading.Event()
         self._control_thread: Optional[threading.Thread] = None
         self._started = False
@@ -250,9 +287,18 @@ class ClusterSupervisor:
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
-        """Bind listeners, spawn every member, broadcast the first placement."""
+        """Bind listeners, spawn every member, broadcast the first placement.
+
+        All-or-nothing: a member that dies before the ready handshake (or
+        an observability port that fails to bind) tears the whole cluster
+        back down — already-spawned members are terminated and every
+        listener closed — before the error propagates, so a failed
+        ``start()`` (hence a failed ``__enter__``) never leaks non-daemon
+        processes or a bound port.
+        """
         if self._started:
             return
+        self._stop.clear()
         names = self._scan_corpus()
         if not names:
             raise ClusterError(
@@ -264,24 +310,31 @@ class ClusterSupervisor:
             self._members[member_id] = MemberHandle(member_id=member_id, sock=sock)
         self._plan = self._initial_plan(member_ids)
         self._plan_version = 1
-        for handle in self._members.values():
-            self._spawn(handle)
-        self._await_ready()
-        self._broadcast_placement()
-        self._started = True
-        if self._obs_port is not None:
-            self.obs_http = ObsHTTPServer(
-                self.metrics_text,
-                health=self._health_payload,
-                cluster=self.status,
-                host=self.host,
-                port=self._obs_port,
+        try:
+            for handle in self._members.values():
+                self._spawn(handle)
+            self._await_ready()
+            self._broadcast_placement()
+            if self._obs_port is not None:
+                self.obs_http = ObsHTTPServer(
+                    self.metrics_text,
+                    health=self._health_payload,
+                    cluster=self.status,
+                    host=self.host,
+                    port=self._obs_port,
+                )
+                self.obs_http.start()
+            self._control_thread = threading.Thread(
+                target=self._control_loop, name="repro-cluster-control", daemon=True
             )
-            self.obs_http.start()
-        self._control_thread = threading.Thread(
-            target=self._control_loop, name="repro-cluster-control", daemon=True
-        )
-        self._control_thread.start()
+            self._control_thread.start()
+        except BaseException:
+            try:
+                self.stop()
+            except Exception:  # noqa: BLE001 - never mask the startup error
+                logger.exception("cleanup after failed cluster start also failed")
+            raise
+        self._started = True
 
     def stop(self, *, timeout: float = 10.0) -> None:
         """Stop the control loop, terminate members, close every socket."""
@@ -403,9 +456,10 @@ class ClusterSupervisor:
 
     # -------------------------------------------------------------- spawning
     def _spawn(self, handle: MemberHandle) -> None:
-        handle.incarnation += 1
-        if handle.incarnation > 0:
-            handle.restarts += 1
+        with self._lock:
+            handle.incarnation += 1
+            if handle.incarnation > 0:
+                handle.restarts += 1
         config = MemberConfig(
             member_id=handle.member_id,
             incarnation=handle.incarnation,
@@ -429,12 +483,13 @@ class ClusterSupervisor:
         )
         process.start()
         child_conn.close()
-        handle.process = process
-        handle.internal_port = None
-        handle.pid = process.pid
-        handle.max_concurrent = self.serving.max_concurrent
-        handle.last_describe = None
-        handle.ready_conn = parent_conn
+        with self._lock:
+            handle.process = process
+            handle.internal_port = None
+            handle.pid = process.pid
+            handle.max_concurrent = self.serving.max_concurrent
+            handle.last_describe = None
+            handle.ready_conn = parent_conn
 
     def _await_ready(self, *, timeout: float = 60.0) -> None:
         deadline = time.monotonic() + timeout
@@ -457,9 +512,10 @@ class ClusterSupervisor:
                 ) from error
             finally:
                 conn.close()
-            handle.internal_port = int(message["internal_port"])
-            handle.pid = int(message["pid"])
-            handle.last_seen = time.monotonic()
+            with self._lock:
+                handle.internal_port = int(message["internal_port"])
+                handle.pid = int(message["pid"])
+                handle.last_seen = time.monotonic()
 
     def _respawn(self, handle: MemberHandle) -> bool:
         """Bring one dead member back; returns True when it came up."""
@@ -484,9 +540,10 @@ class ClusterSupervisor:
         finally:
             if conn is not None:
                 conn.close()
-        handle.internal_port = int(message["internal_port"])
-        handle.pid = int(message["pid"])
-        handle.last_seen = time.monotonic()
+        with self._lock:
+            handle.internal_port = int(message["internal_port"])
+            handle.pid = int(message["pid"])
+            handle.last_seen = time.monotonic()
         return True
 
     # ------------------------------------------------------------- placement
@@ -499,11 +556,12 @@ class ClusterSupervisor:
                 files[path.stem] = float(path.stat().st_size)
             except OSError:
                 continue
-        for name, size in files.items():
-            self.cost_model.set_size(name, size)
-        for name in set(self._known_files) - set(files):
-            self.cost_model.forget(name)
-        self._known_files = files
+        with self._lock:
+            for name, size in files.items():
+                self.cost_model.set_size(name, size)
+            for name in set(self._known_files) - set(files):
+                self.cost_model.forget(name)
+            self._known_files = files
         return sorted(files)
 
     def _initial_plan(self, member_ids: Sequence[str]) -> PlacementPlan:
@@ -560,9 +618,11 @@ class ClusterSupervisor:
             deferred = 0
             changed = plan.assignments != self._plan.assignments
         else:
+            with self._lock:
+                costs = self.cost_model.costs(names)
             plan = rebalance(
                 self._plan.assignments,
-                self.cost_model.costs(names),
+                costs,
                 sorted(self._members),
                 move_budget=self.move_budget,
                 drain=drain,
@@ -570,11 +630,13 @@ class ClusterSupervisor:
             moves = plan.moves
             deferred = plan.deferred
             changed = bool(moves)
-        self._plan = plan
-        self._deferred_moves = deferred
+        with self._lock:
+            self._plan = plan
+            self._deferred_moves = deferred
+            if changed:
+                self._plan_version += 1
+                self._last_moves = [list(move) for move in moves][-16:]
         if changed:
-            self._plan_version += 1
-            self._last_moves = [list(move) for move in moves][-16:]
             logger.info(
                 "placement v%d: %d moves (%d deferred)%s",
                 self._plan_version,
@@ -608,14 +670,15 @@ class ClusterSupervisor:
             if not isinstance(payload, dict):
                 continue
             handle = self._members[member_id]
-            handle.last_describe = payload
-            handle.last_seen = time.monotonic()
-            reported = payload.get("max_concurrent")
-            if isinstance(reported, int):
-                handle.max_concurrent = reported
-            latencies = payload.get("doc_latencies")
-            if isinstance(latencies, dict):
-                self.cost_model.observe_report(latencies)
+            with self._lock:
+                handle.last_describe = payload
+                handle.last_seen = time.monotonic()
+                reported = payload.get("max_concurrent")
+                if isinstance(reported, int):
+                    handle.max_concurrent = reported
+                latencies = payload.get("doc_latencies")
+                if isinstance(latencies, dict):
+                    self.cost_model.observe_report(latencies)
         if self.autotune_enabled:
             self._autotune_tick(payloads)
         if respawned or tick % REBALANCE_EVERY_TICKS == 0:
@@ -646,17 +709,16 @@ class ClusterSupervisor:
     def _autotune_tick(self, payloads: dict[str, Optional[dict]]) -> None:
         for member_id, payload in payloads.items():
             handle = self._members[member_id]
-            queue_wait = None
+            queue_wait = queue_wait_histogram(payload)
             queue_depth = 0
             if isinstance(payload, dict):
                 stats = payload.get("stats")
                 if isinstance(stats, dict):
-                    queue_wait = stats.get("queue_wait")
                     queue_depth = int(stats.get("queued") or 0)
             decision = self.autotune.decide(
                 member_id,
                 current=handle.max_concurrent or self.serving.max_concurrent,
-                queue_wait=queue_wait if isinstance(queue_wait, dict) else None,
+                queue_wait=queue_wait,
                 queue_depth=queue_depth,
             )
             if not decision.changed:
@@ -673,8 +735,8 @@ class ClusterSupervisor:
             except (OSError, ValueError, ClusterError) as error:
                 logger.warning("tune of %s failed: %s", member_id, error)
                 continue
-            handle.max_concurrent = decision.new_value
             with self._lock:
+                handle.max_concurrent = decision.new_value
                 self._tune_log.append(
                     {
                         "member": member_id,
@@ -701,6 +763,8 @@ class ClusterSupervisor:
         with self._lock:
             registry.merge(self._merged_registry)
             unreachable = self._unreachable_total
+            alive = sum(1 for handle in self._members.values() if handle.alive)
+            restarts = sum(handle.restarts for handle in self._members.values())
         registry.counter(
             UNREACHABLE_METRIC,
             "Member scrapes that failed or returned unusable payloads",
@@ -710,22 +774,23 @@ class ClusterSupervisor:
         ).set(self.member_count)
         registry.gauge(
             "repro_cluster_members_alive", "Members whose process is alive"
-        ).set(sum(1 for handle in self._members.values() if handle.alive))
+        ).set(alive)
         registry.counter(
             "repro_cluster_member_restarts_total", "Member respawns"
-        ).inc(sum(handle.restarts for handle in self._members.values()))
+        ).inc(restarts)
         return registry.render()
 
     def _health_payload(self) -> dict:
-        alive = sum(1 for handle in self._members.values() if handle.alive)
-        quarantined: dict[str, dict] = {}
-        for member_id, handle in sorted(self._members.items()):
-            describe = handle.last_describe
-            if not isinstance(describe, dict):
-                continue
-            health = describe.get("health")
-            if isinstance(health, dict) and health.get("quarantined"):
-                quarantined[member_id] = health["quarantined"]
+        with self._lock:
+            alive = sum(1 for handle in self._members.values() if handle.alive)
+            quarantined: dict[str, dict] = {}
+            for member_id, handle in sorted(self._members.items()):
+                describe = handle.last_describe
+                if not isinstance(describe, dict):
+                    continue
+                health = describe.get("health")
+                if isinstance(health, dict) and health.get("quarantined"):
+                    quarantined[member_id] = health["quarantined"]
         payload = {
             "status": "ok" if alive == self.member_count else "degraded",
             "members": self.member_count,
@@ -735,55 +800,61 @@ class ClusterSupervisor:
         return payload
 
     def status(self) -> dict:
-        """The ``/cluster.json`` payload (and ``serve cluster status`` body)."""
+        """The ``/cluster.json`` payload (and ``serve cluster status`` body).
+
+        Runs on the obs HTTP thread while the control thread re-plans and
+        scrapes, so the whole snapshot is assembled under the supervisor
+        lock — assignments, plan version and per-member fields always come
+        from one consistent instant.
+        """
         with self._lock:
             unreachable = self._unreachable_total
             tune_log = list(self._tune_log[-8:])
-        members = {}
-        for member_id, handle in sorted(self._members.items()):
-            describe = handle.last_describe if isinstance(handle.last_describe, dict) else {}
-            stats = describe.get("stats") if isinstance(describe.get("stats"), dict) else {}
-            members[member_id] = {
-                "alive": handle.alive,
-                "pid": handle.pid,
-                "incarnation": handle.incarnation,
-                "restarts": handle.restarts,
-                "internal_port": handle.internal_port,
-                "max_concurrent": handle.max_concurrent,
-                "owned": describe.get("owned"),
-                "placement_version": describe.get("placement_version"),
-                "submitted": stats.get("submitted"),
-                "completed": stats.get("completed"),
-                "queue_wait_p95": stats.get("queue_wait_p95"),
-                "fallbacks": describe.get("fallbacks"),
+            members = {}
+            for member_id, handle in sorted(self._members.items()):
+                describe = handle.last_describe if isinstance(handle.last_describe, dict) else {}
+                stats = describe.get("stats") if isinstance(describe.get("stats"), dict) else {}
+                members[member_id] = {
+                    "alive": handle.alive,
+                    "pid": handle.pid,
+                    "incarnation": handle.incarnation,
+                    "restarts": handle.restarts,
+                    "internal_port": handle.internal_port,
+                    "max_concurrent": handle.max_concurrent,
+                    "owned": describe.get("owned"),
+                    "placement_version": describe.get("placement_version"),
+                    "submitted": stats.get("submitted"),
+                    "completed": stats.get("completed"),
+                    "queue_wait_p95": stats.get("queue_wait_p95"),
+                    "fallbacks": describe.get("fallbacks"),
+                }
+            plan = self._plan
+            costs = self.cost_model.costs(sorted(self._known_files))
+            return {
+                "host": self.host,
+                "port": self.port,
+                "reuseport": self.reuseport_active,
+                "documents": len(self._known_files),
+                "members": members,
+                "members_unreachable_total": unreachable,
+                "placement": {
+                    "strategy": self.placement_strategy,
+                    "version": self._plan_version,
+                    "move_budget": self.move_budget,
+                    "deferred_moves": self._deferred_moves,
+                    "last_moves": list(self._last_moves),
+                    "assignments": (
+                        {m: list(names) for m, names in plan.assignments.items()}
+                        if plan is not None
+                        else {}
+                    ),
+                    "loads": plan.loads(costs) if plan is not None else {},
+                    "observed_documents": self.cost_model.observed_count(),
+                },
+                "autotune": {
+                    "enabled": self.autotune_enabled,
+                    "target_p95": self.autotune.target_p95,
+                    "recent": tune_log,
+                },
+                "health": self._health_payload(),
             }
-        plan = self._plan
-        costs = self.cost_model.costs(sorted(self._known_files))
-        return {
-            "host": self.host,
-            "port": self.port,
-            "reuseport": self.reuseport_active,
-            "documents": len(self._known_files),
-            "members": members,
-            "members_unreachable_total": unreachable,
-            "placement": {
-                "strategy": self.placement_strategy,
-                "version": self._plan_version,
-                "move_budget": self.move_budget,
-                "deferred_moves": self._deferred_moves,
-                "last_moves": list(self._last_moves),
-                "assignments": (
-                    {m: list(names) for m, names in plan.assignments.items()}
-                    if plan is not None
-                    else {}
-                ),
-                "loads": plan.loads(costs) if plan is not None else {},
-                "observed_documents": self.cost_model.observed_count(),
-            },
-            "autotune": {
-                "enabled": self.autotune_enabled,
-                "target_p95": self.autotune.target_p95,
-                "recent": tune_log,
-            },
-            "health": self._health_payload(),
-        }

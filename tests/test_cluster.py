@@ -31,7 +31,9 @@ from repro.cluster import (
     UNREACHABLE_METRIC,
     WindowStats,
     greedy_partition,
+    member_main,
     merge_member_metrics,
+    queue_wait_histogram,
     rebalance,
     result_key,
     round_robin_partition,
@@ -408,6 +410,49 @@ class TestMergeMemberMetrics:
         assert unreachable == 0
         assert merged.to_dict() == {}
 
+    def test_half_mergeable_payload_contributes_nothing(self):
+        # A payload whose counter family merges fine but whose histogram
+        # then mismatches must be dropped *atomically*: the already-merged
+        # counter may not pollute the result while the member also counts
+        # as unreachable.
+        good = MetricsRegistry()
+        good.counter("repro_subs_total", "s").inc(3)
+        good.histogram("repro_wait", "w", bounds=[0.1, 0.5]).observe(0.2)
+        poisoned = MetricsRegistry()
+        poisoned.counter("repro_subs_total", "s").inc(5)  # would merge fine
+        poisoned.histogram("repro_wait", "w", bounds=[9.0]).observe(0.2)
+        merged, unreachable = merge_member_metrics(
+            {
+                "member-0": {"metrics": good.to_dict()},
+                "member-1": {"metrics": poisoned.to_dict()},
+            }
+        )
+        assert unreachable == 1
+        assert merged.get("repro_subs_total").value == 3  # not 3 + 5
+        assert merged.get("repro_wait").count == 1
+
+
+class TestQueueWaitHistogramExtraction:
+    HIST = {"bounds": [0.1, 0.5], "counts": [1, 0, 0], "sum": 0.05, "count": 1}
+
+    def test_prefers_dedicated_field(self):
+        assert queue_wait_histogram({"queue_wait_hist": self.HIST}) is self.HIST
+
+    def test_falls_back_to_metrics_series(self):
+        payload = {
+            "queue_wait_hist": None,
+            "metrics": {"repro_request_queue_wait_seconds": self.HIST},
+        }
+        assert queue_wait_histogram(payload) is self.HIST
+
+    def test_quantile_summary_is_not_a_window_source(self):
+        # The stats.queue_wait summary (count/sum/p50..p99) has no bucket
+        # counts; it must never be mistaken for a window payload.
+        payload = {"stats": {"queue_wait": {"count": 9, "p95": 0.2}}}
+        assert queue_wait_histogram(payload) is None
+        assert queue_wait_histogram(None) is None
+        assert queue_wait_histogram({}) is None
+
 
 # =====================================================================
 # Member routing table
@@ -598,6 +643,85 @@ class TestClusterIntegration:
             assert status["members"]["member-1"]["restarts"] >= 1
             # And the reborn member serves again.
             assert set(cluster_submit(supervisor, request)["results"]) == expected_keys
+
+    def test_describe_payload_drives_a_real_autotune_window(self, corpus_dir):
+        # Regression: stats.queue_wait is a quantile *summary* (no
+        # bounds/counts), so feeding it to HistogramWindow returned None on
+        # every scrape and autotune never made a decision.  A live member's
+        # describe payload must yield a usable window through the same
+        # extraction the supervisor's autotune tick uses.
+        with ClusterSupervisor(
+            corpus_dir, members=1, control_interval=30.0
+        ) as supervisor:
+            request = {"query": BOOLEAN_QUERY, "engine": "polynomial"}
+            cluster_submit(supervisor, request)
+            first = queue_wait_histogram(supervisor._scrape()["member-0"])
+            assert isinstance(first, dict)
+            assert first["count"] >= 1  # real queue-wait observations
+            window = HistogramWindow()
+            assert window.update(first) is None  # baseline feed
+            cluster_submit(supervisor, request)
+            second = queue_wait_histogram(supervisor._scrape()["member-0"])
+            stats = window.update(second)
+            assert stats is not None
+            assert stats.count >= 1  # the second submit's waits, windowed
+
+    def test_same_query_distinct_variables_survive_member_death(self, corpus_dir):
+        # Regression: the relay-fallback de-dup key must be the documented
+        # result identity (doc, query, variables) — keying on (doc, query)
+        # alone silently dropped the second variable tuple's lines for a
+        # document when a peer died and its group was re-evaluated locally.
+        docs = [f"doc{i:03d}" for i in range(6)]
+        variable_orders = (("y", "z"), ("z", "y"))
+        expected = {
+            (doc, PAIR_QUERY, variables)
+            for doc in docs
+            for variables in variable_orders
+        }
+        request = {
+            "queries": [[PAIR_QUERY, list(variables)] for variables in variable_orders],
+            "engine": "polynomial",
+        }
+        with ClusterSupervisor(
+            corpus_dir, members=2, control_interval=0.2
+        ) as supervisor:
+            assert set(cluster_submit(supervisor, request)["results"]) == expected
+            assert supervisor.kill_member("member-1")
+            # During the outage the coordinator falls back locally for the
+            # dead peer's share; every (doc, query, variables) line must
+            # still arrive exactly once.
+            for _ in range(4):
+                reply = cluster_submit(supervisor, request, attempts=8)
+                assert set(reply["results"]) == expected
+
+    def test_failed_startup_terminates_spawned_members(self, corpus_dir, monkeypatch):
+        # Regression: a member dying before the ready handshake made
+        # start() raise without terminating already-spawned members or
+        # closing the listeners — __exit__ never runs when __enter__
+        # raises, so the processes and the port leaked.
+        import repro.cluster.supervisor as supervisor_mod
+        from repro.cluster import ClusterError
+
+        def doomed(config, sock, ready_conn):
+            if config.member_id == "member-1":
+                raise SystemExit(1)  # dies without reporting ready
+            member_main(config, sock, ready_conn)
+
+        monkeypatch.setattr(supervisor_mod, "member_main", doomed)
+        supervisor = ClusterSupervisor(corpus_dir, members=2, control_interval=0.5)
+        with pytest.raises(ClusterError, match="died during startup"):
+            supervisor.start()
+        # The healthy member-0 was spawned first; it must not outlive the
+        # failed start, and the public port must be released.
+        assert all(not handle.alive for handle in supervisor._members.values())
+        import socket as socket_mod
+
+        probe = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        try:
+            probe.setsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", supervisor.port))
+        finally:
+            probe.close()
 
     def test_single_listener_fallback_warns_and_serves(self, corpus_dir, caplog):
         # Satellite: platforms without SO_REUSEPORT degrade to one shared
